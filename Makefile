@@ -1,0 +1,27 @@
+# Convenience targets; everything works with plain pytest too.
+
+PY ?= python
+
+.PHONY: install test bench results examples clean
+
+install:
+	$(PY) setup.py develop
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+bench-series:
+	$(PY) -m pytest benchmarks/ --benchmark-only -s
+
+results:
+	$(PY) examples/regenerate_results.py --rows 2000 --out results
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; $(PY) $$f >/dev/null || exit 1; done; echo "all examples ran"
+
+clean:
+	rm -rf results .pytest_cache src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,63 @@
+"""Exp-1 / Fig. 9: efficiency of checking consistency.
+
+Paper protocol: vary |Σ| (hosp: 100..1000; uis: 10..100) and time both
+checkers — the worst case (all pairs scanned, Σ consistent) and 10
+"real cases" where a seeded inconsistency lets the scan stop early.
+
+Expected shape (Fig. 9): isConsist_t (tuple enumeration) is markedly
+slower than isConsist_r (rule characterization) at every size, and both
+grow quadratically in |Σ|.  isConsist_t is run on a truncated sweep —
+its blow-up is the finding, and one Python point at |Σ|=300 already
+costs ~15s.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import is_consistent_characterize
+from repro.evaluation import format_series
+from repro.evaluation.figures import consistency_timing
+
+
+def test_fig9a_hosp(hosp_bundle, benchmark):
+    rules = hosp_bundle.rules
+    assert len(rules) >= 1000, "hosp bundle must yield >= 1000 rules"
+    r_sizes = [100, 200, 300, 400, 500, 600, 700, 800, 900, 1000]
+    t_sizes = [100, 200, 300]  # truncated: the blow-up IS the result
+    r_worst, r_real = consistency_timing(rules, r_sizes, "characterize")
+    t_worst, t_real = consistency_timing(rules, t_sizes, "enumerate")
+    pad = [float("nan")] * (len(r_sizes) - len(t_sizes))
+    print()
+    print(format_series(
+        "Fig 9(a) hosp: consistency-check time (s) vs |Sigma|",
+        "|Sigma|", r_sizes,
+        {"isConsist_r(worst)": r_worst,
+         "isConsist_r(real)": r_real,
+         "isConsist_t(worst)": t_worst + pad,
+         "isConsist_t(real)": t_real + pad}))
+    # Shape assertions from the paper.
+    assert t_worst[0] > r_worst[0]      # enumeration slower at 100
+    assert t_worst[-1] > r_worst[2]     # and at 300
+    assert r_worst[-1] > r_worst[0]     # quadratic growth visible
+    benchmark.pedantic(is_consistent_characterize,
+                       args=(rules.subset(500),), rounds=3, iterations=1)
+
+
+def test_fig9b_uis(uis_bundle, benchmark):
+    rules = uis_bundle.rules
+    assert len(rules) >= 100, "uis bundle must yield >= 100 rules"
+    sizes = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+    r_worst, r_real = consistency_timing(rules, sizes, "characterize")
+    t_worst, t_real = consistency_timing(rules, sizes, "enumerate")
+    print()
+    print(format_series(
+        "Fig 9(b) uis: consistency-check time (s) vs |Sigma|",
+        "|Sigma|", sizes,
+        {"isConsist_r(worst)": r_worst,
+         "isConsist_r(real)": r_real,
+         "isConsist_t(worst)": t_worst,
+         "isConsist_t(real)": t_real}))
+    assert t_worst[-1] > r_worst[-1]
+    benchmark.pedantic(is_consistent_characterize,
+                       args=(rules.subset(100),), rounds=5, iterations=1)

@@ -1,0 +1,114 @@
+"""Exp-2(a,b) / Fig. 10: repair accuracy.
+
+Eight panels:
+
+* (a,b) hosp — precision/recall vs typo percentage (noise fixed 10%);
+* (e,f) uis  — same sweep;
+* (c,d) hosp — precision/recall vs |Σ|;
+* (g,h) uis  — same sweep.
+
+Expected shapes (paper):
+* Fix precision is high and insensitive to the error-type mix; Heu and
+  Csm lose precision as errors shift to the active domain (typo% → 0).
+* Fix recall is below the heuristics' (fixing rules are conservative)
+  but grows with |Σ| while precision stays high.
+* uis recall is very low for every method (few repeated patterns).
+
+Rule-count protocol: the paper uses 1000 rules for 115K hosp rows and
+100 for 15K uis rows — a *capped* rule set far smaller than the
+violation count.  We apply the same idea at our scale (hosp cap 600,
+uis cap 100).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import format_series, prepare, run_fixing_rules
+from repro.evaluation.figures import accuracy_rule_sweep, accuracy_typo_sweep
+
+TYPO_SWEEP = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+HOSP_CAP = 600
+UIS_CAP = 100
+
+
+def test_fig10ab_hosp_typo_sweep(hosp_workload, benchmark):
+    precision, recall = accuracy_typo_sweep(hosp_workload, HOSP_CAP,
+                                            TYPO_SWEEP)
+    xs = ["%d%%" % int(t * 100) for t in TYPO_SWEEP]
+    print()
+    print(format_series("Fig 10(a) hosp: precision vs typo%", "typo%",
+                        xs, precision))
+    print(format_series("Fig 10(b) hosp: recall vs typo%", "typo%",
+                        xs, recall))
+    # Fix dominates on precision at every point (Fig. 10(a)).
+    for i in range(len(TYPO_SWEEP)):
+        assert precision["Fix"][i] > precision["Heu"][i]
+        assert precision["Fix"][i] > precision["Csm"][i]
+    # Fix precision is high; the paper notes (and we reproduce) a dip
+    # when all errors come from the active domain -- swapped evidence
+    # values can mislead rules (the (China, Shanghai)->(Canada,
+    # Toronto) example of Section 7.2).
+    assert min(precision["Fix"]) > 0.7
+    assert precision["Fix"][-1] > 0.99        # pure typos: near-perfect
+    assert precision["Fix"][-1] > precision["Fix"][0]
+    # Heu recovers precision as errors become typos (Fig. 10(a) slope).
+    assert precision["Heu"][-1] > precision["Heu"][0]
+    # Conservatism: Fix recall below Heu recall (Fig. 10(b)).
+    assert recall["Fix"][2] < recall["Heu"][2]
+    prep = prepare(hosp_workload, noise_rate=0.10, typo_ratio=0.5,
+                   max_rules=HOSP_CAP, enrichment_per_rule=3)
+    benchmark.pedantic(run_fixing_rules, args=(prep,), rounds=3,
+                       iterations=1)
+
+
+def test_fig10ef_uis_typo_sweep(uis_workload, benchmark):
+    precision, recall = accuracy_typo_sweep(uis_workload, UIS_CAP,
+                                            TYPO_SWEEP)
+    xs = ["%d%%" % int(t * 100) for t in TYPO_SWEEP]
+    print()
+    print(format_series("Fig 10(e) uis: precision vs typo%", "typo%",
+                        xs, precision))
+    print(format_series("Fig 10(f) uis: recall vs typo%", "typo%",
+                        xs, recall))
+    for i in range(len(TYPO_SWEEP)):
+        assert precision["Fix"][i] >= precision["Csm"][i]
+    # Fig. 10(f): recall is very low for every method on uis (the
+    # dataset has few repeated patterns per FD; paper reports < 8%).
+    assert max(recall["Fix"]) < 0.30
+    assert max(recall["Heu"]) < 0.60
+    prep = prepare(uis_workload, noise_rate=0.10, typo_ratio=0.5,
+                   max_rules=UIS_CAP, enrichment_per_rule=3)
+    benchmark.pedantic(run_fixing_rules, args=(prep,), rounds=3,
+                       iterations=1)
+
+
+def test_fig10cd_hosp_rule_sweep(hosp_workload, benchmark):
+    caps = [100, 200, 300, 400, 500, 600, 700, 800, 900, 1000]
+    full, precision, recall = accuracy_rule_sweep(hosp_workload, caps)
+    print()
+    print(format_series(
+        "Fig 10(c)/(d) hosp: accuracy vs |Sigma| (Heu/Csm are flat)",
+        "|Sigma|", caps, {"Fix-recall": recall,
+                          "Fix-precision": precision}))
+    # More rules -> better recall, precision stays high (Fig. 10(c,d)).
+    assert recall[-1] > recall[0] * 2
+    assert all(p > 0.9 for p in precision)
+    benchmark.pedantic(run_fixing_rules,
+                       args=(full._replace(rules=full.rules.subset(500)),),
+                       rounds=3, iterations=1)
+
+
+def test_fig10gh_uis_rule_sweep(uis_workload, benchmark):
+    caps = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+    full, precision, recall = accuracy_rule_sweep(uis_workload, caps)
+    print()
+    print(format_series(
+        "Fig 10(g)/(h) uis: accuracy vs |Sigma| (Heu/Csm are flat)",
+        "|Sigma|", caps, {"Fix-recall": recall,
+                          "Fix-precision": precision}))
+    assert recall[-1] >= recall[0]
+    assert all(p > 0.8 for p in precision)
+    benchmark.pedantic(run_fixing_rules,
+                       args=(full._replace(rules=full.rules.subset(100)),),
+                       rounds=3, iterations=1)

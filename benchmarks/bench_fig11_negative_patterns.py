@@ -1,0 +1,57 @@
+"""Exp-2(c) / Fig. 11: the effect of negative patterns (hosp).
+
+* (a) distribution of negative-pattern counts across rules — the paper
+  finds most rules have few negatives (~80% have two);
+* (b) accuracy as the *total* number of negative patterns grows —
+  recall improves, precision stays high.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.evaluation import format_series, prepare
+from repro.evaluation.figures import (negative_pattern_distribution,
+                                      negatives_budget_series)
+from repro.rulegen import negatives_budget_sweep
+
+
+def test_fig11a_distribution(hosp_workload, benchmark):
+    """Negative-pattern count distribution over the seed rules (no
+    enrichment — the natural counts the paper sorts in Fig. 11(a))."""
+    prep = prepare(hosp_workload, noise_rate=0.10, typo_ratio=0.5,
+                   enrichment_per_rule=0)
+    counts = negative_pattern_distribution(prep.rules)
+    sizes = sorted(counts)
+    print()
+    print(format_series(
+        "Fig 11(a) hosp: #rules per negative-pattern count",
+        "#negatives", sizes, {"rules": [counts[s] for s in sizes]}))
+    total = sum(counts.values())
+    small = sum(counts[s] for s in sizes if s <= 2)
+    # Paper: most rules carry very few negative patterns.
+    assert small / total > 0.5
+    benchmark.pedantic(negative_pattern_distribution, args=(prep.rules,),
+                       rounds=5, iterations=1)
+
+
+def test_fig11b_accuracy_vs_negatives(hosp_workload, benchmark):
+    """Trim the enriched rule set to a total-negatives budget and
+    re-measure accuracy at each budget."""
+    prep = prepare(hosp_workload, noise_rate=0.10, typo_ratio=0.5,
+                   enrichment_per_rule=4)
+    budgets, precision, recall = negatives_budget_series(
+        prep, fractions=(0.2, 0.4, 0.6, 0.8, 1.0))
+    print()
+    print(format_series(
+        "Fig 11(b) hosp: accuracy vs total #negative patterns",
+        "#negatives", budgets,
+        {"precision": precision, "recall": recall}))
+    # More negative patterns -> better recall, high precision kept.
+    assert recall[-1] > recall[0]
+    assert min(precision) > 0.8
+    benchmark.pedantic(negatives_budget_sweep,
+                       args=(prep.rules, budgets[2]), rounds=3,
+                       iterations=1)

@@ -1,0 +1,62 @@
+"""Exp-2(d) / Fig. 12: comparison with editing rules (hosp).
+
+* (a) errors corrected per fixing rule (100 rules, 10% noise): the
+  paper's point is that single rules repair many tuples, each of which
+  would cost one user interaction under editing rules;
+* (b) Fix vs automated Edit (negative patterns stripped, user always
+  says yes): Fix wins decisively on precision because LHS errors
+  poison editing rules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import repair_table
+from repro.evaluation import format_series, prepare, run_editing
+from repro.evaluation.figures import corrections_per_rule, fix_vs_edit
+
+
+def test_fig12a_errors_per_rule(hosp_workload, benchmark):
+    prep = prepare(hosp_workload, noise_rate=0.10, typo_ratio=0.5,
+                   max_rules=100, enrichment_per_rule=3)
+    ranked = corrections_per_rule(prep)
+    top = ranked[:10]
+    print()
+    print(format_series(
+        "Fig 12(a) hosp: errors corrected per fixing rule (top 10)",
+        "rank", list(range(1, len(top) + 1)), {"corrections": top}))
+    total = sum(ranked)
+    print("rules applied: %d / 100, total corrections: %d"
+          % (len(ranked), total))
+    # A single fixing rule repairs multiple tuples' errors -- each of
+    # which would be one user interaction with editing rules.
+    assert ranked[0] >= 3
+    assert total > len(ranked)  # on average more than one fix per rule
+    benchmark.pedantic(repair_table, args=(prep.dirty, prep.rules),
+                       rounds=3, iterations=1)
+
+
+def test_fig12b_fix_vs_edit(hosp_workload, benchmark):
+    prep = prepare(hosp_workload, noise_rate=0.10, typo_ratio=0.5,
+                   max_rules=100, enrichment_per_rule=3)
+    results = fix_vs_edit(prep)
+    fix, edit = results["Fix"], results["Edit"]
+    print()
+    print(format_series(
+        "Fig 12(b) hosp: Fix vs automated Edit",
+        "metric", ["precision", "recall"],
+        {"Fix": [fix.quality.precision, fix.quality.recall],
+         "Edit": [edit.quality.precision, edit.quality.recall]}))
+    # Fig. 12(b): fixing rules beat automated editing rules decisively
+    # on precision -- editing rules treat LHS errors as correct
+    # evidence and introduce new errors.  On recall the two are close
+    # at our scale: editing rules also fire on typo'd values outside
+    # the negative patterns (a few extra catches), which roughly
+    # offsets the corrections they block by wrongly assuring
+    # attributes.  The paper reports a clearer recall win; we record
+    # the deviation in EXPERIMENTS.md and assert parity-or-better
+    # within noise.
+    assert fix.quality.precision > edit.quality.precision + 0.1
+    assert fix.quality.recall >= edit.quality.recall * 0.8
+    benchmark.pedantic(run_editing, args=(prep,), rounds=3, iterations=1)

@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark suite.
+
+Scale note: the paper runs on 115K (hosp) / 15K (uis) rows with C++
+(rules) and Java (baselines) implementations.  The benchmarks here use
+2000 / 1000 rows so the whole suite regenerates every figure in a few
+minutes of pure Python; the claims under test are *shapes* (who wins,
+how curves move with the x-axis), which are scale-invariant for these
+algorithms.  EXPERIMENTS.md records the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import build_workload, prepare
+
+HOSP_ROWS = 2000
+UIS_ROWS = 1000
+NOISE_RATE = 0.10
+
+
+@pytest.fixture(scope="session")
+def hosp_workload():
+    return build_workload("hosp", rows=HOSP_ROWS, seed=7)
+
+
+@pytest.fixture(scope="session")
+def uis_workload():
+    return build_workload("uis", rows=UIS_ROWS, seed=7)
+
+
+@pytest.fixture(scope="session")
+def hosp_bundle(hosp_workload):
+    """hosp with 10% noise, half typos, enriched full rule set."""
+    return prepare(hosp_workload, noise_rate=NOISE_RATE, typo_ratio=0.5,
+                   enrichment_per_rule=3)
+
+
+@pytest.fixture(scope="session")
+def uis_bundle(uis_workload):
+    """uis with 10% noise, half typos, enriched full rule set."""
+    return prepare(uis_workload, noise_rate=NOISE_RATE, typo_ratio=0.5,
+                   enrichment_per_rule=3)

@@ -1,0 +1,86 @@
+"""Bring your own data: the experiment harness on a custom workload.
+
+The benchmark harness is not tied to HOSP/UIS — a Workload is any
+(name, clean table, FDs) triple.  This example builds a small product
+catalog, declares its FDs, and pushes it through the same machinery as
+the paper's experiments: prepare → all methods → multi-seed trials.
+
+Run with:  python examples/custom_workload.py
+"""
+
+import random
+
+from repro.dependencies import parse_fd
+from repro.evaluation import (Workload, prepare, run_all_methods,
+                              run_trials)
+from repro.relational import Schema, Table
+
+_STEMS = ("Acme", "Globex", "Initech", "Umbrella", "Hooli", "Vandelay",
+          "Wonka", "Stark", "Wayne", "Tyrell")
+_FORMS = ("Corp", "GmbH", "LLC", "KK", "Inc", "SA", "Oy", "AB")
+_COUNTRIES = ("DE", "US", "JP", "FR", "FI", "SE", "BR", "IN")
+_CATEGORY_NAMES = ("widgets", "gadgets", "doohickeys", "sprockets",
+                   "gizmos", "whatsits")
+
+# Forty makers and sixty SKUs: realistic domain sizes.  (With only a
+# handful of distinct values, active-domain noise constantly teleports
+# rows into foreign FD groups and every method's precision collapses.)
+MAKERS = {
+    "%s-%02d" % (_STEMS[i % len(_STEMS)], i): (
+        "%s %s %02d" % (_STEMS[i % len(_STEMS)],
+                        _FORMS[i % len(_FORMS)], i),
+        _COUNTRIES[i % len(_COUNTRIES)])
+    for i in range(40)
+}
+CATEGORIES = {
+    "SKU-%03d" % i: (_CATEGORY_NAMES[i % len(_CATEGORY_NAMES)],
+                     "%d.%02d" % (3 + i % 40, (i * 7) % 100))
+    for i in range(60)
+}
+
+
+def build_catalog(rows: int, seed: int) -> Workload:
+    """A product catalog where maker determines legal name/country and
+    SKU determines category/list price — two FDs, like a tiny HOSP."""
+    schema = Schema("catalog", ["order_id", "maker", "legal_name",
+                                "country", "sku", "category", "price"])
+    rng = random.Random(seed)
+    table = Table(schema)
+    for i in range(rows):
+        maker = rng.choice(sorted(MAKERS))
+        sku = rng.choice(sorted(CATEGORIES))
+        legal, country = MAKERS[maker]
+        category, price = CATEGORIES[sku]
+        table.append(["O%05d" % i, maker, legal, country, sku, category,
+                      price])
+    fds = [parse_fd("maker -> legal_name, country"),
+           parse_fd("sku -> category, price")]
+    return Workload("catalog", table, fds)
+
+
+def main() -> None:
+    workload = build_catalog(rows=1200, seed=3)
+    print("Workload: %s, %d rows, FDs:" % (workload.name,
+                                           len(workload.clean)))
+    for fd in workload.fds:
+        print("  ", fd)
+
+    # One run, all methods -- identical to the paper's Exp-2 protocol.
+    prep = prepare(workload, noise_rate=0.08, typo_ratio=0.5,
+                   enrichment_per_rule=2)
+    print("\nInjected %d errors; generated %d consistent rules.\n"
+          % (len(prep.noise.errors), len(prep.rules)))
+    print("%-6s %10s %10s" % ("method", "precision", "recall"))
+    for name, result in sorted(run_all_methods(prep).items()):
+        print("%-6s %10.3f %10.3f" % (name, result.quality.precision,
+                                      result.quality.recall))
+
+    # Multi-seed trials: what to actually report.
+    print("\nAcross 5 seeds (mean ± std):")
+    summary = run_trials(workload, seeds=[1, 2, 3, 4, 5],
+                         noise_rate=0.08, enrichment_per_rule=2)
+    print(summary.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Rule discovery from dirty data alone (the paper's future work #1).
+
+Everything the other examples assume — known FDs, a clean ground-truth
+table, experts — is withheld here.  Starting from nothing but a dirty
+instance, the pipeline:
+
+1. profiles the data for approximate FDs;
+2. mines fixing rules by majority voting inside FD groups;
+3. (the step that makes this *dependable*) prints the rules for human
+   review — the whole point of discovering rules rather than silently
+   repairing;
+4. repairs and, since this demo secretly does know the ground truth,
+   scores the result.
+
+Run with:  python examples/discovery_no_ground_truth.py
+"""
+
+from repro.core import format_rule, is_consistent, repair_table
+from repro.datagen import (constraint_attributes, generate_hosp, hosp_fds,
+                           inject_noise)
+from repro.dependencies import discover_fds, merge_candidates
+from repro.evaluation import evaluate_repair
+from repro.rulegen import discover_rules
+
+
+def main() -> None:
+    # The "unknown" world: dirty data arrives with no ground truth.
+    hidden_clean = generate_hosp(rows=800, seed=33)
+    noise = inject_noise(hidden_clean, constraint_attributes(hosp_fds()),
+                         noise_rate=0.06, typo_ratio=0.5, seed=4)
+    dirty = noise.table
+    print("Received %d dirty records, schema %s"
+          % (len(dirty), dirty.schema.name))
+
+    # 1. Profile for approximate FDs (confidence < 1.0 => dirt).
+    candidates = discover_fds(dirty, min_confidence=0.9,
+                              attributes=["PN", "phn", "MC", "MN",
+                                          "condition", "zip", "city",
+                                          "state", "stateAvg"])
+    print("\nDiscovered %d approximate FDs, e.g.:" % len(candidates))
+    for candidate in candidates[:6]:
+        print("  %-28s confidence=%.3f support=%d"
+              % (candidate.fd, candidate.confidence, candidate.support))
+    fds = merge_candidates(candidates)
+
+    # 2. Mine fixing rules by majority voting inside FD groups.
+    rules = discover_rules(dirty, fds, min_support=3, min_confidence=0.75)
+    assert is_consistent(rules)
+    print("\nMined %d consistent fixing rules; first few for review:"
+          % len(rules))
+    for rule in rules.rules()[:5]:
+        print("  ", format_rule(rule))
+
+    # 3. A human would now prune suspicious rules.  We ship them as-is
+    #    to show the floor of fully-automatic quality.
+    report = repair_table(dirty, rules)
+    print("\nRepaired %d cells." % report.total_applications)
+
+    # 4. Reveal the ground truth and score.
+    quality = evaluate_repair(hidden_clean, dirty, report.table)
+    print("Against the hidden ground truth: " + quality.summary())
+    print("\nNote the precision gap vs the oracle-seeded pipeline "
+          "(hospital_pipeline.py):\nwithout ground truth, tuples whose "
+          "LHS was corrupted into a foreign group\npoison that group's "
+          "majority vote. Reviewing mined rules before applying\nthem "
+          "is exactly the dependability workflow the paper advocates.")
+
+
+if __name__ == "__main__":
+    main()

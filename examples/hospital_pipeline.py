@@ -1,0 +1,83 @@
+"""HOSP cleaning pipeline: the paper's Section 7 protocol end to end.
+
+Generates a clean hospital dataset, corrupts it, derives fixing rules
+from FD violations, repairs with lRepair, and compares against the Heu
+and Csm baselines — the Exp-2 experiment in miniature.
+
+Run with:  python examples/hospital_pipeline.py
+"""
+
+from repro.baselines import csm_repair, heu_repair
+from repro.core import is_consistent, repair_table
+from repro.datagen import (constraint_attributes, generate_hosp, hosp_fds,
+                           inject_noise)
+from repro.evaluation import evaluate_repair
+from repro.rulegen import generate_rules
+
+
+def main() -> None:
+    # 1. Clean data + the paper's five FDs.
+    fds = hosp_fds()
+    clean = generate_hosp(rows=1500, seed=42)
+    print("Generated %d clean hosp records; FDs:" % len(clean))
+    for fd in fds:
+        print("  ", fd)
+
+    # 2. Dirty data: 10% cell noise on FD-covered attributes,
+    #    half typos / half active-domain errors (Section 7.1).
+    noise = inject_noise(clean, constraint_attributes(fds),
+                         noise_rate=0.10, typo_ratio=0.5, seed=1)
+    dirty = noise.table
+    print("\nInjected %d errors (%d typos, %d active-domain)"
+          % (len(noise.errors),
+             sum(1 for e in noise.errors if e.kind == "typo"),
+             sum(1 for e in noise.errors if e.kind == "active_domain")))
+
+    # 3. Fixing rules from FD violations (seeds + enrichment +
+    #    consistency resolution), capped like the paper's 1000.
+    rules = generate_rules(clean, dirty, fds, max_rules=1000,
+                           enrichment_per_rule=3)
+    assert is_consistent(rules)
+    print("\nGenerated %d consistent fixing rules (size(Sigma)=%d)"
+          % (len(rules), rules.size()))
+
+    # 4. Repair three ways and score each against ground truth.
+    fix_report = repair_table(dirty, rules, algorithm="fast")
+    fix_quality = evaluate_repair(clean, dirty, fix_report.table)
+
+    heu = heu_repair(dirty, fds)
+    heu_quality = evaluate_repair(clean, dirty, heu.table)
+
+    csm = csm_repair(dirty, fds, seed=0)
+    csm_quality = evaluate_repair(clean, dirty, csm.table)
+
+    print("\n%-22s %10s %10s %10s" % ("method", "precision", "recall",
+                                      "f1"))
+    for name, quality in (("Fix (fixing rules)", fix_quality),
+                          ("Heu (Bohannon 2005)", heu_quality),
+                          ("Csm (Beskales 2010)", csm_quality)):
+        print("%-22s %10.3f %10.3f %10.3f"
+              % (name, quality.precision, quality.recall, quality.f1))
+
+    print("\nTakeaway (matches the paper's Exp-2): fixing rules repair "
+          "fewer cells\nbut almost never repair them wrongly; the "
+          "heuristics repair more cells\nat a steep precision cost, "
+          "especially for active-domain errors.")
+
+    # 5. Inspect a few concrete corrections with provenance.
+    print("\nSample corrections:")
+    shown = 0
+    for i, result in enumerate(fix_report.row_results):
+        for fix in result.applied:
+            truth = clean[i][fix.attribute]
+            verdict = "OK" if fix.new_value == truth else "WRONG"
+            print("  row %4d %-10s %-22r -> %-18r [%s]"
+                  % (i, fix.attribute, fix.old_value, fix.new_value,
+                     verdict))
+            shown += 1
+        if shown >= 8:
+            break
+
+
+if __name__ == "__main__":
+    main()

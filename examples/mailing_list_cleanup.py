@@ -1,0 +1,65 @@
+"""UIS mailing-list cleanup: rule repair as a dedup pre-pass.
+
+The UIS generator produces a mailing list with duplicate persons and
+few repeated patterns — the paper's hard case (Fig. 10(f): recall < 8%
+for every method).  This example shows the realistic deployment the
+paper suggests anyway: run dependable fixing-rule repair FIRST (it
+never hurts precision), then hand the remainder to a heuristic method
+if a fully consistent database is required.
+
+Run with:  python examples/mailing_list_cleanup.py
+"""
+
+from repro.baselines import heu_repair
+from repro.core import repair_table
+from repro.datagen import (constraint_attributes, generate_uis,
+                           inject_noise, uis_fds)
+from repro.dependencies import count_violations
+from repro.evaluation import evaluate_repair
+from repro.rulegen import generate_rules
+
+
+def main() -> None:
+    fds = uis_fds()
+    clean = generate_uis(rows=1200, duplicate_ratio=0.08, seed=21)
+    noise = inject_noise(clean, constraint_attributes(fds),
+                         noise_rate=0.10, typo_ratio=0.5, seed=2)
+    dirty = noise.table
+    print("Mailing list: %d records, %d injected errors, "
+          "%d FD violations" % (len(dirty), len(noise.errors),
+                                count_violations(dirty, fds)))
+
+    # Stage 1 - dependable repair with fixing rules.
+    rules = generate_rules(clean, dirty, fds, max_rules=100,
+                           enrichment_per_rule=2)
+    stage1 = repair_table(dirty, rules, algorithm="fast")
+    quality1 = evaluate_repair(clean, dirty, stage1.table)
+    print("\nStage 1 (fixing rules, |Sigma|=%d):" % len(rules))
+    print("  " + quality1.summary())
+    print("  remaining FD violations: %d"
+          % count_violations(stage1.table, fds))
+
+    # Stage 2 - the paper's suggested composition: "one may compute
+    # dependable repairs first and then use heuristic solutions to
+    # find a consistent database."
+    stage2 = heu_repair(stage1.table, fds)
+    quality2 = evaluate_repair(clean, dirty, stage2.table)
+    print("\nStage 2 (fixing rules, then Heu to full consistency):")
+    print("  " + quality2.summary())
+    print("  remaining FD violations: %d"
+          % count_violations(stage2.table, fds))
+
+    # Baseline: Heu alone, for contrast.
+    alone = heu_repair(dirty, fds)
+    quality_alone = evaluate_repair(clean, dirty, alone.table)
+    print("\nHeu alone (no dependable pre-pass):")
+    print("  " + quality_alone.summary())
+
+    print("\nTakeaway: the pre-pass locks in correct fixes that the "
+          "heuristic then\ncannot spoil, so the composition dominates "
+          "Heu alone on precision\nwhile ending at the same consistent "
+          "state.")
+
+
+if __name__ == "__main__":
+    main()

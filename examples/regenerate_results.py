@@ -1,0 +1,139 @@
+"""Regenerate every paper figure's data series into CSV files.
+
+The benchmark suite prints the series and asserts their shapes; this
+script writes them to ``results/*.csv`` so they can be plotted or
+diffed.  Scale is configurable — the defaults finish in a few minutes.
+
+Run with:  python examples/regenerate_results.py [--rows 2000] [--out results]
+"""
+
+import argparse
+import csv
+from pathlib import Path
+
+from repro.evaluation import build_workload, prepare
+from repro.evaluation.figures import (accuracy_rule_sweep,
+                                      accuracy_typo_sweep,
+                                      consistency_timing,
+                                      corrections_per_rule, fix_vs_edit,
+                                      negative_pattern_distribution,
+                                      negatives_budget_series,
+                                      repair_timing, runtime_table)
+
+
+def write_csv(path: Path, header, rows) -> None:
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    print("  wrote %s" % path)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--rows", type=int, default=2000,
+                        help="hosp rows (uis uses half)")
+    parser.add_argument("--out", default="results")
+    args = parser.parse_args()
+    out = Path(args.out)
+    out.mkdir(exist_ok=True)
+
+    hosp = build_workload("hosp", rows=args.rows, seed=7)
+    uis = build_workload("uis", rows=args.rows // 2, seed=7)
+    hosp_bundle = prepare(hosp, noise_rate=0.10, typo_ratio=0.5,
+                          enrichment_per_rule=3)
+    uis_bundle = prepare(uis, noise_rate=0.10, typo_ratio=0.5,
+                         enrichment_per_rule=3)
+
+    print("Fig 9: consistency-check timing")
+    sizes = [100, 300, 500, 700, 1000]
+    r_worst, r_real = consistency_timing(hosp_bundle.rules, sizes,
+                                         "characterize", cases=5)
+    t_sizes = [100, 200]
+    t_worst, t_real = consistency_timing(hosp_bundle.rules, t_sizes,
+                                         "enumerate", cases=3)
+    write_csv(out / "fig09a_hosp.csv",
+              ["sigma", "isConsist_r_worst", "isConsist_r_real"],
+              zip(sizes, r_worst, r_real))
+    write_csv(out / "fig09a_hosp_enumerate.csv",
+              ["sigma", "isConsist_t_worst", "isConsist_t_real"],
+              zip(t_sizes, t_worst, t_real))
+
+    print("Fig 10(a,b): hosp accuracy vs typo%")
+    typos = [0.0, 0.25, 0.5, 0.75, 1.0]
+    precision, recall = accuracy_typo_sweep(hosp, 600, typos)
+    write_csv(out / "fig10ab_hosp.csv",
+              ["typo_ratio", "fix_p", "heu_p", "csm_p", "fix_r",
+               "heu_r", "csm_r"],
+              zip(typos, precision["Fix"], precision["Heu"],
+                  precision["Csm"], recall["Fix"], recall["Heu"],
+                  recall["Csm"]))
+
+    print("Fig 10(e,f): uis accuracy vs typo%")
+    precision, recall = accuracy_typo_sweep(uis, 100, typos)
+    write_csv(out / "fig10ef_uis.csv",
+              ["typo_ratio", "fix_p", "heu_p", "csm_p", "fix_r",
+               "heu_r", "csm_r"],
+              zip(typos, precision["Fix"], precision["Heu"],
+                  precision["Csm"], recall["Fix"], recall["Heu"],
+                  recall["Csm"]))
+
+    print("Fig 10(c,d)/(g,h): accuracy vs |Sigma|")
+    caps = [100, 250, 500, 750, 1000]
+    _, p_hosp, r_hosp = accuracy_rule_sweep(hosp, caps)
+    write_csv(out / "fig10cd_hosp.csv",
+              ["sigma", "fix_precision", "fix_recall"],
+              zip(caps, p_hosp, r_hosp))
+    uis_caps = [10, 25, 50, 75, 100]
+    _, p_uis, r_uis = accuracy_rule_sweep(uis, uis_caps)
+    write_csv(out / "fig10gh_uis.csv",
+              ["sigma", "fix_precision", "fix_recall"],
+              zip(uis_caps, p_uis, r_uis))
+
+    print("Fig 11: negative patterns")
+    plain = prepare(hosp, noise_rate=0.10, typo_ratio=0.5,
+                    enrichment_per_rule=0)
+    distribution = negative_pattern_distribution(plain.rules)
+    write_csv(out / "fig11a_distribution.csv",
+              ["negatives", "rules"],
+              sorted(distribution.items()))
+    rich = prepare(hosp, noise_rate=0.10, typo_ratio=0.5,
+                   enrichment_per_rule=4)
+    budgets, precision_b, recall_b = negatives_budget_series(
+        rich, fractions=(0.25, 0.5, 0.75, 1.0))
+    write_csv(out / "fig11b_budget.csv",
+              ["total_negatives", "precision", "recall"],
+              zip(budgets, precision_b, recall_b))
+
+    print("Fig 12: editing-rule comparison")
+    hundred = prepare(hosp, noise_rate=0.10, typo_ratio=0.5,
+                      max_rules=100, enrichment_per_rule=3)
+    ranked = corrections_per_rule(hundred)
+    write_csv(out / "fig12a_corrections.csv",
+              ["rank", "corrections"],
+              list(enumerate(ranked, start=1)))
+    duel = fix_vs_edit(hundred)
+    write_csv(out / "fig12b_fix_vs_edit.csv",
+              ["method", "precision", "recall"],
+              [(name, result.quality.precision, result.quality.recall)
+               for name, result in sorted(duel.items())])
+
+    print("Fig 13 + runtime table")
+    chase_times, fast_times = repair_timing(hosp_bundle,
+                                            [100, 500, 1000])
+    write_csv(out / "fig13a_hosp.csv",
+              ["sigma", "cRepair_s", "lRepair_s"],
+              zip([100, 500, 1000], chase_times, fast_times))
+    hosp_runtime = runtime_table(hosp_bundle)
+    uis_runtime = runtime_table(uis_bundle)
+    write_csv(out / "runtime_table.csv",
+              ["dataset", "lRepair_s", "Heu_s", "Csm_s"],
+              [("hosp", hosp_runtime["Fix"], hosp_runtime["Heu"],
+                hosp_runtime["Csm"]),
+               ("uis", uis_runtime["Fix"], uis_runtime["Heu"],
+                uis_runtime["Csm"])])
+    print("\nAll series written to %s/" % out)
+
+
+if __name__ == "__main__":
+    main()

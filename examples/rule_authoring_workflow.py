@@ -1,0 +1,98 @@
+"""Rule authoring workflow: consistency, implication, resolution, files.
+
+Walks through the rule-management side of the library that a data
+steward would use day to day:
+
+1. author rules by hand;
+2. run the consistency check and read conflict witnesses;
+3. resolve conflicts with an expert callback (Section 5.1's step 2);
+4. strip redundant rules with the implication analysis (Section 4.3);
+5. save/load the curated rule set as JSON and apply it via the
+   public API (mirrors what `repro check` / `repro repair` do on the
+   command line).
+
+Run with:  python examples/rule_authoring_workflow.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (FixingRule, RuleSet, Schema, Table, find_conflicts,
+                   format_rule, implies, is_consistent, load_ruleset,
+                   minimize, repair_table, save_ruleset)
+from repro.core import Revision, ensure_consistent
+
+
+def main() -> None:
+    phones = Schema("Phones", ["brand", "model", "os", "store"])
+
+    # 1. Hand-authored rules, two of which disagree.
+    rules = RuleSet(phones, [
+        FixingRule({"brand": "Apple"}, "os", {"Android", "Tizen"}, "iOS",
+                   name="apple-os"),
+        FixingRule({"brand": "Google"}, "os", {"iOS", "Tizen"}, "Android",
+                   name="google-os"),
+        # Over-eager: claims ANY 'iOS' under model=Pixel is wrong brand.
+        FixingRule({"model": "Pixel", "os": "Android"}, "brand",
+                   {"Apple"}, "Google", name="pixel-brand"),
+        # This one reads os (written by apple-os) and its evidence value
+        # sits in apple-os's negatives -> conflict case 2(a).
+        FixingRule({"brand": "Apple", "os": "Android"}, "store",
+                   {"Play Store"}, "App Store", name="apple-store"),
+    ])
+
+    # 2. Consistency check with witnesses.
+    conflicts = find_conflicts(rules)
+    print("Conflicts found: %d" % len(conflicts))
+    for conflict in conflicts:
+        print("  -", conflict.describe())
+
+    # 3. Expert resolution: our 'expert' keeps the writer rule intact
+    #    and shrinks/drops the reader (a scripted stand-in for the
+    #    paper's human expert in step 2 of the Section 5.1 workflow).
+    def expert(conflict):
+        reader = (conflict.rule_b
+                  if conflict.rule_a.attribute in conflict.rule_b.x_attrs
+                  else conflict.rule_a)
+        return Revision(reader, None,
+                        "expert dropped %s: its evidence trusts a value "
+                        "another rule marks wrong" % reader.name)
+
+    log = ensure_consistent(rules, strategy=expert)
+    print("\nAfter expert resolution (%d revision(s)):"
+          % len(log.revisions))
+    for revision in log.revisions:
+        print("  -", revision.reason)
+    curated = log.rules
+    assert is_consistent(curated)
+
+    # 4. Implication: a narrower duplicate adds nothing.
+    redundant = FixingRule({"brand": "Apple"}, "os", {"Android"}, "iOS",
+                           name="apple-os-narrow")
+    print("\nIs the narrow Apple rule implied? ->",
+          implies(curated, redundant))
+    curated.add(redundant)
+    minimal = minimize(curated)
+    print("minimize(): %d rules -> %d rules"
+          % (len(curated), len(minimal)))
+
+    # 5. Round-trip through JSON and repair.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "phone_rules.json"
+        save_ruleset(minimal, path)
+        loaded = load_ruleset(path)
+        print("\nLoaded %d rules from %s:" % (len(loaded), path.name))
+        for rule in loaded:
+            print("  %s: %s" % (rule.name, format_rule(rule)))
+
+        inventory = Table(phones, [
+            ["Apple", "iPhone 15", "Android", "App Store"],   # bad os
+            ["Google", "Pixel 8", "Android", "Play Store"],   # clean
+        ])
+        report = repair_table(inventory, loaded)
+        print("\nRepaired inventory:")
+        print(report.table.to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""repro — dependable data repairing with fixing rules.
+
+A complete, self-contained implementation of *Towards Dependable Data
+Repairing with Fixing Rules* (Wang & Tang, SIGMOD 2014):
+
+* :mod:`repro.core` — fixing rules, consistency / implication
+  analyses, conflict resolution, and the cRepair / lRepair algorithms;
+* :mod:`repro.relational` — the in-memory relational substrate;
+* :mod:`repro.dependencies` — FDs, CFDs, violation detection;
+* :mod:`repro.baselines` — Heu, Csm and automated editing rules;
+* :mod:`repro.master` — master (reference) data;
+* :mod:`repro.datagen` — HOSP/UIS generators and noise injection;
+* :mod:`repro.rulegen` — rule generation from FD violations;
+* :mod:`repro.evaluation` — precision/recall metrics and the
+  experiment harness.
+
+Quickstart::
+
+    from repro import FixingRule, RuleSet, Schema, Table, repair_table
+
+    travel = Schema("Travel", ["name", "country", "capital", "city", "conf"])
+    rules = RuleSet(travel, [
+        FixingRule({"country": "China"}, "capital",
+                   {"Shanghai", "Hongkong"}, "Beijing"),
+    ])
+    data = Table(travel, [["Alice", "China", "Shanghai", "Hangzhou", "VLDB"]])
+    print(repair_table(data, rules).table.to_text())
+"""
+
+from .errors import (BudgetExceededError, DependencyError,
+                     InconsistentRulesError, ReproError, RuleError,
+                     SchemaError, SerializationError, TableError)
+from .relational import Attribute, Row, Schema, Table, read_csv, write_csv
+from .dependencies import FD, parse_fd
+from .core import (FixingRule, RuleSet, chase_repair, ensure_consistent,
+                   fast_repair, find_conflicts, format_rule, implies,
+                   is_consistent, load_ruleset, minimize, repair_table,
+                   save_ruleset)
+from .evaluation import RepairQuality, evaluate_repair
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "SchemaError",
+    "TableError",
+    "RuleError",
+    "InconsistentRulesError",
+    "BudgetExceededError",
+    "DependencyError",
+    "SerializationError",
+    # relational
+    "Attribute",
+    "Schema",
+    "Row",
+    "Table",
+    "read_csv",
+    "write_csv",
+    # dependencies
+    "FD",
+    "parse_fd",
+    # core
+    "FixingRule",
+    "RuleSet",
+    "is_consistent",
+    "find_conflicts",
+    "implies",
+    "minimize",
+    "ensure_consistent",
+    "chase_repair",
+    "fast_repair",
+    "repair_table",
+    "format_rule",
+    "save_ruleset",
+    "load_ruleset",
+    # evaluation
+    "RepairQuality",
+    "evaluate_repair",
+]

@@ -1,0 +1,27 @@
+"""Baseline repair algorithms the paper compares against.
+
+* :func:`heu_repair` — cost-based heuristic FD repair
+  [Bohannon et al., SIGMOD 2005];
+* :func:`csm_repair` — cardinality-set-minimal repair sampling
+  [Beskales et al., PVLDB 2010];
+* :class:`EditingRule` / :func:`apply_editing_rules` — the automated
+  editing-rule simulation of Exp-2(d) [after Fan et al., VLDBJ 2012].
+"""
+
+from .equivalence import Cell, CellPartition
+from .heu import HeuReport, heu_repair
+from .csm import FRESH_PREFIX, CsmReport, csm_repair
+from .editing import EditingReport, EditingRule, apply_editing_rules
+
+__all__ = [
+    "Cell",
+    "CellPartition",
+    "HeuReport",
+    "heu_repair",
+    "CsmReport",
+    "csm_repair",
+    "FRESH_PREFIX",
+    "EditingRule",
+    "EditingReport",
+    "apply_editing_rules",
+]

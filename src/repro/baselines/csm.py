@@ -1,0 +1,143 @@
+"""``Csm``: cardinality-set-minimal repair sampling (Beskales et al.,
+PVLDB 2010).
+
+The second baseline of the paper's Section 7.  Beskales et al. sample
+from the space of *cardinality-set-minimal* repairs: consistent
+instances in which no changed cell can be reverted (individually or
+with other changed cells) while staying consistent.  Per violation the
+sampler randomly chooses *which side* of the FD to change:
+
+* **right repair** — overwrite a tuple's RHS cell with the value of a
+  randomly kept tuple (the group then agrees), or
+* **left repair** — break the LHS agreement by overwriting one LHS
+  cell with a *fresh* value outside the active domain (Beskales's
+  "variable" cells; any concrete value outside the domain keeps the
+  step consistent and set-minimal).
+
+Left repairs are what make Csm's precision suffer in Fig. 10: a fresh
+value is never the ground-truth value.  The randomness is fully
+controlled by a seed for reproducible experiments.
+
+Implementation note: rather than re-scanning the instance after every
+single cell change (quadratic blow-up), each round resolves every
+violation *cluster* of every FD once, then re-checks; fresh values
+never create new violations (they are unique), so the loop converges
+in a handful of rounds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, NamedTuple, Sequence, Tuple
+
+from ..dependencies import (FD, find_violation_clusters,
+                            is_consistent_instance, normalize_fds)
+from ..relational import Table
+from .equivalence import Cell
+
+
+class CsmReport(NamedTuple):
+    """Outcome of a Csm run."""
+
+    table: Table
+    changed_cells: List[Cell]
+    steps: int
+    consistent: bool
+
+
+#: Prefix of generated fresh values; the counter makes each unique.
+FRESH_PREFIX = "\x00fresh#"
+
+
+class _Sampler:
+    """Carries the RNG and fresh-value counter through one run."""
+
+    def __init__(self, seed: int, left_repair_probability: float):
+        self.rng = random.Random(seed)
+        self.left_probability = left_repair_probability
+        self._fresh_counter = 0
+
+    def fresh_value(self) -> str:
+        self._fresh_counter += 1
+        return FRESH_PREFIX + str(self._fresh_counter)
+
+
+def _resolve_cluster(working: Table, fd: FD, lhs_value: Tuple[str, ...],
+                     sampler: _Sampler,
+                     changed: Dict[Cell, bool]) -> int:
+    """Resolve one violating cluster; returns the number of cell edits.
+
+    The cluster is re-read from *working* (it may have drifted since
+    detection).  A randomly chosen RHS value is kept; every tuple
+    carrying another value gets either a left repair (fresh LHS value)
+    or a right repair (copy the kept value), chosen independently.
+    """
+    rhs_attr = fd.rhs[0]
+    indices = [i for i in working.group_by(fd.lhs).get(lhs_value, [])]
+    if len(indices) < 2:
+        return 0
+    values = sorted({working[i][rhs_attr] for i in indices})
+    if len(values) < 2:
+        return 0
+    keep_value = values[sampler.rng.randrange(len(values))]
+    steps = 0
+    for i in indices:
+        if working[i][rhs_attr] == keep_value:
+            continue
+        steps += 1
+        if sampler.rng.random() < sampler.left_probability:
+            attr = fd.lhs[sampler.rng.randrange(len(fd.lhs))]
+            working.set_cell(i, attr, sampler.fresh_value())
+            changed[(i, attr)] = True
+        else:
+            working.set_cell(i, rhs_attr, keep_value)
+            changed[(i, rhs_attr)] = True
+    return steps
+
+
+def csm_repair(table: Table, fds: Sequence[FD], seed: int = 0,
+               left_repair_probability: float = 0.5,
+               max_rounds: int = 25) -> CsmReport:
+    """Sample one cardinality-set-minimal-style repair of *table*.
+
+    Parameters
+    ----------
+    table:
+        The dirty instance; not mutated.
+    fds:
+        FDs to enforce (normalized to single-RHS internally).
+    seed:
+        Seed for the sampling choices.
+    left_repair_probability:
+        Probability of resolving a conflicting tuple on the LHS (fresh
+        value) rather than the RHS (copy the kept value).
+    max_rounds:
+        Safety bound on full resolve-recheck rounds; right repairs can
+        cascade into other FDs, fresh values cannot, so convergence is
+        fast in practice.
+    """
+    if not 0.0 <= left_repair_probability <= 1.0:
+        raise ValueError("left_repair_probability must be within [0, 1]")
+    fds = normalize_fds(fds)
+    sampler = _Sampler(seed, left_repair_probability)
+    working = table.copy()
+    changed: Dict[Cell, bool] = {}
+    steps = 0
+    for _ in range(max_rounds):
+        dirty_round = False
+        fd_order = list(fds)
+        sampler.rng.shuffle(fd_order)
+        for fd in fd_order:
+            clusters = find_violation_clusters(working, fd)
+            for cluster in clusters:
+                edits = _resolve_cluster(working, fd, cluster.lhs_value,
+                                         sampler, changed)
+                if edits:
+                    steps += edits
+                    dirty_round = True
+        if not dirty_round:
+            break
+    consistent = is_consistent_instance(working, fds)
+    final_changes = [cell for cell in changed
+                     if working.cell(cell) != table.cell(cell)]
+    return CsmReport(working, sorted(final_changes), steps, consistent)

@@ -1,0 +1,67 @@
+"""Union-find over table cells.
+
+The cost-based FD repair of Bohannon et al. [SIGMOD 2005] — the ``Heu``
+baseline of the paper's Section 7 — reasons about *equivalence classes*
+of cells: cells that any consistent repair must assign the same value.
+This module provides the disjoint-set structure those classes live in,
+keyed by cell address ``(row index, attribute name)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+Cell = Tuple[int, str]
+
+
+class CellPartition:
+    """Disjoint sets of cells with path compression and union by size."""
+
+    def __init__(self):
+        self._parent: Dict[Cell, Cell] = {}
+        self._size: Dict[Cell, int] = {}
+
+    def add(self, cell: Cell) -> None:
+        """Register *cell* as its own singleton class (idempotent)."""
+        if cell not in self._parent:
+            self._parent[cell] = cell
+            self._size[cell] = 1
+
+    def find(self, cell: Cell) -> Cell:
+        """The canonical representative of *cell*'s class."""
+        self.add(cell)
+        root = cell
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[cell] != root:
+            self._parent[cell], cell = root, self._parent[cell]
+        return root
+
+    def union(self, a: Cell, b: Cell) -> Cell:
+        """Merge the classes of *a* and *b*; returns the new root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return ra
+
+    def together(self, a: Cell, b: Cell) -> bool:
+        return self.find(a) == self.find(b)
+
+    def classes(self) -> Dict[Cell, List[Cell]]:
+        """All classes, as root -> member list (members in insert order)."""
+        grouped: Dict[Cell, List[Cell]] = {}
+        for cell in self._parent:
+            grouped.setdefault(self.find(cell), []).append(cell)
+        return grouped
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __repr__(self) -> str:
+        return "CellPartition(%d cells, %d classes)" % (
+            len(self._parent), len(self.classes()))

@@ -1,0 +1,288 @@
+"""Command-line interface.
+
+Subcommands (``python -m repro <cmd>`` or the ``repro`` console script):
+
+* ``check``     — check a rule file for consistency; print conflicts.
+* ``repair``    — repair a CSV file with a rule file; write the result.
+* ``generate``  — emit a synthetic hosp/uis CSV (clean or noisy).
+* ``rules``     — derive fixing rules from a clean/dirty CSV pair + FDs.
+* ``discover``  — mine fixing rules from dirty data alone (no ground
+  truth; FDs optional — they can be discovered too).
+* ``evaluate``  — score a repaired CSV against clean/dirty CSVs.
+* ``explain``   — explain why each rule did / did not fire on one row.
+* ``experiment``— run the Section 7 protocol end to end, emit a
+  markdown report.
+* ``show``      — pretty-print a rule file in the paper's φ notation.
+
+All file formats are the library's standard ones: header-first CSV for
+tables, the JSON schema of :mod:`repro.core.serialization` for rules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import (find_conflicts, format_ruleset, load_ruleset,
+                   repair_table, save_ruleset)
+from .datagen import (constraint_attributes, generate_hosp, generate_uis,
+                      hosp_fds, inject_noise, uis_fds)
+from .dependencies import parse_fd
+from .errors import ReproError
+from .evaluation import evaluate_repair, run_experiment
+from .relational import read_csv, write_csv
+from .rulegen import discover_rules, generate_rules
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    rules = load_ruleset(args.rules)
+    conflicts = find_conflicts(rules, method=args.method)
+    if not conflicts:
+        print("CONSISTENT: %d rules, no conflicts" % len(rules))
+        return 0
+    print("INCONSISTENT: %d conflict(s) among %d rules"
+          % (len(conflicts), len(rules)))
+    for conflict in conflicts:
+        print("  - " + conflict.describe())
+    return 1
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    rules = load_ruleset(args.rules)
+    table = read_csv(args.input, schema=rules.schema)
+    report = repair_table(table, rules, algorithm=args.algorithm,
+                          check_consistency=not args.skip_check)
+    write_csv(report.table, args.output)
+    print("repaired %d rows; %d cells updated; output written to %s"
+          % (len(report.table), report.total_applications, args.output))
+    if args.verbose:
+        for (row, attr) in report.changed_cells:
+            print("  row %d, %s -> %r" % (row, attr,
+                                          report.table[row][attr]))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.dataset == "hosp":
+        clean = generate_hosp(rows=args.rows, seed=args.seed)
+        fds = hosp_fds()
+    else:
+        clean = generate_uis(rows=args.rows, seed=args.seed)
+        fds = uis_fds()
+    if args.noise_rate > 0:
+        noise = inject_noise(clean, constraint_attributes(fds),
+                             noise_rate=args.noise_rate,
+                             typo_ratio=args.typo_ratio, seed=args.seed)
+        write_csv(noise.table, args.output)
+        print("wrote %d dirty rows (%d injected errors) to %s"
+              % (len(noise.table), len(noise.errors), args.output))
+        if args.clean_output:
+            write_csv(clean, args.clean_output)
+            print("wrote clean ground truth to %s" % args.clean_output)
+    else:
+        write_csv(clean, args.output)
+        print("wrote %d clean rows to %s" % (len(clean), args.output))
+    return 0
+
+
+def _cmd_rules(args: argparse.Namespace) -> int:
+    clean = read_csv(args.clean)
+    dirty = read_csv(args.dirty, schema=clean.schema)
+    fds = [parse_fd(text) for text in args.fd]
+    rules = generate_rules(clean, dirty, fds, max_rules=args.max_rules,
+                           enrichment_per_rule=args.enrich)
+    save_ruleset(rules, args.output)
+    print("generated %d consistent rules; written to %s"
+          % (len(rules), args.output))
+    return 0
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    dirty = read_csv(args.dirty)
+    fds = [parse_fd(text) for text in args.fd] if args.fd else None
+    rules = discover_rules(dirty, fds, min_support=args.min_support,
+                           min_confidence=args.min_confidence,
+                           fd_confidence=args.fd_confidence,
+                           max_rules=args.max_rules)
+    save_ruleset(rules, args.output)
+    source = ("%d given FDs" % len(fds)) if fds else "discovered FDs"
+    print("discovered %d consistent rules from %s; written to %s"
+          % (len(rules), source, args.output))
+    print("review them before repairing:  repro show %s" % args.output)
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    clean = read_csv(args.clean)
+    dirty = read_csv(args.dirty, schema=clean.schema)
+    repaired = read_csv(args.repaired, schema=clean.schema)
+    quality = evaluate_repair(clean, dirty, repaired)
+    print(quality.summary())
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .core import explain_repair
+    rules = load_ruleset(args.rules)
+    table = read_csv(args.input, schema=rules.schema)
+    if not 0 <= args.row < len(table):
+        print("error: --row %d out of range (table has %d rows)"
+              % (args.row, len(table)), file=sys.stderr)
+        return 2
+    explained = explain_repair(table[args.row], rules)
+    print("row %d: %r" % (args.row, table[args.row].as_dict()))
+    print(explained.describe())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    report = run_experiment(args.dataset, rows=args.rows,
+                            noise_rate=args.noise_rate,
+                            typo_ratio=args.typo_ratio,
+                            max_rules=args.max_rules,
+                            enrichment_per_rule=args.enrich,
+                            seed=args.seed)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print("report written to %s" % args.output)
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    rules = load_ruleset(args.rules)
+    print("# %d rules over schema %s" % (len(rules), rules.schema.name))
+    print(format_ruleset(rules))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .core import ruleset_profile
+    rules = load_ruleset(args.rules)
+    print("rule set: %s (schema %s)" % (args.rules, rules.schema.name))
+    print(ruleset_profile(rules).describe())
+    conflicts = find_conflicts(rules, first_only=True)
+    print("consistency: %s"
+          % ("CONSISTENT" if not conflicts else "INCONSISTENT -- run "
+             "`repro check` for details"))
+    return 0 if not conflicts else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dependable data repairing with fixing rules "
+                    "(Wang & Tang, SIGMOD 2014)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_check = sub.add_parser("check", help="check rule-set consistency")
+    p_check.add_argument("rules", help="rule JSON file")
+    p_check.add_argument("--method", choices=["characterize", "enumerate"],
+                         default="characterize")
+    p_check.set_defaults(func=_cmd_check)
+
+    p_repair = sub.add_parser("repair", help="repair a CSV with rules")
+    p_repair.add_argument("input", help="dirty CSV file")
+    p_repair.add_argument("rules", help="rule JSON file")
+    p_repair.add_argument("output", help="repaired CSV destination")
+    p_repair.add_argument("--algorithm", choices=["fast", "chase"],
+                          default="fast")
+    p_repair.add_argument("--skip-check", action="store_true",
+                          help="skip the consistency pre-check")
+    p_repair.add_argument("--verbose", action="store_true")
+    p_repair.set_defaults(func=_cmd_repair)
+
+    p_gen = sub.add_parser("generate", help="generate synthetic data")
+    p_gen.add_argument("dataset", choices=["hosp", "uis"])
+    p_gen.add_argument("output", help="CSV destination")
+    p_gen.add_argument("--rows", type=int, default=1000)
+    p_gen.add_argument("--seed", type=int, default=7)
+    p_gen.add_argument("--noise-rate", type=float, default=0.0,
+                       help="cell noise rate; 0 writes the clean table")
+    p_gen.add_argument("--typo-ratio", type=float, default=0.5)
+    p_gen.add_argument("--clean-output",
+                       help="also write the clean ground truth here")
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_rules = sub.add_parser("rules",
+                             help="derive rules from clean/dirty CSVs")
+    p_rules.add_argument("clean", help="clean CSV (ground truth)")
+    p_rules.add_argument("dirty", help="dirty CSV, aligned with clean")
+    p_rules.add_argument("output", help="rule JSON destination")
+    p_rules.add_argument("--fd", action="append", required=True,
+                         help="an FD like 'zip -> state, city'; repeatable")
+    p_rules.add_argument("--max-rules", type=int, default=None)
+    p_rules.add_argument("--enrich", type=int, default=0,
+                         help="extra negative patterns per rule")
+    p_rules.set_defaults(func=_cmd_rules)
+
+    p_disc = sub.add_parser(
+        "discover",
+        help="mine rules from dirty data alone (no ground truth)")
+    p_disc.add_argument("dirty", help="dirty CSV")
+    p_disc.add_argument("output", help="rule JSON destination")
+    p_disc.add_argument("--fd", action="append", default=None,
+                        help="optional FD like 'zip -> state'; when "
+                             "omitted, FDs are discovered too")
+    p_disc.add_argument("--min-support", type=int, default=3)
+    p_disc.add_argument("--min-confidence", type=float, default=0.8)
+    p_disc.add_argument("--fd-confidence", type=float, default=0.9)
+    p_disc.add_argument("--max-rules", type=int, default=None)
+    p_disc.set_defaults(func=_cmd_discover)
+
+    p_eval = sub.add_parser("evaluate", help="score a repair")
+    p_eval.add_argument("clean")
+    p_eval.add_argument("dirty")
+    p_eval.add_argument("repaired")
+    p_eval.set_defaults(func=_cmd_evaluate)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="explain why each rule did or did not fire on one row")
+    p_explain.add_argument("input", help="CSV file")
+    p_explain.add_argument("rules", help="rule JSON file")
+    p_explain.add_argument("--row", type=int, default=0,
+                           help="0-based row index (default 0)")
+    p_explain.set_defaults(func=_cmd_explain)
+
+    p_exp = sub.add_parser(
+        "experiment",
+        help="run the Section 7 protocol end to end and print a "
+             "markdown report")
+    p_exp.add_argument("dataset", choices=["hosp", "uis"])
+    p_exp.add_argument("--rows", type=int, default=1000)
+    p_exp.add_argument("--noise-rate", type=float, default=0.10)
+    p_exp.add_argument("--typo-ratio", type=float, default=0.5)
+    p_exp.add_argument("--max-rules", type=int, default=None)
+    p_exp.add_argument("--enrich", type=int, default=3)
+    p_exp.add_argument("--seed", type=int, default=7)
+    p_exp.add_argument("--output", help="write the report here instead "
+                                        "of stdout")
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_show = sub.add_parser("show", help="pretty-print a rule file")
+    p_show.add_argument("rules")
+    p_show.set_defaults(func=_cmd_show)
+
+    p_profile = sub.add_parser(
+        "profile", help="descriptive statistics of a rule file")
+    p_profile.add_argument("rules")
+    p_profile.set_defaults(func=_cmd_profile)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""The paper's primary contribution: fixing rules and their analyses.
+
+Public surface:
+
+* :class:`FixingRule`, :class:`RuleSet` — rule syntax (Section 3.1);
+* :mod:`~repro.core.matching` helpers — match / proper application
+  (Section 3.2);
+* consistency checking — :func:`is_consistent`,
+  :func:`find_conflicts`, the two algorithms ``isConsist_t`` /
+  ``isConsist_r`` (Sections 4.2, 5.2);
+* implication — :func:`implies`, :func:`minimize` (Section 4.3);
+* resolution — :func:`ensure_consistent` (Section 5.3);
+* repair — :func:`chase_repair` (cRepair), :func:`fast_repair`
+  (lRepair), :func:`repair_table` (Section 6);
+* serialization — JSON round-tripping and the φ text notation.
+"""
+
+from .rule import FixingRule
+from .ruleset import RuleSet
+from .matching import (first_proper, is_fixpoint, matching_rules,
+                       properly_applicable)
+from .indexes import HashCounters, InvertedIndex
+from .consistency import (AssuranceHazard, CASE_B_I_IN_X_J, CASE_B_J_IN_X_I, CASE_ENUMERATED,
+                          CASE_MUTUAL, CASE_SAME_ATTRIBUTE, OUT_OF_DOMAIN,
+                          Conflict, check_pair_characterize,
+                          check_pair_enumerate, enumerate_candidate_tuples,
+                          find_assurance_hazards, find_conflicts,
+                          is_consistent,
+                          is_consistent_characterize,
+                          is_consistent_enumerate)
+from .implication import implies, iter_small_model, minimize
+from .resolution import (DROP_CONFLICTING, SHRINK_NEGATIVES, ResolutionLog,
+                         Revision, drop_conflicting, ensure_consistent)
+from .repair import (AppliedFix, RepairResult, TableRepairReport,
+                     chase_repair, fast_repair, repair_table)
+from .serialization import (format_rule, format_ruleset, load_ruleset,
+                            rule_from_dict, rule_to_dict, ruleset_from_json,
+                            ruleset_to_json, save_ruleset)
+from .stream import RepairSession, repair_csv_file, repair_stream
+from .instrumentation import CountingRule, MatchCounter, counting_rules
+from .incremental import ConsistentRuleSet
+from .profile import RuleSetProfile, ruleset_profile
+from .explain import (APPLIES, EVIDENCE_MISMATCH, TARGET_ASSURED,
+                      VALUE_NOT_NEGATIVE, Explanation, RepairExplanation,
+                      explain, explain_all, explain_repair)
+
+__all__ = [
+    "FixingRule",
+    "RuleSet",
+    "properly_applicable",
+    "matching_rules",
+    "first_proper",
+    "is_fixpoint",
+    "InvertedIndex",
+    "HashCounters",
+    "Conflict",
+    "OUT_OF_DOMAIN",
+    "CASE_SAME_ATTRIBUTE",
+    "CASE_B_I_IN_X_J",
+    "CASE_B_J_IN_X_I",
+    "CASE_MUTUAL",
+    "CASE_ENUMERATED",
+    "check_pair_characterize",
+    "check_pair_enumerate",
+    "enumerate_candidate_tuples",
+    "find_conflicts",
+    "AssuranceHazard",
+    "find_assurance_hazards",
+    "is_consistent",
+    "is_consistent_characterize",
+    "is_consistent_enumerate",
+    "implies",
+    "iter_small_model",
+    "minimize",
+    "DROP_CONFLICTING",
+    "SHRINK_NEGATIVES",
+    "Revision",
+    "ResolutionLog",
+    "drop_conflicting",
+    "ensure_consistent",
+    "AppliedFix",
+    "RepairResult",
+    "TableRepairReport",
+    "chase_repair",
+    "fast_repair",
+    "repair_table",
+    "rule_to_dict",
+    "rule_from_dict",
+    "ruleset_to_json",
+    "ruleset_from_json",
+    "save_ruleset",
+    "load_ruleset",
+    "format_rule",
+    "format_ruleset",
+    "RepairSession",
+    "repair_stream",
+    "repair_csv_file",
+    "MatchCounter",
+    "CountingRule",
+    "counting_rules",
+    "APPLIES",
+    "EVIDENCE_MISMATCH",
+    "VALUE_NOT_NEGATIVE",
+    "TARGET_ASSURED",
+    "Explanation",
+    "RepairExplanation",
+    "explain",
+    "explain_all",
+    "explain_repair",
+    "ConsistentRuleSet",
+    "RuleSetProfile",
+    "ruleset_profile",
+]

@@ -1,0 +1,336 @@
+"""Consistency analysis of fixing rules (Sections 4.2 and 5.2).
+
+A set Σ is **consistent** iff every tuple has a *unique fix* by Σ.  By
+Proposition 3, Σ is consistent iff every pair of distinct rules is
+consistent, so both checkers below work pairwise:
+
+* :func:`check_pair_characterize` — the **rule characterization** test
+  of Fig. 4 (``isConsist_r``): four syntactic case conditions, O(1)
+  per pair with hashed negative patterns, ``O(size(Σ)²)`` overall.
+* :func:`check_pair_enumerate` — the **tuple enumeration** test of
+  Section 5.2.1 (``isConsist_t``): materialize every tuple that could
+  match both rules (values drawn from the evidence and negative
+  patterns, a distinguished out-of-domain symbol elsewhere), chase it
+  in both preference orders, and compare fixpoints.
+
+Both return a :class:`Conflict` witness rather than a bare boolean so
+the resolution workflow (Section 5.3) can act on *why* the pair
+conflicts.  ``tests/test_properties.py`` checks the two are equivalent
+on randomly generated rule pairs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, NamedTuple, Optional, Sequence, Union
+
+from ..relational import Row, Schema
+from .repair import chase_repair
+from .rule import FixingRule
+from .ruleset import RuleSet
+
+#: Placeholder value for attributes unconstrained by either rule during
+#: tuple enumeration.  The NUL prefix keeps it outside every active
+#: domain (pattern constants are ordinary strings).
+OUT_OF_DOMAIN = "\x00<out-of-domain>"
+
+#: Conflict kinds, named after the case analysis of Section 5.2.2.
+CASE_SAME_ATTRIBUTE = "case1:same-attribute"
+CASE_B_I_IN_X_J = "case2a:Bi-in-Xj"
+CASE_B_J_IN_X_I = "case2b:Bj-in-Xi"
+CASE_MUTUAL = "case2c:mutual"
+CASE_ENUMERATED = "enumerated-witness"
+
+
+class Conflict(NamedTuple):
+    """A witness that two rules are inconsistent."""
+
+    rule_a: FixingRule
+    rule_b: FixingRule
+    kind: str
+    detail: str
+    witness: Optional[dict] = None
+
+    def describe(self) -> str:
+        text = ("rules %s and %s conflict (%s): %s"
+                % (self.rule_a.name, self.rule_b.name, self.kind,
+                   self.detail))
+        if self.witness is not None:
+            text += " [witness tuple: %r]" % (self.witness,)
+        return text
+
+
+def _evidence_compatible(rule_a: FixingRule, rule_b: FixingRule) -> bool:
+    """Line 2 of Fig. 4: evidence patterns agree on shared X attributes."""
+    shared = rule_a.x_attrs & rule_b.x_attrs
+    return all(rule_a.evidence[attr] == rule_b.evidence[attr]
+               for attr in shared)
+
+
+def check_pair_characterize(rule_a: FixingRule,
+                            rule_b: FixingRule) -> Optional[Conflict]:
+    """``isConsist_r`` on one pair: Fig. 4 lines 2–11.
+
+    Returns ``None`` when the pair is consistent, otherwise a
+    :class:`Conflict` naming the violated case.
+    """
+    if not _evidence_compatible(rule_a, rule_b):
+        return None  # no tuple can match both (Lemma 4)
+
+    b_a, b_b = rule_a.attribute, rule_b.attribute
+
+    if b_a == b_b:
+        # Case 1: same corrected attribute.  Conflict iff some tuple
+        # matches both (overlapping negatives) and the facts disagree.
+        overlap = rule_a.negatives & rule_b.negatives
+        if overlap and rule_a.fact != rule_b.fact:
+            return Conflict(
+                rule_a, rule_b, CASE_SAME_ATTRIBUTE,
+                "both correct %r, negatives overlap on %r, but facts "
+                "differ (%r vs %r)"
+                % (b_a, sorted(overlap), rule_a.fact, rule_b.fact))
+        return None
+
+    a_in_b = b_a in rule_b.x_attrs  # B_i ∈ X_j
+    b_in_a = b_b in rule_a.x_attrs  # B_j ∈ X_i
+
+    if a_in_b and not b_in_a:
+        # Case 2(a): rule_b reads the attribute rule_a writes.
+        if rule_b.evidence[b_a] in rule_a.negatives:
+            return Conflict(
+                rule_a, rule_b, CASE_B_I_IN_X_J,
+                "%s writes %r which %s uses as evidence, and the evidence "
+                "value %r is one of %s's negative patterns"
+                % (rule_a.name, b_a, rule_b.name,
+                   rule_b.evidence[b_a], rule_a.name))
+        return None
+
+    if b_in_a and not a_in_b:
+        # Case 2(b): symmetric to 2(a).
+        if rule_a.evidence[b_b] in rule_b.negatives:
+            return Conflict(
+                rule_a, rule_b, CASE_B_J_IN_X_I,
+                "%s writes %r which %s uses as evidence, and the evidence "
+                "value %r is one of %s's negative patterns"
+                % (rule_b.name, b_b, rule_a.name,
+                   rule_a.evidence[b_b], rule_b.name))
+        return None
+
+    if a_in_b and b_in_a:
+        # Case 2(c): each reads what the other writes.
+        if (rule_a.evidence[b_b] in rule_b.negatives
+                and rule_b.evidence[b_a] in rule_a.negatives):
+            return Conflict(
+                rule_a, rule_b, CASE_MUTUAL,
+                "each rule's evidence value on the other's corrected "
+                "attribute is among the other's negative patterns")
+        return None
+
+    # Case 2(d): neither reads the other's corrected attribute — the two
+    # updates commute, always consistent.
+    return None
+
+
+def _candidate_values(attr: str, rule_a: FixingRule,
+                      rule_b: FixingRule) -> List[str]:
+    """``V_ij(A)``: constants either rule mentions at *attr*.
+
+    Per Section 5.2.1 this is the union of evidence constants and
+    negative patterns at that attribute (facts are write-side only and
+    never needed to *match* both rules).
+    """
+    values = set()
+    for rule in (rule_a, rule_b):
+        if attr in rule.evidence:
+            values.add(rule.evidence[attr])
+        if attr == rule.attribute:
+            values.update(rule.negatives)
+    return sorted(values)
+
+
+def enumerate_candidate_tuples(schema: Schema, rule_a: FixingRule,
+                               rule_b: FixingRule) -> Iterable[Row]:
+    """Every tuple that could possibly match both rules (Example 9).
+
+    Attributes mentioned by either rule range over ``V_ij(A)``; all
+    other attributes take the :data:`OUT_OF_DOMAIN` placeholder.
+    """
+    mentioned = sorted((rule_a.x_attrs | {rule_a.attribute}
+                        | rule_b.x_attrs | {rule_b.attribute}),
+                       key=schema.index_of)
+    pools = [_candidate_values(attr, rule_a, rule_b) for attr in mentioned]
+    base = {name: OUT_OF_DOMAIN for name in schema.attribute_names}
+    for combo in itertools.product(*pools):
+        cells = dict(base)
+        cells.update(zip(mentioned, combo))
+        yield Row(schema, cells)
+
+
+def check_pair_enumerate(schema: Schema, rule_a: FixingRule,
+                         rule_b: FixingRule) -> Optional[Conflict]:
+    """``isConsist_t`` on one pair: chase every candidate tuple both ways.
+
+    A pair is inconsistent iff some candidate tuple reaches different
+    fixpoints depending on which rule is preferred first.
+    """
+    pair = [rule_a, rule_b]
+    for row in enumerate_candidate_tuples(schema, rule_a, rule_b):
+        fix_ab = chase_repair(row, pair, order=(0, 1))
+        fix_ba = chase_repair(row, pair, order=(1, 0))
+        if fix_ab.row != fix_ba.row:
+            return Conflict(
+                rule_a, rule_b, CASE_ENUMERATED,
+                "chase order %s-first yields %r, %s-first yields %r"
+                % (rule_a.name, fix_ab.row.values,
+                   rule_b.name, fix_ba.row.values),
+                witness=row.as_dict())
+    return None
+
+
+RuleInput = Union[RuleSet, Sequence[FixingRule]]
+
+
+def _rules_and_schema(rules: RuleInput,
+                      schema: Optional[Schema]) -> tuple:
+    if isinstance(rules, RuleSet):
+        return rules.rules(), rules.schema
+    return list(rules), schema
+
+
+def find_conflicts(rules: RuleInput, method: str = "characterize",
+                   schema: Optional[Schema] = None,
+                   first_only: bool = False) -> List[Conflict]:
+    """All pairwise conflicts in Σ (Proposition 3 reduction).
+
+    Parameters
+    ----------
+    rules:
+        The rule set Σ (a :class:`RuleSet` or plain sequence).
+    method:
+        ``"characterize"`` (isConsist_r, default) or ``"enumerate"``
+        (isConsist_t).  Enumeration needs a schema — taken from the
+        RuleSet or the *schema* argument.
+    first_only:
+        Stop at the first conflict (the paper's "real case" behavior
+        in Exp-1, as opposed to the all-pairs worst case).
+    """
+    rule_list, resolved_schema = _rules_and_schema(rules, schema)
+    if method == "characterize":
+        def check(a, b):
+            return check_pair_characterize(a, b)
+    elif method == "enumerate":
+        if resolved_schema is None:
+            raise ValueError(
+                "method='enumerate' needs a schema; pass a RuleSet or the "
+                "schema argument")
+
+        def check(a, b):
+            return check_pair_enumerate(resolved_schema, a, b)
+    else:
+        raise ValueError("method must be 'characterize' or 'enumerate', "
+                         "got %r" % method)
+
+    conflicts: List[Conflict] = []
+    for i in range(len(rule_list)):
+        for j in range(i + 1, len(rule_list)):
+            conflict = check(rule_list[i], rule_list[j])
+            if conflict is not None:
+                conflicts.append(conflict)
+                if first_only:
+                    return conflicts
+    return conflicts
+
+
+def is_consistent(rules: RuleInput, method: str = "characterize",
+                  schema: Optional[Schema] = None) -> bool:
+    """Is Σ consistent?  (Theorem 1: decidable in PTIME.)"""
+    return not find_conflicts(rules, method=method, schema=schema,
+                              first_only=True)
+
+
+class AssuranceHazard(NamedTuple):
+    """A triple that can defeat pairwise consistency checking.
+
+    Discovered by this reproduction's property tests (see
+    ``tests/test_prop3_counterexample.py``): the paper's Proposition 3
+    ("Σ is consistent iff every pair is") fails when Σ contains
+
+    * two *twin* rules — co-matchable (their evidence patterns agree
+      on shared attributes, negatives overlap) and writing the SAME
+      fact to the SAME attribute, but over **different evidence
+      sets**: both repair the same error, yet they assure different
+      attributes; and
+    * a *reader* rule whose corrected attribute lies in the evidence
+      the ``certifier`` twin assures but the ``alternative`` twin does
+      not, and which considers the certifier's evidence value wrong.
+
+    Fire the certifier and the reader is blocked forever; fire the
+    alternative and the reader still applies — two fixes, invisible to
+    every pairwise test (both of the paper's checkers pass all three
+    pairs).  :func:`find_assurance_hazards` flags such triples so the
+    Section 5.1 workflow can resolve them (drop either twin).
+    """
+
+    certifier: FixingRule
+    alternative: FixingRule
+    reader: FixingRule
+
+    def describe(self) -> str:
+        return ("rules %s and %s write the same fact but assure "
+                "different evidence; %s reads an attribute only %s "
+                "certifies -- application order decides whether it can "
+                "fire" % (self.certifier.name, self.alternative.name,
+                          self.reader.name, self.certifier.name))
+
+
+def find_assurance_hazards(rules: RuleInput) -> List[AssuranceHazard]:
+    """Detect the rule triples that escape pairwise checking.
+
+    A conservative *warning* pass, not a decision procedure: every
+    reported triple exhibits the structural pattern above, which is
+    necessary for the pairwise gap; whether a concrete diverging tuple
+    exists additionally depends on the reader's remaining evidence
+    being satisfiable.  Run this after :func:`is_consistent` when Σ
+    mixes hand-written rules with generated ones (generators in
+    :mod:`repro.rulegen` key every rule for one attribute on one fixed
+    FD LHS, which cannot produce twins with differing evidence sets).
+    """
+    rule_list, _ = _rules_and_schema(rules, None)
+    hazards: List[AssuranceHazard] = []
+    for certifier in rule_list:
+        for alternative in rule_list:
+            if alternative is certifier:
+                continue
+            if alternative.attribute != certifier.attribute:
+                continue
+            if alternative.fact != certifier.fact:
+                continue  # different facts: Fig. 4 case 1 handles it
+            if not (alternative.negatives & certifier.negatives):
+                continue  # twins never co-match: no shared trigger
+            if not _evidence_compatible(certifier, alternative):
+                continue  # twins never co-match: conflicting evidence
+            extra_attrs = (certifier.x_attrs
+                           - alternative.x_attrs)
+            if not extra_attrs:
+                continue
+            for reader in rule_list:
+                if reader is certifier or reader is alternative:
+                    continue
+                if reader.attribute not in extra_attrs:
+                    continue
+                if (certifier.evidence[reader.attribute]
+                        in reader.negatives):
+                    hazards.append(AssuranceHazard(certifier,
+                                                   alternative, reader))
+    return hazards
+
+
+def is_consistent_characterize(rules: RuleInput) -> bool:
+    """``isConsist_r`` (Fig. 4) over all pairs."""
+    return is_consistent(rules, method="characterize")
+
+
+def is_consistent_enumerate(rules: RuleInput,
+                            schema: Optional[Schema] = None) -> bool:
+    """``isConsist_t`` (Section 5.2.1) over all pairs."""
+    return is_consistent(rules, method="enumerate", schema=schema)

@@ -1,0 +1,121 @@
+"""Explanations: why a rule did or did not apply to a tuple.
+
+Rule authoring lives and dies by debuggability — "my rule didn't fire
+and I don't know why" is the first support question any rule system
+gets.  :func:`explain` answers it with a structured verdict:
+
+* ``APPLIES`` — the rule properly applies right now;
+* ``EVIDENCE_MISMATCH`` — some evidence attribute disagrees (each
+  mismatch is listed with expected vs actual);
+* ``VALUE_NOT_NEGATIVE`` — evidence matches but the target value is
+  not a known-wrong value (the conservative no-fire case, with a hint
+  when the value already equals the fact);
+* ``TARGET_ASSURED`` — the rule matches but an earlier application
+  assured ``B``.
+
+:func:`explain_repair` replays a whole repair and explains every rule
+against the *final* tuple, which is what an author inspecting a
+surprising output wants to see.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Set
+
+from ..relational import Row
+from .repair import RepairResult, RuleInput, _as_rule_list, chase_repair
+from .rule import FixingRule
+
+APPLIES = "APPLIES"
+EVIDENCE_MISMATCH = "EVIDENCE_MISMATCH"
+VALUE_NOT_NEGATIVE = "VALUE_NOT_NEGATIVE"
+TARGET_ASSURED = "TARGET_ASSURED"
+
+
+class Explanation(NamedTuple):
+    """The verdict for one (rule, tuple, assured-set) triple."""
+
+    rule: FixingRule
+    verdict: str
+    details: List[str]
+
+    def describe(self) -> str:
+        text = "%s: %s" % (self.rule.name, self.verdict)
+        if self.details:
+            text += " (" + "; ".join(self.details) + ")"
+        return text
+
+
+def explain(rule: FixingRule, row: Row,
+            assured: Optional[Set[str]] = None) -> Explanation:
+    """Explain the proper-application verdict of *rule* on *row*."""
+    assured = assured or set()
+    mismatches = ["%s is %r, pattern wants %r"
+                  % (attr, row[attr], value)
+                  for attr, value in sorted(rule.evidence.items())
+                  if row[attr] != value]
+    if mismatches:
+        return Explanation(rule, EVIDENCE_MISMATCH, mismatches)
+
+    value = row[rule.attribute]
+    if value not in rule.negatives:
+        if value == rule.fact:
+            details = ["%s already holds the fact %r"
+                       % (rule.attribute, rule.fact)]
+        else:
+            details = ["%s is %r, which is not among the negative "
+                       "patterns %s -- the rule stays conservative"
+                       % (rule.attribute, value,
+                          "{%s}" % ", ".join(sorted(rule.negatives)))]
+        return Explanation(rule, VALUE_NOT_NEGATIVE, details)
+
+    if rule.attribute in assured:
+        return Explanation(rule, TARGET_ASSURED,
+                           ["%s was assured by an earlier application"
+                            % rule.attribute])
+    return Explanation(rule, APPLIES,
+                       ["would rewrite %s: %r -> %r"
+                        % (rule.attribute, value, rule.fact)])
+
+
+def explain_all(rules: RuleInput, row: Row,
+                assured: Optional[Set[str]] = None) -> List[Explanation]:
+    """Explanations for every rule against one tuple, in rule order."""
+    return [explain(rule, row, assured)
+            for rule in _as_rule_list(rules)]
+
+
+class RepairExplanation(NamedTuple):
+    """A full repair trace plus per-rule final verdicts."""
+
+    result: RepairResult
+    explanations: List[Explanation]
+
+    def describe(self) -> str:
+        lines = []
+        if self.result.applied:
+            lines.append("applied:")
+            for fix in self.result.applied:
+                lines.append("  %s rewrote %s: %r -> %r"
+                             % (fix.rule.name, fix.attribute,
+                                fix.old_value, fix.new_value))
+        else:
+            lines.append("applied: nothing (tuple is a fixpoint)")
+        lines.append("final verdicts:")
+        for explanation in self.explanations:
+            lines.append("  " + explanation.describe())
+        return "\n".join(lines)
+
+
+def explain_repair(row: Row, rules: RuleInput) -> RepairExplanation:
+    """Repair *row* and explain every rule against the result.
+
+    Applied rules show up as ``VALUE_NOT_NEGATIVE`` (their target now
+    holds the fact) or ``TARGET_ASSURED``; rules that never fired show
+    the precise reason they could not.
+    """
+    rule_list = _as_rule_list(rules)
+    result = chase_repair(row, rule_list)
+    explanations = [explain(rule, result.row, set(result.assured))
+                    for rule in rule_list]
+    return RepairExplanation(result, explanations)

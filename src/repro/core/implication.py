@@ -1,0 +1,145 @@
+"""Implication analysis of fixing rules (Section 4.3).
+
+Σ *implies* φ (``Σ |= φ``) iff
+
+1. Σ ∪ {φ} is consistent, and
+2. for every tuple ``t``, the unique fix of ``t`` by Σ equals the
+   unique fix by Σ ∪ {φ} — i.e. φ is redundant.
+
+Theorem 2: the problem is coNP-complete in general and PTIME for a
+fixed schema.  The upper bound rests on a **small-model property**: it
+suffices to check tuples whose values are drawn from the constants
+appearing in the rules (plus, per attribute, one fresh symbol standing
+for "any other value").  :func:`implies` enumerates exactly that model
+space; the enumeration is exponential in the number of *mentioned*
+attributes — as the coNP bound says it must be in the worst case — so
+it takes a ``max_tuples`` budget and raises
+:class:`~repro.errors.BudgetExceededError` rather than running away.
+
+:func:`minimize` uses :func:`implies` to strip redundant rules, the
+practical motivation the paper gives for the analysis.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Set, Union
+
+from ..errors import BudgetExceededError
+from ..relational import Row, Schema
+from .consistency import OUT_OF_DOMAIN, is_consistent
+from .repair import chase_repair
+from .rule import FixingRule
+from .ruleset import RuleSet
+
+RuleInput = Union[RuleSet, Sequence[FixingRule]]
+
+
+def _small_model_pools(schema: Schema,
+                       rules: Sequence[FixingRule]) -> Dict[str, List[str]]:
+    """Per-attribute value pools for the small-model enumeration.
+
+    Every constant a rule mentions at an attribute (evidence value,
+    negative pattern, or fact — facts matter here because a cascade can
+    re-read a written value) plus one out-of-domain symbol.
+    """
+    pools: Dict[str, Set[str]] = {name: set()
+                                  for name in schema.attribute_names}
+    for rule in rules:
+        for attr, value in rule.evidence.items():
+            pools[attr].add(value)
+        pools[rule.attribute].update(rule.negatives)
+        pools[rule.attribute].add(rule.fact)
+    return {attr: sorted(values) + [OUT_OF_DOMAIN]
+            for attr, values in pools.items()}
+
+
+def _model_size(pools: Dict[str, List[str]]) -> int:
+    size = 1
+    for values in pools.values():
+        size *= len(values)
+    return size
+
+
+def iter_small_model(schema: Schema, rules: Sequence[FixingRule],
+                     max_tuples: Optional[int] = 1_000_000):
+    """Yield every tuple of the small model for *rules*.
+
+    Attributes no rule mentions contribute only the out-of-domain
+    symbol, so they do not inflate the product.
+    """
+    pools = _small_model_pools(schema, rules)
+    if max_tuples is not None:
+        size = _model_size(pools)
+        if size > max_tuples:
+            raise BudgetExceededError(
+                "small model has %d tuples, above the budget of %d; "
+                "raise max_tuples or restrict the rule set"
+                % (size, max_tuples))
+    names = schema.attribute_names
+    for combo in itertools.product(*(pools[name] for name in names)):
+        yield Row(schema, list(combo))
+
+
+def implies(rules: RuleInput, candidate: FixingRule,
+            schema: Optional[Schema] = None,
+            max_tuples: Optional[int] = 1_000_000) -> bool:
+    """Decide ``Σ |= φ`` via the small-model property.
+
+    Parameters
+    ----------
+    rules:
+        A *consistent* rule set Σ.  (If Σ itself is inconsistent the
+        implication question is not well-posed; we raise ValueError.)
+    candidate:
+        The rule φ to test for redundancy.
+    schema:
+        Required when *rules* is a plain sequence.
+    max_tuples:
+        Enumeration budget; ``None`` disables the guard.
+    """
+    if isinstance(rules, RuleSet):
+        base_rules = rules.rules()
+        schema = rules.schema
+    else:
+        base_rules = list(rules)
+        if schema is None:
+            raise ValueError("schema is required when rules is a sequence")
+    if not is_consistent(base_rules):
+        raise ValueError("implication is defined only for consistent Σ")
+
+    extended = base_rules + [candidate]
+    # Condition (i): Σ ∪ {φ} must itself be consistent.
+    if not is_consistent(extended):
+        return False
+    # Condition (ii): identical fixes over the small model.
+    for row in iter_small_model(schema, extended, max_tuples=max_tuples):
+        fix_base = chase_repair(row, base_rules)
+        fix_ext = chase_repair(row, extended)
+        if fix_base.row != fix_ext.row:
+            return False
+    return True
+
+
+def minimize(rules: RuleSet,
+             max_tuples: Optional[int] = 1_000_000) -> RuleSet:
+    """Remove rules implied by the rest of Σ (greedy, order-stable).
+
+    Scans rules in insertion order; a rule is dropped iff the remaining
+    set implies it.  The result is consistent and fix-equivalent to the
+    input on the small model.
+    """
+    kept = rules.rules()
+    changed = True
+    while changed:
+        changed = False
+        for i, rule in enumerate(kept):
+            rest = kept[:i] + kept[i + 1:]
+            if not rest:
+                continue
+            if implies(rest, rule, schema=rules.schema,
+                       max_tuples=max_tuples):
+                kept = rest
+                changed = True
+                break
+    return RuleSet(rules.schema, kept)

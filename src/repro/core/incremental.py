@@ -1,0 +1,146 @@
+"""Incrementally-checked rule sets.
+
+The Section 5.1 workflow is interactive: experts add and revise rules
+until Σ is consistent.  Re-running the full ``O(|Σ|²)`` pairwise check
+after every single edit is wasteful — by Proposition 3, consistency is
+a *pairwise* property, so:
+
+* adding rule φ to a consistent Σ can only create conflicts in the
+  ``|Σ|`` pairs ``(φ, ψ)``;
+* removing a rule can never create a conflict;
+* replacing a rule = remove + add.
+
+:class:`ConsistentRuleSet` wraps a :class:`~repro.core.ruleset.RuleSet`
+with exactly that discipline, turning per-edit cost from quadratic to
+linear while *guaranteeing* the invariant "this set is consistent" at
+every moment.  Rejected additions return the conflict witnesses so an
+interactive tool can show them.
+
+``benchmarks/bench_ablation_incremental.py`` quantifies the speedup.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from ..errors import InconsistentRulesError
+from ..relational import Schema
+from .consistency import Conflict, check_pair_characterize, find_conflicts
+from .rule import FixingRule
+from .ruleset import RuleSet
+
+
+class ConsistentRuleSet:
+    """A rule set that is consistent by construction, at all times.
+
+    Parameters
+    ----------
+    schema:
+        Schema the rules live on.
+    rules:
+        Optional initial rules; checked pairwise once (the only full
+        quadratic pass this class ever performs).  Raises
+        :class:`~repro.errors.InconsistentRulesError` if they conflict.
+    """
+
+    def __init__(self, schema: Schema,
+                 rules: Optional[Iterable[FixingRule]] = None):
+        self._rules = RuleSet(schema, rules)
+        conflicts = find_conflicts(self._rules, first_only=True)
+        if conflicts:
+            raise InconsistentRulesError(
+                "initial rules are inconsistent: %s"
+                % conflicts[0].describe(), conflicts)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._rules.schema
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[FixingRule]:
+        return iter(self._rules)
+
+    def __contains__(self, rule: FixingRule) -> bool:
+        return rule in self._rules
+
+    def __repr__(self) -> str:
+        return "ConsistentRuleSet(%r, %d rules)" % (self.schema.name,
+                                                    len(self))
+
+    def as_ruleset(self) -> RuleSet:
+        """A plain :class:`RuleSet` copy (consistent, by invariant)."""
+        return self._rules.copy()
+
+    # -- edits -------------------------------------------------------------
+
+    def conflicts_with(self, rule: FixingRule) -> List[Conflict]:
+        """Conflicts that adding *rule* would create — O(|Σ|)."""
+        rule.validate(self.schema)
+        found: List[Conflict] = []
+        for existing in self._rules:
+            conflict = check_pair_characterize(existing, rule)
+            if conflict is not None:
+                found.append(conflict)
+        return found
+
+    def try_add(self, rule: FixingRule) -> List[Conflict]:
+        """Add *rule* if it keeps Σ consistent.
+
+        Returns the empty list on success (including the no-op of
+        re-adding a known rule); otherwise returns the conflict
+        witnesses and leaves Σ unchanged.
+        """
+        if rule in self._rules:
+            return []
+        conflicts = self.conflicts_with(rule)
+        if conflicts:
+            return conflicts
+        self._rules.add(rule)
+        return []
+
+    def add(self, rule: FixingRule) -> None:
+        """Like :meth:`try_add` but raising on conflict."""
+        conflicts = self.try_add(rule)
+        if conflicts:
+            raise InconsistentRulesError(
+                "adding %s would break consistency: %s"
+                % (rule.name, conflicts[0].describe()), conflicts)
+
+    def remove(self, rule: FixingRule) -> bool:
+        """Remove *rule*; never affects consistency.  Returns whether
+        the rule was present."""
+        return self._rules.remove(rule)
+
+    def replace(self, old: FixingRule, new: FixingRule) -> List[Conflict]:
+        """Atomically swap *old* for *new* if consistency is kept.
+
+        On conflict the set is left exactly as before (including
+        *old*) and the witnesses are returned.
+        """
+        if old not in self._rules:
+            from ..errors import RuleError
+            raise RuleError("rule %s not in rule set" % old.name)
+        self._rules.remove(old)
+        conflicts = self.conflicts_with(new)
+        if conflicts:
+            self._rules.add(old)  # roll back
+            return conflicts
+        self._rules.add(new)
+        return []
+
+    def extend(self, rules: Iterable[FixingRule]
+               ) -> List[FixingRule]:
+        """Add many rules, skipping the conflicting ones.
+
+        Returns the rules that were *rejected*, in input order —
+        first-come-first-kept semantics for bulk imports.
+        """
+        rejected: List[FixingRule] = []
+        for rule in rules:
+            if self.try_add(rule):
+                rejected.append(rule)
+        return rejected

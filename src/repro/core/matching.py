@@ -1,0 +1,47 @@
+"""Match and proper-application predicates (Section 3.2).
+
+These helpers implement the *repairing semantics* discipline on top of
+the raw match/apply primitives of :class:`~repro.core.rule.FixingRule`:
+
+* ``t ⊢ φ`` — the tuple matches the rule (delegated to the rule);
+* ``t →(A,φ) t'`` — φ is **properly applied** w.r.t. the assured
+  attribute set ``A``: the tuple matches *and* ``B_φ ∉ A``.
+
+They are shared by both repair algorithms, the consistency checkers
+(which chase candidate tuples), and the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set
+
+from ..relational import Row
+from .rule import FixingRule
+
+
+def properly_applicable(rule: FixingRule, row: Row,
+                        assured: Set[str]) -> bool:
+    """``t →(A,φ)``: *rule* matches *row* and ``B_φ`` is not assured."""
+    return rule.attribute not in assured and rule.matches(row)
+
+
+def matching_rules(row: Row,
+                   rules: Iterable[FixingRule]) -> List[FixingRule]:
+    """All rules that *row* matches (``t ⊢ φ``), in input order."""
+    return [rule for rule in rules if rule.matches(row)]
+
+
+def first_proper(row: Row, rules: Sequence[FixingRule],
+                 assured: Set[str]) -> Optional[FixingRule]:
+    """The first rule (in sequence order) properly applicable to *row*."""
+    for rule in rules:
+        if properly_applicable(rule, row, assured):
+            return rule
+    return None
+
+
+def is_fixpoint(row: Row, rules: Iterable[FixingRule],
+                assured: Set[str]) -> bool:
+    """Condition (2) of a fix: no rule can be properly applied."""
+    return all(not properly_applicable(rule, row, assured)
+               for rule in rules)

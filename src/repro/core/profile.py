@@ -1,0 +1,99 @@
+"""Rule-set profiling.
+
+A curated Σ is an artifact worth inspecting before deployment:
+which attributes can it correct, how much evidence does it demand, how
+interconnected are the rules (interaction is where inconsistency risk
+and cascade behaviour live)?  :func:`ruleset_profile` computes those
+descriptive statistics in one linear pass plus a pair scan for the
+interaction count; ``describe()`` renders them for humans.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, NamedTuple
+
+from .ruleset import RuleSet
+
+
+class RuleSetProfile(NamedTuple):
+    """Descriptive statistics of one rule set."""
+
+    rule_count: int
+    total_size: int
+    corrected_attributes: Counter     # B_φ -> #rules
+    evidence_attributes: Counter      # A ∈ X_φ -> #rules using it
+    evidence_size_distribution: Counter   # |X_φ| -> #rules
+    negative_count_distribution: Counter  # |Tp| -> #rules
+    #: rule pairs where one rule's corrected attribute appears in the
+    #: other's evidence — the cascade/conflict surface (Fig. 4 case 2)
+    interacting_pairs: int
+
+    def describe(self) -> str:
+        lines = ["%d rules, size(Sigma)=%d" % (self.rule_count,
+                                               self.total_size)]
+        lines.append("corrects: " + ", ".join(
+            "%s (%d)" % (attr, count) for attr, count
+            in self.corrected_attributes.most_common()))
+        lines.append("evidence uses: " + ", ".join(
+            "%s (%d)" % (attr, count) for attr, count
+            in self.evidence_attributes.most_common()))
+        lines.append("evidence sizes: " + ", ".join(
+            "|X|=%d: %d" % (size, count) for size, count
+            in sorted(self.evidence_size_distribution.items())))
+        lines.append("negative patterns: " + ", ".join(
+            "%d: %d" % (size, count) for size, count
+            in sorted(self.negative_count_distribution.items())))
+        lines.append("interacting rule pairs (cascade surface): %d"
+                     % self.interacting_pairs)
+        return "\n".join(lines)
+
+
+def ruleset_profile(rules: RuleSet) -> RuleSetProfile:
+    """Compute the profile of *rules*.
+
+    The interaction count is directional pairs collapsed to unordered:
+    a pair is interacting if either rule's ``B`` is in the other's
+    ``X`` — a superset of the pairs the Fig. 4 case-2 analysis has to
+    look at, hence a quick proxy for how "entangled" the set is.
+    """
+    corrected: Counter = Counter()
+    evidence: Counter = Counter()
+    evidence_sizes: Counter = Counter()
+    negative_sizes: Counter = Counter()
+    for rule in rules:
+        corrected[rule.attribute] += 1
+        for attr in rule.evidence:
+            evidence[attr] += 1
+        evidence_sizes[len(rule.evidence)] += 1
+        negative_sizes[len(rule.negatives)] += 1
+
+    # Count interacting pairs via the attribute-level tallies instead
+    # of an O(|Σ|²) scan: rules correcting A x rules reading A, minus
+    # self-pairings (a rule never reads its own corrected attribute).
+    interacting = 0
+    rule_list = rules.rules()
+    readers_of: Dict[str, int] = dict(evidence)
+    for rule in rule_list:
+        interacting += readers_of.get(rule.attribute, 0)
+    # Each unordered mutually-interacting pair got counted twice; the
+    # exact unordered count needs pair identity, which the tally lacks.
+    # Run the precise scan only for small sets; use the tally bound
+    # otherwise (documented as an upper bound in that case).
+    if len(rule_list) <= 2000:
+        interacting = 0
+        for i in range(len(rule_list)):
+            for j in range(i + 1, len(rule_list)):
+                a, b = rule_list[i], rule_list[j]
+                if (a.attribute in b.x_attrs
+                        or b.attribute in a.x_attrs):
+                    interacting += 1
+    return RuleSetProfile(
+        rule_count=len(rules),
+        total_size=rules.size(),
+        corrected_attributes=corrected,
+        evidence_attributes=evidence,
+        evidence_size_distribution=evidence_sizes,
+        negative_count_distribution=negative_sizes,
+        interacting_pairs=interacting,
+    )

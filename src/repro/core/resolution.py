@@ -1,0 +1,208 @@
+"""Resolving inconsistent rule sets (Section 5.3).
+
+The paper's workflow (Section 5.1) loops: check consistency → if
+inconsistent, let an automatic algorithm or an expert revise the rules
+→ re-check.  Termination is guaranteed because revisions may only
+
+* remove whole rules, or
+* remove values from negative-pattern sets,
+
+never add anything — so a non-negative measure (total rule size)
+strictly decreases on every revision round.
+
+Three strategies are provided:
+
+* :data:`DROP_CONFLICTING` — the conservative algorithm the paper
+  sketches: delete every rule involved in any conflict.  Safe but
+  throws away useful rules (the paper's own criticism).
+* :data:`SHRINK_NEGATIVES` — an automatic stand-in for the expert
+  edit illustrated in Fig. 5 (removing ``Tokyo`` from φ1's negative
+  patterns): remove from one rule's negative patterns exactly the
+  values that create the conflict; drop the rule if its negative
+  patterns empty out.
+* a user-supplied **expert callback** — called per conflict, returns a
+  :class:`Revision`; the workflow enforces the shrink-only discipline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, NamedTuple, Optional, Union
+
+from ..errors import RuleError
+from .consistency import (CASE_B_I_IN_X_J, CASE_B_J_IN_X_I, CASE_MUTUAL,
+                          CASE_SAME_ATTRIBUTE, Conflict,
+                          check_pair_characterize, find_conflicts)
+from .rule import FixingRule
+from .ruleset import RuleSet
+
+DROP_CONFLICTING = "drop"
+SHRINK_NEGATIVES = "shrink"
+
+
+class Revision(NamedTuple):
+    """One edit produced while resolving a conflict.
+
+    ``replacement is None`` means *rule* is removed outright;
+    otherwise *rule* is replaced by *replacement*, whose negative
+    patterns must be a strict subset of the original's (the only edit
+    the termination argument permits).
+    """
+
+    rule: FixingRule
+    replacement: Optional[FixingRule]
+    reason: str
+
+
+ExpertCallback = Callable[[Conflict], Revision]
+
+
+class ResolutionLog(NamedTuple):
+    """Outcome of :func:`ensure_consistent`."""
+
+    rules: RuleSet
+    revisions: List[Revision]
+    rounds: int
+
+
+def _validate_revision(revision: Revision) -> None:
+    if revision.replacement is None:
+        return
+    old, new = revision.rule, revision.replacement
+    if (new.evidence != old.evidence or new.attribute != old.attribute
+            or new.fact != old.fact):
+        raise RuleError(
+            "revision for %s may only change negative patterns" % old.name)
+    if not (new.negatives < old.negatives):
+        raise RuleError(
+            "revision for %s must strictly shrink the negative patterns "
+            "(had %r, proposed %r)"
+            % (old.name, sorted(old.negatives), sorted(new.negatives)))
+
+
+def _shrink_for_conflict(conflict: Conflict) -> Revision:
+    """The minimal shrink edit disarming *conflict*.
+
+    Mirrors the expert action in Fig. 5: remove from one rule's
+    negative patterns the value(s) whose membership triggers the Fig. 4
+    case condition.  We always edit ``rule_a`` when both options exist,
+    keeping the strategy deterministic.
+    """
+    a, b = conflict.rule_a, conflict.rule_b
+    if conflict.kind == CASE_SAME_ATTRIBUTE:
+        keep = a.negatives - b.negatives
+        reason = ("removed negatives shared with %s (facts disagree)"
+                  % b.name)
+        edited = a
+    elif conflict.kind == CASE_B_I_IN_X_J:
+        keep = a.negatives - {b.evidence[a.attribute]}
+        reason = ("removed %r: %s treats it as correct evidence"
+                  % (b.evidence[a.attribute], b.name))
+        edited = a
+    elif conflict.kind == CASE_B_J_IN_X_I:
+        keep = b.negatives - {a.evidence[b.attribute]}
+        reason = ("removed %r: %s treats it as correct evidence"
+                  % (a.evidence[b.attribute], a.name))
+        edited = b
+    elif conflict.kind == CASE_MUTUAL:
+        keep = a.negatives - {b.evidence[a.attribute]}
+        reason = ("removed %r to break the mutual read/write cycle with %s"
+                  % (b.evidence[a.attribute], b.name))
+        edited = a
+    else:
+        # Enumerated witness (isConsist_t path): fall back to dropping
+        # one rule — the witness does not localize a single value.
+        return Revision(a, None,
+                        "dropped: enumerated conflict with %s" % b.name)
+    if keep:
+        return Revision(edited, edited.with_negatives(keep), reason)
+    return Revision(edited, None,
+                    reason + "; negative patterns emptied, rule dropped")
+
+
+def drop_conflicting(rules: RuleSet) -> ResolutionLog:
+    """Remove every rule participating in any conflict (one pass).
+
+    Because consistency is pairwise (Proposition 3), removing all
+    members of conflicting pairs leaves a consistent set immediately.
+    """
+    conflicts = find_conflicts(rules)
+    doomed = {}
+    for conflict in conflicts:
+        doomed[conflict.rule_a.signature()] = conflict.rule_a
+        doomed[conflict.rule_b.signature()] = conflict.rule_b
+    revisions = [Revision(rule, None, "participates in a conflict")
+                 for rule in doomed.values()]
+    kept = RuleSet(rules.schema,
+                   (r for r in rules if r.signature() not in doomed))
+    return ResolutionLog(kept, revisions, rounds=1)
+
+
+def ensure_consistent(rules: RuleSet,
+                      strategy: Union[str, ExpertCallback]
+                      = SHRINK_NEGATIVES,
+                      max_rounds: Optional[int] = None) -> ResolutionLog:
+    """The Section 5.1 workflow: revise until Σ′ is consistent.
+
+    Parameters
+    ----------
+    rules:
+        The input Σ; not mutated.
+    strategy:
+        :data:`DROP_CONFLICTING`, :data:`SHRINK_NEGATIVES`, or an
+        expert callback ``Conflict -> Revision``.  Callback revisions
+        are validated to only shrink negatives or drop rules, which
+        keeps the loop terminating even with an arbitrary callback.
+    max_rounds:
+        Optional safety valve; ``None`` relies on the termination
+        argument (total rule size strictly decreases).
+    """
+    if strategy == DROP_CONFLICTING:
+        return drop_conflicting(rules)
+    if strategy == SHRINK_NEGATIVES:
+        expert: ExpertCallback = _shrink_for_conflict
+    elif callable(strategy):
+        expert = strategy
+    else:
+        raise ValueError("unknown strategy %r" % (strategy,))
+
+    # Batch rounds: scan all pairs once, resolve every conflict found
+    # against the *current* rule versions, repeat.  One pair scan is
+    # O(size(Σ)²); resolving conflict-by-conflict with a rescan each
+    # time would multiply that by the conflict count.
+    current: List[Optional[FixingRule]] = rules.rules()
+    revisions: List[Revision] = []
+    rounds = 0
+    while True:
+        rounds += 1
+        if max_rounds is not None and rounds > max_rounds:
+            raise RuleError(
+                "resolution did not converge within %d rounds" % max_rounds)
+        found_any = False
+        for i in range(len(current)):
+            if current[i] is None:
+                continue
+            for j in range(i + 1, len(current)):
+                if current[j] is None or current[i] is None:
+                    continue
+                conflict = check_pair_characterize(current[i], current[j])
+                if conflict is None:
+                    continue
+                found_any = True
+                revision = expert(conflict)
+                _validate_revision(revision)
+                revisions.append(revision)
+                edited_sig = revision.rule.signature()
+                if edited_sig == current[i].signature():
+                    current[i] = revision.replacement
+                elif edited_sig == current[j].signature():
+                    current[j] = revision.replacement
+                else:
+                    raise RuleError(
+                        "expert revision targets %s, which is neither rule "
+                        "of the conflict" % revision.rule.name)
+                if current[i] is None:
+                    break
+        if not found_any:
+            kept = RuleSet(rules.schema,
+                           (rule for rule in current if rule is not None))
+            return ResolutionLog(kept, revisions, rounds)

@@ -1,0 +1,192 @@
+"""Fixing rules (Section 3 of the paper).
+
+A fixing rule over schema ``R`` is
+
+    φ: ((X, tp[X]), (B, Tp[B])) -> tp+[B]
+
+where
+
+* ``X ⊆ attr(R)`` and ``tp[X]`` is the **evidence pattern** — one
+  constant per attribute of ``X``;
+* ``B ∈ attr(R) \\ X`` and ``Tp[B]`` is a finite, non-empty set of
+  constants, the **negative patterns**;
+* ``tp+[B] ∉ Tp[B]`` is the **fact**.
+
+Semantics (Definition in Section 3.1): a tuple ``t`` *matches* φ,
+written ``t ⊢ φ``, iff ``t[X] = tp[X]`` and ``t[B] ∈ Tp[B]``.  Applying
+φ rewrites ``t[B] := tp+[B]``.
+
+The class below enforces the four syntactic conditions at construction
+time and exposes the match/apply primitives.  The *proper application*
+discipline — assured attributes, unique fixes — lives in
+:mod:`repro.core.repair`; keeping the rule object free of repair state
+means one immutable rule can serve many concurrent repairs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from ..errors import RuleError
+from ..relational import Row, Schema
+
+
+class FixingRule:
+    """One fixing rule ``((X, tp[X]), (B, Tp[B])) -> tp+[B]``.
+
+    Parameters
+    ----------
+    evidence:
+        The evidence pattern as an attribute -> constant mapping
+        (``X`` is its key set, ``tp[X]`` its values).
+    attribute:
+        The attribute ``B`` whose value the rule can correct.
+    negatives:
+        The negative patterns ``Tp[B]`` — known-wrong values of ``B``
+        under this evidence.
+    fact:
+        The correct value ``tp+[B]`` of ``B`` under this evidence.
+    name:
+        Optional identifier used in logs, conflict reports, and
+        serialized form.  Auto-derived when omitted.
+
+    Raises
+    ------
+    RuleError
+        If ``B ∈ X``, the evidence or negative-pattern set is empty,
+        or the fact appears among the negative patterns.
+    """
+
+    __slots__ = ("evidence", "attribute", "negatives", "fact", "name",
+                 "_evidence_items", "_x_attrs", "_touched_attrs")
+
+    def __init__(self, evidence: Mapping[str, str], attribute: str,
+                 negatives: Iterable[str], fact: str,
+                 name: Optional[str] = None):
+        if not evidence:
+            raise RuleError("evidence pattern must be non-empty")
+        if attribute in evidence:
+            raise RuleError(
+                "attribute B=%r must not appear in the evidence attributes "
+                "X=%r (condition 1 of the rule syntax)"
+                % (attribute, sorted(evidence)))
+        negative_set = frozenset(negatives)
+        if not negative_set:
+            raise RuleError("negative patterns Tp[B] must be non-empty")
+        if fact in negative_set:
+            raise RuleError(
+                "fact %r must not be a negative pattern (condition 4: "
+                "tp+[B] in dom(B) \\ Tp[B])" % fact)
+        for attr, value in evidence.items():
+            if not isinstance(value, str):
+                raise RuleError("evidence value %s=%r must be a string"
+                                % (attr, value))
+        if not isinstance(fact, str):
+            raise RuleError("fact %r must be a string" % (fact,))
+        for value in negative_set:
+            if not isinstance(value, str):
+                raise RuleError("negative pattern %r must be a string"
+                                % (value,))
+
+        self.evidence: Dict[str, str] = dict(evidence)
+        self.attribute = attribute
+        self.negatives: FrozenSet[str] = negative_set
+        self.fact = fact
+        self.name = name or self._default_name()
+        # Cached, deterministic iteration order for matching, and cached
+        # attribute sets -- the consistency checker touches these in an
+        # O(|Sigma|^2) loop, so they must not be rebuilt per access.
+        self._evidence_items: Tuple[Tuple[str, str], ...] = tuple(
+            sorted(self.evidence.items()))
+        self._x_attrs: FrozenSet[str] = frozenset(self.evidence)
+        self._touched_attrs: FrozenSet[str] = self._x_attrs | {attribute}
+
+    def _default_name(self) -> str:
+        key = ",".join("%s=%s" % kv for kv in sorted(self.evidence.items()))
+        return "fix[%s][%s->%s]" % (key, self.attribute, self.fact)
+
+    # -- accessors mirroring the paper's notation ---------------------------
+
+    @property
+    def x_attrs(self) -> FrozenSet[str]:
+        """``X_φ``: the evidence attribute set."""
+        return self._x_attrs
+
+    @property
+    def touched_attrs(self) -> FrozenSet[str]:
+        """``X_φ ∪ {B_φ}``: attributes marked assured when φ is applied."""
+        return self._touched_attrs
+
+    def size(self) -> int:
+        """``size(φ)``: number of constants mentioned by the rule.
+
+        ``size(Σ)`` in the complexity statements is the sum of these.
+        """
+        return len(self.evidence) + len(self.negatives) + 1
+
+    # -- semantics -----------------------------------------------------------
+
+    def validate(self, schema: Schema) -> None:
+        """Check every referenced attribute exists in *schema*."""
+        schema.validate_attrs(tuple(self.evidence) + (self.attribute,))
+
+    def evidence_matches(self, row: Row) -> bool:
+        """``t[X] = tp[X]``: does the evidence pattern match *row*?"""
+        return all(row[attr] == value
+                   for attr, value in self._evidence_items)
+
+    def matches(self, row: Row) -> bool:
+        """``t ⊢ φ``: evidence matches and ``t[B]`` is a negative pattern."""
+        return (row[self.attribute] in self.negatives
+                and self.evidence_matches(row))
+
+    def apply(self, row: Row) -> Row:
+        """``t →φ t'``: return a *new* row with ``t[B] := tp+[B]``.
+
+        Raises :class:`~repro.errors.RuleError` if the row does not
+        match — applying a non-matching rule is undefined in the paper
+        and almost certainly a caller bug.
+        """
+        if not self.matches(row):
+            raise RuleError("rule %s does not match row %r"
+                            % (self.name, row.as_dict()))
+        return row.with_value(self.attribute, self.fact)
+
+    def apply_in_place(self, row: Row) -> None:
+        """Like :meth:`apply` but mutates *row* (used by the repair loop)."""
+        if not self.matches(row):
+            raise RuleError("rule %s does not match row %r"
+                            % (self.name, row.as_dict()))
+        row[self.attribute] = self.fact
+
+    # -- variants ------------------------------------------------------------
+
+    def with_negatives(self, negatives: Iterable[str]) -> "FixingRule":
+        """A copy with a replaced negative-pattern set.
+
+        Used by the resolution workflow, which may only *shrink*
+        negative patterns; the caller is responsible for that direction
+        (enforced in :mod:`repro.core.resolution`).
+        """
+        return FixingRule(self.evidence, self.attribute, negatives,
+                          self.fact, name=self.name)
+
+    # -- protocol ------------------------------------------------------------
+
+    def signature(self) -> Tuple:
+        """A hashable identity ignoring the display name."""
+        return (self._evidence_items, self.attribute, self.negatives,
+                self.fact)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, FixingRule)
+                and self.signature() == other.signature())
+
+    def __hash__(self) -> int:
+        return hash(self.signature())
+
+    def __repr__(self) -> str:
+        ev = ", ".join("%s=%s" % kv for kv in self._evidence_items)
+        neg = "{%s}" % ", ".join(sorted(self.negatives))
+        return ("FixingRule((%s), (%s in %s) -> %s)"
+                % (ev, self.attribute, neg, self.fact))

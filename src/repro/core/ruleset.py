@@ -1,0 +1,125 @@
+"""Rule-set container.
+
+A :class:`RuleSet` is an ordered collection of
+:class:`~repro.core.rule.FixingRule` objects bound to one schema.  It
+provides deduplication, ``size(Σ)`` (the quantity all the paper's
+complexity bounds are stated in), and convenience constructors; the
+consistency/implication analyses live in their own modules and take a
+RuleSet (or plain sequence) as input.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from ..errors import RuleError
+from ..relational import Schema
+from .rule import FixingRule
+
+
+class RuleSet:
+    """An ordered, deduplicated set Σ of fixing rules over one schema.
+
+    Parameters
+    ----------
+    schema:
+        The schema every rule must reference.
+    rules:
+        Initial rules; duplicates (by :meth:`FixingRule.signature`) are
+        silently dropped, keeping first occurrence — re-adding a known
+        rule is a no-op, matching set semantics.
+    """
+
+    def __init__(self, schema: Schema,
+                 rules: Optional[Iterable[FixingRule]] = None):
+        self.schema = schema
+        self._rules: List[FixingRule] = []
+        self._signatures = set()
+        if rules is not None:
+            for rule in rules:
+                self.add(rule)
+
+    # -- mutation ------------------------------------------------------------
+
+    def add(self, rule: FixingRule) -> bool:
+        """Add *rule*; returns ``True`` if it was new.
+
+        Validates the rule against the schema so a bad attribute fails
+        at insertion, not at repair time.
+        """
+        if not isinstance(rule, FixingRule):
+            raise RuleError("expected a FixingRule, got %r" % (rule,))
+        rule.validate(self.schema)
+        sig = rule.signature()
+        if sig in self._signatures:
+            return False
+        self._signatures.add(sig)
+        self._rules.append(rule)
+        return True
+
+    def extend(self, rules: Iterable[FixingRule]) -> int:
+        """Add many rules; returns how many were new."""
+        return sum(1 for rule in rules if self.add(rule))
+
+    def remove(self, rule: FixingRule) -> bool:
+        """Remove *rule* if present; returns whether it was removed."""
+        sig = rule.signature()
+        if sig not in self._signatures:
+            return False
+        self._signatures.discard(sig)
+        self._rules = [r for r in self._rules if r.signature() != sig]
+        return True
+
+    def replace(self, old: FixingRule, new: FixingRule) -> None:
+        """Swap *old* for *new* in place (used by resolution)."""
+        new.validate(self.schema)
+        for i, rule in enumerate(self._rules):
+            if rule.signature() == old.signature():
+                self._signatures.discard(old.signature())
+                if new.signature() in self._signatures:
+                    # new already present: just drop old
+                    del self._rules[i]
+                else:
+                    self._signatures.add(new.signature())
+                    self._rules[i] = new
+                return
+        raise RuleError("rule %s not in rule set" % old.name)
+
+    # -- access --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[FixingRule]:
+        return iter(self._rules)
+
+    def __getitem__(self, index: int) -> FixingRule:
+        return self._rules[index]
+
+    def __contains__(self, rule: FixingRule) -> bool:
+        return rule.signature() in self._signatures
+
+    def __repr__(self) -> str:
+        return "RuleSet(%r, %d rules)" % (self.schema.name, len(self))
+
+    def size(self) -> int:
+        """``size(Σ)``: total number of constants across all rules."""
+        return sum(rule.size() for rule in self._rules)
+
+    def rules(self) -> List[FixingRule]:
+        """A list copy of the rules, in insertion order."""
+        return list(self._rules)
+
+    def by_name(self, name: str) -> FixingRule:
+        """Look up a rule by its display name."""
+        for rule in self._rules:
+            if rule.name == name:
+                return rule
+        raise RuleError("no rule named %r in rule set" % name)
+
+    def subset(self, count: int) -> "RuleSet":
+        """The first *count* rules as a new RuleSet (for |Σ| sweeps)."""
+        return RuleSet(self.schema, self._rules[:count])
+
+    def copy(self) -> "RuleSet":
+        return RuleSet(self.schema, self._rules)

@@ -1,0 +1,120 @@
+"""Rule (de)serialization.
+
+Rules travel as JSON so they can be version-controlled, reviewed by the
+experts of the Section 5.1 workflow, and fed to the CLI:
+
+.. code-block:: json
+
+    {
+      "schema": {"name": "Travel",
+                 "attributes": ["name", "country", "capital", "city", "conf"]},
+      "rules": [
+        {"name": "phi1",
+         "evidence": {"country": "China"},
+         "attribute": "capital",
+         "negatives": ["Shanghai", "Hongkong"],
+         "fact": "Beijing"}
+      ]
+    }
+
+:func:`format_rule` renders the paper's φ notation for logs and docs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..errors import SerializationError
+from ..relational import Schema
+from .rule import FixingRule
+from .ruleset import RuleSet
+
+PathLike = Union[str, Path]
+
+
+def rule_to_dict(rule: FixingRule) -> dict:
+    """A JSON-ready dictionary for one rule."""
+    return {
+        "name": rule.name,
+        "evidence": dict(sorted(rule.evidence.items())),
+        "attribute": rule.attribute,
+        "negatives": sorted(rule.negatives),
+        "fact": rule.fact,
+    }
+
+
+def rule_from_dict(payload: dict) -> FixingRule:
+    """Inverse of :func:`rule_to_dict`; validates structure."""
+    try:
+        return FixingRule(
+            evidence=payload["evidence"],
+            attribute=payload["attribute"],
+            negatives=payload["negatives"],
+            fact=payload["fact"],
+            name=payload.get("name"),
+        )
+    except KeyError as exc:
+        raise SerializationError("rule JSON is missing field %s" % exc)
+
+
+def ruleset_to_json(rules: RuleSet) -> str:
+    """Serialize a rule set (with its schema) to a JSON string."""
+    payload = {
+        "schema": {
+            "name": rules.schema.name,
+            "attributes": list(rules.schema.attribute_names),
+        },
+        "rules": [rule_to_dict(rule) for rule in rules],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def ruleset_from_json(text: str) -> RuleSet:
+    """Parse a rule set serialized by :func:`ruleset_to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError("invalid rule-set JSON: %s" % exc) from exc
+    try:
+        schema = Schema(payload["schema"]["name"],
+                        payload["schema"]["attributes"])
+        rule_payloads = payload["rules"]
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(
+            "rule-set JSON must have 'schema' and 'rules' fields: %s"
+            % exc) from exc
+    rules = RuleSet(schema)
+    for item in rule_payloads:
+        rules.add(rule_from_dict(item))
+    return rules
+
+
+def save_ruleset(rules: RuleSet, path: PathLike) -> None:
+    """Write a rule set to *path* as JSON."""
+    Path(path).write_text(ruleset_to_json(rules), encoding="utf-8")
+
+
+def load_ruleset(path: PathLike) -> RuleSet:
+    """Read a rule set written by :func:`save_ruleset`."""
+    return ruleset_from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def format_rule(rule: FixingRule) -> str:
+    """The paper's φ notation, e.g.
+
+    ``(([country], [China]), (capital, {Hongkong, Shanghai})) -> Beijing``
+    """
+    attrs = sorted(rule.evidence)
+    values = [rule.evidence[a] for a in attrs]
+    negatives = ", ".join(sorted(rule.negatives))
+    return ("(([%s], [%s]), (%s, {%s})) -> %s"
+            % (", ".join(attrs), ", ".join(values), rule.attribute,
+               negatives, rule.fact))
+
+
+def format_ruleset(rules: RuleSet) -> str:
+    """One :func:`format_rule` line per rule, name-prefixed."""
+    return "\n".join("%s: %s" % (rule.name, format_rule(rule))
+                     for rule in rules)

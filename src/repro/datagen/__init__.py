@@ -1,0 +1,27 @@
+"""Workload generation: clean datasets, noise injection, value pools."""
+
+from .hosp import HOSP_ATTRIBUTES, generate_hosp, hosp_fds, hosp_schema
+from .uis import UIS_ATTRIBUTES, generate_uis, uis_fds, uis_schema
+from .noise import (ACTIVE_DOMAIN, TYPO, InjectedError, NoiseReport,
+                    constraint_attributes, inject_noise,
+                    inject_noise_profile, inject_row_bursts, make_typo)
+
+__all__ = [
+    "HOSP_ATTRIBUTES",
+    "hosp_schema",
+    "hosp_fds",
+    "generate_hosp",
+    "UIS_ATTRIBUTES",
+    "uis_schema",
+    "uis_fds",
+    "generate_uis",
+    "TYPO",
+    "ACTIVE_DOMAIN",
+    "InjectedError",
+    "NoiseReport",
+    "make_typo",
+    "constraint_attributes",
+    "inject_noise",
+    "inject_noise_profile",
+    "inject_row_bursts",
+]

@@ -1,0 +1,172 @@
+"""Synthetic HOSP data (substitute for hospitalcompare.hhs.gov).
+
+The paper's primary dataset is the US Department of Health & Human
+Services hospital-compare download: 115K records over 17 attributes,
+governed by five FDs (Section 7.1).  That download is unavailable
+offline, so this generator produces data with the same schema and the
+same FDs *holding by construction* on the clean instance:
+
+* a pool of **providers** — ``PN`` determines the twelve
+  provider-level attributes (name, address, phone, type, owner, ...);
+* a pool of **measures** — ``MC`` determines ``MN`` and ``condition``;
+* rows pair a provider with a measure, and ``stateAvg`` is a pure
+  function of ``(state, MC)``; since ``PN`` determines ``state``, both
+  ``PN,MC -> stateAvg`` and ``state,MC -> stateAvg`` hold.
+
+Providers repeat across rows (each provider reports many measures),
+giving the data the *repeated patterns per FD* that make rule-based
+repair effective on HOSP — the property the paper contrasts with UIS.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import List, NamedTuple
+
+from ..dependencies import FD
+from ..relational import Schema, Table
+from . import pools
+
+#: The 17 attributes of the paper's HOSP table, in its order.
+HOSP_ATTRIBUTES = (
+    "PN", "HN", "address1", "address2", "address3", "city", "state",
+    "zip", "county", "phn", "ht", "ho", "es", "MC", "MN", "condition",
+    "stateAvg",
+)
+
+
+def hosp_schema() -> Schema:
+    """The HOSP schema (open domains)."""
+    return Schema("hosp", HOSP_ATTRIBUTES)
+
+
+def hosp_fds() -> List[FD]:
+    """The five FDs of Section 7.1 (table "FDs for hosp")."""
+    return [
+        FD(["PN"], ["HN", "address1", "address2", "address3", "city",
+                    "state", "zip", "county", "phn", "ht", "ho", "es"]),
+        FD(["phn"], ["zip", "city", "state", "address1", "address2",
+                     "address3"]),
+        FD(["MC"], ["MN", "condition"]),
+        FD(["PN", "MC"], ["stateAvg"]),
+        FD(["state", "MC"], ["stateAvg"]),
+    ]
+
+
+class _Provider(NamedTuple):
+    pn: str
+    hn: str
+    address1: str
+    address2: str
+    address3: str
+    city: str
+    state: str
+    zip: str
+    county: str
+    phn: str
+    ht: str
+    ho: str
+    es: str
+
+
+class _Measure(NamedTuple):
+    mc: str
+    mn: str
+    condition: str
+
+
+def _make_providers(count: int, rng: random.Random) -> List[_Provider]:
+    providers: List[_Provider] = []
+    for i in range(count):
+        state = rng.choice(pools.US_STATES)
+        city = rng.choice(pools.CITY_NAMES)
+        providers.append(_Provider(
+            pn="%06d" % (10000 + i),
+            hn="%s %s" % (rng.choice(pools.HOSPITAL_NAME_PREFIXES),
+                          rng.choice(pools.HOSPITAL_NAME_SUFFIXES)),
+            address1="%d %s" % (rng.randrange(1, 9999),
+                                rng.choice(pools.STREET_NAMES)),
+            address2="Suite %d" % rng.randrange(1, 400),
+            address3="Building %s" % rng.choice("ABCDE"),
+            city=city,
+            state=state,
+            zip="%05d" % rng.randrange(10000, 99999),
+            county=rng.choice(pools.COUNTY_NAMES),
+            phn="%03d-%03d-%04d" % (rng.randrange(200, 999),
+                                    rng.randrange(200, 999),
+                                    rng.randrange(0, 10000)),
+            ht=rng.choice(pools.HOSPITAL_TYPES),
+            ho=rng.choice(pools.HOSPITAL_OWNERS),
+            es=rng.choice(pools.EMERGENCY_SERVICE),
+        ))
+    return providers
+
+
+def _make_measures(count: int, rng: random.Random) -> List[_Measure]:
+    measures: List[_Measure] = []
+    seen_names = set()
+    i = 0
+    while len(measures) < count:
+        i += 1
+        template = rng.choice(pools.MEASURE_NAME_TEMPLATES)
+        subject = rng.choice(pools.MEASURE_SUBJECTS)
+        name = template % subject
+        if name in seen_names:
+            name = "%s (v%d)" % (name, i)
+        seen_names.add(name)
+        measures.append(_Measure(
+            mc="MC-%04d" % i,
+            mn=name,
+            condition=rng.choice(pools.MEASURE_CONDITIONS),
+        ))
+    return measures
+
+
+def _state_avg(state: str, mc: str) -> str:
+    """``stateAvg`` as a pure function of (state, MC).
+
+    Derived deterministically (not via the rng, and not via the
+    process-salted builtin ``hash``) so the FD holds no matter how
+    providers and measures are paired, and so runs are reproducible
+    across processes.
+    """
+    basis = zlib.crc32(("%s|%s" % (state, mc)).encode("utf-8")) % 1000
+    return "%s_%s_%d%%" % (state, mc, basis // 10)
+
+
+def generate_hosp(rows: int = 10_000, providers: int = 0, measures: int = 0,
+                  seed: int = 7) -> Table:
+    """Generate a clean HOSP instance of *rows* records.
+
+    Parameters
+    ----------
+    rows:
+        Number of records (the paper uses 115K; tests use far fewer).
+    providers / measures:
+        Entity-pool sizes; defaults scale with *rows* (about 15 rows
+        per provider, like a hospital reporting ~15 measures).
+    seed:
+        RNG seed; same inputs give byte-identical tables.
+    """
+    rng = random.Random(seed)
+    if providers <= 0:
+        providers = max(2, rows // 15)
+    if measures <= 0:
+        measures = max(2, min(60, rows // 4))
+    provider_pool = _make_providers(providers, rng)
+    measure_pool = _make_measures(measures, rng)
+
+    schema = hosp_schema()
+    table = Table(schema)
+    for _ in range(rows):
+        provider = rng.choice(provider_pool)
+        measure = rng.choice(measure_pool)
+        table.append([
+            provider.pn, provider.hn, provider.address1, provider.address2,
+            provider.address3, provider.city, provider.state, provider.zip,
+            provider.county, provider.phn, provider.ht, provider.ho,
+            provider.es, measure.mc, measure.mn, measure.condition,
+            _state_avg(provider.state, measure.mc),
+        ])
+    return table

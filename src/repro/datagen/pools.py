@@ -1,0 +1,123 @@
+"""Deterministic value pools for the synthetic data generators.
+
+The HOSP and UIS generators draw entity attributes from these pools.
+They are plain module-level tuples — no randomness here — so that a
+seeded generator run is fully reproducible.
+"""
+
+from __future__ import annotations
+
+FIRST_NAMES = (
+    "James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael",
+    "Linda", "William", "Elizabeth", "David", "Barbara", "Richard",
+    "Susan", "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen",
+    "Christopher", "Nancy", "Daniel", "Lisa", "Matthew", "Margaret",
+    "Anthony", "Betty", "Donald", "Sandra", "Mark", "Ashley", "Paul",
+    "Dorothy", "Steven", "Kimberly", "Andrew", "Emily", "Kenneth",
+    "Donna", "George", "Michelle", "Joshua", "Carol", "Kevin", "Amanda",
+    "Brian", "Melissa", "Edward", "Deborah",
+)
+
+LAST_NAMES = (
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson",
+    "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
+    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen",
+    "King", "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores",
+    "Green", "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell",
+    "Mitchell", "Carter", "Roberts",
+)
+
+MIDDLE_INITIALS = tuple("ABCDEFGHJKLMNPRSTW")
+
+STREET_NAMES = (
+    "Main St", "Oak Ave", "Maple Dr", "Cedar Ln", "Pine St", "Elm St",
+    "Washington Blvd", "Lake View Rd", "Hillcrest Ave", "Sunset Dr",
+    "Park Ave", "River Rd", "Church St", "Highland Ave", "Meadow Ln",
+    "Forest Dr", "Spring St", "Chestnut St", "Willow Way", "Franklin Ave",
+    "Jefferson St", "Lincoln Ave", "Madison Dr", "Monroe St", "Adams Blvd",
+    "Jackson Way", "Harrison Rd", "Tyler Ct", "Polk Pl", "Taylor Loop",
+)
+
+US_STATES = (
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI",
+    "ID", "IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD", "MA", "MI",
+    "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ", "NM", "NY", "NC",
+    "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT",
+    "VT", "VA", "WA", "WV", "WI", "WY",
+)
+
+CITY_NAMES = (
+    "Springfield", "Riverside", "Franklin", "Greenville", "Bristol",
+    "Clinton", "Fairview", "Salem", "Madison", "Georgetown", "Arlington",
+    "Ashland", "Dover", "Oxford", "Jackson", "Burlington", "Manchester",
+    "Milton", "Newport", "Auburn", "Centerville", "Clayton", "Dayton",
+    "Lexington", "Milford", "Winchester", "Hudson", "Kingston",
+    "Lancaster", "Marion", "Monroe", "Mount Vernon", "Oakland",
+    "Plymouth", "Portland", "Princeton", "Quincy", "Richmond",
+    "Rochester", "Troy",
+)
+
+COUNTY_NAMES = (
+    "Adams", "Baker", "Clay", "Douglas", "Elk", "Fulton", "Greene",
+    "Hamilton", "Iron", "Jasper", "Knox", "Lake", "Mercer", "Noble",
+    "Orange", "Perry", "Ray", "Stone", "Union", "Wayne",
+)
+
+HOSPITAL_TYPES = (
+    "Acute Care Hospitals", "Critical Access Hospitals",
+    "Childrens Hospitals", "Psychiatric Hospitals",
+)
+
+HOSPITAL_OWNERS = (
+    "Government - Federal", "Government - State", "Government - Local",
+    "Proprietary", "Voluntary non-profit - Church",
+    "Voluntary non-profit - Private", "Voluntary non-profit - Other",
+    "Physician Owned",
+)
+
+EMERGENCY_SERVICE = ("Yes", "No")
+
+HOSPITAL_NAME_PREFIXES = (
+    "Saint Mary", "Mercy", "General", "Memorial", "University",
+    "Community", "Regional", "Baptist", "Methodist", "Providence",
+    "Good Samaritan", "Sacred Heart", "Veterans", "County", "Lakeside",
+    "Valley", "Summit", "Northside", "Southview", "Eastgate",
+)
+
+HOSPITAL_NAME_SUFFIXES = (
+    "Medical Center", "Hospital", "Health System", "Clinic",
+    "Regional Hospital", "Healthcare",
+)
+
+MEASURE_CONDITIONS = (
+    "Heart Attack", "Heart Failure", "Pneumonia",
+    "Surgical Infection Prevention", "Childrens Asthma",
+)
+
+MEASURE_NAME_TEMPLATES = (
+    "Patients Given %s Medication",
+    "Patients Given %s Assessment",
+    "Patients Given %s Instructions at Discharge",
+    "Patients Given %s Within 24 Hours",
+    "Average Time Until %s Intervention",
+    "Patients Assessed For %s Risk",
+)
+
+MEASURE_SUBJECTS = (
+    "Aspirin", "ACE Inhibitor", "Beta Blocker", "Smoking Cessation",
+    "Antibiotic", "Fibrinolytic", "Oxygenation", "Blood Culture",
+    "Discharge", "Relievers", "Systemic Corticosteroid",
+)
+
+# City/street variants used by the travel running example.
+WORLD_COUNTRIES_CAPITALS = (
+    ("China", "Beijing"), ("Canada", "Ottawa"), ("Japan", "Tokyo"),
+    ("France", "Paris"), ("Germany", "Berlin"), ("Italy", "Rome"),
+    ("Spain", "Madrid"), ("Brazil", "Brasilia"), ("India", "New Delhi"),
+    ("Australia", "Canberra"), ("Egypt", "Cairo"), ("Kenya", "Nairobi"),
+    ("Mexico", "Mexico City"), ("Norway", "Oslo"), ("Peru", "Lima"),
+    ("Qatar", "Doha"), ("Russia", "Moscow"), ("Sweden", "Stockholm"),
+    ("Thailand", "Bangkok"), ("Turkey", "Ankara"),
+)

@@ -1,0 +1,41 @@
+"""Integrity-constraint machinery: FDs, constant CFDs, violation detection."""
+
+from .fd import FD, normalize_fds, parse_fd
+from .cfd import CFD, WILDCARD, cfd_violations
+from .violations import (Violation, ViolationCluster, count_violations,
+                         find_violation_clusters, is_consistent_instance,
+                         iter_violations, violating_rows)
+from .discovery import (FDCandidate, discover_fds, fd_confidence,
+                        merge_candidates)
+from .md import (MD, MDClause, enforce_md, exact, find_md_matches,
+                 md_violations, mds_consistent, same_prefix,
+                 within_edit_distance)
+
+__all__ = [
+    "FD",
+    "parse_fd",
+    "normalize_fds",
+    "CFD",
+    "WILDCARD",
+    "cfd_violations",
+    "Violation",
+    "ViolationCluster",
+    "find_violation_clusters",
+    "iter_violations",
+    "count_violations",
+    "violating_rows",
+    "is_consistent_instance",
+    "FDCandidate",
+    "fd_confidence",
+    "discover_fds",
+    "merge_candidates",
+    "MD",
+    "MDClause",
+    "exact",
+    "within_edit_distance",
+    "same_prefix",
+    "find_md_matches",
+    "md_violations",
+    "enforce_md",
+    "mds_consistent",
+]

@@ -1,0 +1,121 @@
+"""Conditional functional dependencies (CFDs).
+
+The paper positions fixing rules against CFDs [Fan et al., TODS 2008]:
+a CFD can *detect* an error but cannot say which cell is wrong or what
+value to write.  We implement constant CFDs — the fragment relevant to
+the comparison — so the library can (a) express the detection-only
+counterpart of a fixing rule and (b) serve as an extension point noted
+in the paper's future work ("interaction with other data quality
+rules").
+
+A constant CFD ``(X -> B, (tp[X] || tp[B]))`` says: any tuple matching
+the constant pattern ``tp[X]`` must have ``t[B] = tp[B]``.  ``tp[B]``
+may be the wildcard ``"_"``, giving a variable CFD on the RHS which then
+behaves like a plain FD restricted to the pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..errors import DependencyError
+from ..relational import Row, Schema, Table
+
+#: Wildcard symbol in CFD patterns.
+WILDCARD = "_"
+
+
+class CFD:
+    """A single-RHS conditional functional dependency.
+
+    Parameters
+    ----------
+    lhs:
+        Determinant attributes.
+    rhs:
+        The single dependent attribute.
+    pattern:
+        Mapping from each lhs attribute to a constant or ``"_"``, plus
+        optionally the rhs attribute to a constant or ``"_"``.
+    """
+
+    __slots__ = ("lhs", "rhs", "lhs_pattern", "rhs_pattern")
+
+    def __init__(self, lhs: Sequence[str], rhs: str,
+                 pattern: Mapping[str, str]):
+        self.lhs = tuple(lhs)
+        if not self.lhs:
+            raise DependencyError("CFD must have a non-empty LHS")
+        if rhs in self.lhs:
+            raise DependencyError("CFD RHS %r must not appear in LHS" % rhs)
+        self.rhs = rhs
+        missing = [a for a in self.lhs if a not in pattern]
+        if missing:
+            raise DependencyError(
+                "CFD pattern missing LHS attributes %r" % missing)
+        self.lhs_pattern: Dict[str, str] = {a: pattern[a] for a in self.lhs}
+        self.rhs_pattern: str = pattern.get(rhs, WILDCARD)
+
+    def validate(self, schema: Schema) -> None:
+        schema.validate_attrs(self.lhs + (self.rhs,))
+
+    # -- semantics ---------------------------------------------------------
+
+    def lhs_matches(self, row: Row) -> bool:
+        """Does the row match the constant part of the LHS pattern?"""
+        return all(p == WILDCARD or row[a] == p
+                   for a, p in self.lhs_pattern.items())
+
+    def violated_by(self, row: Row) -> bool:
+        """Single-tuple violation: constant-RHS CFDs only.
+
+        A variable-RHS CFD can only be violated by a *pair* of tuples;
+        use :func:`cfd_violations` for that case.
+        """
+        if self.rhs_pattern == WILDCARD:
+            return False
+        return self.lhs_matches(row) and row[self.rhs] != self.rhs_pattern
+
+    def __repr__(self) -> str:
+        pat = ", ".join("%s=%s" % (a, self.lhs_pattern[a]) for a in self.lhs)
+        return "CFD([%s] -> %s=%s)" % (pat, self.rhs, self.rhs_pattern)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, CFD) and self.lhs == other.lhs
+                and self.rhs == other.rhs
+                and self.lhs_pattern == other.lhs_pattern
+                and self.rhs_pattern == other.rhs_pattern)
+
+    def __hash__(self) -> int:
+        return hash((self.lhs, self.rhs,
+                     tuple(sorted(self.lhs_pattern.items())),
+                     self.rhs_pattern))
+
+
+def cfd_violations(table: Table, cfd: CFD) -> List[Tuple[int, ...]]:
+    """All violations of *cfd* in *table*.
+
+    For a constant-RHS CFD each violation is a single row index ``(i,)``.
+    For a variable-RHS CFD each violation is a pair ``(i, j)`` of rows
+    matching the LHS pattern, agreeing on the LHS, and differing on the
+    RHS.
+    """
+    cfd.validate(table.schema)
+    out: List[Tuple[int, ...]] = []
+    if cfd.rhs_pattern != WILDCARD:
+        for i, row in enumerate(table):
+            if cfd.violated_by(row):
+                out.append((i,))
+        return out
+    # Variable RHS: group matching rows by their LHS projection.
+    matching = [i for i, row in enumerate(table) if cfd.lhs_matches(row)]
+    groups: Dict[Tuple[str, ...], List[int]] = {}
+    for i in matching:
+        groups.setdefault(table[i].project(cfd.lhs), []).append(i)
+    for indices in groups.values():
+        for a_pos in range(len(indices)):
+            for b_pos in range(a_pos + 1, len(indices)):
+                i, j = indices[a_pos], indices[b_pos]
+                if table[i][cfd.rhs] != table[j][cfd.rhs]:
+                    out.append((i, j))
+    return out

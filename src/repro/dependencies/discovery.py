@@ -1,0 +1,135 @@
+"""Approximate FD discovery (profiling support).
+
+The paper assumes known FDs ("we started with known dependencies").
+When they are *not* known — the situation a downstream user of this
+library often starts from — the rule-generation pipeline needs
+candidates.  This module profiles a (possibly dirty) instance for
+approximate FDs: ``X -> A`` holds with confidence ``c`` if keeping the
+majority ``A`` value of every ``X`` group retains a ``c`` fraction of
+rows.  Exact FDs have confidence 1.0; an FD violated only by scattered
+errors scores slightly below 1.0, so a threshold just under 1 surfaces
+exactly the dependencies worth repairing against.
+
+This is the classic TANE-style partition refinement specialized to
+small LHS sizes (1 and 2), which covers every FD in the paper's
+workloads except ``PN,MC -> stateAvg`` — discoverable at size 2.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from ..relational import Table
+from .fd import FD
+
+
+class FDCandidate(NamedTuple):
+    """A discovered approximate FD with its measured confidence."""
+
+    fd: FD
+    confidence: float
+    support: int  # rows in groups of size >= 2 (pairs give evidence)
+
+
+def fd_confidence(table: Table, lhs: Sequence[str], rhs: str) -> float:
+    """Fraction of rows kept when each LHS group keeps its majority
+    RHS value.  1.0 iff the FD holds exactly; small dirt lowers it
+    slightly; an unrelated pair scores low."""
+    if not len(table):
+        return 1.0
+    kept = 0
+    for indices in table.group_by(list(lhs)).values():
+        counts: Dict[str, int] = {}
+        for i in indices:
+            value = table[i][rhs]
+            counts[value] = counts.get(value, 0) + 1
+        kept += max(counts.values())
+    return kept / len(table)
+
+
+def _support(table: Table, lhs: Sequence[str]) -> int:
+    return sum(len(indices)
+               for indices in table.group_by(list(lhs)).values()
+               if len(indices) >= 2)
+
+
+def discover_fds(table: Table, min_confidence: float = 0.95,
+                 min_support: int = 2, max_lhs: int = 2,
+                 attributes: Optional[Sequence[str]] = None
+                 ) -> List[FDCandidate]:
+    """Profile *table* for approximate FDs with small LHS.
+
+    Parameters
+    ----------
+    table:
+        The instance to profile (dirt is expected and tolerated).
+    min_confidence:
+        Keep candidates scoring at least this (default 0.95 — strict
+        enough to drop coincidences, loose enough to survive ~5% cell
+        noise).
+    min_support:
+        Minimum number of rows living in multi-row LHS groups; an FD
+        whose LHS is a key of the sample carries no pairwise evidence
+        and is skipped.
+    max_lhs:
+        Maximum LHS size (1 or 2; larger blows up combinatorially and
+        the paper's workloads need at most 2).
+    attributes:
+        Restrict profiling to these attributes (default: all).
+
+    Minimality: a size-2 candidate is dropped when either of its LHS
+    attributes already determines the RHS at the threshold.
+    """
+    if max_lhs not in (1, 2):
+        raise ValueError("max_lhs must be 1 or 2")
+    names = list(attributes) if attributes is not None else list(
+        table.schema.attribute_names)
+    table.schema.validate_attrs(names)
+
+    found: List[FDCandidate] = []
+    singles: Dict[Tuple[str, str], float] = {}
+    for lhs_attr in names:
+        support = _support(table, [lhs_attr])
+        for rhs in names:
+            if rhs == lhs_attr:
+                continue
+            confidence = fd_confidence(table, [lhs_attr], rhs)
+            singles[(lhs_attr, rhs)] = confidence
+            if confidence >= min_confidence and support >= min_support:
+                found.append(FDCandidate(FD([lhs_attr], [rhs]),
+                                         confidence, support))
+    if max_lhs == 2:
+        for a, b in itertools.combinations(names, 2):
+            support = _support(table, [a, b])
+            if support < min_support:
+                continue
+            for rhs in names:
+                if rhs in (a, b):
+                    continue
+                # Minimality: skip if a single attribute already works.
+                if (singles[(a, rhs)] >= min_confidence
+                        or singles[(b, rhs)] >= min_confidence):
+                    continue
+                confidence = fd_confidence(table, [a, b], rhs)
+                if confidence >= min_confidence:
+                    found.append(FDCandidate(FD([a, b], [rhs]),
+                                             confidence, support))
+    found.sort(key=lambda c: (-c.confidence, c.fd.lhs, c.fd.rhs))
+    return found
+
+
+def merge_candidates(candidates: Sequence[FDCandidate]) -> List[FD]:
+    """Collapse candidates sharing a LHS into multi-RHS FDs,
+    preserving candidate order of first appearance."""
+    by_lhs: Dict[Tuple[str, ...], List[str]] = {}
+    order: List[Tuple[str, ...]] = []
+    for candidate in candidates:
+        lhs = candidate.fd.lhs
+        if lhs not in by_lhs:
+            by_lhs[lhs] = []
+            order.append(lhs)
+        for attr in candidate.fd.rhs:
+            if attr not in by_lhs[lhs]:
+                by_lhs[lhs].append(attr)
+    return [FD(lhs, by_lhs[lhs]) for lhs in order]

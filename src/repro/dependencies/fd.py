@@ -1,0 +1,117 @@
+"""Functional dependencies.
+
+An FD ``X -> Y`` over schema ``R`` states that any two tuples agreeing
+on ``X`` must agree on ``Y``.  The paper uses FDs in two roles:
+
+1. as the source of fixing rules — seed rules are authored from FD
+   violations (Section 7.1), and
+2. as the input constraint language of the Heu and Csm baselines.
+
+FDs with multiple right-hand-side attributes are supported and can be
+normalized into single-RHS FDs with :meth:`FD.split`, which is the form
+the baseline repair algorithms consume.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from ..errors import DependencyError
+from ..relational import Schema
+
+
+class FD:
+    """A functional dependency ``lhs -> rhs``.
+
+    Parameters
+    ----------
+    lhs:
+        Determinant attribute names (non-empty, no duplicates).
+    rhs:
+        Dependent attribute names (non-empty, disjoint from *lhs*).
+    """
+
+    __slots__ = ("lhs", "rhs")
+
+    def __init__(self, lhs: Sequence[str], rhs: Sequence[str]):
+        lhs_t = tuple(lhs)
+        rhs_t = tuple(rhs)
+        if not lhs_t:
+            raise DependencyError("FD must have a non-empty LHS")
+        if not rhs_t:
+            raise DependencyError("FD must have a non-empty RHS")
+        if len(set(lhs_t)) != len(lhs_t):
+            raise DependencyError("FD LHS has duplicates: %r" % (lhs_t,))
+        if len(set(rhs_t)) != len(rhs_t):
+            raise DependencyError("FD RHS has duplicates: %r" % (rhs_t,))
+        overlap = set(lhs_t) & set(rhs_t)
+        if overlap:
+            raise DependencyError(
+                "FD LHS and RHS overlap on %r; trivial components must be "
+                "removed" % sorted(overlap))
+        self.lhs = lhs_t
+        self.rhs = rhs_t
+
+    # -- helpers -----------------------------------------------------------
+
+    def attributes(self) -> Tuple[str, ...]:
+        """All attributes mentioned, LHS first."""
+        return self.lhs + self.rhs
+
+    def validate(self, schema: Schema) -> None:
+        """Raise if any referenced attribute is missing from *schema*."""
+        schema.validate_attrs(self.attributes())
+
+    def split(self) -> List["FD"]:
+        """Normalize into single-RHS FDs: ``X->A`` for each ``A`` in rhs."""
+        return [FD(self.lhs, (a,)) for a in self.rhs]
+
+    def holds_on(self, table) -> bool:
+        """Does this FD hold on *table*? (No violating pair exists.)"""
+        for indices in table.group_by(self.lhs).values():
+            if len(indices) < 2:
+                continue
+            witness = table[indices[0]].project(self.rhs)
+            for i in indices[1:]:
+                if table[i].project(self.rhs) != witness:
+                    return False
+        return True
+
+    # -- protocol ----------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, FD) and self.lhs == other.lhs
+                and self.rhs == other.rhs)
+
+    def __hash__(self) -> int:
+        return hash((self.lhs, self.rhs))
+
+    def __repr__(self) -> str:
+        return "FD(%s -> %s)" % (",".join(self.lhs), ",".join(self.rhs))
+
+
+def parse_fd(text: str) -> FD:
+    """Parse ``"a, b -> c, d"`` into an :class:`FD`.
+
+    Whitespace is ignored around attribute names.  Raises
+    :class:`~repro.errors.DependencyError` on malformed input.
+    """
+    if "->" not in text:
+        raise DependencyError("FD text %r must contain '->'" % text)
+    lhs_text, rhs_text = text.split("->", 1)
+    lhs = [part.strip() for part in lhs_text.split(",") if part.strip()]
+    rhs = [part.strip() for part in rhs_text.split(",") if part.strip()]
+    return FD(lhs, rhs)
+
+
+def normalize_fds(fds: Iterable[FD]) -> List[FD]:
+    """Split every FD to single-RHS form and drop duplicates, keeping order."""
+    seen = set()
+    out: List[FD] = []
+    for fd in fds:
+        for single in fd.split():
+            key = (single.lhs, single.rhs)
+            if key not in seen:
+                seen.add(key)
+                out.append(single)
+    return out

@@ -1,0 +1,222 @@
+"""Matching dependencies (MDs).
+
+The paper's consistency discussion (Section 4.2) cites the MD results
+of Fan et al. [PVLDB 2009]: *"the consistency problem for MDs is
+trivial: any set of MDs is consistent"* — the contrast point for the
+PTIME fixing-rule analysis.  Section 8 lists MD interaction as future
+work.  This module supplies the MD substrate:
+
+An MD over one relation says: if two tuples are *similar* on the LHS
+attributes (each compared with its own similarity predicate), then
+their RHS attributes should be **identified** (made equal).  Unlike an
+FD, similarity is not transitive and not exact, so MDs have dynamic
+semantics from the start — like fixing rules, and unlike FDs/CFDs.
+
+Provided here:
+
+* similarity predicates (:func:`exact`, :func:`within_edit_distance`,
+  :func:`same_prefix`);
+* :class:`MD` with matching semantics over tuple pairs;
+* :func:`find_md_matches` / :func:`md_violations` with hash blocking
+  to avoid the quadratic pair scan;
+* :func:`enforce_md` — one round of the MD dynamic semantics
+  (identify RHS values via majority within matched clusters);
+* :func:`mds_consistent` — the trivial check, kept as an explicit
+  function so the complexity landscape of Section 4.2 is visible in
+  code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, \
+    Sequence, Tuple
+
+from ..errors import DependencyError
+from ..relational import Row, Table
+
+#: A similarity predicate over two cell values.
+Similarity = Callable[[str, str], bool]
+
+
+def exact() -> Similarity:
+    """Equality — turns the MD clause into an FD-style comparison."""
+    def predicate(a: str, b: str) -> bool:
+        return a == b
+    predicate.__name__ = "exact"
+    return predicate
+
+
+def within_edit_distance(k: int) -> Similarity:
+    """Levenshtein distance at most *k* (uses the banded DP)."""
+    if k < 0:
+        raise DependencyError("edit-distance bound must be >= 0")
+
+    def predicate(a: str, b: str) -> bool:
+        from ..rulegen.similarity import edit_distance
+        return edit_distance(a, b, max_distance=k) <= k
+    predicate.__name__ = "within_edit_distance(%d)" % k
+    return predicate
+
+
+def same_prefix(length: int) -> Similarity:
+    """Case-insensitive shared prefix of *length* characters."""
+    if length < 1:
+        raise DependencyError("prefix length must be >= 1")
+
+    def predicate(a: str, b: str) -> bool:
+        return a[:length].lower() == b[:length].lower()
+    predicate.__name__ = "same_prefix(%d)" % length
+    return predicate
+
+
+class MDClause(NamedTuple):
+    """One LHS comparison: attribute plus its similarity predicate."""
+
+    attribute: str
+    similarity: Similarity
+
+
+class MD:
+    """A matching dependency over a single relation.
+
+    Parameters
+    ----------
+    clauses:
+        LHS comparisons; each is ``(attribute, similarity)`` (a plain
+        attribute name means :func:`exact`).
+    identify:
+        RHS attributes whose values matched pairs should share.
+    """
+
+    def __init__(self, clauses: Sequence, identify: Sequence[str]):
+        normalized: List[MDClause] = []
+        for clause in clauses:
+            if isinstance(clause, MDClause):
+                normalized.append(clause)
+            elif isinstance(clause, str):
+                normalized.append(MDClause(clause, exact()))
+            else:
+                attribute, similarity = clause
+                normalized.append(MDClause(attribute, similarity))
+        if not normalized:
+            raise DependencyError("MD must have at least one LHS clause")
+        if not identify:
+            raise DependencyError("MD must identify at least one attribute")
+        lhs_attrs = {clause.attribute for clause in normalized}
+        overlap = lhs_attrs & set(identify)
+        if overlap:
+            raise DependencyError(
+                "MD identify attributes %r overlap the LHS"
+                % sorted(overlap))
+        self.clauses = tuple(normalized)
+        self.identify = tuple(identify)
+
+    def validate(self, table: Table) -> None:
+        table.schema.validate_attrs(
+            [clause.attribute for clause in self.clauses]
+            + list(self.identify))
+
+    def pair_matches(self, row_a: Row, row_b: Row) -> bool:
+        """Are the two tuples similar on every LHS clause?"""
+        return all(clause.similarity(row_a[clause.attribute],
+                                     row_b[clause.attribute])
+                   for clause in self.clauses)
+
+    def pair_violates(self, row_a: Row, row_b: Row) -> bool:
+        """Matched on the LHS but differing on some RHS attribute."""
+        return self.pair_matches(row_a, row_b) and any(
+            row_a[attr] != row_b[attr] for attr in self.identify)
+
+    def __repr__(self) -> str:
+        lhs = ", ".join("%s~%s" % (c.attribute, c.similarity.__name__)
+                        for c in self.clauses)
+        return "MD([%s] => identify %s)" % (lhs, ",".join(self.identify))
+
+
+def _blocks(table: Table, md: MD,
+            block_key: Optional[Callable[[Row], str]]) -> Iterable[List[int]]:
+    if block_key is None:
+        yield list(range(len(table)))
+        return
+    grouped: Dict[str, List[int]] = {}
+    for i, row in enumerate(table):
+        grouped.setdefault(block_key(row), []).append(i)
+    for indices in grouped.values():
+        if len(indices) >= 2:
+            yield indices
+
+
+def find_md_matches(table: Table, md: MD,
+                    block_key: Optional[Callable[[Row], str]] = None
+                    ) -> List[Tuple[int, int]]:
+    """All row pairs matched by *md* (LHS-similar), as sorted pairs.
+
+    *block_key* maps a row to a blocking bucket; only pairs within a
+    bucket are compared — the standard trick to avoid the full O(n²)
+    scan when a cheap key (e.g. a name prefix) is available.  A pair
+    split across buckets is never found, so pick keys coarser than the
+    similarity predicates.
+    """
+    md.validate(table)
+    matches: List[Tuple[int, int]] = []
+    for indices in _blocks(table, md, block_key):
+        for a_pos in range(len(indices)):
+            for b_pos in range(a_pos + 1, len(indices)):
+                i, j = indices[a_pos], indices[b_pos]
+                if md.pair_matches(table[i], table[j]):
+                    matches.append((i, j))
+    matches.sort()
+    return matches
+
+
+def md_violations(table: Table, md: MD,
+                  block_key: Optional[Callable[[Row], str]] = None
+                  ) -> List[Tuple[int, int]]:
+    """Matched pairs whose identify-attributes differ."""
+    return [(i, j) for i, j in find_md_matches(table, md, block_key)
+            if any(table[i][attr] != table[j][attr]
+                   for attr in md.identify)]
+
+
+def enforce_md(table: Table, md: MD,
+               block_key: Optional[Callable[[Row], str]] = None
+               ) -> Tuple[Table, List[Tuple[int, str]]]:
+    """One enforcement round: identify RHS values in matched clusters.
+
+    Matched pairs are closed into clusters (union-find); each cluster's
+    identify-attributes take the cluster majority value (deterministic
+    tie-break).  Returns the new table and the changed cells.
+
+    Note this is *one* round: making values equal can create new
+    matches for other MDs; callers needing a fixpoint should iterate —
+    termination is guaranteed because changed cells only move toward
+    majority values within fixed clusters.
+    """
+    from ..baselines.equivalence import CellPartition
+    matches = find_md_matches(table, md, block_key)
+    partition = CellPartition()
+    for i, j in matches:
+        partition.union((i, "__row__"), (j, "__row__"))
+    working = table.copy()
+    changed: List[Tuple[int, str]] = []
+    for members in partition.classes().values():
+        rows = sorted(index for index, _ in members)
+        if len(rows) < 2:
+            continue
+        for attr in md.identify:
+            counts: Dict[str, int] = {}
+            for i in rows:
+                value = working[i][attr]
+                counts[value] = counts.get(value, 0) + 1
+            majority = max(sorted(counts), key=lambda v: counts[v])
+            for i in rows:
+                if working[i][attr] != majority:
+                    working.set_cell(i, attr, majority)
+                    changed.append((i, attr))
+    return working, sorted(changed)
+
+
+def mds_consistent(mds: Sequence[MD]) -> bool:
+    """Any set of MDs is consistent [Fan et al. 2009] — the trivial
+    counterpart of the fixing-rule PTIME analysis (Section 4.2)."""
+    return True

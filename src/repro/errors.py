@@ -1,0 +1,61 @@
+"""Exception hierarchy shared across the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  The subclasses
+mirror the major subsystems: schema/table problems, rule-definition
+problems, and rule-set problems (inconsistency detected at repair time).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or an attribute reference does not resolve."""
+
+
+class TableError(ReproError):
+    """A table operation received rows inconsistent with its schema."""
+
+
+class RuleError(ReproError):
+    """A fixing rule violates the syntactic well-formedness conditions.
+
+    The conditions come from Section 3.1 of the paper: ``B`` must not be
+    in ``X``, the negative patterns must be non-empty, and the fact must
+    not itself be a negative pattern.
+    """
+
+
+class InconsistentRulesError(ReproError):
+    """A rule set required to be consistent was found to be inconsistent.
+
+    Carries the offending pair so callers can feed it to the resolution
+    workflow (Section 5.3).
+    """
+
+    def __init__(self, message, conflicts=None):
+        super().__init__(message)
+        #: list of :class:`repro.core.consistency.Conflict` instances
+        self.conflicts = list(conflicts or [])
+
+
+class BudgetExceededError(ReproError):
+    """A decision procedure exceeded its enumeration budget.
+
+    The implication problem is coNP-complete in general (Theorem 2);
+    the small-model checker enumerates candidate tuples and refuses to
+    run past a caller-supplied budget rather than silently taking
+    exponential time.
+    """
+
+
+class DependencyError(ReproError):
+    """A functional dependency or CFD is malformed for its schema."""
+
+
+class SerializationError(ReproError):
+    """Rule or table (de)serialization failed."""

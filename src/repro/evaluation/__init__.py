@@ -1,0 +1,33 @@
+"""Evaluation: the paper's precision/recall metrics and the experiment
+harness backing the benchmark suite."""
+
+from .metrics import CellOutcome, RepairQuality, cell_outcomes, evaluate_repair
+from .report import experiment_report, run_experiment
+from .trials import MetricStats, TrialSummary, run_trials
+from .experiment import (MethodResult, PreparedExperiment, Workload,
+                         build_workload, format_series, prepare,
+                         run_all_methods, run_csm, run_editing,
+                         run_fixing_rules, run_heu)
+
+__all__ = [
+    "RepairQuality",
+    "CellOutcome",
+    "evaluate_repair",
+    "cell_outcomes",
+    "Workload",
+    "build_workload",
+    "PreparedExperiment",
+    "prepare",
+    "MethodResult",
+    "run_fixing_rules",
+    "run_heu",
+    "run_csm",
+    "run_editing",
+    "run_all_methods",
+    "format_series",
+    "experiment_report",
+    "run_experiment",
+    "MetricStats",
+    "TrialSummary",
+    "run_trials",
+]

@@ -1,0 +1,159 @@
+"""Experiment harness shared by the benchmark suite.
+
+One :class:`PreparedExperiment` bundles everything a Section 7 run
+needs — clean table, dirty table, injected-error ledger, generated rule
+set — and the ``run_*`` helpers execute each competing method on it,
+returning (quality, wall-clock seconds).  The benchmark files under
+``benchmarks/`` drive parameter sweeps over these helpers and print the
+paper's figure series.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence
+
+from ..baselines import (EditingRule, apply_editing_rules, csm_repair,
+                         heu_repair)
+from ..core import RuleSet, repair_table
+from ..datagen import (NoiseReport, constraint_attributes, generate_hosp,
+                       generate_uis, hosp_fds, inject_noise, uis_fds)
+from ..dependencies import FD
+from ..relational import Table
+from ..rulegen import generate_rules
+from .metrics import RepairQuality, evaluate_repair
+
+
+class Workload(NamedTuple):
+    """A named clean dataset plus its constraints."""
+
+    name: str
+    clean: Table
+    fds: List[FD]
+
+
+def build_workload(dataset: str, rows: int, seed: int = 7) -> Workload:
+    """Construct the ``hosp`` or ``uis`` workload at a given scale."""
+    if dataset == "hosp":
+        return Workload("hosp", generate_hosp(rows=rows, seed=seed),
+                        hosp_fds())
+    if dataset == "uis":
+        return Workload("uis", generate_uis(rows=rows, seed=seed),
+                        uis_fds())
+    raise ValueError("dataset must be 'hosp' or 'uis', got %r" % dataset)
+
+
+class PreparedExperiment(NamedTuple):
+    """Everything one accuracy/efficiency run needs."""
+
+    workload: Workload
+    noise: NoiseReport
+    rules: RuleSet
+
+    @property
+    def clean(self) -> Table:
+        return self.workload.clean
+
+    @property
+    def dirty(self) -> Table:
+        return self.noise.table
+
+
+def prepare(workload: Workload, noise_rate: float = 0.10,
+            typo_ratio: float = 0.5, noise_seed: int = 0,
+            max_rules: Optional[int] = None,
+            enrichment_per_rule: int = 0,
+            rule_seed: int = 0) -> PreparedExperiment:
+    """Inject noise into the workload and generate a consistent Σ.
+
+    Mirrors the Section 7.1 protocol: noise restricted to FD-covered
+    attributes; rules seeded from the violations and optionally
+    enriched.
+    """
+    attrs = constraint_attributes(workload.fds)
+    noise = inject_noise(workload.clean, attrs, noise_rate=noise_rate,
+                         typo_ratio=typo_ratio, seed=noise_seed)
+    rules = generate_rules(workload.clean, noise.table, workload.fds,
+                           max_rules=max_rules,
+                           enrichment_per_rule=enrichment_per_rule,
+                           seed=rule_seed)
+    return PreparedExperiment(workload, noise, rules)
+
+
+class MethodResult(NamedTuple):
+    """One method's outcome on one prepared experiment."""
+
+    method: str
+    quality: RepairQuality
+    seconds: float
+    repaired: Table
+
+
+def _timed(fn: Callable[[], Table]) -> tuple:
+    start = time.perf_counter()
+    repaired = fn()
+    return repaired, time.perf_counter() - start
+
+
+def run_fixing_rules(prep: PreparedExperiment,
+                     algorithm: str = "fast") -> MethodResult:
+    """Repair with Σ using lRepair (``fast``) or cRepair (``chase``)."""
+    repaired, seconds = _timed(
+        lambda: repair_table(prep.dirty, prep.rules,
+                             algorithm=algorithm).table)
+    quality = evaluate_repair(prep.clean, prep.dirty, repaired)
+    return MethodResult("Fix(%s)" % algorithm, quality, seconds, repaired)
+
+
+def run_heu(prep: PreparedExperiment) -> MethodResult:
+    """The cost-based heuristic baseline."""
+    repaired, seconds = _timed(
+        lambda: heu_repair(prep.dirty, prep.workload.fds).table)
+    quality = evaluate_repair(prep.clean, prep.dirty, repaired)
+    return MethodResult("Heu", quality, seconds, repaired)
+
+
+def run_csm(prep: PreparedExperiment, seed: int = 0) -> MethodResult:
+    """The cardinality-set-minimal sampling baseline."""
+    repaired, seconds = _timed(
+        lambda: csm_repair(prep.dirty, prep.workload.fds, seed=seed).table)
+    quality = evaluate_repair(prep.clean, prep.dirty, repaired)
+    return MethodResult("Csm", quality, seconds, repaired)
+
+
+def run_editing(prep: PreparedExperiment) -> MethodResult:
+    """Automated editing rules derived from Σ (negatives dropped)."""
+    editing_rules = [EditingRule.from_fixing_rule(rule)
+                     for rule in prep.rules]
+    repaired, seconds = _timed(
+        lambda: apply_editing_rules(prep.dirty, editing_rules).table)
+    quality = evaluate_repair(prep.clean, prep.dirty, repaired)
+    return MethodResult("Edit", quality, seconds, repaired)
+
+
+def run_all_methods(prep: PreparedExperiment,
+                    csm_seed: int = 0) -> Dict[str, MethodResult]:
+    """Fix (fast), Heu and Csm on one prepared experiment."""
+    return {
+        "Fix": run_fixing_rules(prep),
+        "Heu": run_heu(prep),
+        "Csm": run_csm(prep, seed=csm_seed),
+    }
+
+
+def format_series(title: str, xlabel: str, xs: Sequence,
+                  series: Dict[str, Sequence[float]]) -> str:
+    """Fixed-width table for a figure's data series, ready to print."""
+    lines = [title]
+    header = [xlabel.ljust(14)] + [name.rjust(12) for name in series]
+    lines.append(" ".join(header))
+    for i, x in enumerate(xs):
+        cells = [str(x).ljust(14)]
+        for name in series:
+            value = series[name][i]
+            if isinstance(value, float):
+                cells.append(("%.3f" % value).rjust(12))
+            else:
+                cells.append(str(value).rjust(12))
+        lines.append(" ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,190 @@
+"""Figure-series computation for the Section 7 experiments.
+
+Each function computes the data series behind one paper figure or
+table, parameterized by scale, and returns plain Python structures.
+The benchmark suite (``benchmarks/bench_fig*.py``) calls these and
+asserts the qualitative shapes; ``examples/regenerate_results.py``
+calls them and writes CSV files.  Keeping the sweeps here means the
+shapes users plot are produced by library code, not test scaffolding.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import Counter
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core import (FixingRule, RuleSet, find_conflicts,
+                    is_consistent_characterize, is_consistent_enumerate,
+                    repair_table)
+from ..rulegen import negatives_budget_sweep
+from .experiment import (MethodResult, PreparedExperiment, Workload, prepare,
+                         run_all_methods, run_editing, run_fixing_rules)
+from .metrics import evaluate_repair
+
+
+def _time_once(fn: Callable[[], object]) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+# ---------------------------------------------------------------------------
+# Exp-1 / Fig. 9 — consistency-check timing
+# ---------------------------------------------------------------------------
+
+def seed_conflict(rules: RuleSet, position: int) -> RuleSet:
+    """Insert a rule conflicting with ``rules[position]`` right after
+    it — the paper's "real case" protocol (a dirty rule hiding in Σ)."""
+    victim = rules[position]
+    clash = FixingRule(victim.evidence, victim.attribute, victim.negatives,
+                       "\x00conflicting-fact", name="seeded-clash")
+    spiked = rules.rules()
+    spiked.insert(position + 1, clash)
+    return RuleSet(rules.schema, spiked)
+
+
+def real_case_times(rules: RuleSet, method: str, cases: int = 10,
+                    seed: int = 13) -> List[float]:
+    """Early-exit check times over *cases* random seeded conflicts."""
+    rng = random.Random(seed)
+    times = []
+    for _ in range(cases):
+        position = rng.randrange(max(1, len(rules) - 1))
+        spiked = seed_conflict(rules, position)
+        times.append(_time_once(
+            lambda: find_conflicts(spiked, method=method,
+                                   first_only=True)))
+    return times
+
+
+def consistency_timing(rules: RuleSet, sizes: Sequence[int], method: str,
+                       cases: int = 10) -> Tuple[List[float], List[float]]:
+    """(worst-case, mean-real-case) check times per |Σ| in *sizes*."""
+    worst, real_mean = [], []
+    for size in sizes:
+        sub = rules.subset(size)
+        if method == "characterize":
+            worst.append(_time_once(
+                lambda: is_consistent_characterize(sub)))
+        elif method == "enumerate":
+            worst.append(_time_once(lambda: is_consistent_enumerate(sub)))
+        else:
+            raise ValueError("method must be 'characterize' or "
+                             "'enumerate', got %r" % method)
+        reals = real_case_times(sub, method, cases=cases)
+        real_mean.append(sum(reals) / len(reals))
+    return worst, real_mean
+
+
+# ---------------------------------------------------------------------------
+# Exp-2(a) / Fig. 10(a,b,e,f) — accuracy vs typo percentage
+# ---------------------------------------------------------------------------
+
+def accuracy_typo_sweep(workload: Workload, cap: Optional[int],
+                        typo_values: Sequence[float],
+                        noise_rate: float = 0.10,
+                        enrichment_per_rule: int = 3
+                        ) -> Tuple[Dict[str, List[float]],
+                                   Dict[str, List[float]]]:
+    """Per-method precision and recall across a typo-ratio sweep."""
+    precision: Dict[str, List[float]] = {"Fix": [], "Heu": [], "Csm": []}
+    recall: Dict[str, List[float]] = {"Fix": [], "Heu": [], "Csm": []}
+    for typo in typo_values:
+        prep = prepare(workload, noise_rate=noise_rate, typo_ratio=typo,
+                       max_rules=cap,
+                       enrichment_per_rule=enrichment_per_rule)
+        for name, result in run_all_methods(prep).items():
+            precision[name].append(result.quality.precision)
+            recall[name].append(result.quality.recall)
+    return precision, recall
+
+
+# ---------------------------------------------------------------------------
+# Exp-2(b) / Fig. 10(c,d,g,h) — accuracy vs |Σ|
+# ---------------------------------------------------------------------------
+
+def accuracy_rule_sweep(workload: Workload, caps: Sequence[int],
+                        noise_rate: float = 0.10,
+                        typo_ratio: float = 0.5,
+                        enrichment_per_rule: int = 3
+                        ) -> Tuple[PreparedExperiment, List[float],
+                                   List[float]]:
+    """Fix precision/recall per |Σ| cap (Heu/Csm are rule-independent);
+    returns the full prepared experiment for reuse."""
+    full = prepare(workload, noise_rate=noise_rate, typo_ratio=typo_ratio,
+                   enrichment_per_rule=enrichment_per_rule)
+    precision, recall = [], []
+    for cap in caps:
+        capped = full._replace(rules=full.rules.subset(cap))
+        result = run_fixing_rules(capped)
+        precision.append(result.quality.precision)
+        recall.append(result.quality.recall)
+    return full, precision, recall
+
+
+# ---------------------------------------------------------------------------
+# Exp-2(c) / Fig. 11 — negative patterns
+# ---------------------------------------------------------------------------
+
+def negative_pattern_distribution(rules: RuleSet) -> Counter:
+    """#rules per negative-pattern count (Fig. 11(a))."""
+    return Counter(len(rule.negatives) for rule in rules)
+
+
+def negatives_budget_series(prep: PreparedExperiment,
+                            fractions: Sequence[float]
+                            ) -> Tuple[List[int], List[float],
+                                       List[float]]:
+    """Accuracy at each total-negative-pattern budget (Fig. 11(b))."""
+    total = sum(len(rule.negatives) for rule in prep.rules)
+    budgets = [int(total * fraction) for fraction in fractions]
+    precision, recall = [], []
+    for budget in budgets:
+        trimmed = negatives_budget_sweep(prep.rules, budget)
+        repaired = repair_table(prep.dirty, trimmed).table
+        quality = evaluate_repair(prep.clean, prep.dirty, repaired)
+        precision.append(quality.precision)
+        recall.append(quality.recall)
+    return budgets, precision, recall
+
+
+# ---------------------------------------------------------------------------
+# Exp-2(d) / Fig. 12 — editing-rule comparison
+# ---------------------------------------------------------------------------
+
+def corrections_per_rule(prep: PreparedExperiment) -> List[int]:
+    """Per-rule correction counts, descending (Fig. 12(a))."""
+    report = repair_table(prep.dirty, prep.rules)
+    return sorted(report.applications_by_rule().values(), reverse=True)
+
+
+def fix_vs_edit(prep: PreparedExperiment) -> Dict[str, MethodResult]:
+    """Fix and automated-Edit results on one experiment (Fig. 12(b))."""
+    return {"Fix": run_fixing_rules(prep), "Edit": run_editing(prep)}
+
+
+# ---------------------------------------------------------------------------
+# Exp-3 / Fig. 13 + runtime table — repair timing
+# ---------------------------------------------------------------------------
+
+def repair_timing(prep: PreparedExperiment, sizes: Sequence[int]
+                  ) -> Tuple[List[float], List[float]]:
+    """(cRepair, lRepair) wall times per |Σ| in *sizes*."""
+    chase_times, fast_times = [], []
+    for size in sizes:
+        rules = prep.rules.subset(size)
+        chase_times.append(_time_once(
+            lambda: repair_table(prep.dirty, rules, algorithm="chase")))
+        fast_times.append(_time_once(
+            lambda: repair_table(prep.dirty, rules, algorithm="fast")))
+    return chase_times, fast_times
+
+
+def runtime_table(prep: PreparedExperiment,
+                  csm_seed: int = 0) -> Dict[str, float]:
+    """Wall time per method (the Exp-3 table)."""
+    return {name: result.seconds
+            for name, result in run_all_methods(prep,
+                                                csm_seed=csm_seed).items()}

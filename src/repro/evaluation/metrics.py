@@ -1,0 +1,138 @@
+"""Repair-quality metrics (Section 7.1, "Measuring quality").
+
+The paper's definitions, verbatim:
+
+* **precision** — "the ratio of corrected attribute values to the
+  number of all the attributes that are updated";
+* **recall** — "the ratio of corrected attribute values to the number
+  of all erroneous attribute values".
+
+A *corrected* cell is one that the repair changed and whose repaired
+value equals the ground truth.  Cells are compared positionally
+between three aligned tables: clean (ground truth), dirty (input), and
+repaired (output).
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Tuple
+
+from ..relational import Table
+
+Cell = Tuple[int, str]
+
+
+class RepairQuality(NamedTuple):
+    """Cell-level accounting of one repair run."""
+
+    #: Cells changed by the repair and now matching ground truth.
+    corrected: int
+    #: Cells changed by the repair (correctly or not).
+    updated: int
+    #: Cells that were erroneous in the dirty table.
+    erroneous: int
+    #: Changed cells whose new value is still wrong.
+    miscorrected: int
+
+    @property
+    def precision(self) -> float:
+        """corrected / updated; 1.0 when nothing was updated.
+
+        The vacuous case follows the usual convention: a repair that
+        makes no changes makes no *wrong* changes.
+        """
+        if self.updated == 0:
+            return 1.0
+        return self.corrected / self.updated
+
+    @property
+    def recall(self) -> float:
+        """corrected / erroneous; 1.0 when there were no errors."""
+        if self.erroneous == 0:
+            return 1.0
+        return self.corrected / self.erroneous
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        if p + r == 0:
+            return 0.0
+        return 2 * p * r / (p + r)
+
+    def summary(self) -> str:
+        return ("precision=%.3f recall=%.3f f1=%.3f "
+                "(corrected=%d updated=%d erroneous=%d)"
+                % (self.precision, self.recall, self.f1, self.corrected,
+                   self.updated, self.erroneous))
+
+
+def _check_aligned(clean: Table, dirty: Table, repaired: Table) -> None:
+    if not (clean.schema == dirty.schema == repaired.schema):
+        raise ValueError("clean, dirty and repaired tables must share a "
+                         "schema")
+    if not (len(clean) == len(dirty) == len(repaired)):
+        raise ValueError(
+            "tables must be positionally aligned: %d / %d / %d rows"
+            % (len(clean), len(dirty), len(repaired)))
+
+
+def evaluate_repair(clean: Table, dirty: Table,
+                    repaired: Table) -> RepairQuality:
+    """Score *repaired* against ground truth.
+
+    ``erroneous`` counts dirty cells differing from clean; ``updated``
+    counts repaired cells differing from dirty; ``corrected`` counts
+    updated cells now equal to clean.
+    """
+    _check_aligned(clean, dirty, repaired)
+    erroneous = len(clean.diff_cells(dirty))
+    corrected = 0
+    miscorrected = 0
+    updated_cells = dirty.diff_cells(repaired)
+    for row, attr in updated_cells:
+        if repaired[row][attr] == clean[row][attr]:
+            corrected += 1
+        else:
+            miscorrected += 1
+    return RepairQuality(corrected=corrected, updated=len(updated_cells),
+                         erroneous=erroneous, miscorrected=miscorrected)
+
+
+class CellOutcome(NamedTuple):
+    """Per-cell classification of a repair, for error analysis."""
+
+    cell: Cell
+    dirty_value: str
+    repaired_value: str
+    clean_value: str
+    outcome: str  # "corrected" | "miscorrected" | "missed" | "broken"
+
+
+def cell_outcomes(clean: Table, dirty: Table,
+                  repaired: Table) -> List[CellOutcome]:
+    """Classify every interesting cell of a repair run.
+
+    * ``corrected`` — was wrong, now right;
+    * ``miscorrected`` — was wrong, changed, still wrong;
+    * ``missed`` — was wrong, untouched;
+    * ``broken`` — was right, changed (necessarily now wrong).
+    """
+    _check_aligned(clean, dirty, repaired)
+    outcomes: List[CellOutcome] = []
+    error_cells = set(clean.diff_cells(dirty))
+    updated_cells = set(dirty.diff_cells(repaired))
+    for cell in sorted(error_cells | updated_cells):
+        row, attr = cell
+        dirty_v = dirty[row][attr]
+        repaired_v = repaired[row][attr]
+        clean_v = clean[row][attr]
+        if cell in error_cells and cell in updated_cells:
+            outcome = ("corrected" if repaired_v == clean_v
+                       else "miscorrected")
+        elif cell in error_cells:
+            outcome = "missed"
+        else:
+            outcome = "broken"
+        outcomes.append(CellOutcome(cell, dirty_v, repaired_v, clean_v,
+                                    outcome))
+    return outcomes

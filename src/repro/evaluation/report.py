@@ -1,0 +1,107 @@
+"""Markdown experiment reports.
+
+Turns one prepared experiment plus its method results into a
+self-contained markdown document: setup parameters, the
+precision/recall table, per-rule top corrections, and a sample of
+cell-level outcomes.  Used by ``repro experiment`` on the command line
+and handy for pasting into issue trackers when evaluating rule sets on
+new data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core import repair_table
+from .experiment import (MethodResult, PreparedExperiment, build_workload,
+                         prepare, run_all_methods)
+from .metrics import cell_outcomes
+
+
+def experiment_report(prep: PreparedExperiment,
+                      results: Dict[str, MethodResult],
+                      title: str = "Repair experiment") -> str:
+    """Render one experiment as markdown."""
+    lines: List[str] = ["# %s" % title, ""]
+    lines.append("## Setup")
+    lines.append("")
+    lines.append("| parameter | value |")
+    lines.append("|---|---|")
+    lines.append("| dataset | %s |" % prep.workload.name)
+    lines.append("| rows | %d |" % len(prep.clean))
+    lines.append("| injected errors | %d |" % len(prep.noise.errors))
+    typos = sum(1 for e in prep.noise.errors if e.kind == "typo")
+    lines.append("| typos / active-domain | %d / %d |"
+                 % (typos, len(prep.noise.errors) - typos))
+    lines.append("| rules (size(Sigma)) | %d (%d) |"
+                 % (len(prep.rules), prep.rules.size()))
+    lines.append("")
+
+    lines.append("## Results")
+    lines.append("")
+    lines.append("| method | precision | recall | f1 | updated | seconds |")
+    lines.append("|---|---|---|---|---|---|")
+    for name in sorted(results):
+        result = results[name]
+        quality = result.quality
+        lines.append("| %s | %.3f | %.3f | %.3f | %d | %.3f |"
+                     % (name, quality.precision, quality.recall,
+                        quality.f1, quality.updated, result.seconds))
+    lines.append("")
+
+    fix = results.get("Fix")
+    if fix is not None:
+        report = repair_table(prep.dirty, prep.rules)
+        by_rule = sorted(report.applications_by_rule().items(),
+                         key=lambda item: (-item[1], item[0]))
+        lines.append("## Busiest fixing rules")
+        lines.append("")
+        lines.append("| rule | corrections |")
+        lines.append("|---|---|")
+        for name, count in by_rule[:10]:
+            lines.append("| %s | %d |" % (name, count))
+        lines.append("")
+
+        outcomes = cell_outcomes(prep.clean, prep.dirty, fix.repaired)
+        interesting = [o for o in outcomes
+                       if o.outcome in ("miscorrected", "broken")]
+        lines.append("## Fix outcome mix")
+        lines.append("")
+        tally: Dict[str, int] = {}
+        for outcome in outcomes:
+            tally[outcome.outcome] = tally.get(outcome.outcome, 0) + 1
+        lines.append("| outcome | cells |")
+        lines.append("|---|---|")
+        for key in ("corrected", "missed", "miscorrected", "broken"):
+            lines.append("| %s | %d |" % (key, tally.get(key, 0)))
+        lines.append("")
+        if interesting:
+            lines.append("### Sample wrong repairs (for rule review)")
+            lines.append("")
+            for outcome in interesting[:5]:
+                row, attr = outcome.cell
+                lines.append("- row %d `%s`: %r -> %r (truth %r)"
+                             % (row, attr, outcome.dirty_value,
+                                outcome.repaired_value,
+                                outcome.clean_value))
+            lines.append("")
+    return "\n".join(lines)
+
+
+def run_experiment(dataset: str, rows: int = 1000,
+                   noise_rate: float = 0.10, typo_ratio: float = 0.5,
+                   max_rules: Optional[int] = None,
+                   enrichment_per_rule: int = 3, seed: int = 7) -> str:
+    """Generate, corrupt, repair with all methods, and report.
+
+    The one-call version of the Section 7 protocol; returns markdown.
+    """
+    workload = build_workload(dataset, rows=rows, seed=seed)
+    prep = prepare(workload, noise_rate=noise_rate,
+                   typo_ratio=typo_ratio, max_rules=max_rules,
+                   enrichment_per_rule=enrichment_per_rule)
+    results = run_all_methods(prep)
+    title = ("Repair experiment: %s, %d rows, %d%% noise, %d%% typos"
+             % (dataset, rows, round(noise_rate * 100),
+                round(typo_ratio * 100)))
+    return experiment_report(prep, results, title=title)

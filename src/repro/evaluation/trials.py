@@ -1,0 +1,80 @@
+"""Multi-seed trial aggregation.
+
+Single-run precision/recall numbers carry sampling noise from the
+noise injector and the Csm sampler.  :func:`run_trials` repeats the
+full Section 7 protocol across seeds and aggregates mean and standard
+deviation per method — what a paper (or a regression gate) should
+actually report.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, NamedTuple, Optional, Sequence
+
+from .experiment import Workload, prepare, run_all_methods
+
+
+class MetricStats(NamedTuple):
+    """Mean and (population) standard deviation of one metric."""
+
+    mean: float
+    std: float
+    values: List[float]
+
+    def __str__(self) -> str:
+        return "%.3f ± %.3f" % (self.mean, self.std)
+
+
+class TrialSummary(NamedTuple):
+    """Aggregated precision/recall per method across seeds."""
+
+    precision: Dict[str, MetricStats]
+    recall: Dict[str, MetricStats]
+    seeds: List[int]
+
+    def describe(self) -> str:
+        lines = ["%-6s %-16s %-16s" % ("method", "precision", "recall")]
+        for name in sorted(self.precision):
+            lines.append("%-6s %-16s %-16s"
+                         % (name, self.precision[name],
+                            self.recall[name]))
+        return "\n".join(lines)
+
+
+def _stats(values: Sequence[float]) -> MetricStats:
+    values = list(values)
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return MetricStats(mean, math.sqrt(variance), values)
+
+
+def run_trials(workload: Workload, seeds: Sequence[int],
+               noise_rate: float = 0.10, typo_ratio: float = 0.5,
+               max_rules: Optional[int] = None,
+               enrichment_per_rule: int = 3) -> TrialSummary:
+    """Run the full protocol once per seed and aggregate.
+
+    Each seed drives both the noise injection and the Csm sampler, so
+    trials are fully independent repetitions.  Rules are regenerated
+    per trial (they depend on the injected violations).
+    """
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    precision: Dict[str, List[float]] = {}
+    recall: Dict[str, List[float]] = {}
+    for seed in seeds:
+        prep = prepare(workload, noise_rate=noise_rate,
+                       typo_ratio=typo_ratio, noise_seed=seed,
+                       max_rules=max_rules,
+                       enrichment_per_rule=enrichment_per_rule,
+                       rule_seed=seed)
+        for name, result in run_all_methods(prep, csm_seed=seed).items():
+            precision.setdefault(name, []).append(
+                result.quality.precision)
+            recall.setdefault(name, []).append(result.quality.recall)
+    return TrialSummary(
+        precision={name: _stats(values)
+                   for name, values in precision.items()},
+        recall={name: _stats(values) for name, values in recall.items()},
+        seeds=list(seeds))

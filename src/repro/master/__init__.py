@@ -1,0 +1,5 @@
+"""Master (reference) data support."""
+
+from .master_data import MasterTable, master_from_pairs
+
+__all__ = ["MasterTable", "master_from_pairs"]

@@ -1,0 +1,26 @@
+"""Minimal in-memory relational engine used as the substrate.
+
+Public surface: :class:`Schema`, :class:`Attribute`, :class:`Row`,
+:class:`Table`, and CSV/JSON I/O helpers.
+"""
+
+from .schema import Attribute, Schema, attrs_of
+from .row import Row
+from .table import Cell, Table
+from .csvio import (iter_csv_rows, read_csv, read_csv_text, read_json,
+                    write_csv, write_json)
+
+__all__ = [
+    "Attribute",
+    "Schema",
+    "attrs_of",
+    "Row",
+    "Table",
+    "Cell",
+    "read_csv",
+    "iter_csv_rows",
+    "read_csv_text",
+    "read_json",
+    "write_csv",
+    "write_json",
+]

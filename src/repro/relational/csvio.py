@@ -1,0 +1,142 @@
+"""CSV and JSON serialization for tables.
+
+The CLI and the examples exchange data as CSV files with a header row.
+Values are always read back as strings, matching the engine's storage
+model.  JSON round-tripping is provided for test fixtures.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from ..errors import SerializationError, TableError
+from .schema import Schema
+from .table import Table
+
+PathLike = Union[str, Path]
+
+
+def write_csv(table: Table, path: PathLike) -> None:
+    """Write *table* to *path* as a header-first CSV file."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.schema.attribute_names)
+        for row in table:
+            writer.writerow(row.values)
+
+
+def read_csv(path: PathLike, schema: Optional[Schema] = None,
+             schema_name: str = "csv") -> Table:
+    """Read a CSV file with a header row into a :class:`Table`.
+
+    If *schema* is given, the header must list exactly its attributes
+    (in any order; columns are re-ordered to schema order).  Otherwise a
+    fresh open-domain schema named *schema_name* is derived from the
+    header.
+    """
+    with open(path, newline="", encoding="utf-8") as handle:
+        return _read_csv_stream(handle, schema, schema_name, str(path))
+
+
+def read_csv_text(text: str, schema: Optional[Schema] = None,
+                  schema_name: str = "csv") -> Table:
+    """Like :func:`read_csv` but from an in-memory string."""
+    return _read_csv_stream(io.StringIO(text), schema, schema_name,
+                            "<string>")
+
+
+def _read_csv_stream(handle, schema: Optional[Schema], schema_name: str,
+                     source: str) -> Table:
+    reader = csv.reader(handle)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise SerializationError("CSV %s is empty (no header row)"
+                                 % source) from None
+    if schema is None:
+        schema = Schema(schema_name, header)
+        positions = list(range(len(header)))
+    else:
+        if set(header) != set(schema.attribute_names):
+            raise SerializationError(
+                "CSV %s header %r does not match schema attributes %r"
+                % (source, header, list(schema.attribute_names)))
+        positions = [header.index(name)
+                     for name in schema.attribute_names]
+    table = Table(schema)
+    for line_no, record in enumerate(reader, start=2):
+        if not record:
+            continue  # tolerate blank lines
+        if len(record) != len(header):
+            raise SerializationError(
+                "CSV %s line %d has %d fields, expected %d"
+                % (source, line_no, len(record), len(header)))
+        try:
+            table.append([record[p] for p in positions])
+        except TableError as exc:
+            raise SerializationError("CSV %s line %d: %s"
+                                     % (source, line_no, exc)) from exc
+    return table
+
+
+def iter_csv_rows(path: PathLike, schema: Schema):
+    """Stream a CSV file as :class:`~repro.relational.row.Row` objects.
+
+    Unlike :func:`read_csv`, the file is never materialized as a
+    :class:`Table` — constant memory regardless of file size.  The
+    header must match *schema* (columns are re-ordered).  Used by the
+    streaming repair path (``repro.core.stream.repair_csv_file``).
+    """
+    from .row import Row
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SerializationError("CSV %s is empty (no header row)"
+                                     % path) from None
+        if set(header) != set(schema.attribute_names):
+            raise SerializationError(
+                "CSV %s header %r does not match schema attributes %r"
+                % (path, header, list(schema.attribute_names)))
+        positions = [header.index(name)
+                     for name in schema.attribute_names]
+        for line_no, record in enumerate(reader, start=2):
+            if not record:
+                continue
+            if len(record) != len(header):
+                raise SerializationError(
+                    "CSV %s line %d has %d fields, expected %d"
+                    % (path, line_no, len(record), len(header)))
+            yield Row(schema, [record[p] for p in positions])
+
+
+def write_json(table: Table, path: PathLike) -> None:
+    """Write *table* as ``{"schema": ..., "rows": [...]}`` JSON."""
+    payload = {
+        "schema": {
+            "name": table.schema.name,
+            "attributes": list(table.schema.attribute_names),
+        },
+        "rows": [list(row.values) for row in table],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def read_json(path: PathLike) -> Table:
+    """Read a table previously written by :func:`write_json`."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    try:
+        schema = Schema(payload["schema"]["name"],
+                        payload["schema"]["attributes"])
+        rows = payload["rows"]
+    except (KeyError, TypeError) as exc:
+        raise SerializationError("malformed table JSON in %s: %s"
+                                 % (path, exc)) from exc
+    return Table(schema, rows)

@@ -1,0 +1,129 @@
+"""Row (tuple) objects bound to a schema.
+
+A :class:`Row` is a mutable record of string cell values addressed by
+attribute name.  Mutability matters: the repair algorithms of Section 6
+update cells in place while tracking *assured attributes*; we keep that
+bookkeeping separate (in :class:`repro.core.repair.RepairState`) so rows
+stay a plain data container.
+
+Rows compare by value, support dict-like access (``row["capital"]``),
+projection (``row.project(["country", "capital"])``) and copy-on-write
+style cloning for the chase.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+from ..errors import TableError
+from .schema import Schema
+
+
+class Row:
+    """A tuple of a relation, stored positionally with named access.
+
+    Parameters
+    ----------
+    schema:
+        The :class:`~repro.relational.schema.Schema` this row conforms to.
+    values:
+        Either a sequence of cell values in schema order, or a mapping
+        from attribute name to value (every attribute must be present).
+    """
+
+    __slots__ = ("schema", "_cells")
+
+    def __init__(self, schema: Schema, values):
+        self.schema = schema
+        if isinstance(values, Mapping):
+            try:
+                cells = [values[name] for name in schema.attribute_names]
+            except KeyError as exc:
+                raise TableError("row mapping is missing attribute %s"
+                                 % exc) from None
+        else:
+            cells = list(values)
+            if len(cells) != len(schema):
+                raise TableError(
+                    "row has %d cells but schema %r has %d attributes"
+                    % (len(cells), schema.name, len(schema)))
+        for name, cell in zip(schema.attribute_names, cells):
+            if not isinstance(cell, str):
+                raise TableError(
+                    "cell %s=%r is not a string; the engine stores all "
+                    "values as strings" % (name, cell))
+        self._cells: List[str] = cells
+
+    # -- access ------------------------------------------------------------
+
+    def __getitem__(self, attr: str) -> str:
+        return self._cells[self.schema.index_of(attr)]
+
+    def __setitem__(self, attr: str, value: str) -> None:
+        if not isinstance(value, str):
+            raise TableError("cell %s=%r is not a string" % (attr, value))
+        self._cells[self.schema.index_of(attr)] = value
+
+    def get(self, attr: str, default: str = "") -> str:
+        """Like ``dict.get`` over attribute names."""
+        if attr in self.schema:
+            return self[attr]
+        return default
+
+    @property
+    def values(self) -> Tuple[str, ...]:
+        """Cell values in schema order, as an immutable tuple."""
+        return tuple(self._cells)
+
+    def project(self, attrs: Sequence[str]) -> Tuple[str, ...]:
+        """``t[X]`` from the paper: the values of *attrs*, in order."""
+        return tuple(self._cells[self.schema.index_of(a)] for a in attrs)
+
+    def as_dict(self) -> Dict[str, str]:
+        """The row as an attribute-name -> value dictionary."""
+        return dict(zip(self.schema.attribute_names, self._cells))
+
+    def items(self) -> Iterator[Tuple[str, str]]:
+        return iter(zip(self.schema.attribute_names, self._cells))
+
+    # -- derivation --------------------------------------------------------
+
+    def copy(self) -> "Row":
+        """An independent copy sharing the schema object."""
+        return Row(self.schema, list(self._cells))
+
+    def with_value(self, attr: str, value: str) -> "Row":
+        """A copy of this row with one cell replaced (non-mutating)."""
+        clone = self.copy()
+        clone[attr] = value
+        return clone
+
+    def agrees_with(self, other: "Row", attrs: Iterable[str]) -> bool:
+        """``t[X] = t'[X]``: do both rows agree on every attr in *attrs*?"""
+        return all(self[a] == other[a] for a in attrs)
+
+    def diff(self, other: "Row") -> List[str]:
+        """Attribute names on which this row and *other* differ."""
+        if other.schema is not self.schema and other.schema != self.schema:
+            raise TableError("cannot diff rows with different schemas")
+        return [name for name, mine, theirs
+                in zip(self.schema.attribute_names, self._cells,
+                       other._cells)
+                if mine != theirs]
+
+    # -- protocol ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Row)
+                and self.schema == other.schema
+                and self._cells == other._cells)
+
+    def __hash__(self):
+        raise TypeError("Row is mutable and unhashable; use row.values")
+
+    def __repr__(self) -> str:
+        pairs = ", ".join("%s=%r" % (n, v) for n, v in self.items())
+        return "Row(%s)" % pairs

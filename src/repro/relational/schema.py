@@ -1,0 +1,200 @@
+"""Relational schema objects.
+
+The paper works over a single relation schema ``R`` with attributes
+``attr(R)`` and per-attribute domains ``dom(A)``.  This module provides
+the corresponding Python objects:
+
+* :class:`Attribute` — a named attribute with an optional declared
+  domain (a finite set of allowed values) and an optional free-form
+  description.
+* :class:`Schema` — an ordered collection of attributes with O(1)
+  name-to-position lookup.
+
+Domains are optional because the experiments in Section 7 operate on
+open string domains (hospital names, street addresses, ...); when a
+domain *is* declared, tables validate inserted values against it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..errors import SchemaError
+
+
+class Attribute:
+    """A single attribute of a relation schema.
+
+    Parameters
+    ----------
+    name:
+        Attribute name; must be a non-empty string, unique within a schema.
+    domain:
+        Optional finite domain.  ``None`` means the domain is open (any
+        string value is admissible), which matches how the paper treats
+        attributes like ``address1``.
+    description:
+        Optional human-readable description, used by ``Schema.describe``.
+    """
+
+    __slots__ = ("name", "domain", "description")
+
+    def __init__(self, name: str, domain: Optional[Iterable[str]] = None,
+                 description: str = ""):
+        if not isinstance(name, str) or not name:
+            raise SchemaError("attribute name must be a non-empty string, "
+                              "got %r" % (name,))
+        self.name = name
+        self.domain: Optional[frozenset] = (
+            frozenset(domain) if domain is not None else None)
+        self.description = description
+
+    def admits(self, value: str) -> bool:
+        """Return ``True`` if *value* belongs to this attribute's domain."""
+        return self.domain is None or value in self.domain
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Attribute)
+                and self.name == other.name
+                and self.domain == other.domain)
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.domain))
+
+    def __repr__(self) -> str:
+        if self.domain is None:
+            return "Attribute(%r)" % self.name
+        return "Attribute(%r, domain=%d values)" % (self.name,
+                                                    len(self.domain))
+
+
+class Schema:
+    """An ordered relation schema: ``R(A1, ..., An)``.
+
+    A schema is immutable once constructed.  Attribute order matters for
+    positional row storage; lookups by name are O(1).
+
+    >>> travel = Schema("Travel", ["name", "country", "capital", "city", "conf"])
+    >>> travel.index_of("capital")
+    2
+    >>> "country" in travel
+    True
+    """
+
+    __slots__ = ("name", "_attributes", "_index")
+
+    def __init__(self, name: str,
+                 attributes: Sequence):
+        if not isinstance(name, str) or not name:
+            raise SchemaError("schema name must be a non-empty string")
+        attrs: List[Attribute] = []
+        for a in attributes:
+            if isinstance(a, Attribute):
+                attrs.append(a)
+            elif isinstance(a, str):
+                attrs.append(Attribute(a))
+            else:
+                raise SchemaError(
+                    "attributes must be Attribute objects or strings, got %r"
+                    % (a,))
+        if not attrs:
+            raise SchemaError("schema %r must have at least one attribute"
+                              % name)
+        index: Dict[str, int] = {}
+        for pos, attr in enumerate(attrs):
+            if attr.name in index:
+                raise SchemaError("duplicate attribute %r in schema %r"
+                                  % (attr.name, name))
+            index[attr.name] = pos
+        self.name = name
+        self._attributes: Tuple[Attribute, ...] = tuple(attrs)
+        self._index = index
+
+    # -- basic protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __contains__(self, attr_name: str) -> bool:
+        return attr_name in self._index
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Schema)
+                and self.name == other.name
+                and self._attributes == other._attributes)
+
+    def __hash__(self) -> int:
+        return hash((self.name, self._attributes))
+
+    def __repr__(self) -> str:
+        return "Schema(%r, [%s])" % (
+            self.name, ", ".join(a.name for a in self._attributes))
+
+    # -- lookups -----------------------------------------------------------
+
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        """Attribute names, in declaration order."""
+        return tuple(a.name for a in self._attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        """Return the :class:`Attribute` called *name*.
+
+        Raises :class:`~repro.errors.SchemaError` if absent.
+        """
+        try:
+            return self._attributes[self._index[name]]
+        except KeyError:
+            raise SchemaError("schema %r has no attribute %r"
+                              % (self.name, name)) from None
+
+    def index_of(self, name: str) -> int:
+        """Return the position of attribute *name* (0-based)."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError("schema %r has no attribute %r"
+                              % (self.name, name)) from None
+
+    def validate_attrs(self, names: Iterable[str]) -> Tuple[str, ...]:
+        """Check every name resolves; return them as a tuple.
+
+        Used by rule and FD constructors so that a bad attribute name
+        fails loudly at definition time rather than at repair time.
+        """
+        resolved = tuple(names)
+        for n in resolved:
+            if n not in self._index:
+                raise SchemaError("schema %r has no attribute %r"
+                                  % (self.name, n))
+        return resolved
+
+    def project_positions(self, names: Sequence[str]) -> Tuple[int, ...]:
+        """Positions of *names*, in the given order."""
+        return tuple(self.index_of(n) for n in names)
+
+    def describe(self) -> str:
+        """A human-readable, multi-line description of the schema."""
+        lines = ["%s(" % self.name]
+        for attr in self._attributes:
+            dom = ("open domain" if attr.domain is None
+                   else "%d values" % len(attr.domain))
+            desc = (" -- " + attr.description) if attr.description else ""
+            lines.append("    %s: %s%s" % (attr.name, dom, desc))
+        lines.append(")")
+        return "\n".join(lines)
+
+    # -- derivation --------------------------------------------------------
+
+    def restrict(self, names: Sequence[str]) -> "Schema":
+        """A new schema containing only *names* (projection schema)."""
+        self.validate_attrs(names)
+        return Schema(self.name, [self.attribute(n) for n in names])
+
+
+def attrs_of(schema: Schema) -> Set[str]:
+    """``attr(R)`` from the paper: the set of attribute names of *schema*."""
+    return set(schema.attribute_names)

@@ -1,0 +1,207 @@
+"""In-memory relation instances.
+
+:class:`Table` is the workhorse container for the whole library: the
+dirty database ``D``, the clean ground truth, master data and generated
+workloads are all Tables.  It deliberately stays small — an ordered
+collection of :class:`~repro.relational.row.Row` objects plus the query
+helpers the cleaning algorithms need:
+
+* ``group_by(attrs)`` — hash partitioning, used by FD violation
+  detection and by the Heu/Csm baselines;
+* ``active_domain(attr)`` — the set of values occurring in a column,
+  used by the noise generator ("errors from the active domain") and by
+  rule enrichment;
+* cell-level diffing against another instance, used by the evaluation
+  metrics.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Set, Tuple)
+
+from ..errors import TableError
+from .row import Row
+from .schema import Schema
+
+#: A cell address: (row index, attribute name).
+Cell = Tuple[int, str]
+
+
+class Table:
+    """An instance of a relation schema.
+
+    Parameters
+    ----------
+    schema:
+        The schema every row must conform to.
+    rows:
+        Optional initial rows; each may be a :class:`Row`, a sequence of
+        cell values in schema order, or a mapping.
+    """
+
+    def __init__(self, schema: Schema, rows: Optional[Iterable] = None,
+                 validate_domains: bool = False):
+        self.schema = schema
+        #: when True, every inserted cell is checked against its
+        #: attribute's declared domain (no-op for open domains).
+        self.validate_domains = validate_domains
+        self._rows: List[Row] = []
+        if rows is not None:
+            for row in rows:
+                self.append(row)
+
+    # -- mutation ----------------------------------------------------------
+
+    def append(self, row) -> Row:
+        """Append a row (Row, sequence, or mapping); returns the Row."""
+        if isinstance(row, Row):
+            if row.schema != self.schema:
+                raise TableError(
+                    "row schema %r does not match table schema %r"
+                    % (row.schema.name, self.schema.name))
+        else:
+            row = Row(self.schema, row)
+        if self.validate_domains:
+            self._check_domains(row)
+        self._rows.append(row)
+        return row
+
+    def _check_domains(self, row: Row) -> None:
+        for attribute in self.schema:
+            value = row[attribute.name]
+            if not attribute.admits(value):
+                raise TableError(
+                    "value %r is outside the declared domain of "
+                    "attribute %r" % (value, attribute.name))
+
+    def extend(self, rows: Iterable) -> None:
+        for row in rows:
+            self.append(row)
+
+    def set_cell(self, row_index: int, attr: str, value: str) -> None:
+        """Update one cell in place."""
+        if self.validate_domains:
+            attribute = self.schema.attribute(attr)
+            if not attribute.admits(value):
+                raise TableError(
+                    "value %r is outside the declared domain of "
+                    "attribute %r" % (value, attr))
+        self._rows[row_index][attr] = value
+
+    # -- access ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __getitem__(self, index: int) -> Row:
+        return self._rows[index]
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Table)
+                and self.schema == other.schema
+                and self._rows == other._rows)
+
+    def __repr__(self) -> str:
+        return "Table(%r, %d rows)" % (self.schema.name, len(self._rows))
+
+    def head(self, n: int = 5) -> "Table":
+        """A new table holding copies of the first *n* rows."""
+        return Table(self.schema, (r.copy() for r in self._rows[:n]))
+
+    def copy(self) -> "Table":
+        """A deep copy (rows are cloned; schema is shared; the
+        domain-validation flag carries over)."""
+        clone = Table(self.schema, (r.copy() for r in self._rows))
+        clone.validate_domains = self.validate_domains
+        return clone
+
+    def cell(self, address: Cell) -> str:
+        row_index, attr = address
+        return self._rows[row_index][attr]
+
+    # -- query helpers -----------------------------------------------------
+
+    def group_by(self, attrs: Sequence[str]) -> Dict[Tuple[str, ...],
+                                                     List[int]]:
+        """Hash-partition row indices by their projection onto *attrs*.
+
+        Returns a dict mapping each distinct ``t[attrs]`` tuple to the
+        list of row indices carrying it, in row order.
+        """
+        self.schema.validate_attrs(attrs)
+        groups: Dict[Tuple[str, ...], List[int]] = defaultdict(list)
+        for i, row in enumerate(self._rows):
+            groups[row.project(attrs)].append(i)
+        return dict(groups)
+
+    def active_domain(self, attr: str) -> Set[str]:
+        """``adom(A)``: the set of values appearing in column *attr*."""
+        pos = self.schema.index_of(attr)
+        return {row.values[pos] for row in self._rows}
+
+    def value_counts(self, attr: str) -> Counter:
+        """Multiplicity of each value in column *attr*."""
+        pos = self.schema.index_of(attr)
+        return Counter(row.values[pos] for row in self._rows)
+
+    def select(self, predicate: Callable[[Row], bool]) -> "Table":
+        """Rows satisfying *predicate*, as a new table (rows shared)."""
+        out = Table(self.schema)
+        for row in self._rows:
+            if predicate(row):
+                out._rows.append(row)
+        return out
+
+    def column(self, attr: str) -> List[str]:
+        """All values of column *attr*, in row order."""
+        pos = self.schema.index_of(attr)
+        return [row.values[pos] for row in self._rows]
+
+    # -- comparison --------------------------------------------------------
+
+    def diff_cells(self, other: "Table") -> List[Cell]:
+        """Cell addresses where this table and *other* disagree.
+
+        Both tables must have the same schema and cardinality; rows are
+        compared positionally (row identity is positional throughout the
+        library — noise injection never adds or removes rows).
+        """
+        if self.schema != other.schema:
+            raise TableError("cannot diff tables with different schemas")
+        if len(self) != len(other):
+            raise TableError("cannot diff tables with different sizes "
+                             "(%d vs %d)" % (len(self), len(other)))
+        diffs: List[Cell] = []
+        for i, (mine, theirs) in enumerate(zip(self._rows, other._rows)):
+            for attr in mine.diff(theirs):
+                diffs.append((i, attr))
+        return diffs
+
+    def to_dicts(self) -> List[Dict[str, str]]:
+        """The whole instance as a list of plain dictionaries."""
+        return [row.as_dict() for row in self._rows]
+
+    # -- pretty printing ---------------------------------------------------
+
+    def to_text(self, max_rows: int = 20) -> str:
+        """A fixed-width textual rendering (for examples and the CLI)."""
+        names = self.schema.attribute_names
+        shown = self._rows[:max_rows]
+        widths = [len(n) for n in names]
+        for row in shown:
+            for j, v in enumerate(row.values):
+                widths[j] = max(widths[j], len(v))
+        header = " | ".join(n.ljust(w) for n, w in zip(names, widths))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [header, sep]
+        for row in shown:
+            lines.append(" | ".join(v.ljust(w)
+                                    for v, w in zip(row.values, widths)))
+        if len(self._rows) > max_rows:
+            lines.append("... (%d more rows)" % (len(self._rows) - max_rows))
+        return "\n".join(lines)

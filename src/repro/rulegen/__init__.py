@@ -1,0 +1,44 @@
+"""Fixing-rule generation: seeds from FD violations, enrichment, pipeline."""
+
+from .seeds import SeedGenerator, generate_seed_rules
+from .enrichment import (domain_negatives_from_table, enrich_rule,
+                         enrich_rules, master_negatives,
+                         negatives_budget_sweep)
+from .pipeline import generate_rules
+from .discovery import discover_rules, discover_rules_for_fd
+from .from_cfd import (fixing_rule_from_cfd, fixing_rules_from_cfds,
+                       observed_negatives)
+from .from_master import capitals_ruleset, rules_from_master
+from .from_examples import (Example, ExampleConflict, LearnedRules,
+                            examples_from_tables, rules_from_examples,
+                            rules_from_examples_with_fds)
+from .similarity import (edit_distance, enrich_with_typo_negatives,
+                         similar_values, typo_candidates)
+
+__all__ = [
+    "SeedGenerator",
+    "generate_seed_rules",
+    "enrich_rule",
+    "enrich_rules",
+    "domain_negatives_from_table",
+    "master_negatives",
+    "negatives_budget_sweep",
+    "generate_rules",
+    "discover_rules",
+    "discover_rules_for_fd",
+    "fixing_rule_from_cfd",
+    "fixing_rules_from_cfds",
+    "observed_negatives",
+    "rules_from_master",
+    "capitals_ruleset",
+    "edit_distance",
+    "similar_values",
+    "typo_candidates",
+    "enrich_with_typo_negatives",
+    "Example",
+    "ExampleConflict",
+    "LearnedRules",
+    "rules_from_examples",
+    "examples_from_tables",
+    "rules_from_examples_with_fds",
+]

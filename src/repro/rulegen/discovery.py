@@ -1,0 +1,121 @@
+"""Automatic fixing-rule discovery (the paper's future work #1).
+
+Section 8: "We are planning to design algorithm to automatically
+discover fixing rules."  This module implements the natural
+frequency-based discoverer, which needs **no ground truth and no
+experts** — only the dirty instance and an (optionally discovered) FD:
+
+For an FD ``X -> B`` and each ``X`` group of the dirty data with at
+least ``min_support`` rows:
+
+* if one ``B`` value holds a fraction ≥ ``min_confidence`` of the
+  group, treat it as the **fact** (majority voting — the same signal
+  Heu uses, but harvested into an auditable rule instead of applied
+  blindly);
+* the minority values of the group become the **negative patterns**.
+
+Discovered rules inherit all fixing-rule machinery: they are checked
+for consistency, can be resolved, minimized, serialized, and reviewed
+by a human before ever touching data — which is the dependability
+argument for discovering *rules* rather than just repairing in place.
+
+Accuracy caveat: without ground truth, a tuple whose LHS value was
+corrupted *into* a foreign group (an active-domain error) poisons that
+group's vote — its correct ``B`` value lands in the negative patterns
+and gets "repaired" away.  Expect precision noticeably below
+oracle-seeded rules (still several times above the Heu baseline); the
+human-review step is where such rules get caught.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core import FixingRule, RuleSet, ensure_consistent, is_consistent
+from ..core.resolution import SHRINK_NEGATIVES
+from ..dependencies import FD, normalize_fds
+from ..dependencies.discovery import discover_fds, merge_candidates
+from ..relational import Table
+
+
+def discover_rules_for_fd(table: Table, fd: FD, min_support: int = 3,
+                          min_confidence: float = 0.8
+                          ) -> List[FixingRule]:
+    """Mine fixing rules for one single-RHS FD from dirty data.
+
+    Groups with no clear majority (confidence below threshold) yield
+    no rule — the conservative stance of fixing rules: ambiguity is
+    left alone rather than guessed at.
+    """
+    if len(fd.rhs) != 1:
+        raise ValueError("discover_rules_for_fd expects a single-RHS FD; "
+                         "normalize first")
+    if min_support < 2:
+        raise ValueError("min_support must be at least 2")
+    if not 0.5 < min_confidence <= 1.0:
+        raise ValueError("min_confidence must be in (0.5, 1.0] so the "
+                         "fact is a true majority")
+    attr_b = fd.rhs[0]
+    rules: List[FixingRule] = []
+    for pattern, indices in sorted(table.group_by(fd.lhs).items()):
+        if len(indices) < min_support:
+            continue
+        counts: Dict[str, int] = {}
+        for i in indices:
+            value = table[i][attr_b]
+            counts[value] = counts.get(value, 0) + 1
+        fact, fact_count = max(sorted(counts.items()),
+                               key=lambda item: item[1])
+        if fact_count == len(indices):
+            continue  # group already clean w.r.t. this FD
+        if fact_count / len(indices) < min_confidence:
+            continue  # no dependable majority: stay conservative
+        negatives = {value for value in counts if value != fact}
+        rules.append(FixingRule(
+            evidence=dict(zip(fd.lhs, pattern)),
+            attribute=attr_b,
+            negatives=negatives,
+            fact=fact,
+        ))
+    return rules
+
+
+def discover_rules(table: Table, fds: Optional[Sequence[FD]] = None,
+                   min_support: int = 3, min_confidence: float = 0.8,
+                   fd_confidence: float = 0.9,
+                   max_rules: Optional[int] = None) -> RuleSet:
+    """Discover a consistent fixing-rule set straight from dirty data.
+
+    Parameters
+    ----------
+    table:
+        The dirty instance.
+    fds:
+        Constraints to mine against.  When ``None``, approximate FDs
+        are first discovered from the instance itself
+        (:func:`repro.dependencies.discovery.discover_fds`).
+    min_support / min_confidence:
+        Group-level thresholds for emitting a rule (see
+        :func:`discover_rules_for_fd`).
+    fd_confidence:
+        Threshold for the FD-discovery pre-pass (ignored when *fds*
+        is given).
+    max_rules:
+        Optional cap on the result size.
+
+    The result is post-processed through the Section 5.1 workflow, so
+    it is guaranteed consistent.
+    """
+    if fds is None:
+        candidates = discover_fds(table, min_confidence=fd_confidence)
+        fds = merge_candidates(candidates)
+    rules = RuleSet(table.schema)
+    for fd in normalize_fds(fds):
+        rules.extend(discover_rules_for_fd(table, fd,
+                                           min_support=min_support,
+                                           min_confidence=min_confidence))
+    if not is_consistent(rules):
+        rules = ensure_consistent(rules, strategy=SHRINK_NEGATIVES).rules
+    if max_rules is not None and len(rules) > max_rules:
+        rules = rules.subset(max_rules)
+    return rules

@@ -1,0 +1,117 @@
+"""Rule enrichment (Section 7.1, "Rule enrichment").
+
+Seed rules carry only the negative patterns actually observed in the
+violations.  The paper enlarges them — "via extracting new negative
+patterns from related tables in the same domain" (the Chinese-cities
+example) — because a rule that knows more wrong values catches more
+errors (Fig. 11(b): more negative patterns, better recall, same
+precision).
+
+Enrichment may ONLY add negative patterns; evidence, attribute and
+fact are untouched, and a value equal to the fact is never added (it
+would violate the rule syntax).  Sources:
+
+* :func:`domain_negatives_from_table` — other active-domain values of
+  the rule's attribute in a reference/clean table (stand-in for "a
+  table about Chinese cities");
+* :func:`master_negatives` — values from a
+  :class:`~repro.master.MasterTable` column;
+* any explicit iterable of values.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+from ..core import FixingRule, RuleSet
+from ..master import MasterTable
+from ..relational import Table
+
+
+def domain_negatives_from_table(table: Table, attribute: str) -> List[str]:
+    """Candidate negatives for *attribute*: its active domain in *table*."""
+    return sorted(table.active_domain(attribute))
+
+
+def master_negatives(master: MasterTable, attribute: str) -> List[str]:
+    """Candidate negatives drawn from a master-table column."""
+    return master.values_of(attribute)
+
+
+def enrich_rule(rule: FixingRule, candidates: Iterable[str],
+                limit: Optional[int] = None,
+                rng: Optional[random.Random] = None) -> FixingRule:
+    """Enlarge *rule*'s negative patterns with values from *candidates*.
+
+    Parameters
+    ----------
+    rule:
+        The rule to enrich; returned unchanged if nothing applies.
+    candidates:
+        Candidate wrong values.  The fact and already-present negatives
+        are skipped automatically.
+    limit:
+        Maximum number of negatives to add (``None`` = all).
+    rng:
+        When given, candidates are sampled randomly; otherwise taken in
+        sorted order (deterministic).
+    """
+    fresh = sorted({value for value in candidates
+                    if value != rule.fact
+                    and value not in rule.negatives})
+    if not fresh:
+        return rule
+    if limit is not None and len(fresh) > limit:
+        if rng is not None:
+            fresh = rng.sample(fresh, limit)
+        else:
+            fresh = fresh[:limit]
+    return rule.with_negatives(rule.negatives | set(fresh))
+
+
+def enrich_rules(rules: RuleSet,
+                 candidates_by_attr: Mapping[str, Sequence[str]],
+                 limit_per_rule: Optional[int] = None,
+                 seed: Optional[int] = None) -> RuleSet:
+    """Enrich every rule whose attribute has a candidate pool.
+
+    Returns a new :class:`RuleSet`; rule order and names are preserved.
+    """
+    rng = random.Random(seed) if seed is not None else None
+    enriched = []
+    for rule in rules:
+        pool = candidates_by_attr.get(rule.attribute)
+        if pool:
+            enriched.append(enrich_rule(rule, pool, limit=limit_per_rule,
+                                        rng=rng))
+        else:
+            enriched.append(rule)
+    return RuleSet(rules.schema, enriched)
+
+
+def negatives_budget_sweep(rules: RuleSet,
+                           total_negatives: int) -> RuleSet:
+    """Trim Σ so the *total* negative-pattern count is ≤ a budget.
+
+    Used by the Fig. 11(b) experiment, whose x-axis is the number of
+    negative patterns across all rules.  Rules are visited in order;
+    each keeps as many (sorted) negatives as the remaining budget
+    allows, at least one — a rule reduced to zero negatives would be
+    ill-formed, so it is dropped instead.
+    """
+    if total_negatives < 0:
+        raise ValueError("total_negatives must be non-negative")
+    remaining = total_negatives
+    kept: List[FixingRule] = []
+    for rule in rules:
+        if remaining <= 0:
+            break
+        take = min(len(rule.negatives), remaining)
+        if take == len(rule.negatives):
+            kept.append(rule)
+        else:
+            kept.append(rule.with_negatives(
+                sorted(rule.negatives)[:take]))
+        remaining -= take
+    return RuleSet(rules.schema, kept)

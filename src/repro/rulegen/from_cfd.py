@@ -1,0 +1,85 @@
+"""Deriving fixing rules from constant CFDs (the paper's future work #2).
+
+Section 8 calls the interaction between fixing rules and other data
+quality rules (CFDs, MDs, editing rules) "a challenging topic".  For
+constant CFDs the interaction is constructive: a constant CFD
+``(X -> B, (tp[X] || b))`` asserts that under evidence ``tp[X]`` the
+only correct ``B`` value is ``b`` — which is precisely a fixing rule's
+evidence pattern and fact.  What the CFD *lacks* is the negative
+patterns: it can detect that ``t[B] != b`` but cannot certify that the
+error is in ``B`` rather than in the evidence.
+
+The translation therefore requires an explicit negative-pattern source
+(known wrong values — from observed violations, a domain table, or
+master data), keeping the conservatism that distinguishes fixing rules
+from blindly enforcing the CFD:
+
+* values equal to the fact are skipped;
+* an empty candidate set yields no rule (never an unconditional one).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+from ..core import FixingRule, RuleSet, ensure_consistent, is_consistent
+from ..core.resolution import SHRINK_NEGATIVES
+from ..dependencies import CFD, WILDCARD
+from ..relational import Table
+
+
+def fixing_rule_from_cfd(cfd: CFD,
+                         negatives: Iterable[str]) -> Optional[FixingRule]:
+    """Translate one constant CFD plus known-wrong values into a rule.
+
+    Returns ``None`` when the CFD is not fully constant (wildcards
+    carry no fact to repair toward) or no usable negative remains.
+    """
+    if cfd.rhs_pattern == WILDCARD:
+        return None  # variable CFDs detect, but cannot direct, a fix
+    if any(value == WILDCARD for value in cfd.lhs_pattern.values()):
+        return None  # wildcard evidence is not a fixing-rule pattern
+    usable = {value for value in negatives if value != cfd.rhs_pattern}
+    if not usable:
+        return None
+    return FixingRule(evidence=dict(cfd.lhs_pattern),
+                      attribute=cfd.rhs,
+                      negatives=usable,
+                      fact=cfd.rhs_pattern)
+
+
+def observed_negatives(table: Table, cfd: CFD) -> List[str]:
+    """Wrong ``B`` values actually observed under the CFD's evidence.
+
+    The violation-driven negative source: every value of ``cfd.rhs``
+    carried by a tuple matching the constant LHS pattern, other than
+    the asserted constant.
+    """
+    if cfd.rhs_pattern == WILDCARD:
+        return []
+    values = {row[cfd.rhs] for row in table
+              if cfd.lhs_matches(row) and row[cfd.rhs] != cfd.rhs_pattern}
+    return sorted(values)
+
+
+def fixing_rules_from_cfds(cfds: Sequence[CFD], table: Table,
+                           extra_negatives: Optional[Mapping[str,
+                                                             Sequence[str]]]
+                           = None) -> RuleSet:
+    """Translate a batch of constant CFDs into a consistent rule set.
+
+    Negatives come from observed violations in *table*, optionally
+    augmented per attribute via *extra_negatives* (e.g. master-data
+    domains).  The result goes through the consistency workflow.
+    """
+    rules = RuleSet(table.schema)
+    for cfd in cfds:
+        negatives = set(observed_negatives(table, cfd))
+        if extra_negatives and cfd.rhs in extra_negatives:
+            negatives.update(extra_negatives[cfd.rhs])
+        rule = fixing_rule_from_cfd(cfd, negatives)
+        if rule is not None:
+            rules.add(rule)
+    if not is_consistent(rules):
+        rules = ensure_consistent(rules, strategy=SHRINK_NEGATIVES).rules
+    return rules

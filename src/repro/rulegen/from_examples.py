@@ -1,0 +1,194 @@
+"""Learning fixing rules from example corrections.
+
+Section 1 of the paper: "Inspired by the work of [Singh & Gulwani,
+PVLDB 2012], we show how a large number of fixing rules can be
+obtained from examples."  An *example* here is a before/after tuple
+pair — a correction a user actually performed.  Each example that
+changes exactly one attribute teaches three things:
+
+* the changed attribute is a correctable ``B``;
+* its old value is a **negative pattern** under the tuple's context;
+* its new value is the **fact** for that context.
+
+What the example does not say is which of the unchanged attributes
+constitute the **evidence** ``X``.  The learner therefore takes the
+evidence attributes as input (typically the LHS of a known FD, or a
+user-selected context) and generalizes by merging: examples agreeing
+on ``(evidence values, B, fact)`` pool their negative patterns into
+one rule — exactly how φ1 of the paper would be learned from the two
+corrections ``(China, Shanghai→Beijing)`` and
+``(China, Hongkong→Beijing)``.
+
+Conflicting lessons (same evidence and B, different facts) are
+surfaced as :class:`ExampleConflict` rather than silently dropped: two
+users corrected the same context differently, and someone must decide.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from ..core import FixingRule, RuleSet, ensure_consistent, is_consistent
+from ..core.resolution import SHRINK_NEGATIVES
+from ..errors import RuleError
+from ..relational import Row, Schema
+
+
+class Example(NamedTuple):
+    """One observed correction: *before* was edited into *after*."""
+
+    before: Row
+    after: Row
+
+
+class ExampleConflict(NamedTuple):
+    """Two examples teaching contradictory facts for one context."""
+
+    evidence: Dict[str, str]
+    attribute: str
+    facts: Tuple[str, str]
+
+    def describe(self) -> str:
+        context = ", ".join("%s=%s" % item
+                            for item in sorted(self.evidence.items()))
+        return ("examples disagree at (%s): %s corrected to both %r "
+                "and %r" % (context, self.attribute, self.facts[0],
+                            self.facts[1]))
+
+
+class LearnedRules(NamedTuple):
+    """Outcome of :func:`rules_from_examples`."""
+
+    rules: RuleSet
+    conflicts: List[ExampleConflict]
+    skipped: int  # examples not usable (0 or >1 changed attributes)
+
+
+def _lesson(example: Example,
+            evidence_attrs: Sequence[str]) -> Optional[Tuple]:
+    """Extract (evidence values, B, old, new) from one example, or
+    ``None`` if the example is not a single-attribute correction or
+    touches its own evidence."""
+    changed = example.before.diff(example.after)
+    if len(changed) != 1:
+        return None
+    attribute = changed[0]
+    if attribute in evidence_attrs:
+        return None  # the context itself was edited: no anchor
+    evidence = {attr: example.before[attr] for attr in evidence_attrs}
+    return (tuple(sorted(evidence.items())), attribute,
+            example.before[attribute], example.after[attribute])
+
+
+def rules_from_examples(examples: Sequence[Example], schema: Schema,
+                        evidence_attrs: Sequence[str],
+                        resolve: bool = True) -> LearnedRules:
+    """Learn a consistent rule set from correction examples.
+
+    Parameters
+    ----------
+    examples:
+        Before/after row pairs.  Pairs changing zero or several
+        attributes, or editing an evidence attribute, are counted in
+        ``skipped`` (a multi-edit teaches no single dependable lesson).
+    schema:
+        The relation schema (evidence attributes are validated).
+    evidence_attrs:
+        The context attributes ``X`` every learned rule conditions on.
+    resolve:
+        Run the Section 5.1 workflow on the merged rules (conflicts
+        between *different* contexts can still arise through case-2
+        interactions even when no :class:`ExampleConflict` exists).
+    """
+    schema.validate_attrs(evidence_attrs)
+    if not evidence_attrs:
+        raise RuleError("evidence_attrs must be non-empty")
+
+    facts: Dict[Tuple, str] = {}
+    negatives: Dict[Tuple, set] = {}
+    conflicts: List[ExampleConflict] = []
+    skipped = 0
+    for example in examples:
+        lesson = _lesson(example, evidence_attrs)
+        if lesson is None:
+            skipped += 1
+            continue
+        evidence_items, attribute, old, new = lesson
+        key = (evidence_items, attribute)
+        if key in facts and facts[key] != new:
+            conflicts.append(ExampleConflict(dict(evidence_items),
+                                             attribute,
+                                             (facts[key], new)))
+            continue
+        facts[key] = new
+        negatives.setdefault(key, set()).add(old)
+
+    rules = RuleSet(schema)
+    for (evidence_items, attribute), fact in sorted(facts.items()):
+        pool = {value for value in negatives[(evidence_items, attribute)]
+                if value != fact}
+        if not pool:
+            skipped += 1  # the only example was a no-op correction
+            continue
+        rules.add(FixingRule(dict(evidence_items), attribute, pool, fact))
+    if resolve and not is_consistent(rules):
+        rules = ensure_consistent(rules, strategy=SHRINK_NEGATIVES).rules
+    return LearnedRules(rules, conflicts, skipped)
+
+
+def rules_from_examples_with_fds(examples: Sequence[Example],
+                                 schema: Schema, fds,
+                                 resolve: bool = True) -> LearnedRules:
+    """Learn rules choosing each example's evidence from the FDs.
+
+    For an example correcting attribute ``B``, the evidence context is
+    the LHS of the first (normalized) FD whose RHS contains ``B`` —
+    the dependency that semantically governs the corrected value.
+    Examples correcting attributes no FD governs are skipped.
+
+    This removes the one manual input :func:`rules_from_examples`
+    needs, at the cost of trusting the FD list to name the right
+    contexts.
+    """
+    from ..dependencies import normalize_fds
+    governed: Dict[str, Tuple[str, ...]] = {}
+    for fd in normalize_fds(fds):
+        governed.setdefault(fd.rhs[0], fd.lhs)
+
+    grouped: Dict[Tuple[str, ...], List[Example]] = {}
+    skipped = 0
+    for example in examples:
+        changed = example.before.diff(example.after)
+        if len(changed) != 1 or changed[0] not in governed:
+            skipped += 1
+            continue
+        lhs = governed[changed[0]]
+        if changed[0] in lhs:
+            skipped += 1
+            continue
+        grouped.setdefault(lhs, []).append(example)
+
+    rules = RuleSet(schema)
+    conflicts: List[ExampleConflict] = []
+    for lhs, bucket in sorted(grouped.items()):
+        learned = rules_from_examples(bucket, schema, list(lhs),
+                                      resolve=False)
+        conflicts.extend(learned.conflicts)
+        skipped += learned.skipped
+        for rule in learned.rules:
+            rules.add(rule)
+    if resolve and not is_consistent(rules):
+        rules = ensure_consistent(rules, strategy=SHRINK_NEGATIVES).rules
+    return LearnedRules(rules, conflicts, skipped)
+
+
+def examples_from_tables(before, after) -> List[Example]:
+    """Pair up positionally aligned before/after tables into examples,
+    keeping only rows that actually changed."""
+    if before.schema != after.schema:
+        raise RuleError("before/after tables must share a schema")
+    if len(before) != len(after):
+        raise RuleError("before/after tables must be aligned "
+                        "(%d vs %d rows)" % (len(before), len(after)))
+    return [Example(before[i], after[i]) for i in range(len(before))
+            if before[i] != after[i]]

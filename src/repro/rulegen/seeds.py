@@ -1,0 +1,124 @@
+"""Seed fixing-rule generation (Section 7.1, "Seed fixing rule
+generation").
+
+The paper's protocol: detect violations of known FDs, show them to
+experts, and let the experts write fixing rules "based on their
+understanding of these violations".  Offline we replace the experts
+with a **ground-truth oracle** — the clean table the noise generator
+started from — which plays the same role: it knows, for a violating
+group, which left-hand-side patterns are trustworthy and what the
+correct right-hand-side value is.
+
+For each (single-RHS) FD ``X -> B`` and each violation cluster in the
+dirty data:
+
+* the **evidence pattern** is the cluster's ``X`` value — but only if
+  the oracle confirms that value is genuine (it occurs as the clean
+  ``X`` value of at least one row in the cluster; an expert would not
+  anchor a rule on a typo);
+* the **fact** is the clean ``B`` value for that pattern (unique,
+  because the FD holds on the clean data);
+* the **negative patterns** are the wrong ``B`` values observed in the
+  cluster for rows whose ``X`` is genuine.
+
+Clusters where the evidence cannot be trusted or where no wrong ``B``
+value is observed yield no rule — mirroring the conservatism the paper
+attributes to fixing rules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core import FixingRule, RuleSet
+from ..dependencies import FD, find_violation_clusters, normalize_fds
+from ..relational import Table
+
+
+def _clean_rhs_for_pattern(clean: Table, fd: FD,
+                           pattern: Tuple[str, ...]) -> Optional[str]:
+    """The unique clean ``B`` value among rows whose clean ``X`` equals
+    *pattern*; ``None`` if the pattern never occurs in the clean data."""
+    groups = clean.group_by(fd.lhs)
+    indices = groups.get(pattern)
+    if not indices:
+        return None
+    return clean[indices[0]][fd.rhs[0]]
+
+
+class SeedGenerator:
+    """Generates seed rules for one (clean, dirty) table pair.
+
+    Group lookups on the clean table are cached across FDs, so
+    generating rules for many FDs stays linear in the data.
+    """
+
+    def __init__(self, clean: Table, dirty: Table):
+        if clean.schema != dirty.schema:
+            raise ValueError("clean and dirty tables must share a schema")
+        if len(clean) != len(dirty):
+            raise ValueError(
+                "clean and dirty tables must be positionally aligned "
+                "(%d vs %d rows)" % (len(clean), len(dirty)))
+        self.clean = clean
+        self.dirty = dirty
+        self._clean_groups: Dict[Tuple[str, ...],
+                                 Dict[Tuple[str, ...], List[int]]] = {}
+
+    def _clean_group(self, lhs: Tuple[str, ...]):
+        if lhs not in self._clean_groups:
+            self._clean_groups[lhs] = self.clean.group_by(lhs)
+        return self._clean_groups[lhs]
+
+    def rules_for_fd(self, fd: FD) -> List[FixingRule]:
+        """Seed rules for one single-RHS FD, in deterministic order."""
+        if len(fd.rhs) != 1:
+            raise ValueError("rules_for_fd expects a single-RHS FD; "
+                             "normalize first")
+        attr_b = fd.rhs[0]
+        rules: List[FixingRule] = []
+        clean_groups = self._clean_group(fd.lhs)
+        for cluster in sorted(find_violation_clusters(self.dirty, fd),
+                              key=lambda c: c.lhs_value):
+            pattern = cluster.lhs_value
+            clean_indices = clean_groups.get(pattern)
+            if not clean_indices:
+                continue  # the LHS value itself is an error; no anchor
+            # Oracle: rows of the cluster whose LHS is genuine.
+            genuine = [i for i in cluster.rows
+                       if self.clean[i].project(fd.lhs) == pattern]
+            if not genuine:
+                continue
+            fact = self.clean[genuine[0]][attr_b]
+            negatives: Set[str] = {
+                self.dirty[i][attr_b] for i in genuine
+                if self.dirty[i][attr_b] != fact}
+            if not negatives:
+                continue
+            rules.append(FixingRule(
+                evidence=dict(zip(fd.lhs, pattern)),
+                attribute=attr_b,
+                negatives=negatives,
+                fact=fact,
+            ))
+        return rules
+
+    def rules_for_fds(self, fds: Sequence[FD]) -> List[FixingRule]:
+        """Seed rules for all *fds* (normalized), concatenated in FD
+        order; duplicates across FDs are removed, keeping the first."""
+        seen = set()
+        out: List[FixingRule] = []
+        for fd in normalize_fds(fds):
+            for rule in self.rules_for_fd(fd):
+                sig = rule.signature()
+                if sig not in seen:
+                    seen.add(sig)
+                    out.append(rule)
+        return out
+
+
+def generate_seed_rules(clean: Table, dirty: Table,
+                        fds: Sequence[FD]) -> RuleSet:
+    """Convenience wrapper: all seed rules as a :class:`RuleSet`."""
+    generator = SeedGenerator(clean, dirty)
+    return RuleSet(clean.schema, generator.rules_for_fds(fds))

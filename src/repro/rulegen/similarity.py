@@ -1,0 +1,144 @@
+"""Similarity-based negative-pattern enrichment.
+
+Fixing rules miss typos by construction: a typo produces a fresh
+string that no negative-pattern set enumerated in advance can contain
+(Fig. 10's recall ceiling).  Matching dependencies [Fan et al., PVLDB
+2009] attack exactly this with *similarity* predicates; this module
+brings the idea into the fixing-rule framework as an enrichment pass,
+an instance of the future-work topic "interaction between fixing rules
+and other data quality rules":
+
+    for a rule with fact ``f``, any RARE value of the dirty column
+    within small edit distance of ``f`` is almost certainly a typo of
+    ``f`` — add it to the rule's negative patterns.
+
+Two guards keep the pass dependable:
+
+* **frequency**: only values occurring fewer than ``min_frequency``
+  times qualify (legitimate domain values repeat; typos are rare);
+* **protection**: values in the *protected* set (other rules' facts
+  for the attribute, plus anything the caller knows is valid) are
+  never added, so near-miss legitimate codes (``MC-0001`` vs
+  ``MC-0002``) stay safe.
+
+Everything remains a plain fixing rule afterwards — auditable,
+serializable, and checked for consistency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..core import FixingRule, RuleSet, ensure_consistent, is_consistent
+from ..core.resolution import SHRINK_NEGATIVES
+from ..relational import Table
+
+
+def edit_distance(a: str, b: str,
+                  max_distance: Optional[int] = None) -> int:
+    """Levenshtein distance, with an optional early-exit band.
+
+    When *max_distance* is given and the true distance exceeds it,
+    some value strictly greater than *max_distance* is returned (the
+    exact overflow amount is unspecified) — enough for threshold
+    tests while keeping the DP banded and fast.
+    """
+    if a == b:
+        return 0
+    if max_distance is not None and abs(len(a) - len(b)) > max_distance:
+        return max_distance + 1
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, ch_a in enumerate(a, start=1):
+        current = [i]
+        row_min = i
+        for j, ch_b in enumerate(b, start=1):
+            cost = 0 if ch_a == ch_b else 1
+            value = min(previous[j] + 1,        # deletion
+                        current[j - 1] + 1,     # insertion
+                        previous[j - 1] + cost) # substitution
+            current.append(value)
+            if value < row_min:
+                row_min = value
+        if max_distance is not None and row_min > max_distance:
+            return max_distance + 1
+        previous = current
+    return previous[-1]
+
+
+def similar_values(target: str, pool: Iterable[str],
+                   max_distance: int = 1) -> List[str]:
+    """Values of *pool* within *max_distance* edits of *target*
+    (excluding *target* itself), sorted."""
+    return sorted(value for value in pool
+                  if value != target
+                  and edit_distance(value, target,
+                                    max_distance=max_distance)
+                  <= max_distance)
+
+
+def typo_candidates(table: Table, attribute: str, fact: str,
+                    max_distance: int = 1, min_frequency: int = 3,
+                    protected: Optional[Set[str]] = None) -> List[str]:
+    """Rare near-misses of *fact* in the dirty column — probable typos.
+
+    Parameters
+    ----------
+    table:
+        The dirty instance whose column supplies candidates.
+    attribute / fact:
+        The rule's corrected attribute and correct value.
+    max_distance:
+        Edit-distance radius (1 catches single-keystroke slips, 2 is
+        aggressive).
+    min_frequency:
+        Values occurring at least this often are presumed legitimate
+        and skipped.
+    protected:
+        Values never to mark wrong, regardless of rarity.
+    """
+    protected = protected or set()
+    counts = table.value_counts(attribute)
+    rare = [value for value, count in counts.items()
+            if count < min_frequency and value not in protected]
+    return similar_values(fact, rare, max_distance=max_distance)
+
+
+def enrich_with_typo_negatives(rules: RuleSet, dirty: Table,
+                               max_distance: int = 1,
+                               min_frequency: int = 3,
+                               extra_protected: Optional[Iterable[str]]
+                               = None) -> RuleSet:
+    """Enrich every rule with probable typos of its fact.
+
+    The protected set is the union of all rules' facts per attribute
+    (a fact of one rule must never become a negative of another
+    through this pass) plus *extra_protected* (e.g. a known-valid
+    domain).  The result is re-checked for consistency.
+    """
+    facts_by_attr: Dict[str, Set[str]] = {}
+    for rule in rules:
+        facts_by_attr.setdefault(rule.attribute, set()).add(rule.fact)
+    extras = set(extra_protected or ())
+
+    enriched: List[FixingRule] = []
+    for rule in rules:
+        protected = (facts_by_attr[rule.attribute] | extras)
+        candidates = typo_candidates(dirty, rule.attribute, rule.fact,
+                                     max_distance=max_distance,
+                                     min_frequency=min_frequency,
+                                     protected=protected)
+        fresh = [value for value in candidates
+                 if value not in rule.negatives]
+        if fresh:
+            enriched.append(rule.with_negatives(
+                rule.negatives | set(fresh)))
+        else:
+            enriched.append(rule)
+    out = RuleSet(rules.schema, enriched)
+    if not is_consistent(out):
+        out = ensure_consistent(out, strategy=SHRINK_NEGATIVES).rules
+    return out

@@ -1,0 +1,85 @@
+"""Shared fixtures: the paper's running example and small workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import FixingRule, RuleSet, Schema, Table
+from repro.datagen import generate_hosp, generate_uis, hosp_fds, uis_fds
+from repro.evaluation import Workload
+
+
+@pytest.fixture()
+def travel_schema():
+    """The Travel schema of Example 1."""
+    return Schema("Travel", ["name", "country", "capital", "city", "conf"])
+
+
+@pytest.fixture()
+def travel_data(travel_schema):
+    """Figure 1: the Travel instance with four errors.
+
+    r1 is clean; r2[capital], r2[city], r3[country], r4[capital] are
+    wrong.
+    """
+    return Table(travel_schema, [
+        ["George", "China", "Beijing", "Shanghai", "ICDE"],
+        ["Ian", "China", "Shanghai", "Hongkong", "ICDE"],
+        ["Peter", "China", "Tokyo", "Tokyo", "ICDE"],
+        ["Mike", "Canada", "Toronto", "Toronto", "VLDB"],
+    ])
+
+
+@pytest.fixture()
+def phi1():
+    """φ1 (Example 3): China + {Shanghai, Hongkong} -> Beijing."""
+    return FixingRule({"country": "China"}, "capital",
+                      {"Shanghai", "Hongkong"}, "Beijing", name="phi1")
+
+
+@pytest.fixture()
+def phi2():
+    """φ2 (Example 3): Canada + {Toronto} -> Ottawa."""
+    return FixingRule({"country": "Canada"}, "capital", {"Toronto"},
+                      "Ottawa", name="phi2")
+
+
+@pytest.fixture()
+def phi3():
+    """φ3 (Example 8): (Tokyo, Tokyo, ICDE) + country {China} -> Japan."""
+    return FixingRule({"capital": "Tokyo", "city": "Tokyo", "conf": "ICDE"},
+                      "country", {"China"}, "Japan", name="phi3")
+
+
+@pytest.fixture()
+def phi4():
+    """φ4 (Section 6.2): (Beijing, ICDE) + city {Hongkong} -> Shanghai."""
+    return FixingRule({"capital": "Beijing", "conf": "ICDE"}, "city",
+                      {"Hongkong"}, "Shanghai", name="phi4")
+
+
+@pytest.fixture()
+def phi1_prime():
+    """φ1' (Example 8): φ1 with Tokyo added to the negative patterns."""
+    return FixingRule({"country": "China"}, "capital",
+                      {"Shanghai", "Hongkong", "Tokyo"}, "Beijing",
+                      name="phi1_prime")
+
+
+@pytest.fixture()
+def paper_rules(travel_schema, phi1, phi2, phi3, phi4):
+    """The consistent rule set Σ = {φ1, φ2, φ3, φ4} of the running
+    example (Fig. 8)."""
+    return RuleSet(travel_schema, [phi1, phi2, phi3, phi4])
+
+
+@pytest.fixture(scope="session")
+def small_hosp():
+    """A small HOSP workload, session-cached (generation is pure)."""
+    return Workload("hosp", generate_hosp(rows=600, seed=5), hosp_fds())
+
+
+@pytest.fixture(scope="session")
+def small_uis():
+    """A small UIS workload, session-cached."""
+    return Workload("uis", generate_uis(rows=400, seed=5), uis_fds())

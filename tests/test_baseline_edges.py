@@ -1,0 +1,97 @@
+"""Additional edge-case coverage for the baseline repair algorithms."""
+
+import pytest
+
+from repro.baselines import csm_repair, heu_repair
+from repro.dependencies import FD, is_consistent_instance
+from repro.relational import Schema, Table
+
+
+@pytest.fixture()
+def schema():
+    return Schema("R", ["k", "v", "w"])
+
+
+class TestHeuEdges:
+    def test_tie_break_is_deterministic(self):
+        """Equal-frequency values: plurality resolves by value order,
+        so two runs agree."""
+        schema = Schema("R", ["k", "v"])
+        table = Table(schema, [["a", "x"], ["a", "y"]])
+        fd = FD(["k"], ["v"])
+        first = heu_repair(table, [fd])
+        second = heu_repair(table, [fd])
+        assert first.table == second.table
+        assert first.table[0]["v"] == first.table[1]["v"]
+
+    def test_max_rounds_zero_is_noop(self, schema):
+        table = Table(schema, [["a", "x", "1"], ["a", "y", "1"]])
+        report = heu_repair(table, [FD(["k"], ["v"])], max_rounds=0)
+        assert report.table == table
+        assert report.rounds == 0
+        assert not report.consistent
+
+    def test_interacting_fds_still_converge(self, schema):
+        """v depends on k, w depends on v: fixing v reshuffles the
+        w-groups; Heu must still end consistent."""
+        table = Table(schema, [
+            ["a", "m", "1"], ["a", "m", "1"], ["a", "x", "9"],
+            ["b", "x", "9"], ["b", "x", "2"],
+        ])
+        fds = [FD(["k"], ["v"]), FD(["v"], ["w"])]
+        report = heu_repair(table, fds)
+        assert report.consistent
+        assert is_consistent_instance(report.table, fds)
+
+    def test_empty_table(self, schema):
+        report = heu_repair(Table(schema), [FD(["k"], ["v"])])
+        assert len(report.table) == 0
+        assert report.consistent
+
+    def test_changed_cells_reflect_net_difference(self):
+        """A cell rewritten and later rewritten back must not be
+        reported as changed."""
+        schema = Schema("R", ["k", "v"])
+        table = Table(schema, [["a", "x"], ["a", "x"], ["a", "y"]])
+        report = heu_repair(table, [FD(["k"], ["v"])])
+        for cell in report.changed_cells:
+            assert report.table.cell(cell) != table.cell(cell)
+
+
+class TestCsmEdges:
+    def test_zero_rounds_budget(self, schema):
+        table = Table(schema, [["a", "x", "1"], ["a", "y", "1"]])
+        report = csm_repair(table, [FD(["k"], ["v"])], max_rounds=0)
+        assert report.table == table
+        assert not report.consistent
+
+    def test_interacting_fds_converge(self, schema):
+        table = Table(schema, [
+            ["a", "m", "1"], ["a", "m", "2"], ["a", "x", "9"],
+            ["b", "x", "9"], ["b", "x", "2"],
+        ])
+        fds = [FD(["k"], ["v"]), FD(["v"], ["w"])]
+        report = csm_repair(table, fds, seed=5)
+        assert report.consistent
+
+    def test_empty_table(self, schema):
+        report = csm_repair(Table(schema), [FD(["k"], ["v"])], seed=1)
+        assert report.consistent and report.steps == 0
+
+    def test_multi_rhs_fds_normalized(self):
+        schema = Schema("R", ["k", "v", "w"])
+        table = Table(schema, [["a", "x", "1"], ["a", "y", "2"]])
+        report = csm_repair(table, [FD(["k"], ["v", "w"])], seed=2)
+        assert is_consistent_instance(
+            report.table, [FD(["k"], ["v"]), FD(["k"], ["w"])])
+
+    def test_all_left_repairs_preserve_rhs_values(self):
+        """With left_repair_probability=1 the RHS column keeps only
+        original values (all edits land on LHS cells)."""
+        schema = Schema("R", ["k", "v"])
+        table = Table(schema, [["a", "x"], ["a", "y"], ["a", "z"]])
+        report = csm_repair(table, [FD(["k"], ["v"])], seed=3,
+                            left_repair_probability=1.0)
+        original = table.active_domain("v")
+        assert report.table.active_domain("v") <= original
+        assert report.consistent

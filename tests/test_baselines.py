@@ -1,0 +1,152 @@
+"""Unit tests for the Heu and Csm baselines and the cell partition."""
+
+import pytest
+
+from repro.baselines import (FRESH_PREFIX, CellPartition, csm_repair,
+                             heu_repair)
+from repro.dependencies import FD, is_consistent_instance
+from repro.relational import Schema, Table
+
+
+@pytest.fixture()
+def schema():
+    return Schema("R", ["k", "v"])
+
+
+@pytest.fixture()
+def fd():
+    return FD(["k"], ["v"])
+
+
+@pytest.fixture()
+def table(schema):
+    """Three agreeing rows and one outlier: plurality should win."""
+    return Table(schema, [
+        ["a", "right"], ["a", "right"], ["a", "WRONG"], ["b", "other"]])
+
+
+class TestCellPartition:
+    def test_union_find_basics(self):
+        part = CellPartition()
+        part.union((0, "v"), (1, "v"))
+        part.union((1, "v"), (2, "v"))
+        assert part.together((0, "v"), (2, "v"))
+        assert not part.together((0, "v"), (3, "v"))
+
+    def test_find_is_idempotent_and_compresses(self):
+        part = CellPartition()
+        for i in range(10):
+            part.union((0, "v"), (i, "v"))
+        root = part.find((9, "v"))
+        assert part.find((9, "v")) == root
+
+    def test_classes_grouping(self):
+        part = CellPartition()
+        part.union((0, "v"), (1, "v"))
+        part.add((2, "v"))
+        classes = part.classes()
+        sizes = sorted(len(members) for members in classes.values())
+        assert sizes == [1, 2]
+
+    def test_len_counts_cells(self):
+        part = CellPartition()
+        part.union((0, "v"), (1, "v"))
+        assert len(part) == 2
+
+
+class TestHeu:
+    def test_plurality_fixes_outlier(self, table, fd):
+        report = heu_repair(table, [fd])
+        assert report.table[2]["v"] == "right"
+        assert report.consistent
+        assert report.changed_cells == [(2, "v")]
+
+    def test_output_always_consistent(self, schema, fd):
+        table = Table(schema, [["a", "x"], ["a", "y"], ["a", "z"],
+                               ["b", "p"], ["b", "q"]])
+        report = heu_repair(table, [fd])
+        assert is_consistent_instance(report.table, [fd])
+
+    def test_clean_input_untouched(self, schema, fd):
+        table = Table(schema, [["a", "x"], ["a", "x"], ["b", "y"]])
+        report = heu_repair(table, [fd])
+        assert report.table == table
+        assert report.changed_cells == []
+
+    def test_input_not_mutated(self, table, fd):
+        snapshot = table.copy()
+        heu_repair(table, [fd])
+        assert table == snapshot
+
+    def test_cascade_across_fds(self):
+        """Fixing an RHS cell can trigger a violation of a second FD
+        whose LHS includes that attribute; Heu must iterate."""
+        schema = Schema("R", ["a", "b", "c"])
+        table = Table(schema, [
+            ["k", "m", "1"],
+            ["k", "m", "1"],
+            ["k", "x", "2"],   # b=x outlier; after fix b=m, c conflicts
+            ["q", "m", "1"],
+        ])
+        fds = [FD(["a"], ["b"]), FD(["b"], ["c"])]
+        report = heu_repair(table, fds)
+        assert is_consistent_instance(report.table, fds)
+        assert report.rounds >= 2
+
+    def test_multi_rhs_fd_normalized(self, schema):
+        schema3 = Schema("R", ["k", "v", "w"])
+        table = Table(schema3, [["a", "x", "1"], ["a", "x", "2"]])
+        report = heu_repair(table, [FD(["k"], ["v", "w"])])
+        assert is_consistent_instance(report.table,
+                                      [FD(["k"], ["v"]), FD(["k"], ["w"])])
+
+
+class TestCsm:
+    def test_output_consistent(self, schema, fd):
+        table = Table(schema, [["a", "x"], ["a", "y"], ["a", "z"],
+                               ["b", "p"], ["b", "q"]])
+        report = csm_repair(table, [fd], seed=1)
+        assert report.consistent
+        assert is_consistent_instance(report.table, [fd])
+
+    def test_deterministic_by_seed(self, table, fd):
+        a = csm_repair(table, [fd], seed=42)
+        b = csm_repair(table, [fd], seed=42)
+        assert a.table == b.table
+
+    def test_different_seeds_can_differ(self, schema, fd):
+        table = Table(schema, [["a", "x"], ["a", "y"]] * 10)
+        results = {csm_repair(table, [fd], seed=s).table.to_text()
+                   for s in range(6)}
+        assert len(results) > 1
+
+    def test_left_repairs_use_fresh_values(self, schema, fd):
+        table = Table(schema, [["a", "x"], ["a", "y"]] * 5)
+        report = csm_repair(table, [fd], seed=0,
+                            left_repair_probability=1.0)
+        fresh = [report.table[r][a] for r, a in report.changed_cells
+                 if report.table[r][a].startswith(FRESH_PREFIX)]
+        assert fresh  # at least one left repair happened
+        assert is_consistent_instance(report.table, [fd])
+
+    def test_right_only_mode(self, table, fd):
+        report = csm_repair(table, [fd], seed=0,
+                            left_repair_probability=0.0)
+        for r, a in report.changed_cells:
+            assert not report.table[r][a].startswith(FRESH_PREFIX)
+        assert report.consistent
+
+    def test_invalid_probability_rejected(self, table, fd):
+        with pytest.raises(ValueError):
+            csm_repair(table, [fd], left_repair_probability=1.5)
+
+    def test_clean_input_untouched(self, schema, fd):
+        table = Table(schema, [["a", "x"], ["b", "y"]])
+        report = csm_repair(table, [fd], seed=3)
+        assert report.table == table
+        assert report.steps == 0
+
+    def test_input_not_mutated(self, table, fd):
+        snapshot = table.copy()
+        csm_repair(table, [fd], seed=4)
+        assert table == snapshot

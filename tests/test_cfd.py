@@ -1,0 +1,99 @@
+"""Unit tests for repro.dependencies.cfd."""
+
+import pytest
+
+from repro.dependencies import CFD, WILDCARD, cfd_violations
+from repro.errors import DependencyError
+from repro.relational import Row, Schema, Table
+
+
+@pytest.fixture()
+def schema():
+    return Schema("R", ["country", "capital", "city"])
+
+
+@pytest.fixture()
+def constant_cfd():
+    """country=China -> capital=Beijing."""
+    return CFD(["country"], "capital",
+               {"country": "China", "capital": "Beijing"})
+
+
+@pytest.fixture()
+def variable_cfd():
+    """country=China -> capital must be uniform (variable RHS)."""
+    return CFD(["country"], "capital", {"country": "China"})
+
+
+class TestConstruction:
+    def test_empty_lhs_rejected(self):
+        with pytest.raises(DependencyError):
+            CFD([], "b", {})
+
+    def test_rhs_in_lhs_rejected(self):
+        with pytest.raises(DependencyError, match="must not appear"):
+            CFD(["a"], "a", {"a": "1"})
+
+    def test_missing_pattern_attr_rejected(self):
+        with pytest.raises(DependencyError, match="missing"):
+            CFD(["a", "b"], "c", {"a": "1"})
+
+    def test_rhs_pattern_defaults_to_wildcard(self, variable_cfd):
+        assert variable_cfd.rhs_pattern == WILDCARD
+
+    def test_equality_and_hash(self, constant_cfd):
+        same = CFD(["country"], "capital",
+                   {"country": "China", "capital": "Beijing"})
+        assert constant_cfd == same
+        assert hash(constant_cfd) == hash(same)
+
+
+class TestSemantics:
+    def test_lhs_matches_constant(self, schema, constant_cfd):
+        row = Row(schema, ["China", "Shanghai", "x"])
+        assert constant_cfd.lhs_matches(row)
+        assert not constant_cfd.lhs_matches(
+            Row(schema, ["Japan", "Tokyo", "x"]))
+
+    def test_lhs_wildcard_matches_everything(self, schema):
+        cfd = CFD(["country"], "capital", {"country": WILDCARD})
+        assert cfd.lhs_matches(Row(schema, ["Anything", "a", "b"]))
+
+    def test_violated_by_constant_rhs(self, schema, constant_cfd):
+        assert constant_cfd.violated_by(
+            Row(schema, ["China", "Shanghai", "x"]))
+        assert not constant_cfd.violated_by(
+            Row(schema, ["China", "Beijing", "x"]))
+
+    def test_variable_rhs_never_single_tuple_violation(self, schema,
+                                                       variable_cfd):
+        assert not variable_cfd.violated_by(
+            Row(schema, ["China", "anything", "x"]))
+
+
+class TestViolationDetection:
+    def test_constant_cfd_violations(self, schema, constant_cfd):
+        table = Table(schema, [
+            ["China", "Beijing", "a"],
+            ["China", "Shanghai", "b"],
+            ["Japan", "Tokyo", "c"],
+        ])
+        assert cfd_violations(table, constant_cfd) == [(1,)]
+
+    def test_variable_cfd_violations_are_pairs(self, schema, variable_cfd):
+        table = Table(schema, [
+            ["China", "Beijing", "a"],
+            ["China", "Shanghai", "b"],
+            ["China", "Beijing", "c"],
+            ["Japan", "Tokyo", "d"],
+        ])
+        pairs = cfd_violations(table, variable_cfd)
+        assert (0, 1) in pairs and (1, 2) in pairs
+        assert (0, 2) not in pairs  # same capital, no violation
+
+    def test_no_violations_on_clean(self, schema, variable_cfd):
+        table = Table(schema, [
+            ["China", "Beijing", "a"],
+            ["China", "Beijing", "b"],
+        ])
+        assert cfd_violations(table, variable_cfd) == []

@@ -1,0 +1,107 @@
+"""Empirical verification of the Section 6 complexity claims, using
+the match-examination instrumentation.
+
+The unit of work counted is one ``matches`` examination — what both
+algorithms spend their time on.  Wall-clock tests are noisy; counting
+operations makes the asymptotic claims deterministic.
+"""
+
+import pytest
+
+from repro.core import (MatchCounter, chase_repair, counting_rules,
+                        fast_repair)
+from repro.datagen import constraint_attributes, inject_noise
+from repro.rulegen import generate_rules
+
+
+@pytest.fixture(scope="module")
+def workbench(small_hosp):
+    """Dirty rows + a large consistent rule set + per-size wrappers."""
+    noise = inject_noise(small_hosp.clean,
+                         constraint_attributes(small_hosp.fds),
+                         noise_rate=0.10, typo_ratio=0.5, seed=31)
+    rules = generate_rules(small_hosp.clean, noise.table, small_hosp.fds,
+                           enrichment_per_rule=2)
+    return noise.table, rules
+
+
+def _checks_per_tuple(table, rules, algorithm, sample=60):
+    counter = MatchCounter()
+    wrapped = counting_rules(rules, counter)
+    for row in list(table)[:sample]:
+        algorithm(row, wrapped)
+    return counter.checks / sample
+
+
+class TestChaseComplexity:
+    def test_examinations_grow_linearly_with_sigma(self, workbench):
+        """cRepair scans every unused rule each pass: work ~ |Σ|."""
+        table, rules = workbench
+        small = _checks_per_tuple(table, rules.subset(100), chase_repair)
+        large = _checks_per_tuple(table, rules.subset(400), chase_repair)
+        assert small >= 100            # at least one full scan
+        ratio = large / small
+        assert 3.0 < ratio < 5.5       # ~4x rules -> ~4x examinations
+
+    def test_each_rule_examined_at_least_once(self, workbench):
+        table, rules = workbench
+        per_tuple = _checks_per_tuple(table, rules.subset(200),
+                                      chase_repair)
+        assert per_tuple >= 200
+
+
+class TestFastComplexity:
+    def test_examinations_bounded_by_frontier(self, workbench):
+        """lRepair examines only rules whose evidence counter
+        completes — orders of magnitude below |Σ| on real data."""
+        table, rules = workbench
+        per_tuple = _checks_per_tuple(table, rules.subset(400),
+                                      fast_repair)
+        assert per_tuple < 40  # frontier, not the whole rule set
+
+    def test_examinations_grow_slower_than_chase(self, workbench):
+        """Growing |Σ| 4x: lRepair's examinations stay a small
+        fraction of |Σ| and grow strictly slower than cRepair's (its
+        frontier only admits rules whose evidence completes, while the
+        chase rescans everything)."""
+        table, rules = workbench
+        fast_small = _checks_per_tuple(table, rules.subset(100),
+                                       fast_repair)
+        fast_large = _checks_per_tuple(table, rules.subset(400),
+                                       fast_repair)
+        chase_small = _checks_per_tuple(table, rules.subset(100),
+                                        chase_repair)
+        chase_large = _checks_per_tuple(table, rules.subset(400),
+                                        chase_repair)
+        assert fast_large < 0.1 * 400  # tiny fraction of |Sigma|
+        assert fast_large / fast_small < chase_large / chase_small
+
+    def test_fast_beats_chase_on_examinations(self, workbench):
+        table, rules = workbench
+        sub = rules.subset(300)
+        chase = _checks_per_tuple(table, sub, chase_repair)
+        fast = _checks_per_tuple(table, sub, fast_repair)
+        assert fast * 5 < chase
+
+    def test_each_rule_examined_at_most_once_per_tuple(self, workbench):
+        """The Fig. 7 discipline: a rule leaves the frontier for good,
+        so per tuple it is match-examined at most once."""
+        table, rules = workbench
+        sub = rules.subset(300)
+        for row in list(table)[:40]:
+            counter = MatchCounter()
+            wrapped = counting_rules(sub, counter)
+            fast_repair(row, wrapped)
+            assert counter.checks <= len(sub)
+
+
+class TestAgreementUnderInstrumentation:
+    def test_wrapped_rules_behave_identically(self, workbench):
+        table, rules = workbench
+        sub = rules.subset(150)
+        counter = MatchCounter()
+        wrapped = counting_rules(sub, counter)
+        for row in list(table)[:30]:
+            assert (fast_repair(row, wrapped).row
+                    == fast_repair(row, sub).row)
+        assert counter.checks > 0

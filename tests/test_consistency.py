@@ -1,0 +1,192 @@
+"""Unit tests for repro.core.consistency — Sections 4.2 and 5.2,
+including every Fig. 4 case and the paper's worked examples."""
+
+import pytest
+
+from repro.core import (CASE_B_I_IN_X_J, CASE_B_J_IN_X_I, CASE_MUTUAL,
+                        CASE_SAME_ATTRIBUTE, FixingRule, RuleSet,
+                        check_pair_characterize, check_pair_enumerate,
+                        enumerate_candidate_tuples, find_conflicts,
+                        is_consistent, is_consistent_characterize,
+                        is_consistent_enumerate)
+from repro.relational import Schema
+
+
+@pytest.fixture()
+def schema():
+    return Schema("R", ["a", "b", "c", "d"])
+
+
+class TestPaperExamples:
+    def test_phi1_phi2_consistent(self, phi1, phi2):
+        """Example 10: φ1' and φ2 can never co-match (China vs Canada)."""
+        assert check_pair_characterize(phi1, phi2) is None
+
+    def test_phi1prime_phi3_inconsistent(self, phi1_prime, phi3):
+        """Example 8/10: φ1' and φ3 conflict via case 2(c)."""
+        conflict = check_pair_characterize(phi1_prime, phi3)
+        assert conflict is not None
+        assert conflict.kind == CASE_MUTUAL
+
+    def test_phi1_phi3_consistent(self, phi1, phi3):
+        """After the expert removes Tokyo (Fig. 5), φ1 and φ3 agree."""
+        assert check_pair_characterize(phi1, phi3) is None
+
+    def test_full_paper_ruleset_consistent(self, paper_rules):
+        assert is_consistent(paper_rules)
+        assert is_consistent_characterize(paper_rules)
+        assert is_consistent_enumerate(paper_rules)
+
+    def test_example9_enumeration_count(self, travel_schema, phi1, phi2):
+        """Example 9: exactly 2 x 3 = 6 candidate tuples for φ1, φ2."""
+        tuples = list(enumerate_candidate_tuples(travel_schema, phi1,
+                                                 phi2))
+        assert len(tuples) == 6
+        projections = {(t["country"], t["capital"]) for t in tuples}
+        assert projections == {
+            ("China", "Shanghai"), ("China", "Hongkong"),
+            ("China", "Toronto"), ("Canada", "Shanghai"),
+            ("Canada", "Hongkong"), ("Canada", "Toronto"),
+        }
+
+    def test_enumerate_finds_phi1prime_phi3_conflict(self, travel_schema,
+                                                     phi1_prime, phi3):
+        conflict = check_pair_enumerate(travel_schema, phi1_prime, phi3)
+        assert conflict is not None
+        assert conflict.witness is not None
+        # The witness must be the r3-like tuple of Example 8.
+        assert conflict.witness["country"] == "China"
+        assert conflict.witness["capital"] == "Tokyo"
+
+
+class TestCase1SameAttribute:
+    def test_conflict_overlapping_negatives_different_facts(self):
+        a = FixingRule({"a": "1"}, "b", {"x", "y"}, "F1")
+        b = FixingRule({"a": "1"}, "b", {"y", "z"}, "F2")
+        conflict = check_pair_characterize(a, b)
+        assert conflict is not None
+        assert conflict.kind == CASE_SAME_ATTRIBUTE
+
+    def test_consistent_same_fact(self):
+        a = FixingRule({"a": "1"}, "b", {"x", "y"}, "F")
+        b = FixingRule({"a": "1"}, "b", {"y", "z"}, "F")
+        assert check_pair_characterize(a, b) is None
+
+    def test_consistent_disjoint_negatives(self):
+        a = FixingRule({"a": "1"}, "b", {"x"}, "F1")
+        b = FixingRule({"a": "1"}, "b", {"z"}, "F2")
+        assert check_pair_characterize(a, b) is None
+
+    def test_consistent_incompatible_evidence(self):
+        a = FixingRule({"a": "1"}, "b", {"x"}, "F1")
+        b = FixingRule({"a": "2"}, "b", {"x"}, "F2")
+        assert check_pair_characterize(a, b) is None
+
+    def test_disjoint_evidence_attrs_can_still_conflict(self):
+        """Xi ∩ Xj = ∅ satisfies line 2 vacuously."""
+        a = FixingRule({"a": "1"}, "b", {"x"}, "F1")
+        b = FixingRule({"c": "2"}, "b", {"x"}, "F2")
+        conflict = check_pair_characterize(a, b)
+        assert conflict is not None and conflict.kind == CASE_SAME_ATTRIBUTE
+
+
+class TestCase2Directional:
+    def test_case_2a(self):
+        """B_i ∈ X_j, B_j ∉ X_i, tp_j[B_i] ∈ T_i."""
+        rule_i = FixingRule({"a": "1"}, "b", {"bad"}, "good")
+        rule_j = FixingRule({"a": "1", "b": "bad"}, "c", {"n"}, "f")
+        conflict = check_pair_characterize(rule_i, rule_j)
+        assert conflict is not None
+        assert conflict.kind == CASE_B_I_IN_X_J
+
+    def test_case_2a_consistent_when_evidence_not_negative(self):
+        rule_i = FixingRule({"a": "1"}, "b", {"bad"}, "good")
+        rule_j = FixingRule({"a": "1", "b": "fine"}, "c", {"n"}, "f")
+        assert check_pair_characterize(rule_i, rule_j) is None
+
+    def test_case_2b_symmetric(self):
+        """B_j ∈ X_i, B_i ∉ X_j, tp_i[B_j] ∈ T_j — argument order
+        swapped relative to case 2a."""
+        rule_i = FixingRule({"a": "1", "b": "bad"}, "c", {"n"}, "f")
+        rule_j = FixingRule({"a": "1"}, "b", {"bad"}, "good")
+        conflict = check_pair_characterize(rule_i, rule_j)
+        assert conflict is not None
+        assert conflict.kind == CASE_B_J_IN_X_I
+
+    def test_case_2c_mutual(self):
+        rule_i = FixingRule({"b": "p"}, "c", {"q"}, "c-fix")
+        rule_j = FixingRule({"c": "q"}, "b", {"p"}, "b-fix")
+        conflict = check_pair_characterize(rule_i, rule_j)
+        assert conflict is not None
+        assert conflict.kind == CASE_MUTUAL
+
+    def test_case_2c_needs_both_memberships(self):
+        rule_i = FixingRule({"b": "p"}, "c", {"q"}, "c-fix")
+        rule_j = FixingRule({"c": "OTHER"}, "b", {"p"}, "b-fix")
+        assert check_pair_characterize(rule_i, rule_j) is None
+
+    def test_case_2d_always_consistent(self):
+        """Neither rule reads the other's corrected attribute."""
+        rule_i = FixingRule({"a": "1"}, "b", {"x"}, "f1")
+        rule_j = FixingRule({"a": "1"}, "c", {"y"}, "f2")
+        assert check_pair_characterize(rule_i, rule_j) is None
+
+
+class TestCheckerEquivalence:
+    """isConsist_t and isConsist_r must agree (both are sound and
+    complete); spot-check on every case family."""
+
+    @pytest.mark.parametrize("make_pair", [
+        lambda: (FixingRule({"a": "1"}, "b", {"x", "y"}, "F1"),
+                 FixingRule({"a": "1"}, "b", {"y"}, "F2")),
+        lambda: (FixingRule({"a": "1"}, "b", {"x"}, "F"),
+                 FixingRule({"a": "1"}, "b", {"x"}, "F")),
+        lambda: (FixingRule({"a": "1"}, "b", {"bad"}, "good"),
+                 FixingRule({"a": "1", "b": "bad"}, "c", {"n"}, "f")),
+        lambda: (FixingRule({"b": "p"}, "c", {"q"}, "cf"),
+                 FixingRule({"c": "q"}, "b", {"p"}, "bf")),
+        lambda: (FixingRule({"a": "1"}, "b", {"x"}, "f1"),
+                 FixingRule({"a": "1"}, "c", {"y"}, "f2")),
+        lambda: (FixingRule({"a": "1"}, "b", {"x"}, "f1"),
+                 FixingRule({"a": "2"}, "b", {"x"}, "f2")),
+    ])
+    def test_agreement(self, schema, make_pair):
+        rule_a, rule_b = make_pair()
+        by_char = check_pair_characterize(rule_a, rule_b) is None
+        by_enum = check_pair_enumerate(schema, rule_a, rule_b) is None
+        assert by_char == by_enum
+
+
+class TestFindConflicts:
+    def test_all_conflicts_reported(self, schema):
+        a = FixingRule({"a": "1"}, "b", {"x"}, "F1", name="a")
+        b = FixingRule({"a": "1"}, "b", {"x"}, "F2", name="b")
+        c = FixingRule({"a": "1"}, "b", {"x"}, "F3", name="c")
+        conflicts = find_conflicts([a, b, c])
+        assert len(conflicts) == 3  # all pairs
+
+    def test_first_only_stops_early(self, schema):
+        a = FixingRule({"a": "1"}, "b", {"x"}, "F1")
+        b = FixingRule({"a": "1"}, "b", {"x"}, "F2")
+        c = FixingRule({"a": "1"}, "b", {"x"}, "F3")
+        assert len(find_conflicts([a, b, c], first_only=True)) == 1
+
+    def test_ruleset_input_carries_schema(self, paper_rules):
+        assert find_conflicts(paper_rules, method="enumerate") == []
+
+    def test_enumerate_without_schema_raises(self, phi1, phi2):
+        with pytest.raises(ValueError, match="needs a schema"):
+            find_conflicts([phi1, phi2], method="enumerate")
+
+    def test_unknown_method_raises(self, phi1, phi2):
+        with pytest.raises(ValueError, match="method must be"):
+            find_conflicts([phi1, phi2], method="magic")
+
+    def test_empty_and_singleton_trivially_consistent(self, phi1):
+        assert is_consistent([])
+        assert is_consistent([phi1])
+
+    def test_conflict_describe_mentions_rule_names(self, phi1_prime, phi3):
+        conflict = check_pair_characterize(phi1_prime, phi3)
+        text = conflict.describe()
+        assert "phi1_prime" in text and "phi3" in text

@@ -1,0 +1,78 @@
+"""Unit tests for repro.relational.csvio."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.relational import (Schema, Table, read_csv, read_csv_text,
+                              read_json, write_csv, write_json)
+
+
+@pytest.fixture()
+def table():
+    schema = Schema("R", ["a", "b"])
+    return Table(schema, [["1", "x"], ["2", "y,z"], ["3", 'quote"inside']])
+
+
+class TestCsvRoundTrip:
+    def test_roundtrip_with_schema(self, table, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        back = read_csv(path, schema=table.schema)
+        assert back == table
+
+    def test_roundtrip_without_schema_derives_one(self, table, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        back = read_csv(path, schema_name="derived")
+        assert back.schema.name == "derived"
+        assert back.schema.attribute_names == ("a", "b")
+        assert [r.values for r in back] == [r.values for r in table]
+
+    def test_special_characters_survive(self, table, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(table, path)
+        back = read_csv(path)
+        assert back[1]["b"] == "y,z"
+        assert back[2]["b"] == 'quote"inside'
+
+    def test_column_reordering_to_schema(self):
+        text = "b,a\nx,1\n"
+        schema = Schema("R", ["a", "b"])
+        table = read_csv_text(text, schema=schema)
+        assert table[0].values == ("1", "x")
+
+    def test_header_mismatch_raises(self):
+        schema = Schema("R", ["a", "b"])
+        with pytest.raises(SerializationError, match="does not match"):
+            read_csv_text("a,q\n1,2\n", schema=schema)
+
+    def test_empty_file_raises(self):
+        with pytest.raises(SerializationError, match="empty"):
+            read_csv_text("")
+
+    def test_ragged_row_raises(self):
+        with pytest.raises(SerializationError, match="line 3"):
+            read_csv_text("a,b\n1,2\n1\n")
+
+    def test_blank_lines_tolerated(self):
+        table = read_csv_text("a,b\n1,2\n\n3,4\n")
+        assert len(table) == 2
+
+    def test_read_csv_missing_file(self, tmp_path):
+        with pytest.raises(OSError):
+            read_csv(tmp_path / "nope.csv")
+
+
+class TestJsonRoundTrip:
+    def test_roundtrip(self, table, tmp_path):
+        path = tmp_path / "t.json"
+        write_json(table, path)
+        back = read_json(path)
+        assert back == table
+        assert back.schema.name == "R"
+
+    def test_malformed_json_payload(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"rows": []}', encoding="utf-8")
+        with pytest.raises(SerializationError, match="malformed"):
+            read_json(path)

@@ -1,0 +1,119 @@
+"""Unit tests for the HOSP and UIS generators (repro.datagen)."""
+
+import pytest
+
+from repro.datagen import (HOSP_ATTRIBUTES, UIS_ATTRIBUTES, generate_hosp,
+                           generate_uis, hosp_fds, hosp_schema, uis_fds,
+                           uis_schema)
+from repro.dependencies import is_consistent_instance
+
+
+class TestHospSchemaAndFds:
+    def test_schema_has_17_attributes(self):
+        assert len(hosp_schema()) == 17
+        assert hosp_schema().attribute_names == HOSP_ATTRIBUTES
+
+    def test_five_fds_as_in_paper(self):
+        fds = hosp_fds()
+        assert len(fds) == 5
+        assert fds[0].lhs == ("PN",)
+        assert fds[4].lhs == ("state", "MC")
+        assert fds[4].rhs == ("stateAvg",)
+
+    def test_fds_reference_only_schema_attributes(self):
+        schema = hosp_schema()
+        for fd in hosp_fds():
+            fd.validate(schema)
+
+
+class TestHospGeneration:
+    def test_row_count(self):
+        assert len(generate_hosp(rows=120, seed=1)) == 120
+
+    def test_all_fds_hold_on_clean_data(self):
+        table = generate_hosp(rows=400, seed=2)
+        assert is_consistent_instance(table, hosp_fds())
+
+    def test_deterministic_by_seed(self):
+        a = generate_hosp(rows=50, seed=9)
+        b = generate_hosp(rows=50, seed=9)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_hosp(rows=50, seed=1)
+        b = generate_hosp(rows=50, seed=2)
+        assert a != b
+
+    def test_providers_repeat_across_rows(self):
+        """HOSP must have repeated LHS patterns (providers reporting
+        many measures) — the property rule-based repair relies on."""
+        table = generate_hosp(rows=300, seed=3)
+        assert len(table.active_domain("PN")) < 300 / 3
+
+    def test_explicit_pool_sizes(self):
+        table = generate_hosp(rows=100, providers=5, measures=4, seed=1)
+        assert len(table.active_domain("PN")) <= 5
+        assert len(table.active_domain("MC")) <= 4
+
+    def test_state_avg_functional_in_state_and_mc(self):
+        table = generate_hosp(rows=300, seed=4)
+        seen = {}
+        for row in table:
+            key = (row["state"], row["MC"])
+            assert seen.setdefault(key, row["stateAvg"]) == row["stateAvg"]
+
+
+class TestUisSchemaAndFds:
+    def test_schema_has_11_attributes(self):
+        assert len(uis_schema()) == 11
+        assert uis_schema().attribute_names == UIS_ATTRIBUTES
+
+    def test_three_fds_as_in_paper(self):
+        fds = uis_fds()
+        assert len(fds) == 3
+        assert fds[0].lhs == ("ssn",)
+        assert fds[1].lhs == ("fname", "minit", "lname")
+        assert fds[2].lhs == ("zip",)
+        assert set(fds[2].rhs) == {"state", "city"}
+
+
+class TestUisGeneration:
+    def test_row_count(self):
+        assert len(generate_uis(rows=80, seed=1)) == 80
+
+    def test_all_fds_hold_on_clean_data(self):
+        table = generate_uis(rows=300, seed=2)
+        assert is_consistent_instance(table, uis_fds())
+
+    def test_deterministic_by_seed(self):
+        assert generate_uis(rows=40, seed=3) == generate_uis(rows=40,
+                                                             seed=3)
+
+    def test_record_ids_unique(self):
+        table = generate_uis(rows=150, seed=4)
+        assert len(table.active_domain("RecordID")) == 150
+
+    def test_few_repeated_patterns(self):
+        """The property behind Fig. 10(f)'s low recall: most ssn values
+        occur exactly once."""
+        table = generate_uis(rows=300, duplicate_ratio=0.05, seed=5)
+        counts = table.value_counts("ssn")
+        singletons = sum(1 for c in counts.values() if c == 1)
+        assert singletons / len(counts) > 0.85
+
+    def test_duplicates_share_everything_but_record_id(self):
+        table = generate_uis(rows=400, duplicate_ratio=0.3, seed=6)
+        groups = table.group_by(["ssn"])
+        dup_group = next(idx for idx in groups.values() if len(idx) > 1)
+        first, second = dup_group[0], dup_group[1]
+        assert table[first]["RecordID"] != table[second]["RecordID"]
+        for attr in UIS_ATTRIBUTES[1:]:
+            assert table[first][attr] == table[second][attr]
+
+    def test_bad_duplicate_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            generate_uis(rows=10, duplicate_ratio=1.5)
+
+    def test_zip_pool_controls_zip_variety(self):
+        table = generate_uis(rows=200, zip_pool=10, seed=7)
+        assert len(table.active_domain("zip")) <= 10

@@ -1,0 +1,183 @@
+"""Edge-case and error-path tests across modules — the cases a
+downstream user hits on day two."""
+
+import pytest
+
+from repro.core import (FixingRule, InvertedIndex, RuleSet, chase_repair,
+                        enumerate_candidate_tuples, fast_repair,
+                        check_pair_characterize, find_conflicts,
+                        repair_table)
+from repro.core.consistency import OUT_OF_DOMAIN
+from repro.errors import (BudgetExceededError, DependencyError,
+                          InconsistentRulesError, ReproError, RuleError,
+                          SchemaError, SerializationError, TableError)
+from repro.relational import Row, Schema, Table
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc_type", [
+        SchemaError, TableError, RuleError, InconsistentRulesError,
+        BudgetExceededError, DependencyError, SerializationError])
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_inconsistent_rules_error_carries_conflicts(self):
+        err = InconsistentRulesError("msg", conflicts=["c1", "c2"])
+        assert err.conflicts == ["c1", "c2"]
+        assert InconsistentRulesError("msg").conflicts == []
+
+
+class TestUnicodeAndOddValues:
+    def test_unicode_values_through_repair(self):
+        schema = Schema("R", ["país", "capital"])
+        rule = FixingRule({"país": "中国"}, "capital", {"上海"}, "北京")
+        table = Table(schema, [["中国", "上海"], ["中国", "北京"]])
+        report = repair_table(table, RuleSet(schema, [rule]))
+        assert report.table[0]["capital"] == "北京"
+        assert report.total_applications == 1
+
+    def test_empty_string_values_are_ordinary(self):
+        """Empty strings are values like any other (no NULL magic)."""
+        schema = Schema("R", ["a", "b"])
+        rule = FixingRule({"a": ""}, "b", {""}, "filled")
+        row = Row(schema, ["", ""])
+        assert rule.matches(row)
+        assert rule.apply(row)["b"] == "filled"
+
+    def test_whitespace_sensitive_matching(self):
+        schema = Schema("R", ["a", "b"])
+        rule = FixingRule({"a": "x"}, "b", {"bad"}, "good")
+        row = Row(schema, ["x ", "bad"])  # trailing space: no match
+        assert not rule.matches(row)
+
+
+class TestConsistencyEdgeCases:
+    def test_rule_is_consistent_with_itself_duplicate(self):
+        a = FixingRule({"k": "1"}, "v", {"x"}, "F")
+        b = FixingRule({"k": "1"}, "v", {"x"}, "F", name="twin")
+        assert check_pair_characterize(a, b) is None
+
+    def test_multi_attribute_partial_evidence_overlap(self):
+        """Shared attrs agree, extra attrs differ: still co-matchable,
+        so case 1 applies."""
+        a = FixingRule({"k": "1", "m": "2"}, "v", {"x"}, "F1")
+        b = FixingRule({"k": "1", "n": "3"}, "v", {"x"}, "F2")
+        conflict = check_pair_characterize(a, b)
+        assert conflict is not None
+
+    def test_partial_overlap_disagreement_is_safe(self):
+        a = FixingRule({"k": "1", "m": "2"}, "v", {"x"}, "F1")
+        b = FixingRule({"k": "OTHER", "n": "3"}, "v", {"x"}, "F2")
+        assert check_pair_characterize(a, b) is None
+
+    def test_enumeration_uses_out_of_domain_elsewhere(self,
+                                                      travel_schema,
+                                                      phi1, phi2):
+        for candidate in enumerate_candidate_tuples(travel_schema, phi1,
+                                                    phi2):
+            assert candidate["name"] == OUT_OF_DOMAIN
+            assert candidate["conf"] == OUT_OF_DOMAIN
+
+    def test_conflict_describe_includes_witness(self, travel_schema,
+                                                phi1_prime, phi3):
+        from repro.core import check_pair_enumerate
+        conflict = check_pair_enumerate(travel_schema, phi1_prime, phi3)
+        assert "witness tuple" in conflict.describe()
+
+    def test_find_conflicts_on_empty(self):
+        assert find_conflicts([]) == []
+
+
+class TestRepairEdgeCases:
+    def test_explicit_order_applies_permutation(self, travel_data,
+                                                paper_rules):
+        result = chase_repair(travel_data[1], paper_rules,
+                              order=(3, 2, 1, 0))
+        # Same unique fix regardless of the permutation.
+        assert result.row["capital"] == "Beijing"
+        assert result.row["city"] == "Shanghai"
+
+    def test_fast_repair_builds_index_when_missing(self, travel_data,
+                                                   paper_rules):
+        result = fast_repair(travel_data[1], paper_rules)
+        assert result.row["capital"] == "Beijing"
+
+    def test_fast_repair_with_shared_index_object(self, travel_data,
+                                                  paper_rules):
+        index = InvertedIndex(paper_rules.rules())
+        first = fast_repair(travel_data[1], paper_rules, index=index)
+        second = fast_repair(travel_data[1], paper_rules, index=index)
+        assert first.row == second.row
+
+    def test_single_rule_self_cascade_impossible(self):
+        """A rule cannot re-fire on its own output: the fact is not a
+        negative pattern and B becomes assured."""
+        schema = Schema("R", ["a", "b"])
+        rule = FixingRule({"a": "1"}, "b", {"x", "y"}, "z")
+        result = chase_repair(Row(schema, ["1", "x"]), [rule])
+        assert len(result.applied) == 1
+
+    def test_two_rule_ping_pong_terminates(self):
+        """Rules writing each other's evidence cannot loop: assured
+        attributes break the cycle within |R| steps."""
+        schema = Schema("R", ["a", "b"])
+        r1 = FixingRule({"a": "1"}, "b", {"x"}, "y")
+        r2 = FixingRule({"b": "y"}, "a", {"1"}, "2")
+        result = chase_repair(Row(schema, ["1", "x"]), [r1, r2])
+        assert len(result.applied) <= 2
+
+    def test_repair_row_with_out_of_rule_values(self, travel_schema,
+                                                paper_rules):
+        row = Row(travel_schema, ["X", "Narnia", "Cair Paravel",
+                                  "Lantern Waste", "TUMNUS"])
+        result = fast_repair(row, paper_rules)
+        assert result.row == row
+
+
+class TestCliErrorPaths:
+    def test_missing_rule_file(self, tmp_path, capsys):
+        from repro.cli import main
+        with pytest.raises(OSError):
+            main(["check", str(tmp_path / "absent.json")])
+
+    def test_malformed_fd_text(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.relational import Schema, Table, write_csv
+        schema = Schema("R", ["a", "b"])
+        path = tmp_path / "t.csv"
+        write_csv(Table(schema, [["1", "2"]]), path)
+        rc = main(["rules", str(path), str(path),
+                   str(tmp_path / "out.json"), "--fd", "no arrow here"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_schema_mismatch_between_files(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.core import save_ruleset
+        from repro.relational import Schema, Table, write_csv
+        rules = RuleSet(Schema("R", ["a", "b"]),
+                        [FixingRule({"a": "1"}, "b", {"x"}, "y")])
+        rules_path = tmp_path / "rules.json"
+        save_ruleset(rules, rules_path)
+        data_path = tmp_path / "data.csv"
+        write_csv(Table(Schema("S", ["q", "r"]), [["1", "2"]]),
+                  data_path)
+        rc = main(["repair", str(data_path), str(rules_path),
+                   str(tmp_path / "out.csv")])
+        assert rc == 2
+
+
+class TestTableRepairReportDetails:
+    def test_cascade_order_in_changed_cells(self, travel_data,
+                                            paper_rules):
+        report = repair_table(travel_data, paper_rules)
+        r2_changes = [(row, attr) for row, attr in report.changed_cells
+                      if row == 1]
+        assert r2_changes == [(1, "capital"), (1, "city")]
+
+    def test_row_results_align_with_table(self, travel_data,
+                                          paper_rules):
+        report = repair_table(travel_data, paper_rules)
+        assert len(report.row_results) == len(report.table)
+        for result, row in zip(report.row_results, report.table):
+            assert result.row == row

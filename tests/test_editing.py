@@ -1,0 +1,99 @@
+"""Unit tests for the automated editing-rule simulation (Exp-2(d))."""
+
+import pytest
+
+from repro.baselines import EditingRule, apply_editing_rules
+from repro.core import repair_table, RuleSet
+from repro.evaluation import evaluate_repair
+from repro.master import master_from_pairs
+from repro.relational import Row, Table
+
+
+class TestDerivation:
+    def test_from_fixing_rule_drops_negatives(self, phi1):
+        edit = EditingRule.from_fixing_rule(phi1)
+        assert edit.evidence == {"country": "China"}
+        assert edit.attribute == "capital"
+        assert edit.value == "Beijing"
+        assert edit.name == "edit:phi1"
+
+    def test_from_master(self):
+        cap = master_from_pairs("Cap", "country", "capital",
+                                [("China", "Beijing"),
+                                 ("Canada", "Ottawa")])
+        rules = EditingRule.from_master(cap, {"country": "country"},
+                                        [("capital", "capital")])
+        assert len(rules) == 2
+        values = {(r.evidence["country"], r.value) for r in rules}
+        assert values == {("China", "Beijing"), ("Canada", "Ottawa")}
+
+
+class TestFiring:
+    def test_fires_on_any_non_fact_value(self, travel_schema, phi1):
+        """Without negatives, even the ambiguous (China, Tokyo) fires."""
+        edit = EditingRule.from_fixing_rule(phi1)
+        tokyo = Row(travel_schema, ["P", "China", "Tokyo", "T", "ICDE"])
+        assert edit.fires_on(tokyo)
+
+    def test_does_not_fire_when_already_fact(self, travel_schema, phi1):
+        edit = EditingRule.from_fixing_rule(phi1)
+        clean = Row(travel_schema, ["P", "China", "Beijing", "T", "ICDE"])
+        assert not edit.fires_on(clean)
+
+    def test_does_not_fire_on_other_evidence(self, travel_schema, phi1):
+        edit = EditingRule.from_fixing_rule(phi1)
+        other = Row(travel_schema, ["P", "Japan", "Tokyo", "T", "ICDE"])
+        assert not edit.fires_on(other)
+
+
+class TestApplication:
+    def test_report_counts(self, travel_data, phi1, phi2):
+        edits = [EditingRule.from_fixing_rule(phi1),
+                 EditingRule.from_fixing_rule(phi2)]
+        report = apply_editing_rules(travel_data, edits)
+        assert report.applications_by_rule["edit:phi1"] >= 1
+        assert (1, "capital") in report.changed_cells
+
+    def test_input_not_mutated(self, travel_data, phi1):
+        snapshot = travel_data.copy()
+        apply_editing_rules(travel_data,
+                            [EditingRule.from_fixing_rule(phi1)])
+        assert travel_data == snapshot
+
+    def test_assured_attribute_not_rewritten(self, travel_schema):
+        """Once a rule writes B, another rule must not overwrite it."""
+        first = EditingRule({"country": "X"}, "capital", "A", name="first")
+        second = EditingRule({"country": "X"}, "capital", "B",
+                             name="second")
+        table = Table(travel_schema, [["p", "X", "zzz", "c", "f"]])
+        report = apply_editing_rules(table, [first, second])
+        assert report.table[0]["capital"] == "A"
+
+
+class TestFixVsEditComparison:
+    """The Fig. 12(b) mechanism: left-hand-side errors poison editing
+    rules but not fixing rules."""
+
+    def test_lhs_error_breaks_editing_not_fixing(self, travel_schema,
+                                                 paper_rules, phi3):
+        # r3 has country=China (wrong; truth is Japan).  The fixing
+        # rule φ3 corrects country; the automated editing rule derived
+        # from φ1 instead *trusts* country=China and rewrites the
+        # correct capital=Tokyo to Beijing.
+        r3 = Table(travel_schema,
+                   [["Peter", "China", "Tokyo", "Tokyo", "ICDE"]])
+        clean = Table(travel_schema,
+                      [["Peter", "Japan", "Tokyo", "Tokyo", "ICDE"]])
+
+        fixed = repair_table(r3, paper_rules).table
+        assert fixed == clean
+
+        edits = [EditingRule.from_fixing_rule(rule)
+                 for rule in paper_rules]
+        edited = apply_editing_rules(r3, edits).table
+        assert edited[0]["capital"] == "Beijing"  # new error introduced
+
+        fix_quality = evaluate_repair(clean, r3, fixed)
+        edit_quality = evaluate_repair(clean, r3, edited)
+        assert fix_quality.precision > edit_quality.precision
+        assert fix_quality.recall > edit_quality.recall

@@ -1,0 +1,102 @@
+"""Unit tests for repro.evaluation.experiment — the harness that powers
+the benchmark suite."""
+
+import pytest
+
+from repro.core import is_consistent
+from repro.evaluation import (build_workload, format_series, prepare,
+                              run_all_methods, run_csm, run_editing,
+                              run_fixing_rules, run_heu)
+
+
+@pytest.fixture(scope="module")
+def prep():
+    workload = build_workload("hosp", rows=300, seed=2)
+    return prepare(workload, noise_rate=0.08, typo_ratio=0.5,
+                   enrichment_per_rule=2)
+
+
+class TestBuildWorkload:
+    def test_hosp(self):
+        workload = build_workload("hosp", rows=50)
+        assert workload.name == "hosp"
+        assert len(workload.clean) == 50
+        assert len(workload.fds) == 5
+
+    def test_uis(self):
+        workload = build_workload("uis", rows=50)
+        assert workload.name == "uis"
+        assert len(workload.fds) == 3
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            build_workload("tpch", rows=10)
+
+
+class TestPrepare:
+    def test_bundle_contents(self, prep):
+        assert len(prep.clean) == len(prep.dirty) == 300
+        assert prep.noise.errors
+        assert len(prep.rules) > 0
+        assert is_consistent(prep.rules)
+
+    def test_dirty_differs_from_clean(self, prep):
+        assert prep.clean.diff_cells(prep.dirty)
+
+    def test_max_rules_honored(self):
+        workload = build_workload("hosp", rows=200, seed=3)
+        bundle = prepare(workload, max_rules=5)
+        assert len(bundle.rules) <= 5
+
+
+class TestRunners:
+    def test_fix_fast_and_chase_agree(self, prep):
+        fast = run_fixing_rules(prep, algorithm="fast")
+        chase = run_fixing_rules(prep, algorithm="chase")
+        assert fast.repaired == chase.repaired
+        assert fast.quality == chase.quality
+
+    def test_fix_quality_reasonable(self, prep):
+        result = run_fixing_rules(prep)
+        assert result.quality.precision > 0.7
+        assert result.seconds >= 0
+
+    def test_heu_runs(self, prep):
+        result = run_heu(prep)
+        assert result.method == "Heu"
+        assert 0 <= result.quality.precision <= 1
+
+    def test_csm_runs(self, prep):
+        result = run_csm(prep, seed=1)
+        assert result.method == "Csm"
+        assert 0 <= result.quality.recall <= 1
+
+    def test_editing_runs(self, prep):
+        result = run_editing(prep)
+        assert result.method == "Edit"
+
+    def test_fix_beats_edit_on_precision(self, prep):
+        """The Fig. 12(b) headline comparison."""
+        fix = run_fixing_rules(prep)
+        edit = run_editing(prep)
+        assert fix.quality.precision >= edit.quality.precision
+
+    def test_run_all_methods(self, prep):
+        results = run_all_methods(prep)
+        assert set(results) == {"Fix", "Heu", "Csm"}
+
+
+class TestFormatSeries:
+    def test_layout(self):
+        text = format_series("Fig X", "typo%", [0, 50, 100],
+                             {"Fix": [0.9, 0.95, 1.0],
+                              "Heu": [0.2, 0.5, 0.7]})
+        lines = text.splitlines()
+        assert lines[0] == "Fig X"
+        assert "Fix" in lines[1] and "Heu" in lines[1]
+        assert len(lines) == 5
+        assert "0.950" in text
+
+    def test_non_float_cells(self):
+        text = format_series("T", "n", [1], {"count": [7]})
+        assert "7" in text

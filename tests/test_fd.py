@@ -1,0 +1,94 @@
+"""Unit tests for repro.dependencies.fd."""
+
+import pytest
+
+from repro.dependencies import FD, normalize_fds, parse_fd
+from repro.errors import DependencyError
+from repro.relational import Schema, Table
+
+
+class TestConstruction:
+    def test_basic(self):
+        fd = FD(["a", "b"], ["c"])
+        assert fd.lhs == ("a", "b")
+        assert fd.rhs == ("c",)
+
+    def test_empty_lhs_rejected(self):
+        with pytest.raises(DependencyError):
+            FD([], ["c"])
+
+    def test_empty_rhs_rejected(self):
+        with pytest.raises(DependencyError):
+            FD(["a"], [])
+
+    def test_duplicate_lhs_rejected(self):
+        with pytest.raises(DependencyError, match="duplicates"):
+            FD(["a", "a"], ["c"])
+
+    def test_duplicate_rhs_rejected(self):
+        with pytest.raises(DependencyError, match="duplicates"):
+            FD(["a"], ["c", "c"])
+
+    def test_overlap_rejected(self):
+        with pytest.raises(DependencyError, match="overlap"):
+            FD(["a", "b"], ["b"])
+
+    def test_equality_and_hash(self):
+        assert FD(["a"], ["b"]) == FD(["a"], ["b"])
+        assert FD(["a"], ["b"]) != FD(["a"], ["c"])
+        assert len({FD(["a"], ["b"]), FD(["a"], ["b"])}) == 1
+
+    def test_repr(self):
+        assert repr(FD(["a", "b"], ["c"])) == "FD(a,b -> c)"
+
+
+class TestHelpers:
+    def test_attributes(self):
+        assert FD(["a", "b"], ["c", "d"]).attributes() == ("a", "b", "c",
+                                                           "d")
+
+    def test_validate_against_schema(self):
+        schema = Schema("R", ["a", "b", "c"])
+        FD(["a"], ["b"]).validate(schema)
+        with pytest.raises(Exception):
+            FD(["a"], ["zz"]).validate(schema)
+
+    def test_split(self):
+        singles = FD(["a"], ["b", "c"]).split()
+        assert singles == [FD(["a"], ["b"]), FD(["a"], ["c"])]
+
+    def test_holds_on_clean_data(self):
+        schema = Schema("R", ["k", "v"])
+        table = Table(schema, [["1", "x"], ["1", "x"], ["2", "y"]])
+        assert FD(["k"], ["v"]).holds_on(table)
+
+    def test_holds_on_detects_violation(self):
+        schema = Schema("R", ["k", "v"])
+        table = Table(schema, [["1", "x"], ["1", "DIFFERENT"]])
+        assert not FD(["k"], ["v"]).holds_on(table)
+
+
+class TestParsing:
+    def test_parse_simple(self):
+        assert parse_fd("a -> b") == FD(["a"], ["b"])
+
+    def test_parse_multi(self):
+        assert parse_fd(" a , b->c, d ") == FD(["a", "b"], ["c", "d"])
+
+    def test_parse_missing_arrow(self):
+        with pytest.raises(DependencyError, match="must contain"):
+            parse_fd("a, b, c")
+
+    def test_parse_empty_side(self):
+        with pytest.raises(DependencyError):
+            parse_fd("-> b")
+
+
+class TestNormalize:
+    def test_splits_and_dedups(self):
+        fds = [FD(["a"], ["b", "c"]), FD(["a"], ["b"])]
+        assert normalize_fds(fds) == [FD(["a"], ["b"]), FD(["a"], ["c"])]
+
+    def test_order_stable(self):
+        fds = [FD(["x"], ["y"]), FD(["a"], ["b"])]
+        assert normalize_fds(fds) == fds

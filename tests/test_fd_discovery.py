@@ -1,0 +1,120 @@
+"""Unit tests for repro.dependencies.discovery — approximate FD
+profiling."""
+
+import pytest
+
+from repro.datagen import (constraint_attributes, generate_hosp, hosp_fds,
+                           inject_noise)
+from repro.dependencies import (FD, FDCandidate, discover_fds,
+                                fd_confidence, merge_candidates)
+from repro.relational import Schema, Table
+
+
+@pytest.fixture()
+def schema():
+    return Schema("R", ["k", "v", "w"])
+
+
+class TestFdConfidence:
+    def test_exact_fd_scores_one(self, schema):
+        table = Table(schema, [["a", "1", "x"], ["a", "1", "y"],
+                               ["b", "2", "z"]])
+        assert fd_confidence(table, ["k"], "v") == 1.0
+
+    def test_dirty_fd_scores_below_one(self, schema):
+        table = Table(schema, [["a", "1", "x"]] * 9 + [["a", "2", "x"]])
+        assert fd_confidence(table, ["k"], "v") == pytest.approx(0.9)
+
+    def test_unrelated_pair_scores_low(self, schema):
+        rows = [["a", str(i), "x"] for i in range(10)]
+        table = Table(schema, rows)
+        assert fd_confidence(table, ["k"], "v") == pytest.approx(0.1)
+
+    def test_empty_table(self, schema):
+        assert fd_confidence(Table(schema), ["k"], "v") == 1.0
+
+
+class TestDiscoverFds:
+    def test_finds_exact_fd(self, schema):
+        table = Table(schema, [["a", "1", "p"], ["a", "1", "q"],
+                               ["b", "2", "p"], ["b", "2", "q"]])
+        fds = {c.fd for c in discover_fds(table)}
+        assert FD(["k"], ["v"]) in fds
+
+    def test_respects_confidence_threshold(self, schema):
+        table = Table(schema, [["a", "1", "x"]] * 7 + [["a", "2", "x"]] * 3)
+        strict = discover_fds(table, min_confidence=0.95)
+        assert FD(["k"], ["v"]) not in {c.fd for c in strict}
+        loose = discover_fds(table, min_confidence=0.65)
+        assert FD(["k"], ["v"]) in {c.fd for c in loose}
+
+    def test_key_like_lhs_skipped_without_support(self, schema):
+        """An all-distinct LHS carries no pairwise evidence."""
+        table = Table(schema, [[str(i), "1", "x"] for i in range(5)])
+        candidates = discover_fds(table, min_support=2)
+        assert all(c.fd.lhs != ("k",) for c in candidates)
+
+    def test_size2_minimality(self):
+        """A->C implies skipping (A,B)->C as non-minimal."""
+        schema = Schema("R", ["a", "b", "c"])
+        table = Table(schema, [
+            ["x", "1", "p"], ["x", "2", "p"],
+            ["y", "1", "q"], ["y", "2", "q"],
+        ])
+        candidates = discover_fds(table, max_lhs=2)
+        lhss = {c.fd.lhs for c in candidates if c.fd.rhs == ("c",)}
+        assert ("a",) in lhss
+        assert ("a", "b") not in lhss
+
+    def test_size2_discovered_when_needed(self):
+        """c is determined only by (a,b) jointly."""
+        schema = Schema("R", ["a", "b", "c"])
+        rows = []
+        for a in "xy":
+            for b in "12":
+                for _ in range(3):
+                    rows.append([a, b, a + b])
+        table = Table(schema, rows)
+        candidates = discover_fds(table, max_lhs=2)
+        assert FD(["a", "b"], ["c"]) in {c.fd for c in candidates}
+
+    def test_max_lhs_validation(self, schema):
+        with pytest.raises(ValueError):
+            discover_fds(Table(schema), max_lhs=3)
+
+    def test_attribute_restriction(self, schema):
+        table = Table(schema, [["a", "1", "x"], ["a", "1", "y"]])
+        candidates = discover_fds(table, attributes=["k", "v"])
+        mentioned = {attr for c in candidates
+                     for attr in c.fd.attributes()}
+        assert "w" not in mentioned
+
+    def test_recovers_hosp_fds_from_dirty_data(self):
+        """End to end: the paper's hosp FDs survive 5% noise."""
+        clean = generate_hosp(rows=400, seed=8)
+        noise = inject_noise(clean, constraint_attributes(hosp_fds()),
+                             noise_rate=0.05, seed=1)
+        candidates = discover_fds(noise.table, min_confidence=0.9,
+                                  attributes=["PN", "phn", "MC", "MN",
+                                              "condition", "zip", "city",
+                                              "state"])
+        found = {c.fd for c in candidates}
+        assert FD(["PN"], ["zip"]) in found
+        assert FD(["MC"], ["MN"]) in found
+        assert FD(["MC"], ["condition"]) in found
+
+
+class TestMergeCandidates:
+    def test_groups_by_lhs(self):
+        candidates = [
+            FDCandidate(FD(["k"], ["v"]), 1.0, 10),
+            FDCandidate(FD(["k"], ["w"]), 0.99, 10),
+            FDCandidate(FD(["z"], ["v"]), 0.98, 4),
+        ]
+        merged = merge_candidates(candidates)
+        assert merged == [FD(["k"], ["v", "w"]), FD(["z"], ["v"])]
+
+    def test_deduplicates_rhs(self):
+        candidates = [FDCandidate(FD(["k"], ["v"]), 1.0, 2),
+                      FDCandidate(FD(["k"], ["v"]), 0.97, 2)]
+        assert merge_candidates(candidates) == [FD(["k"], ["v"])]

@@ -1,0 +1,109 @@
+"""Unit tests for repro.evaluation.figures — the figure-series API
+shared by the benchmark suite and the regeneration script.
+
+These run the sweeps at toy scale; the shape assertions live in the
+benchmarks, so here we check structure, alignment and basic sanity.
+"""
+
+import math
+
+import pytest
+
+from repro.core import is_consistent
+from repro.evaluation import build_workload, prepare
+from repro.evaluation.figures import (accuracy_rule_sweep,
+                                      accuracy_typo_sweep,
+                                      consistency_timing,
+                                      corrections_per_rule, fix_vs_edit,
+                                      negative_pattern_distribution,
+                                      negatives_budget_series,
+                                      real_case_times, repair_timing,
+                                      runtime_table, seed_conflict)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload("hosp", rows=250, seed=9)
+
+
+@pytest.fixture(scope="module")
+def bundle(workload):
+    return prepare(workload, noise_rate=0.08, typo_ratio=0.5,
+                   enrichment_per_rule=2)
+
+
+class TestConsistencyTiming:
+    def test_seed_conflict_breaks_consistency(self, bundle):
+        assert is_consistent(bundle.rules)
+        spiked = seed_conflict(bundle.rules, 0)
+        assert not is_consistent(spiked)
+        assert len(spiked) == len(bundle.rules) + 1
+
+    def test_real_case_times_count(self, bundle):
+        times = real_case_times(bundle.rules.subset(30), "characterize",
+                                cases=4)
+        assert len(times) == 4
+        assert all(t >= 0 for t in times)
+
+    def test_timing_series_aligned(self, bundle):
+        sizes = [10, 20]
+        worst, real = consistency_timing(bundle.rules, sizes,
+                                         "characterize", cases=2)
+        assert len(worst) == len(real) == 2
+        assert all(t >= 0 for t in worst + real)
+
+    def test_unknown_method_rejected(self, bundle):
+        with pytest.raises(ValueError):
+            consistency_timing(bundle.rules, [5], "guess")
+
+
+class TestAccuracySweeps:
+    def test_typo_sweep_structure(self, workload):
+        precision, recall = accuracy_typo_sweep(workload, cap=20,
+                                                typo_values=[0.0, 1.0],
+                                                enrichment_per_rule=1)
+        assert set(precision) == set(recall) == {"Fix", "Heu", "Csm"}
+        for series in list(precision.values()) + list(recall.values()):
+            assert len(series) == 2
+            assert all(0.0 <= v <= 1.0 for v in series)
+
+    def test_rule_sweep_monotone_recall(self, workload):
+        full, precision, recall = accuracy_rule_sweep(
+            workload, caps=[5, 50], enrichment_per_rule=1)
+        assert len(precision) == len(recall) == 2
+        assert recall[1] >= recall[0]
+        assert len(full.rules) >= 50
+
+
+class TestNegativePatternSeries:
+    def test_distribution_counts_rules(self, bundle):
+        distribution = negative_pattern_distribution(bundle.rules)
+        assert sum(distribution.values()) == len(bundle.rules)
+
+    def test_budget_series(self, bundle):
+        budgets, precision, recall = negatives_budget_series(
+            bundle, fractions=(0.5, 1.0))
+        assert budgets[0] < budgets[1]
+        assert len(precision) == len(recall) == 2
+
+
+class TestEditingSeries:
+    def test_corrections_per_rule_sorted(self, bundle):
+        ranked = corrections_per_rule(bundle)
+        assert ranked == sorted(ranked, reverse=True)
+
+    def test_fix_vs_edit_keys(self, bundle):
+        duel = fix_vs_edit(bundle)
+        assert set(duel) == {"Fix", "Edit"}
+
+
+class TestTimingSeries:
+    def test_repair_timing(self, bundle):
+        chase, fast = repair_timing(bundle, [5, 25])
+        assert len(chase) == len(fast) == 2
+        assert all(t > 0 for t in chase + fast)
+
+    def test_runtime_table_keys(self, bundle):
+        table = runtime_table(bundle)
+        assert set(table) == {"Fix", "Heu", "Csm"}
+        assert all(t > 0 for t in table.values())

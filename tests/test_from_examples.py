@@ -1,0 +1,188 @@
+"""Unit tests for repro.rulegen.from_examples — learning rules from
+observed corrections."""
+
+import pytest
+
+from repro.core import FixingRule, is_consistent, repair_table
+from repro.errors import RuleError
+from repro.relational import Row, Table
+from repro.rulegen import (Example, examples_from_tables,
+                           rules_from_examples)
+
+
+@pytest.fixture()
+def make_row(travel_schema):
+    def _make(name, country, capital, city="c", conf="f"):
+        return Row(travel_schema, [name, country, capital, city, conf])
+    return _make
+
+
+class TestLearning:
+    def test_phi1_learned_from_two_corrections(self, travel_schema,
+                                               make_row, phi1):
+        """The paper's φ1 emerges from the Shanghai and Hongkong
+        corrections under evidence X={country}."""
+        examples = [
+            Example(make_row("A", "China", "Shanghai"),
+                    make_row("A", "China", "Beijing")),
+            Example(make_row("B", "China", "Hongkong"),
+                    make_row("B", "China", "Beijing")),
+        ]
+        learned = rules_from_examples(examples, travel_schema,
+                                      ["country"])
+        assert learned.conflicts == [] and learned.skipped == 0
+        assert len(learned.rules) == 1
+        assert learned.rules[0] == phi1
+
+    def test_different_contexts_learn_separate_rules(self, travel_schema,
+                                                     make_row):
+        examples = [
+            Example(make_row("A", "China", "Shanghai"),
+                    make_row("A", "China", "Beijing")),
+            Example(make_row("B", "Canada", "Toronto"),
+                    make_row("B", "Canada", "Ottawa")),
+        ]
+        learned = rules_from_examples(examples, travel_schema,
+                                      ["country"])
+        assert len(learned.rules) == 2
+        assert is_consistent(learned.rules)
+
+    def test_learned_rules_repair_new_data(self, travel_schema,
+                                           make_row):
+        examples = [Example(make_row("A", "China", "Shanghai"),
+                            make_row("A", "China", "Beijing"))]
+        learned = rules_from_examples(examples, travel_schema,
+                                      ["country"])
+        fresh = Table(travel_schema,
+                      [["Z", "China", "Shanghai", "q", "r"]])
+        repaired = repair_table(fresh, learned.rules).table
+        assert repaired[0]["capital"] == "Beijing"
+
+
+class TestSkippingAndConflicts:
+    def test_multi_attribute_edit_skipped(self, travel_schema, make_row):
+        examples = [Example(make_row("A", "China", "Shanghai"),
+                            make_row("A", "Japan", "Tokyo"))]
+        learned = rules_from_examples(examples, travel_schema,
+                                      ["country"])
+        assert learned.skipped == 1 and len(learned.rules) == 0
+
+    def test_noop_example_skipped(self, travel_schema, make_row):
+        row = make_row("A", "China", "Beijing")
+        learned = rules_from_examples([Example(row, row.copy())],
+                                      travel_schema, ["country"])
+        assert learned.skipped == 1
+
+    def test_evidence_edit_skipped(self, travel_schema, make_row):
+        """Correcting the context attribute itself teaches nothing
+        anchored on that context."""
+        examples = [Example(make_row("A", "Chnia", "Beijing"),
+                            make_row("A", "China", "Beijing"))]
+        learned = rules_from_examples(examples, travel_schema,
+                                      ["country"])
+        assert learned.skipped == 1
+
+    def test_contradictory_examples_reported(self, travel_schema,
+                                             make_row):
+        examples = [
+            Example(make_row("A", "China", "Shanghai"),
+                    make_row("A", "China", "Beijing")),
+            Example(make_row("B", "China", "Hongkong"),
+                    make_row("B", "China", "Nanjing")),  # disagrees
+        ]
+        learned = rules_from_examples(examples, travel_schema,
+                                      ["country"])
+        assert len(learned.conflicts) == 1
+        conflict = learned.conflicts[0]
+        assert conflict.facts == ("Beijing", "Nanjing")
+        assert "disagree" in conflict.describe()
+        # First lesson wins; the set stays consistent.
+        assert learned.rules[0].fact == "Beijing"
+        assert is_consistent(learned.rules)
+
+    def test_empty_evidence_rejected(self, travel_schema, make_row):
+        with pytest.raises(RuleError):
+            rules_from_examples([], travel_schema, [])
+
+
+class TestFdAwareLearning:
+    def test_evidence_chosen_from_governing_fd(self, travel_schema,
+                                               make_row):
+        from repro.dependencies import FD
+        from repro.rulegen import rules_from_examples_with_fds
+        examples = [
+            Example(make_row("A", "China", "Shanghai"),
+                    make_row("A", "China", "Beijing")),
+        ]
+        learned = rules_from_examples_with_fds(
+            examples, travel_schema, [FD(["country"], ["capital"])])
+        assert len(learned.rules) == 1
+        assert learned.rules[0].evidence == {"country": "China"}
+
+    def test_ungoverned_attribute_skipped(self, travel_schema, make_row):
+        from repro.dependencies import FD
+        from repro.rulegen import rules_from_examples_with_fds
+        examples = [
+            Example(make_row("A", "China", "Beijing", city="x"),
+                    make_row("A", "China", "Beijing", city="y")),
+        ]
+        learned = rules_from_examples_with_fds(
+            examples, travel_schema, [FD(["country"], ["capital"])])
+        assert len(learned.rules) == 0
+        assert learned.skipped == 1
+
+    def test_multiple_fds_route_by_attribute(self, travel_schema,
+                                             make_row):
+        from repro.dependencies import FD
+        from repro.rulegen import rules_from_examples_with_fds
+        examples = [
+            Example(make_row("A", "China", "Shanghai"),
+                    make_row("A", "China", "Beijing")),
+            Example(make_row("B", "Japan", "Tokyo", city="Edo"),
+                    make_row("B", "Japan", "Tokyo", city="Tokyo")),
+        ]
+        fds = [FD(["country"], ["capital"]), FD(["capital"], ["city"])]
+        learned = rules_from_examples_with_fds(examples, travel_schema,
+                                               fds)
+        by_attr = {rule.attribute: rule for rule in learned.rules}
+        assert set(by_attr) == {"capital", "city"}
+        assert by_attr["city"].evidence == {"capital": "Tokyo"}
+        from repro.core import is_consistent
+        assert is_consistent(learned.rules)
+
+
+class TestExamplesFromTables:
+    def test_pairs_only_changed_rows(self, travel_schema):
+        before = Table(travel_schema, [
+            ["A", "China", "Shanghai", "c", "f"],
+            ["B", "Japan", "Tokyo", "c", "f"],
+        ])
+        after = before.copy()
+        after.set_cell(0, "capital", "Beijing")
+        examples = examples_from_tables(before, after)
+        assert len(examples) == 1
+        assert examples[0].before["capital"] == "Shanghai"
+
+    def test_validation(self, travel_schema):
+        before = Table(travel_schema,
+                       [["A", "China", "Shanghai", "c", "f"]])
+        with pytest.raises(RuleError, match="aligned"):
+            examples_from_tables(before, Table(travel_schema))
+
+    def test_end_to_end_from_repair_history(self, small_hosp):
+        """Learn from one batch's corrections, apply to the next —
+        corrections captured as before/after tables."""
+        from repro.datagen import constraint_attributes, inject_noise
+        from repro.rulegen import generate_rules
+        attrs = constraint_attributes(small_hosp.fds)
+        batch1 = inject_noise(small_hosp.clean, attrs, noise_rate=0.08,
+                              seed=61)
+        oracle_rules = generate_rules(small_hosp.clean, batch1.table,
+                                      small_hosp.fds)
+        repaired1 = repair_table(batch1.table, oracle_rules).table
+        examples = examples_from_tables(batch1.table, repaired1)
+        assert examples
+        learned = rules_from_examples(examples, small_hosp.clean.schema,
+                                      ["PN"])
+        assert is_consistent(learned.rules)
+        assert len(learned.rules) > 0

@@ -1,0 +1,107 @@
+"""Unit tests for repro.rulegen.from_master — general rules extracted
+from master data / ontologies (Section 7.1)."""
+
+import pytest
+
+from repro.core import is_consistent, repair_table
+from repro.errors import RuleError
+from repro.master import MasterTable, master_from_pairs
+from repro.relational import Schema, Table
+from repro.rulegen import capitals_ruleset, rules_from_master
+
+
+@pytest.fixture()
+def cap_master():
+    return master_from_pairs("Cap", "country", "capital", [
+        ("China", "Beijing"), ("Canada", "Ottawa"), ("Japan", "Tokyo")])
+
+
+class TestRulesFromMaster:
+    def test_one_rule_per_master_row(self, cap_master, travel_schema):
+        rules = rules_from_master(cap_master, travel_schema,
+                                  {"country": "country"}, "capital")
+        assert len(rules) == 3
+        assert is_consistent(rules)
+
+    def test_negatives_are_other_master_values(self, cap_master,
+                                               travel_schema):
+        rules = rules_from_master(cap_master, travel_schema,
+                                  {"country": "country"}, "capital")
+        china = next(r for r in rules
+                     if r.evidence == {"country": "China"})
+        assert china.fact == "Beijing"
+        assert china.negatives == {"Ottawa", "Tokyo"}
+
+    def test_rules_are_instance_independent(self, cap_master,
+                                            travel_schema):
+        """The generality claim: the same rules repair any database
+        over the domain — here two unrelated instances."""
+        rules = rules_from_master(cap_master, travel_schema,
+                                  {"country": "country"}, "capital")
+        first = Table(travel_schema,
+                      [["A", "China", "Ottawa", "x", "y"]])
+        second = Table(travel_schema,
+                       [["B", "Japan", "Beijing", "p", "q"]])
+        assert repair_table(first, rules).table[0]["capital"] == "Beijing"
+        assert repair_table(second, rules).table[0]["capital"] == "Tokyo"
+
+    def test_out_of_domain_value_untouched(self, cap_master,
+                                           travel_schema):
+        """Conservatism survives: a typo not in the master domain is
+        not a negative pattern, so it is left alone."""
+        rules = rules_from_master(cap_master, travel_schema,
+                                  {"country": "country"}, "capital")
+        table = Table(travel_schema,
+                      [["A", "China", "Bejing-typo", "x", "y"]])
+        assert (repair_table(table, rules).table[0]["capital"]
+                == "Bejing-typo")
+
+    def test_extra_negatives_extend_coverage(self, cap_master,
+                                             travel_schema):
+        rules = rules_from_master(cap_master, travel_schema,
+                                  {"country": "country"}, "capital",
+                                  extra_negatives=["Shanghai"])
+        table = Table(travel_schema,
+                      [["A", "China", "Shanghai", "x", "y"]])
+        assert (repair_table(table, rules).table[0]["capital"]
+                == "Beijing")
+
+    def test_max_negatives_cap(self, cap_master, travel_schema):
+        rules = rules_from_master(cap_master, travel_schema,
+                                  {"country": "country"}, "capital",
+                                  max_negatives=1)
+        assert all(len(r.negatives) == 1 for r in rules)
+
+    def test_single_row_master_yields_nothing(self, travel_schema):
+        tiny = master_from_pairs("Cap", "country", "capital",
+                                 [("Qatar", "Doha")])
+        rules = rules_from_master(tiny, travel_schema,
+                                  {"country": "country"}, "capital")
+        assert len(rules) == 0  # no other value can serve as negative
+
+    def test_evidence_map_must_cover_key(self, cap_master,
+                                         travel_schema):
+        with pytest.raises(RuleError, match="cover the master key"):
+            rules_from_master(cap_master, travel_schema, {}, "capital")
+
+    def test_different_attribute_names(self):
+        """Data schema names differ from master names."""
+        master = master_from_pairs("Codes", "code", "label",
+                                   [("C1", "ok"), ("C2", "ko")])
+        data_schema = Schema("D", ["item_code", "item_label"])
+        rules = rules_from_master(master, data_schema,
+                                  {"item_code": "code"}, "item_label",
+                                  master_target="label")
+        table = Table(data_schema, [["C1", "ko"]])
+        assert repair_table(table, rules).table[0]["item_label"] == "ok"
+
+
+class TestCapitalsConvenience:
+    def test_capitals_ruleset(self, travel_schema):
+        rules = capitals_ruleset(travel_schema, [
+            ("China", "Beijing"), ("Canada", "Ottawa")])
+        assert len(rules) == 2
+        assert is_consistent(rules)
+        table = Table(travel_schema,
+                      [["A", "Canada", "Beijing", "x", "y"]])
+        assert repair_table(table, rules).table[0]["capital"] == "Ottawa"

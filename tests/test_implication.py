@@ -1,0 +1,151 @@
+"""Unit tests for repro.core.implication — Section 4.3."""
+
+import pytest
+
+from repro.core import FixingRule, RuleSet, implies, iter_small_model, minimize
+from repro.errors import BudgetExceededError
+from repro.relational import Schema
+
+
+@pytest.fixture()
+def schema():
+    return Schema("R", ["a", "b", "c"])
+
+
+class TestImplies:
+    def test_subsumed_rule_is_implied(self, schema):
+        """A rule whose negatives are a subset of an existing rule's,
+        same evidence and fact, adds nothing."""
+        big = FixingRule({"a": "1"}, "b", {"x", "y"}, "F")
+        small = FixingRule({"a": "1"}, "b", {"x"}, "F")
+        assert implies([big], small, schema=schema)
+
+    def test_wider_rule_not_implied(self, schema):
+        big = FixingRule({"a": "1"}, "b", {"x", "y"}, "F")
+        small = FixingRule({"a": "1"}, "b", {"x"}, "F")
+        assert not implies([small], big, schema=schema)
+
+    def test_duplicate_rule_is_implied(self, schema):
+        rule = FixingRule({"a": "1"}, "b", {"x"}, "F")
+        twin = FixingRule({"a": "1"}, "b", {"x"}, "F", name="twin")
+        assert implies([rule], twin, schema=schema)
+
+    def test_unrelated_rule_not_implied(self, schema):
+        rule = FixingRule({"a": "1"}, "b", {"x"}, "F")
+        other = FixingRule({"a": "2"}, "b", {"z"}, "G")
+        assert not implies([rule], other, schema=schema)
+
+    def test_conflicting_candidate_not_implied(self, schema):
+        """Condition (i): Σ ∪ {φ} must be consistent."""
+        rule = FixingRule({"a": "1"}, "b", {"x"}, "F1")
+        clash = FixingRule({"a": "1"}, "b", {"x"}, "F2")
+        assert not implies([rule], clash, schema=schema)
+
+    def test_transitive_composition_implied(self, schema):
+        """φ1: a=1 corrects b:x->y.  φ2: (a=1,b=y) corrects c:n->m.
+        The composite rule (a=1, b=y) |- c is already implied by Σ
+        containing φ2 itself."""
+        phi_2 = FixingRule({"a": "1", "b": "y"}, "c", {"n"}, "m")
+        duplicate = FixingRule({"a": "1", "b": "y"}, "c", {"n"}, "m",
+                               name="dup")
+        assert implies([phi_2], duplicate, schema=schema)
+
+    def test_inconsistent_sigma_rejected(self, schema):
+        a = FixingRule({"a": "1"}, "b", {"x"}, "F1")
+        b = FixingRule({"a": "1"}, "b", {"x"}, "F2")
+        probe = FixingRule({"a": "2"}, "b", {"x"}, "F")
+        with pytest.raises(ValueError, match="consistent"):
+            implies([a, b], probe, schema=schema)
+
+    def test_sequence_without_schema_rejected(self):
+        rule = FixingRule({"a": "1"}, "b", {"x"}, "F")
+        with pytest.raises(ValueError, match="schema"):
+            implies([rule], rule)
+
+    def test_ruleset_input(self, schema):
+        rules = RuleSet(schema,
+                        [FixingRule({"a": "1"}, "b", {"x", "y"}, "F")])
+        assert implies(rules, FixingRule({"a": "1"}, "b", {"y"}, "F"))
+
+
+class TestSmallModel:
+    def test_budget_guard(self, schema):
+        """Many values per attribute blow past a tiny budget."""
+        rules = [FixingRule({"a": str(i)}, "b",
+                            {"x%d" % i, "y%d" % i}, "f%d" % i)
+                 for i in range(6)]
+        with pytest.raises(BudgetExceededError):
+            list(iter_small_model(schema, rules, max_tuples=10))
+
+    def test_model_covers_rule_constants(self, schema):
+        rule = FixingRule({"a": "1"}, "b", {"x"}, "F")
+        tuples = list(iter_small_model(schema, [rule]))
+        a_values = {t["a"] for t in tuples}
+        b_values = {t["b"] for t in tuples}
+        assert "1" in a_values
+        assert {"x", "F"} <= b_values  # negatives AND facts included
+
+    def test_unmentioned_attrs_stay_singleton(self, schema):
+        rule = FixingRule({"a": "1"}, "b", {"x"}, "F")
+        tuples = list(iter_small_model(schema, [rule]))
+        assert len({t["c"] for t in tuples}) == 1  # only the placeholder
+
+    def test_none_budget_disables_guard(self, schema):
+        rule = FixingRule({"a": "1"}, "b", {"x"}, "F")
+        assert list(iter_small_model(schema, [rule], max_tuples=None))
+
+
+class TestFixedSchemaTractability:
+    """Theorem 2's special case: with the schema fixed, implication is
+    PTIME — in practice, the paper rules' small model stays tiny."""
+
+    def test_paper_rules_small_model_is_modest(self):
+        from repro.relational import Schema
+        from repro.core import FixingRule, iter_small_model
+        travel = Schema("Travel", ["name", "country", "capital", "city",
+                                   "conf"])
+        rules = [
+            FixingRule({"country": "China"}, "capital",
+                       {"Shanghai", "Hongkong"}, "Beijing"),
+            FixingRule({"country": "Canada"}, "capital", {"Toronto"},
+                       "Ottawa"),
+        ]
+        tuples = list(iter_small_model(travel, rules))
+        # country: {China, Canada, ⊥} x capital: {Shanghai, Hongkong,
+        # Beijing, Toronto, Ottawa, ⊥} x three singleton attrs.
+        assert len(tuples) == 3 * 6
+
+    def test_narrowed_paper_rule_implied(self, paper_rules):
+        from repro.core import FixingRule
+        narrower = FixingRule({"country": "China"}, "capital",
+                              {"Hongkong"}, "Beijing")
+        assert implies(paper_rules, narrower)
+
+    def test_cross_attribute_rule_not_implied(self, paper_rules):
+        from repro.core import FixingRule
+        novel = FixingRule({"country": "Japan"}, "capital", {"Kyoto"},
+                           "Tokyo")
+        assert not implies(paper_rules, novel)
+
+
+class TestMinimize:
+    def test_removes_subsumed(self, schema):
+        rules = RuleSet(schema, [
+            FixingRule({"a": "1"}, "b", {"x", "y"}, "F"),
+            FixingRule({"a": "1"}, "b", {"x"}, "F"),
+        ])
+        reduced = minimize(rules)
+        assert len(reduced) == 1
+        assert reduced[0].negatives == {"x", "y"}
+
+    def test_keeps_independent_rules(self, schema):
+        rules = RuleSet(schema, [
+            FixingRule({"a": "1"}, "b", {"x"}, "F"),
+            FixingRule({"a": "2"}, "b", {"z"}, "G"),
+        ])
+        assert len(minimize(rules)) == 2
+
+    def test_empty_and_singleton(self, schema):
+        assert len(minimize(RuleSet(schema))) == 0
+        one = RuleSet(schema, [FixingRule({"a": "1"}, "b", {"x"}, "F")])
+        assert len(minimize(one)) == 1

@@ -1,0 +1,121 @@
+"""Unit tests for repro.core.incremental — consistency-by-construction
+rule sets for the interactive authoring workflow."""
+
+import pytest
+
+from repro.core import ConsistentRuleSet, FixingRule, is_consistent
+from repro.errors import InconsistentRulesError, RuleError
+
+
+@pytest.fixture()
+def crs(travel_schema, phi1, phi2):
+    return ConsistentRuleSet(travel_schema, [phi1, phi2])
+
+
+class TestConstruction:
+    def test_consistent_initial_rules_accepted(self, crs):
+        assert len(crs) == 2
+
+    def test_inconsistent_initial_rules_rejected(self, travel_schema,
+                                                 phi1_prime, phi3):
+        with pytest.raises(InconsistentRulesError):
+            ConsistentRuleSet(travel_schema, [phi1_prime, phi3])
+
+    def test_empty_start(self, travel_schema):
+        crs = ConsistentRuleSet(travel_schema)
+        assert len(crs) == 0
+
+
+class TestAdd:
+    def test_compatible_rule_added(self, crs, phi3):
+        assert crs.try_add(phi3) == []
+        assert phi3 in crs
+
+    def test_conflicting_rule_rejected_with_witnesses(self, crs,
+                                                      travel_schema,
+                                                      phi1):
+        clash = FixingRule(phi1.evidence, phi1.attribute, phi1.negatives,
+                           "Nanjing", name="clash")
+        conflicts = crs.try_add(clash)
+        assert conflicts
+        assert clash not in crs
+        assert conflicts[0].rule_a == phi1
+
+    def test_add_raises_on_conflict(self, crs, phi1):
+        clash = FixingRule(phi1.evidence, phi1.attribute, phi1.negatives,
+                           "Nanjing")
+        with pytest.raises(InconsistentRulesError):
+            crs.add(clash)
+
+    def test_duplicate_add_is_noop(self, crs, phi1):
+        assert crs.try_add(phi1) == []
+        assert len(crs) == 2
+
+    def test_invariant_always_holds(self, crs, phi3, phi4, phi1):
+        crs.try_add(phi3)
+        crs.try_add(phi4)
+        crs.try_add(FixingRule(phi1.evidence, phi1.attribute,
+                               phi1.negatives, "Other"))  # rejected
+        assert is_consistent(crs.as_ruleset())
+
+
+class TestRemoveReplace:
+    def test_remove(self, crs, phi1):
+        assert crs.remove(phi1) is True
+        assert phi1 not in crs
+        assert crs.remove(phi1) is False
+
+    def test_replace_success(self, crs, phi1):
+        shrunk = phi1.with_negatives({"Shanghai"})
+        assert crs.replace(phi1, shrunk) == []
+        assert shrunk in crs and phi1 not in crs
+
+    def test_replace_rolls_back_on_conflict(self, travel_schema, phi1,
+                                            phi3):
+        crs = ConsistentRuleSet(travel_schema, [phi1, phi3])
+        wider = phi1.with_negatives({"Shanghai", "Hongkong", "Tokyo"})
+        conflicts = crs.replace(phi1, wider)
+        assert conflicts                      # phi1' vs phi3 (case 2c)
+        assert phi1 in crs                    # rolled back
+        assert wider not in crs
+        assert is_consistent(crs.as_ruleset())
+
+    def test_replace_missing_raises(self, crs, phi3):
+        with pytest.raises(RuleError):
+            crs.replace(phi3, phi3)
+
+
+class TestBulk:
+    def test_extend_first_come_first_kept(self, travel_schema, phi1):
+        crs = ConsistentRuleSet(travel_schema)
+        clash = FixingRule(phi1.evidence, phi1.attribute, phi1.negatives,
+                           "Nanjing", name="clash")
+        rejected = crs.extend([phi1, clash])
+        assert rejected == [clash]
+        assert len(crs) == 1
+        assert is_consistent(crs.as_ruleset())
+
+    def test_conflicts_with_is_readonly(self, crs, phi1):
+        clash = FixingRule(phi1.evidence, phi1.attribute, phi1.negatives,
+                           "Nanjing")
+        before = len(crs)
+        assert crs.conflicts_with(clash)
+        assert len(crs) == before
+
+
+class TestEquivalenceWithFullCheck:
+    def test_incremental_equals_batch_verdicts(self, travel_schema,
+                                               phi1, phi2, phi3, phi4,
+                                               phi1_prime):
+        """Feeding rules one by one accepts exactly a maximal
+        consistent prefix-greedy subset; the result always passes the
+        full checker."""
+        candidates = [phi1, phi1_prime, phi2, phi3, phi4]
+        crs = ConsistentRuleSet(travel_schema)
+        crs.extend(candidates)
+        assert is_consistent(crs.as_ruleset())
+        # phi1 in, phi1_prime out (conflicts with phi1 via case 1
+        # overlap? same fact Beijing -> consistent!).  phi1_prime and
+        # phi3 conflict, phi3 arrives later -> phi3 rejected.
+        assert phi1 in crs and phi1_prime in crs
+        assert phi3 not in crs

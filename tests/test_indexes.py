@@ -1,0 +1,88 @@
+"""Unit tests for repro.core.indexes — the lRepair data structures
+(Fig. 7 / Fig. 8(a))."""
+
+import pytest
+
+from repro.core import HashCounters, InvertedIndex
+from repro.relational import Row
+
+
+@pytest.fixture()
+def index(phi1, phi2, phi3, phi4):
+    return InvertedIndex([phi1, phi2, phi3, phi4])
+
+
+class TestInvertedIndex:
+    def test_keys_match_fig8a(self, index):
+        """Fig. 8(a): the inverted lists for φ1–φ4."""
+        keys = set(index.keys())
+        assert keys == {
+            ("country", "China"), ("country", "Canada"),
+            ("conf", "ICDE"), ("capital", "Tokyo"), ("city", "Tokyo"),
+            ("capital", "Beijing"),
+        }
+
+    def test_conf_icde_links_phi3_and_phi4(self, index):
+        ids = list(index.lookup("conf", "ICDE"))
+        names = {index.rules[i].name for i in ids}
+        assert names == {"phi3", "phi4"}
+
+    def test_lookup_miss_is_empty(self, index):
+        assert list(index.lookup("country", "Atlantis")) == []
+
+    def test_evidence_size(self, index):
+        sizes = {index.rules[i].name: index.evidence_size(i)
+                 for i in range(len(index.rules))}
+        assert sizes == {"phi1": 1, "phi2": 1, "phi3": 3, "phi4": 2}
+
+    def test_len_counts_keys(self, index):
+        assert len(index) == 6
+
+    def test_repr(self, index):
+        assert "4 rules" in repr(index)
+
+
+class TestHashCounters:
+    def test_reset_for_r2(self, index, travel_schema):
+        """Fig. 8: for r2, c(φ1)=1 complete; c(φ3)=1, c(φ4)=1 partial."""
+        r2 = Row(travel_schema,
+                 ["Ian", "China", "Shanghai", "Hongkong", "ICDE"])
+        counters = HashCounters(index)
+        complete = counters.reset_for(r2)
+        complete_names = {index.rules[i].name for i in complete}
+        assert complete_names == {"phi1"}
+        by_name = {index.rules[i].name: counters.count(i)
+                   for i in range(len(index.rules))}
+        assert by_name == {"phi1": 1, "phi2": 0, "phi3": 1, "phi4": 1}
+
+    def test_on_update_completes_phi4(self, index, travel_schema):
+        """After φ1 rewrites capital to Beijing, c(φ4) reaches 2."""
+        r2 = Row(travel_schema,
+                 ["Ian", "China", "Shanghai", "Hongkong", "ICDE"])
+        counters = HashCounters(index)
+        counters.reset_for(r2)
+        newly = counters.on_update("capital", "Shanghai", "Beijing")
+        assert {index.rules[i].name for i in newly} == {"phi4"}
+        assert counters.is_complete(newly[0])
+
+    def test_on_update_decrements_old_value_rules(self, index,
+                                                  travel_schema):
+        r3 = Row(travel_schema, ["Peter", "China", "Tokyo", "Tokyo",
+                                 "ICDE"])
+        counters = HashCounters(index)
+        counters.reset_for(r3)
+        phi3_id = next(i for i in range(len(index.rules))
+                       if index.rules[i].name == "phi3")
+        assert counters.count(phi3_id) == 3
+        counters.on_update("capital", "Tokyo", "Beijing")
+        assert counters.count(phi3_id) == 2  # lost capital=Tokyo
+
+    def test_reset_clears_previous_tuple(self, index, travel_schema):
+        counters = HashCounters(index)
+        r2 = Row(travel_schema,
+                 ["Ian", "China", "Shanghai", "Hongkong", "ICDE"])
+        counters.reset_for(r2)
+        r4 = Row(travel_schema,
+                 ["Mike", "Canada", "Toronto", "Toronto", "VLDB"])
+        complete = counters.reset_for(r4)
+        assert {index.rules[i].name for i in complete} == {"phi2"}

@@ -1,0 +1,126 @@
+"""Cross-module integration tests: full pipelines at small scale."""
+
+import pytest
+
+from repro.baselines import csm_repair, heu_repair
+from repro.core import (InvertedIndex, is_consistent, load_ruleset,
+                        repair_table, save_ruleset)
+from repro.datagen import constraint_attributes, inject_noise
+from repro.dependencies import count_violations, is_consistent_instance
+from repro.evaluation import evaluate_repair
+from repro.relational import read_csv, write_csv
+from repro.rulegen import generate_rules
+
+
+@pytest.fixture(scope="module")
+def hosp_pipeline(small_hosp):
+    noise = inject_noise(small_hosp.clean,
+                         constraint_attributes(small_hosp.fds),
+                         noise_rate=0.10, typo_ratio=0.5, seed=17)
+    rules = generate_rules(small_hosp.clean, noise.table, small_hosp.fds,
+                           enrichment_per_rule=3)
+    return small_hosp, noise, rules
+
+
+class TestHospEndToEnd:
+    def test_rules_consistent(self, hosp_pipeline):
+        _, _, rules = hosp_pipeline
+        assert is_consistent(rules)
+
+    def test_repair_reduces_violations(self, hosp_pipeline):
+        workload, noise, rules = hosp_pipeline
+        before = count_violations(noise.table, workload.fds)
+        repaired = repair_table(noise.table, rules).table
+        after = count_violations(repaired, workload.fds)
+        assert after < before
+
+    def test_fix_precision_dominates_baselines(self, hosp_pipeline):
+        workload, noise, rules = hosp_pipeline
+        fix = evaluate_repair(workload.clean, noise.table,
+                              repair_table(noise.table, rules).table)
+        heu = evaluate_repair(workload.clean, noise.table,
+                              heu_repair(noise.table, workload.fds).table)
+        csm = evaluate_repair(workload.clean, noise.table,
+                              csm_repair(noise.table, workload.fds,
+                                         seed=3).table)
+        assert fix.precision > heu.precision
+        assert fix.precision > csm.precision
+
+    def test_baselines_reach_consistency(self, hosp_pipeline):
+        workload, noise, _ = hosp_pipeline
+        heu = heu_repair(noise.table, workload.fds)
+        assert is_consistent_instance(heu.table, workload.fds)
+        csm = csm_repair(noise.table, workload.fds, seed=5)
+        assert is_consistent_instance(csm.table, workload.fds)
+
+    def test_repaired_cells_match_ground_truth_mostly(self, hosp_pipeline):
+        """Spot-check the dependability claim cell by cell."""
+        workload, noise, rules = hosp_pipeline
+        report = repair_table(noise.table, rules)
+        good = bad = 0
+        for i, result in enumerate(report.row_results):
+            for fix in result.applied:
+                if fix.new_value == workload.clean[i][fix.attribute]:
+                    good += 1
+                else:
+                    bad += 1
+        assert good > 0
+        assert good / (good + bad) > 0.85
+
+    def test_fast_and_chase_agree_at_scale(self, hosp_pipeline):
+        _, noise, rules = hosp_pipeline
+        fast = repair_table(noise.table, rules, algorithm="fast")
+        chase = repair_table(noise.table, rules, algorithm="chase")
+        assert fast.table == chase.table
+
+
+class TestUisEndToEnd:
+    def test_low_recall_high_precision(self, small_uis):
+        """The Fig. 10(e,f) regime: uis recall is tiny, precision is
+        not compromised."""
+        noise = inject_noise(small_uis.clean,
+                             constraint_attributes(small_uis.fds),
+                             noise_rate=0.10, typo_ratio=0.5, seed=23)
+        rules = generate_rules(small_uis.clean, noise.table,
+                               small_uis.fds, enrichment_per_rule=2)
+        repaired = repair_table(noise.table, rules).table
+        quality = evaluate_repair(small_uis.clean, noise.table, repaired)
+        assert quality.precision > 0.9
+        assert quality.recall < 0.35
+
+
+class TestFileRoundTrips:
+    def test_csv_rules_csv_pipeline(self, hosp_pipeline, tmp_path):
+        """Everything a CLI user does, through the library API."""
+        workload, noise, rules = hosp_pipeline
+        dirty_path = tmp_path / "dirty.csv"
+        rules_path = tmp_path / "rules.json"
+        fixed_path = tmp_path / "fixed.csv"
+
+        write_csv(noise.table, dirty_path)
+        save_ruleset(rules, rules_path)
+
+        dirty = read_csv(dirty_path, schema=workload.clean.schema)
+        loaded = load_ruleset(rules_path)
+        assert is_consistent(loaded)
+        report = repair_table(dirty, loaded)
+        write_csv(report.table, fixed_path)
+
+        fixed = read_csv(fixed_path, schema=workload.clean.schema)
+        direct = repair_table(noise.table, rules).table
+        assert fixed == direct
+
+
+class TestIndexSharing:
+    def test_one_index_many_tables(self, hosp_pipeline):
+        """The inverted index is immutable: one instance may serve
+        several repair passes without cross-talk."""
+        workload, noise, rules = hosp_pipeline
+        from repro.core import HashCounters, fast_repair
+        index = InvertedIndex(rules.rules())
+        counters = HashCounters(index)
+        a = [fast_repair(row, rules, index=index, counters=counters).row
+             for row in noise.table.head(50)]
+        b = [fast_repair(row, rules, index=index, counters=counters).row
+             for row in noise.table.head(50)]
+        assert a == b

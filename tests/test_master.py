@@ -1,0 +1,63 @@
+"""Unit tests for repro.master."""
+
+import pytest
+
+from repro.errors import TableError
+from repro.master import MasterTable, master_from_pairs
+from repro.relational import Row, Schema, Table
+
+
+@pytest.fixture()
+def cap():
+    return master_from_pairs("Cap", "country", "capital", [
+        ("China", "Beijing"), ("Canada", "Ottawa"), ("Japan", "Tokyo")])
+
+
+class TestConstruction:
+    def test_from_pairs(self, cap):
+        assert len(cap) == 3
+        assert cap.key == ("country",)
+
+    def test_duplicate_identical_rows_tolerated(self):
+        schema = Schema("M", ["k", "v"])
+        table = Table(schema, [["a", "1"], ["a", "1"]])
+        master = MasterTable(table, ["k"])
+        assert len(master) == 1
+
+    def test_contradictory_rows_rejected(self):
+        schema = Schema("M", ["k", "v"])
+        table = Table(schema, [["a", "1"], ["a", "2"]])
+        with pytest.raises(TableError, match="not functional"):
+            MasterTable(table, ["k"])
+
+    def test_composite_key(self):
+        schema = Schema("M", ["k1", "k2", "v"])
+        table = Table(schema, [["a", "x", "1"], ["a", "y", "2"]])
+        master = MasterTable(table, ["k1", "k2"])
+        assert master.lookup_value(("a", "y"), "v") == "2"
+
+
+class TestLookup:
+    def test_lookup_hit(self, cap):
+        row = cap.lookup(("China",))
+        assert row["capital"] == "Beijing"
+
+    def test_lookup_miss(self, cap):
+        assert cap.lookup(("Atlantis",)) is None
+        assert cap.lookup_value(("Atlantis",), "capital") is None
+
+    def test_match_via_mapping(self, cap, travel_schema):
+        row = Row(travel_schema, ["Ian", "China", "Shanghai", "HK", "ICDE"])
+        hit = cap.match(row, {"country": "country"})
+        assert hit is not None and hit["capital"] == "Beijing"
+
+    def test_match_requires_full_key_coverage(self, cap, travel_schema):
+        row = Row(travel_schema, ["Ian", "China", "Shanghai", "HK", "ICDE"])
+        with pytest.raises(TableError, match="does not cover"):
+            cap.match(row, {"capital": "capital"})
+
+    def test_values_of(self, cap):
+        assert cap.values_of("capital") == ["Beijing", "Ottawa", "Tokyo"]
+
+    def test_repr(self, cap):
+        assert "key=country" in repr(cap)

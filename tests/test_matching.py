@@ -1,0 +1,57 @@
+"""Unit tests for repro.core.matching — proper application (Section 3.2)."""
+
+import pytest
+
+from repro.core import (first_proper, is_fixpoint, matching_rules,
+                        properly_applicable)
+from repro.relational import Row
+
+
+@pytest.fixture()
+def r2(travel_schema):
+    return Row(travel_schema, ["Ian", "China", "Shanghai", "Hongkong",
+                               "ICDE"])
+
+
+class TestProperlyApplicable:
+    def test_example5_applies_with_empty_assured(self, r2, phi1):
+        """Example 5: φ1 properly applies to r2 w.r.t. A = ∅."""
+        assert properly_applicable(phi1, r2, set())
+
+    def test_blocked_when_b_assured(self, r2, phi1):
+        """t =/-> when B_φ ∈ A (condition ii)."""
+        assert not properly_applicable(phi1, r2, {"capital"})
+
+    def test_assured_evidence_does_not_block(self, r2, phi1):
+        """Only B matters for blocking; evidence attrs may be assured."""
+        assert properly_applicable(phi1, r2, {"country"})
+
+    def test_blocked_when_no_match(self, travel_schema, phi1):
+        r1 = Row(travel_schema,
+                 ["George", "China", "Beijing", "Shanghai", "ICDE"])
+        assert not properly_applicable(phi1, r1, set())
+
+
+class TestHelpers:
+    def test_matching_rules_order_preserved(self, travel_schema, phi1,
+                                            phi2, phi3):
+        row = Row(travel_schema, ["P", "China", "Tokyo", "Tokyo", "ICDE"])
+        assert matching_rules(row, [phi1, phi2, phi3]) == [phi3]
+
+    def test_first_proper_respects_order(self, r2, phi1, phi2):
+        assert first_proper(r2, [phi2, phi1], set()) is phi1
+
+    def test_first_proper_none(self, r2, phi2):
+        assert first_proper(r2, [phi2], set()) is None
+
+    def test_is_fixpoint(self, travel_schema, phi1, phi2):
+        clean = Row(travel_schema,
+                    ["George", "China", "Beijing", "Shanghai", "ICDE"])
+        assert is_fixpoint(clean, [phi1, phi2], set())
+
+    def test_not_fixpoint(self, r2, phi1):
+        assert not is_fixpoint(r2, [phi1], set())
+
+    def test_fixpoint_via_assured(self, r2, phi1):
+        """A matching rule whose B is assured cannot fire: fixpoint."""
+        assert is_fixpoint(r2, [phi1], {"capital"})

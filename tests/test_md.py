@@ -1,0 +1,164 @@
+"""Unit tests for repro.dependencies.md — matching dependencies."""
+
+import pytest
+
+from repro.dependencies import (MD, enforce_md, exact, find_md_matches,
+                                md_violations, mds_consistent,
+                                same_prefix, within_edit_distance)
+from repro.errors import DependencyError
+from repro.relational import Schema, Table
+
+
+@pytest.fixture()
+def schema():
+    return Schema("People", ["fname", "lname", "stadd", "ssn", "zip"])
+
+
+@pytest.fixture()
+def table(schema):
+    """Two near-duplicate persons (typo'd street) plus a stranger."""
+    return Table(schema, [
+        ["James", "Smith", "Oak Ave", "111", "10001"],
+        ["James", "Smith", "Oak Avee", "111", "10009"],  # zip differs
+        ["Mary", "Jones", "Pine St", "222", "20002"],
+    ])
+
+
+@pytest.fixture()
+def md(schema):
+    return MD([("fname", exact()), ("lname", exact()),
+               ("stadd", within_edit_distance(2))],
+              identify=["ssn", "zip"])
+
+
+class TestSimilarityPredicates:
+    def test_exact(self):
+        predicate = exact()
+        assert predicate("a", "a") and not predicate("a", "b")
+
+    def test_within_edit_distance(self):
+        predicate = within_edit_distance(1)
+        assert predicate("Oak Ave", "Oak Avee")
+        assert not predicate("Oak Ave", "Pine St")
+
+    def test_within_edit_distance_validates(self):
+        with pytest.raises(DependencyError):
+            within_edit_distance(-1)
+
+    def test_same_prefix(self):
+        predicate = same_prefix(3)
+        assert predicate("Jonathan", "jonny")
+        assert not predicate("Jon", "Bob")
+        with pytest.raises(DependencyError):
+            same_prefix(0)
+
+
+class TestMDConstruction:
+    def test_string_clause_means_exact(self):
+        md = MD(["fname"], identify=["ssn"])
+        assert md.clauses[0].similarity("x", "x")
+        assert not md.clauses[0].similarity("x", "y")
+
+    def test_empty_lhs_rejected(self):
+        with pytest.raises(DependencyError):
+            MD([], identify=["ssn"])
+
+    def test_empty_identify_rejected(self):
+        with pytest.raises(DependencyError):
+            MD(["fname"], identify=[])
+
+    def test_lhs_identify_overlap_rejected(self):
+        with pytest.raises(DependencyError, match="overlap"):
+            MD(["fname"], identify=["fname"])
+
+    def test_repr(self, md):
+        text = repr(md)
+        assert "stadd~within_edit_distance(2)" in text
+        assert "identify ssn,zip" in text
+
+
+class TestMatching:
+    def test_pair_matches(self, table, md):
+        assert md.pair_matches(table[0], table[1])
+        assert not md.pair_matches(table[0], table[2])
+
+    def test_pair_violates(self, table, md):
+        assert md.pair_violates(table[0], table[1])  # zips differ
+
+    def test_find_md_matches(self, table, md):
+        assert find_md_matches(table, md) == [(0, 1)]
+
+    def test_md_violations(self, table, md):
+        assert md_violations(table, md) == [(0, 1)]
+
+    def test_no_violation_when_identified(self, schema, md):
+        table = Table(schema, [
+            ["James", "Smith", "Oak Ave", "111", "10001"],
+            ["James", "Smith", "Oak Avee", "111", "10001"],
+        ])
+        assert find_md_matches(table, md) == [(0, 1)]
+        assert md_violations(table, md) == []
+
+    def test_blocking_limits_comparisons(self, table, md):
+        """A blocking key finer than the match splits it away."""
+        by_zip = find_md_matches(table, md,
+                                 block_key=lambda row: row["zip"])
+        assert by_zip == []  # the duplicate pair has different zips
+        by_lname = find_md_matches(table, md,
+                                   block_key=lambda row: row["lname"])
+        assert by_lname == [(0, 1)]
+
+
+class TestEnforcement:
+    def test_identifies_cluster_values(self, table, md):
+        repaired, changed = enforce_md(table, md)
+        assert repaired[0]["zip"] == repaired[1]["zip"]
+        assert repaired[0]["ssn"] == repaired[1]["ssn"] == "111"
+        assert changed  # something moved
+        assert table[1]["zip"] == "10009"  # input untouched
+
+    def test_majority_wins_in_larger_cluster(self, schema, md):
+        table = Table(schema, [
+            ["James", "Smith", "Oak Ave", "111", "10001"],
+            ["James", "Smith", "Oak Avee", "111", "10001"],
+            ["James", "Smith", "Oak Avw", "111", "99999"],
+        ])
+        repaired, changed = enforce_md(table, md)
+        assert [row["zip"] for row in repaired] == ["10001"] * 3
+        assert changed == [(2, "zip")]
+
+    def test_noop_without_matches(self, schema, md):
+        table = Table(schema, [
+            ["A", "B", "X St", "1", "2"],
+            ["C", "D", "Y St", "3", "4"],
+        ])
+        repaired, changed = enforce_md(table, md)
+        assert repaired == table and changed == []
+
+    def test_uis_duplicate_scenario(self):
+        """MDs find the mailing-list duplicates the UIS workload is
+        famous for, even when one copy's zip was corrupted."""
+        from repro.datagen import generate_uis, uis_schema
+        table = generate_uis(rows=200, duplicate_ratio=0.3, seed=9)
+        # Corrupt the zip of one duplicated record.
+        dup_rows = next(idx for idx in
+                        table.group_by(["ssn"]).values() if len(idx) > 1)
+        dirty = table.copy()
+        dirty.set_cell(dup_rows[1], "zip", "00000")
+        md = MD([("fname", exact()), ("lname", exact()),
+                 ("stadd", within_edit_distance(1))],
+                identify=["zip"])
+        block = lambda row: row["lname"][:2]
+        assert (dup_rows[0], dup_rows[1]) in [
+            tuple(sorted(pair))
+            for pair in md_violations(dirty, md, block_key=block)]
+        repaired, _ = enforce_md(dirty, md, block_key=block)
+        assert repaired[dup_rows[1]]["zip"] == table[dup_rows[1]]["zip"]
+
+
+class TestConsistency:
+    def test_any_md_set_is_consistent(self, md):
+        """Fan et al. 2009: trivially consistent — the Section 4.2
+        contrast with fixing rules."""
+        assert mds_consistent([])
+        assert mds_consistent([md, md])

@@ -1,0 +1,119 @@
+"""Unit tests for repro.evaluation.metrics — the paper's precision and
+recall definitions."""
+
+import pytest
+
+from repro.evaluation import (RepairQuality, cell_outcomes,
+                              evaluate_repair)
+from repro.relational import Schema, Table
+
+
+@pytest.fixture()
+def schema():
+    return Schema("R", ["a", "b"])
+
+
+def make(schema, rows):
+    return Table(schema, rows)
+
+
+class TestEvaluateRepair:
+    def test_perfect_repair(self, schema):
+        clean = make(schema, [["1", "x"], ["2", "y"]])
+        dirty = make(schema, [["1", "BAD"], ["2", "y"]])
+        quality = evaluate_repair(clean, dirty, clean.copy())
+        assert quality.precision == 1.0
+        assert quality.recall == 1.0
+        assert quality.corrected == 1 and quality.erroneous == 1
+
+    def test_noop_repair(self, schema):
+        clean = make(schema, [["1", "x"]])
+        dirty = make(schema, [["1", "BAD"]])
+        quality = evaluate_repair(clean, dirty, dirty.copy())
+        assert quality.precision == 1.0  # vacuous: nothing updated
+        assert quality.recall == 0.0
+        assert quality.updated == 0
+
+    def test_wrong_update_counts_against_precision(self, schema):
+        clean = make(schema, [["1", "x"]])
+        dirty = make(schema, [["1", "BAD"]])
+        repaired = make(schema, [["1", "STILL-BAD"]])
+        quality = evaluate_repair(clean, dirty, repaired)
+        assert quality.precision == 0.0
+        assert quality.recall == 0.0
+        assert quality.miscorrected == 1
+
+    def test_breaking_a_clean_cell(self, schema):
+        clean = make(schema, [["1", "x"]])
+        dirty = clean.copy()
+        repaired = make(schema, [["1", "BROKEN"]])
+        quality = evaluate_repair(clean, dirty, repaired)
+        assert quality.updated == 1 and quality.corrected == 0
+        assert quality.precision == 0.0
+        assert quality.recall == 1.0  # no errors existed
+
+    def test_mixed_outcome(self, schema):
+        clean = make(schema, [["1", "x"], ["2", "y"], ["3", "z"]])
+        dirty = make(schema, [["1", "e1"], ["2", "e2"], ["3", "z"]])
+        repaired = make(schema, [["1", "x"], ["2", "e2"], ["3", "OOPS"]])
+        quality = evaluate_repair(clean, dirty, repaired)
+        assert quality.corrected == 1
+        assert quality.updated == 2
+        assert quality.erroneous == 2
+        assert quality.precision == 0.5
+        assert quality.recall == 0.5
+
+    def test_f1(self):
+        quality = RepairQuality(corrected=1, updated=2, erroneous=4,
+                                miscorrected=1)
+        assert quality.precision == 0.5
+        assert quality.recall == 0.25
+        assert abs(quality.f1 - (2 * 0.5 * 0.25 / 0.75)) < 1e-12
+
+    def test_f1_zero_when_both_zero(self):
+        quality = RepairQuality(corrected=0, updated=1, erroneous=1,
+                                miscorrected=1)
+        assert quality.f1 == 0.0
+
+    def test_summary_format(self):
+        quality = RepairQuality(corrected=1, updated=2, erroneous=4,
+                                miscorrected=1)
+        text = quality.summary()
+        assert "precision=0.500" in text and "recall=0.250" in text
+
+    def test_misaligned_inputs_rejected(self, schema):
+        clean = make(schema, [["1", "x"]])
+        dirty = make(schema, [["1", "x"], ["2", "y"]])
+        with pytest.raises(ValueError, match="aligned"):
+            evaluate_repair(clean, dirty, dirty.copy())
+        with pytest.raises(ValueError, match="schema"):
+            evaluate_repair(clean, Table(Schema("S", ["q"]), [["1"]]),
+                            clean.copy())
+
+
+class TestCellOutcomes:
+    def test_all_four_classes(self, schema):
+        clean = make(schema, [["1", "x"], ["2", "y"], ["3", "z"],
+                              ["4", "w"]])
+        dirty = make(schema, [["1", "e"], ["2", "e"], ["3", "e"],
+                              ["4", "w"]])
+        repaired = make(schema, [["1", "x"], ["2", "STILL"], ["3", "e"],
+                                 ["4", "BROKE"]])
+        outcomes = {o.cell: o.outcome
+                    for o in cell_outcomes(clean, dirty, repaired)}
+        assert outcomes[(0, "b")] == "corrected"
+        assert outcomes[(1, "b")] == "miscorrected"
+        assert outcomes[(2, "b")] == "missed"
+        assert outcomes[(3, "b")] == "broken"
+
+    def test_outcome_values_carried(self, schema):
+        clean = make(schema, [["1", "x"]])
+        dirty = make(schema, [["1", "e"]])
+        repaired = make(schema, [["1", "x"]])
+        outcome = cell_outcomes(clean, dirty, repaired)[0]
+        assert (outcome.dirty_value, outcome.repaired_value,
+                outcome.clean_value) == ("e", "x", "x")
+
+    def test_empty_when_all_clean(self, schema):
+        clean = make(schema, [["1", "x"]])
+        assert cell_outcomes(clean, clean.copy(), clean.copy()) == []

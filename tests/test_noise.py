@@ -1,0 +1,121 @@
+"""Unit tests for repro.datagen.noise — the dirty-data generator."""
+
+import random
+
+import pytest
+
+from repro.datagen import (ACTIVE_DOMAIN, TYPO, constraint_attributes,
+                           generate_hosp, hosp_fds, inject_noise,
+                           make_typo)
+from repro.dependencies import FD
+from repro.relational import Schema, Table
+
+
+@pytest.fixture()
+def clean():
+    schema = Schema("R", ["k", "v", "w"])
+    rows = [["k%d" % (i % 7), "v%d" % (i % 5), "w%d" % i]
+            for i in range(60)]
+    return Table(schema, rows)
+
+
+class TestMakeTypo:
+    def test_always_differs(self):
+        rng = random.Random(0)
+        for value in ["Beijing", "a", "", "aaaa", "12345"]:
+            for _ in range(25):
+                assert make_typo(value, rng) != value
+
+    def test_deterministic_given_rng_state(self):
+        assert (make_typo("Ottawa", random.Random(3))
+                == make_typo("Ottawa", random.Random(3)))
+
+
+class TestConstraintAttributes:
+    def test_collects_fd_attributes_in_order(self):
+        fds = [FD(["a"], ["b"]), FD(["b"], ["c"])]
+        assert constraint_attributes(fds) == ["a", "b", "c"]
+
+    def test_hosp_covers_all_17(self):
+        # Every hosp attribute participates in some FD.
+        assert len(constraint_attributes(hosp_fds())) == 17
+
+
+class TestInjectNoise:
+    def test_error_count_matches_rate(self, clean):
+        report = inject_noise(clean, ["v", "w"], noise_rate=0.10, seed=1)
+        assert len(report.errors) == round(0.10 * 60 * 2)
+
+    def test_ledger_matches_table_diff(self, clean):
+        """Invariant 7 of DESIGN.md: ledger == clean ⊖ dirty."""
+        report = inject_noise(clean, ["k", "v"], noise_rate=0.2, seed=2)
+        assert report.error_cells == set(clean.diff_cells(report.table))
+
+    def test_ledger_values_accurate(self, clean):
+        report = inject_noise(clean, ["v"], noise_rate=0.3, seed=3)
+        for error in report.errors:
+            assert clean[error.row][error.attribute] == error.clean_value
+            assert (report.table[error.row][error.attribute]
+                    == error.dirty_value)
+            assert error.clean_value != error.dirty_value
+
+    def test_clean_table_not_mutated(self, clean):
+        snapshot = clean.copy()
+        inject_noise(clean, ["v", "w"], noise_rate=0.5, seed=4)
+        assert clean == snapshot
+
+    def test_only_requested_attributes_touched(self, clean):
+        report = inject_noise(clean, ["v"], noise_rate=0.5, seed=5)
+        assert {attr for _, attr in report.error_cells} == {"v"}
+
+    def test_typo_ratio_one_yields_only_typos(self, clean):
+        report = inject_noise(clean, ["v"], noise_rate=0.5, typo_ratio=1.0,
+                              seed=6)
+        assert {e.kind for e in report.errors} == {TYPO}
+
+    def test_typo_ratio_zero_yields_active_domain(self, clean):
+        report = inject_noise(clean, ["v"], noise_rate=0.5, typo_ratio=0.0,
+                              seed=7)
+        assert {e.kind for e in report.errors} == {ACTIVE_DOMAIN}
+        domain = clean.active_domain("v")
+        for error in report.errors:
+            assert error.dirty_value in domain
+
+    def test_singleton_domain_falls_back_to_typo(self):
+        schema = Schema("R", ["a"])
+        table = Table(schema, [["same"], ["same"], ["same"], ["same"]])
+        report = inject_noise(table, ["a"], noise_rate=1.0, typo_ratio=0.0,
+                              seed=8)
+        assert {e.kind for e in report.errors} == {TYPO}
+
+    def test_deterministic_by_seed(self, clean):
+        a = inject_noise(clean, ["v", "w"], noise_rate=0.2, seed=9)
+        b = inject_noise(clean, ["v", "w"], noise_rate=0.2, seed=9)
+        assert a.table == b.table and a.errors == b.errors
+
+    def test_zero_rate_is_noop(self, clean):
+        report = inject_noise(clean, ["v"], noise_rate=0.0, seed=10)
+        assert report.table == clean and report.errors == []
+
+    def test_invalid_rates_rejected(self, clean):
+        with pytest.raises(ValueError):
+            inject_noise(clean, ["v"], noise_rate=1.5)
+        with pytest.raises(ValueError):
+            inject_noise(clean, ["v"], typo_ratio=-0.1)
+
+    def test_unknown_attribute_rejected(self, clean):
+        with pytest.raises(Exception):
+            inject_noise(clean, ["nope"], noise_rate=0.1)
+
+    def test_clean_value_of(self, clean):
+        report = inject_noise(clean, ["v"], noise_rate=0.3, seed=11)
+        error = report.errors[0]
+        assert (report.clean_value_of(error.row, error.attribute)
+                == error.clean_value)
+        assert report.clean_value_of(10**6, "v") is None
+
+    def test_hosp_end_to_end_noise(self):
+        clean = generate_hosp(rows=150, seed=1)
+        attrs = constraint_attributes(hosp_fds())
+        report = inject_noise(clean, attrs, noise_rate=0.05, seed=12)
+        assert len(report.errors) == round(0.05 * 150 * 17)

@@ -1,0 +1,149 @@
+"""A counterexample to the paper's Proposition 3, found by this
+reproduction's property-based tests.
+
+Proposition 3 claims: Σ is consistent iff every pair of rules in Σ is
+consistent.  The "if" direction fails for the triple below.
+
+    φ_strong: ((a=0, c=0), (b in {1})) -> 0      assures {a, c, b}
+    φ_weak:   ((a=0),      (b in {1})) -> 0      assures {a, b}
+    φ_reader: ((b=0),      (c in {0})) -> 1      reads b, writes c
+
+Every pair passes BOTH of the paper's checkers (Fig. 4 rule
+characterization AND Section 5.2.1 tuple enumeration — so this is not
+an implementation artifact).  Yet the tuple (a=0, b=1, c=0) has two
+fixes:
+
+* apply φ_strong first: b:=0 and {a, b, c} become assured, so
+  φ_reader is blocked forever → (0, 0, 0);
+* apply φ_weak first: b:=0 but only {a, b} are assured, so φ_reader
+  then fires → (0, 0, 1).
+
+The two "twins" write the same fact, so no pairwise test sees a
+disagreement — but they certify different evidence, and a third rule
+reading the difference turns that into order-dependence.  The paper's
+proof sketch (case iii) asserts a pairwise-inconsistent pair must
+exist in any divergence; here none does.
+
+The library keeps the paper's pairwise checkers faithful and adds
+`find_assurance_hazards` to flag the escaping pattern.  These tests
+pin both the counterexample and the detector.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import (FixingRule, chase_repair, check_pair_characterize,
+                        check_pair_enumerate, find_assurance_hazards,
+                        is_consistent)
+from repro.relational import Row, Schema
+
+SCHEMA = Schema("T", ["a", "b", "c"])
+
+
+@pytest.fixture()
+def strong():
+    return FixingRule({"a": "0", "c": "0"}, "b", {"1"}, "0",
+                      name="phi_strong")
+
+
+@pytest.fixture()
+def weak():
+    return FixingRule({"a": "0"}, "b", {"1"}, "0", name="phi_weak")
+
+
+@pytest.fixture()
+def reader():
+    return FixingRule({"b": "0"}, "c", {"0"}, "1", name="phi_reader")
+
+
+@pytest.fixture()
+def sigma(strong, weak, reader):
+    return [strong, weak, reader]
+
+
+class TestTheCounterexample:
+    def test_every_pair_is_consistent_under_both_checkers(self, sigma):
+        for rule_i, rule_j in itertools.combinations(sigma, 2):
+            assert check_pair_characterize(rule_i, rule_j) is None
+            assert check_pair_enumerate(SCHEMA, rule_i, rule_j) is None
+
+    def test_paper_checker_therefore_says_consistent(self, sigma):
+        assert is_consistent(sigma)
+
+    def test_but_a_tuple_has_two_fixes(self, sigma, strong, weak,
+                                       reader):
+        witness = Row(SCHEMA, ["0", "1", "0"])
+        outcomes = set()
+        for order in itertools.permutations(range(3)):
+            outcomes.add(chase_repair(witness, sigma, order=order)
+                         .row.values)
+        assert outcomes == {("0", "0", "0"), ("0", "0", "1")}
+
+    def test_mechanism_strong_blocks_reader(self, strong, reader):
+        witness = Row(SCHEMA, ["0", "1", "0"])
+        result = chase_repair(witness, [strong, reader])
+        assert [f.rule.name for f in result.applied] == ["phi_strong"]
+        assert "c" in result.assured  # the blocking certification
+
+    def test_mechanism_weak_admits_reader(self, weak, reader):
+        witness = Row(SCHEMA, ["0", "1", "0"])
+        result = chase_repair(witness, [weak, reader])
+        assert [f.rule.name for f in result.applied] == ["phi_weak",
+                                                         "phi_reader"]
+
+    def test_removing_either_twin_restores_uniqueness(self, strong, weak,
+                                                      reader):
+        witness = Row(SCHEMA, ["0", "1", "0"])
+        for sigma in ([strong, reader], [weak, reader]):
+            outcomes = {chase_repair(witness, sigma, order=order)
+                        .row.values
+                        for order in itertools.permutations(range(2))}
+            assert len(outcomes) == 1
+
+
+class TestHazardDetector:
+    def test_detects_the_triple(self, sigma, strong, weak, reader):
+        hazards = find_assurance_hazards(sigma)
+        assert len(hazards) == 1
+        hazard = hazards[0]
+        assert hazard.certifier == strong
+        assert hazard.alternative == weak
+        assert hazard.reader == reader
+        assert "assure different evidence" in hazard.describe()
+
+    def test_silent_without_the_reader(self, strong, weak):
+        assert find_assurance_hazards([strong, weak]) == []
+
+    def test_incomparable_twins_also_hazardous(self, reader):
+        """Subsumption is not required: twins with incomparable but
+        compatible evidence diverge the same way (verified by chase:
+        twin_b-first blocks the reader via c, twin_a-first admits
+        it)."""
+        twin_a = FixingRule({"a": "0"}, "b", {"1"}, "0", name="twin_a")
+        twin_b = FixingRule({"c": "0"}, "b", {"1"}, "0", name="twin_b")
+        sigma = [twin_a, twin_b, reader]
+        witness = Row(Schema("T", ["a", "b", "c"]), ["0", "1", "0"])
+        outcomes = {chase_repair(witness, sigma, order=order).row.values
+                    for order in itertools.permutations(range(3))}
+        assert len(outcomes) == 2  # genuinely divergent
+        hazards = find_assurance_hazards(sigma)
+        assert any(h.certifier.name == "twin_b"
+                   and h.reader == reader for h in hazards)
+
+    def test_silent_when_reader_trusts_the_evidence(self, strong, weak):
+        benign = FixingRule({"b": "0"}, "c", {"9"}, "1")  # 0 not wrong
+        assert find_assurance_hazards([strong, weak, benign]) == []
+
+    def test_silent_on_paper_rules(self, paper_rules):
+        assert find_assurance_hazards(paper_rules) == []
+
+    def test_silent_on_generated_rules(self, small_hosp):
+        from repro.datagen import constraint_attributes, inject_noise
+        from repro.rulegen import generate_rules
+        noise = inject_noise(small_hosp.clean,
+                             constraint_attributes(small_hosp.fds),
+                             noise_rate=0.08, seed=91)
+        rules = generate_rules(small_hosp.clean, noise.table,
+                               small_hosp.fds, enrichment_per_rule=2)
+        assert find_assurance_hazards(rules) == []

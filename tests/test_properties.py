@@ -1,0 +1,204 @@
+"""Property-based tests (hypothesis) for the DESIGN.md invariants.
+
+Strategies generate small random schemas, rules and tuples over a tiny
+value alphabet so that rule interactions (shared attributes, overlapping
+patterns) are frequent rather than vanishingly rare.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (FixingRule, RuleSet, chase_repair,
+                        check_pair_characterize, check_pair_enumerate,
+                        ensure_consistent, fast_repair, find_conflicts,
+                        is_consistent)
+from repro.core.resolution import DROP_CONFLICTING, SHRINK_NEGATIVES
+from repro.datagen import inject_noise, make_typo
+from repro.evaluation import evaluate_repair
+from repro.relational import Row, Schema, Table
+
+ATTRS = ("a", "b", "c", "d")
+VALUES = ("0", "1", "2")
+SCHEMA = Schema("P", list(ATTRS))
+
+
+@st.composite
+def rules(draw):
+    """One random fixing rule over the tiny alphabet."""
+    attribute = draw(st.sampled_from(ATTRS))
+    x_candidates = [a for a in ATTRS if a != attribute]
+    x_attrs = draw(st.lists(st.sampled_from(x_candidates), min_size=1,
+                            max_size=3, unique=True))
+    evidence = {a: draw(st.sampled_from(VALUES)) for a in x_attrs}
+    fact = draw(st.sampled_from(VALUES))
+    negatives = draw(st.lists(
+        st.sampled_from([v for v in VALUES if v != fact]),
+        min_size=1, max_size=2, unique=True))
+    return FixingRule(evidence, attribute, negatives, fact)
+
+
+@st.composite
+def rows(draw):
+    return Row(SCHEMA, [draw(st.sampled_from(VALUES)) for _ in ATTRS])
+
+
+@st.composite
+def consistent_rulesets(draw):
+    """A random rule set forced consistent via the drop strategy."""
+    candidates = draw(st.lists(rules(), min_size=1, max_size=6))
+    ruleset = RuleSet(SCHEMA, candidates)
+    return ensure_consistent(ruleset, strategy=DROP_CONFLICTING).rules
+
+
+class TestCheckerEquivalence:
+    """isConsist_t ≡ isConsist_r on random pairs (Section 5.2)."""
+
+    @settings(max_examples=300, deadline=None)
+    @given(rules(), rules())
+    def test_characterize_agrees_with_enumerate(self, rule_a, rule_b):
+        by_char = check_pair_characterize(rule_a, rule_b) is None
+        by_enum = check_pair_enumerate(SCHEMA, rule_a, rule_b) is None
+        assert by_char == by_enum
+
+
+class TestChurchRosser:
+    """Consistent Σ ⇒ unique fix regardless of order (Section 4.4)."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(consistent_rulesets(), rows(), st.integers(0, 2**16))
+    def test_random_orders_agree(self, ruleset, row, seed):
+        base = chase_repair(row, ruleset)
+        shuffled = chase_repair(row, ruleset, rng=random.Random(seed))
+        assert shuffled.row == base.row
+
+    @settings(max_examples=150, deadline=None)
+    @given(consistent_rulesets(), rows())
+    def test_fast_equals_chase(self, ruleset, row):
+        assert fast_repair(row, ruleset).row == chase_repair(row,
+                                                             ruleset).row
+
+
+class TestRepairInvariants:
+    @settings(max_examples=150, deadline=None)
+    @given(consistent_rulesets(), rows())
+    def test_termination_bound(self, ruleset, row):
+        """At most |R| proper applications (Section 4.1)."""
+        result = chase_repair(row, ruleset)
+        assert len(result.applied) <= len(SCHEMA)
+
+    @settings(max_examples=150, deadline=None)
+    @given(consistent_rulesets(), rows())
+    def test_result_is_fixpoint_wrt_assured(self, ruleset, row):
+        """Condition (2) of a fix: no rule properly applies to the
+        result *relative to the final assured set*.  (Plain
+        re-repairing from an empty assured set is NOT guaranteed to be
+        a no-op — assuredness is part of the chase state, and a rule
+        blocked by it may fire on a fresh run.)"""
+        from repro.core import is_fixpoint
+        result = fast_repair(row, ruleset)
+        assert is_fixpoint(result.row, ruleset, set(result.assured))
+
+    @settings(max_examples=150, deadline=None)
+    @given(consistent_rulesets(), rows())
+    def test_assured_cells_final(self, ruleset, row):
+        """Once assured, an attribute's value never changes again:
+        replaying the application log never overwrites an assured
+        attribute."""
+        result = chase_repair(row, ruleset)
+        assured = set()
+        for fix in result.applied:
+            assert fix.attribute not in assured
+            assured.update(fix.rule.touched_attrs)
+
+    @settings(max_examples=150, deadline=None)
+    @given(consistent_rulesets(), rows())
+    def test_fact_never_in_own_negatives(self, ruleset, row):
+        result = chase_repair(row, ruleset)
+        for fix in result.applied:
+            assert fix.new_value not in fix.rule.negatives
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(rules(), min_size=2, max_size=5), rows())
+    def test_any_ruleset_terminates(self, rule_list, row):
+        """Termination holds even for inconsistent Σ."""
+        deduped = RuleSet(SCHEMA, rule_list)
+        result = chase_repair(row, deduped)
+        assert len(result.applied) <= len(SCHEMA)
+
+
+class TestResolutionProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(rules(), min_size=1, max_size=6))
+    def test_shrink_produces_consistent_set(self, rule_list):
+        ruleset = RuleSet(SCHEMA, rule_list)
+        log = ensure_consistent(ruleset, strategy=SHRINK_NEGATIVES)
+        assert is_consistent(log.rules)
+        assert log.rules.size() <= ruleset.size()
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(rules(), min_size=1, max_size=6))
+    def test_drop_produces_consistent_set(self, rule_list):
+        ruleset = RuleSet(SCHEMA, rule_list)
+        log = ensure_consistent(ruleset, strategy=DROP_CONFLICTING)
+        assert is_consistent(log.rules)
+        kept = {rule.signature() for rule in log.rules}
+        assert kept <= {rule.signature() for rule in ruleset}
+
+
+class TestNoiseProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 2**16), st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    def test_ledger_equals_diff(self, seed, noise_rate, typo_ratio):
+        clean = Table(SCHEMA, [[VALUES[(i + j) % 3] for j in range(4)]
+                               for i in range(20)])
+        report = inject_noise(clean, ["a", "b"], noise_rate=noise_rate,
+                              typo_ratio=typo_ratio, seed=seed)
+        assert report.error_cells == set(clean.diff_cells(report.table))
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(max_size=12), st.integers(0, 2**16))
+    def test_make_typo_always_differs(self, value, seed):
+        assert make_typo(value, random.Random(seed)) != value
+
+
+class TestMetricProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(consistent_rulesets(), st.integers(0, 2**16))
+    def test_precision_recall_bounds(self, ruleset, seed):
+        rng = random.Random(seed)
+        clean = Table(SCHEMA, [[rng.choice(VALUES) for _ in ATTRS]
+                               for _ in range(15)])
+        noise = inject_noise(clean, list(ATTRS), noise_rate=0.2,
+                             seed=seed)
+        from repro.core import repair_table
+        repaired = repair_table(noise.table, ruleset).table
+        quality = evaluate_repair(clean, noise.table, repaired)
+        assert 0.0 <= quality.precision <= 1.0
+        assert 0.0 <= quality.recall <= 1.0
+        assert quality.corrected <= quality.updated
+        assert quality.corrected <= quality.erroneous
+
+
+class TestConsistencyProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(rules(), min_size=1, max_size=5))
+    def test_pairwise_reduction(self, rule_list):
+        """Proposition 3: Σ consistent iff all pairs consistent."""
+        ruleset = RuleSet(SCHEMA, rule_list)
+        pairwise_ok = all(
+            check_pair_characterize(ruleset[i], ruleset[j]) is None
+            for i in range(len(ruleset))
+            for j in range(i + 1, len(ruleset)))
+        assert is_consistent(ruleset) == pairwise_ok
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(rules(), min_size=2, max_size=5))
+    def test_conflict_symmetry(self, rule_list):
+        """find_conflicts must not depend on rule order for the verdict."""
+        forward = RuleSet(SCHEMA, rule_list)
+        backward = RuleSet(SCHEMA, list(reversed(forward.rules())))
+        assert is_consistent(forward) == is_consistent(backward)

@@ -1,0 +1,175 @@
+"""Property-based tests for the extension modules: serialization,
+incremental rule sets, similarity, MDs, and streaming."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (ConsistentRuleSet, FixingRule, RuleSet,
+                        is_consistent, repair_table, rule_from_dict,
+                        rule_to_dict, ruleset_from_json, ruleset_to_json)
+from repro.core.stream import RepairSession
+from repro.dependencies import MD, enforce_md, md_violations, exact, \
+    within_edit_distance
+from repro.relational import Row, Schema, Table
+from repro.rulegen import edit_distance
+
+ATTRS = ("a", "b", "c", "d")
+VALUES = ("0", "1", "2")
+SCHEMA = Schema("P", list(ATTRS))
+
+# Value alphabet including names needing JSON escaping.
+TEXT_VALUES = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), min_size=1,
+    max_size=8)
+
+
+@st.composite
+def rules(draw):
+    attribute = draw(st.sampled_from(ATTRS))
+    x_candidates = [a for a in ATTRS if a != attribute]
+    x_attrs = draw(st.lists(st.sampled_from(x_candidates), min_size=1,
+                            max_size=3, unique=True))
+    evidence = {a: draw(st.sampled_from(VALUES)) for a in x_attrs}
+    fact = draw(st.sampled_from(VALUES))
+    negatives = draw(st.lists(
+        st.sampled_from([v for v in VALUES if v != fact]),
+        min_size=1, max_size=2, unique=True))
+    return FixingRule(evidence, attribute, negatives, fact)
+
+
+@st.composite
+def unicode_rules(draw):
+    """Rules with arbitrary unicode constants, for serialization."""
+    attribute = draw(st.sampled_from(ATTRS))
+    x_attrs = draw(st.lists(
+        st.sampled_from([a for a in ATTRS if a != attribute]),
+        min_size=1, max_size=2, unique=True))
+    evidence = {a: draw(TEXT_VALUES) for a in x_attrs}
+    fact = draw(TEXT_VALUES)
+    negatives = draw(st.lists(TEXT_VALUES.filter(lambda v: v != fact),
+                              min_size=1, max_size=3, unique=True))
+    return FixingRule(evidence, attribute, negatives, fact)
+
+
+@st.composite
+def rows(draw):
+    return Row(SCHEMA, [draw(st.sampled_from(VALUES)) for _ in ATTRS])
+
+
+class TestSerializationProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(unicode_rules())
+    def test_rule_dict_roundtrip(self, rule):
+        assert rule_from_dict(rule_to_dict(rule)) == rule
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(rules(), min_size=0, max_size=6))
+    def test_ruleset_json_roundtrip(self, rule_list):
+        ruleset = RuleSet(SCHEMA, rule_list)
+        back = ruleset_from_json(ruleset_to_json(ruleset))
+        assert back.rules() == ruleset.rules()
+        assert back.schema == ruleset.schema
+
+
+class TestIncrementalProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(rules(), min_size=0, max_size=8))
+    def test_extend_result_always_consistent(self, rule_list):
+        crs = ConsistentRuleSet(SCHEMA)
+        rejected = crs.extend(rule_list)
+        assert is_consistent(crs.as_ruleset())
+        # Everything is either kept or rejected (dedup aside).
+        kept = {rule.signature() for rule in crs}
+        for rule in rule_list:
+            assert (rule.signature() in kept
+                    or rule in rejected
+                    or any(rule.signature() == r.signature()
+                           for r in rejected))
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(rules(), min_size=1, max_size=8))
+    def test_rejected_rules_really_conflict(self, rule_list):
+        crs = ConsistentRuleSet(SCHEMA)
+        rejected = crs.extend(rule_list)
+        for rule in rejected:
+            assert crs.conflicts_with(rule)
+
+
+class TestEditDistanceProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(max_size=10), st.text(max_size=10))
+    def test_symmetry(self, a, b):
+        assert edit_distance(a, b) == edit_distance(b, a)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(max_size=10))
+    def test_identity(self, a):
+        assert edit_distance(a, a) == 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(max_size=8), st.text(max_size=8), st.text(max_size=8))
+    def test_triangle_inequality(self, a, b, c):
+        assert (edit_distance(a, c)
+                <= edit_distance(a, b) + edit_distance(b, c))
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(max_size=10), st.text(max_size=10))
+    def test_bounded_by_max_length(self, a, b):
+        assert edit_distance(a, b) <= max(len(a), len(b))
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(max_size=10), st.text(max_size=10),
+           st.integers(0, 5))
+    def test_band_agrees_below_threshold(self, a, b, k):
+        exact_distance = edit_distance(a, b)
+        banded = edit_distance(a, b, max_distance=k)
+        if exact_distance <= k:
+            assert banded == exact_distance
+        else:
+            assert banded > k
+
+
+class TestMDProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(VALUES),
+                              st.sampled_from(VALUES),
+                              st.sampled_from(VALUES)),
+                    min_size=2, max_size=12))
+    def test_single_md_enforcement_converges_in_one_round(self, triples):
+        schema = Schema("M", ["k", "x", "y"])
+        table = Table(schema, [list(t) for t in triples])
+        md = MD([("k", exact())], identify=["y"])
+        enforced, _ = enforce_md(table, md)
+        assert md_violations(enforced, md) == []
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(VALUES),
+                              st.sampled_from(VALUES)),
+                    min_size=2, max_size=10))
+    def test_enforcement_changes_only_identify_attrs(self, pairs):
+        schema = Schema("M", ["k", "y"])
+        table = Table(schema, [list(p) for p in pairs])
+        md = MD([("k", exact())], identify=["y"])
+        enforced, changed = enforce_md(table, md)
+        assert all(attr == "y" for _, attr in changed)
+        for i in range(len(table)):
+            assert enforced[i]["k"] == table[i]["k"]
+
+
+class TestStreamingProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(rules(), min_size=0, max_size=6),
+           st.lists(rows(), min_size=0, max_size=8))
+    def test_session_equals_batch(self, rule_list, row_list):
+        crs = ConsistentRuleSet(SCHEMA)
+        crs.extend(rule_list)
+        consistent = crs.as_ruleset()
+        table = Table(SCHEMA, [row.copy() for row in row_list])
+        batch = repair_table(table, consistent)
+        session = RepairSession(consistent)
+        streamed = [session.repair_row(row).row for row in table]
+        assert streamed == list(batch.table)

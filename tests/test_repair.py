@@ -1,0 +1,189 @@
+"""Unit tests for repro.core.repair — cRepair, lRepair, and the table
+driver (Section 6), anchored to the Fig. 8 running example."""
+
+import pytest
+
+from repro.core import (InvertedIndex, RuleSet, chase_repair, fast_repair,
+                        repair_table)
+from repro.errors import InconsistentRulesError
+from repro.core import FixingRule
+from repro.relational import Row, Table
+
+
+@pytest.fixture()
+def r1(travel_schema):
+    return Row(travel_schema, ["George", "China", "Beijing", "Shanghai",
+                               "ICDE"])
+
+
+@pytest.fixture()
+def r2(travel_schema):
+    return Row(travel_schema, ["Ian", "China", "Shanghai", "Hongkong",
+                               "ICDE"])
+
+
+@pytest.fixture()
+def r3(travel_schema):
+    return Row(travel_schema, ["Peter", "China", "Tokyo", "Tokyo", "ICDE"])
+
+
+@pytest.fixture()
+def r4(travel_schema):
+    return Row(travel_schema, ["Mike", "Canada", "Toronto", "Toronto",
+                               "VLDB"])
+
+
+ALGORITHMS = [chase_repair, fast_repair]
+
+
+@pytest.mark.parametrize("algo", ALGORITHMS)
+class TestFig8Trace:
+    """Both algorithms must produce the exact Fig. 8 outcomes."""
+
+    def test_r1_clean_unchanged(self, algo, r1, paper_rules):
+        result = algo(r1, paper_rules)
+        assert result.row == r1
+        assert not result.changed
+
+    def test_r2_two_cascading_fixes(self, algo, r2, paper_rules):
+        """φ1 fixes capital, which completes φ4's evidence and fixes
+        city — the cascade of Fig. 8."""
+        result = algo(r2, paper_rules)
+        assert result.row["capital"] == "Beijing"
+        assert result.row["city"] == "Shanghai"
+        applied_names = [fix.rule.name for fix in result.applied]
+        assert applied_names == ["phi1", "phi4"]
+        assert result.assured == {"country", "capital", "city", "conf"}
+
+    def test_r3_country_fixed(self, algo, r3, paper_rules):
+        result = algo(r3, paper_rules)
+        assert result.row["country"] == "Japan"
+        assert result.row["capital"] == "Tokyo"  # untouched
+        assert [f.rule.name for f in result.applied] == ["phi3"]
+
+    def test_r4_capital_fixed(self, algo, r4, paper_rules):
+        result = algo(r4, paper_rules)
+        assert result.row["capital"] == "Ottawa"
+        assert [f.rule.name for f in result.applied] == ["phi2"]
+
+    def test_input_row_never_mutated(self, algo, r2, paper_rules):
+        algo(r2, paper_rules)
+        assert r2["capital"] == "Shanghai"
+
+    def test_provenance_records_old_and_new(self, algo, r4, paper_rules):
+        result = algo(r4, paper_rules)
+        fix = result.applied[0]
+        assert (fix.attribute, fix.old_value, fix.new_value) == (
+            "capital", "Toronto", "Ottawa")
+
+    def test_rule_applied_at_most_once(self, algo, r2, paper_rules):
+        result = algo(r2, paper_rules)
+        names = [f.rule.name for f in result.applied]
+        assert len(names) == len(set(names))
+
+    def test_result_is_fixpoint(self, algo, r2, paper_rules):
+        """Repairing the repaired row again changes nothing."""
+        once = algo(r2, paper_rules)
+        twice = algo(once.row, paper_rules)
+        assert twice.row == once.row
+
+
+class TestChaseSpecifics:
+    def test_order_independence_on_consistent_rules(self, r2, paper_rules):
+        """Church–Rosser: every scan order yields the same fix."""
+        import itertools
+        results = set()
+        for order in itertools.permutations(range(4)):
+            result = chase_repair(r2, paper_rules, order=order)
+            results.add(result.row.values)
+        assert len(results) == 1
+
+    def test_rng_shuffle_equivalent(self, r2, paper_rules):
+        import random
+        base = chase_repair(r2, paper_rules)
+        for seed in range(5):
+            shuffled = chase_repair(r2, paper_rules,
+                                    rng=random.Random(seed))
+            assert shuffled.row == base.row
+
+    def test_inconsistent_rules_order_dependent(self, travel_schema, r3,
+                                                phi1_prime, phi3):
+        """On the Example 8 pair the two orders genuinely diverge —
+        the behavior consistency checking exists to prevent."""
+        first = chase_repair(r3, [phi1_prime, phi3], order=(0, 1))
+        second = chase_repair(r3, [phi1_prime, phi3], order=(1, 0))
+        assert first.row["capital"] == "Beijing"   # r3' of Example 8
+        assert second.row["country"] == "Japan"    # r3'' of Example 8
+        assert first.row != second.row
+
+
+class TestFastSpecifics:
+    def test_prebuilt_index_reuse(self, r2, r4, paper_rules):
+        index = InvertedIndex(paper_rules.rules())
+        a = fast_repair(r2, paper_rules, index=index)
+        b = fast_repair(r4, paper_rules, index=index)
+        assert a.row["capital"] == "Beijing"
+        assert b.row["capital"] == "Ottawa"
+
+    def test_matches_chase_on_paper_data(self, travel_data, paper_rules):
+        for row in travel_data:
+            assert (fast_repair(row, paper_rules).row
+                    == chase_repair(row, paper_rules).row)
+
+
+class TestRepairTable:
+    def test_whole_fig1_instance(self, travel_data, paper_rules):
+        report = repair_table(travel_data, paper_rules)
+        expected = [
+            ("George", "China", "Beijing", "Shanghai", "ICDE"),
+            ("Ian", "China", "Beijing", "Shanghai", "ICDE"),
+            ("Peter", "Japan", "Tokyo", "Tokyo", "ICDE"),
+            ("Mike", "Canada", "Ottawa", "Toronto", "VLDB"),
+        ]
+        assert [row.values for row in report.table] == expected
+        assert report.total_applications == 4
+
+    def test_chase_algorithm_option(self, travel_data, paper_rules):
+        fast = repair_table(travel_data, paper_rules, algorithm="fast")
+        chase = repair_table(travel_data, paper_rules, algorithm="chase")
+        assert fast.table == chase.table
+
+    def test_unknown_algorithm_rejected(self, travel_data, paper_rules):
+        with pytest.raises(ValueError, match="algorithm"):
+            repair_table(travel_data, paper_rules, algorithm="quantum")
+
+    def test_input_table_untouched(self, travel_data, paper_rules):
+        before = [row.values for row in travel_data]
+        repair_table(travel_data, paper_rules)
+        assert [row.values for row in travel_data] == before
+
+    def test_applications_by_rule_fig12a_quantity(self, travel_data,
+                                                  paper_rules):
+        report = repair_table(travel_data, paper_rules)
+        assert report.applications_by_rule() == {
+            "phi1": 1, "phi2": 1, "phi3": 1, "phi4": 1}
+
+    def test_changed_cells(self, travel_data, paper_rules):
+        report = repair_table(travel_data, paper_rules)
+        assert set(report.changed_cells) == {
+            (1, "capital"), (1, "city"), (2, "country"), (3, "capital")}
+
+    def test_consistency_precheck(self, travel_schema, travel_data,
+                                  phi1_prime, phi3):
+        bad = RuleSet(travel_schema, [phi1_prime, phi3])
+        with pytest.raises(InconsistentRulesError) as excinfo:
+            repair_table(travel_data, bad, check_consistency=True)
+        assert excinfo.value.conflicts
+
+    def test_empty_rules_noop(self, travel_schema, travel_data):
+        report = repair_table(travel_data, RuleSet(travel_schema))
+        assert report.table == travel_data
+        assert report.total_applications == 0
+
+    def test_empty_table(self, travel_schema, paper_rules):
+        report = repair_table(Table(travel_schema), paper_rules)
+        assert len(report.table) == 0
+
+    def test_report_repr(self, travel_data, paper_rules):
+        report = repair_table(travel_data, paper_rules)
+        assert "4 cells changed" in repr(report)

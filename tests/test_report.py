@@ -1,0 +1,71 @@
+"""Unit tests for repro.evaluation.report and the experiment CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.evaluation import (build_workload, experiment_report, prepare,
+                              run_all_methods, run_experiment)
+
+
+@pytest.fixture(scope="module")
+def rendered():
+    workload = build_workload("hosp", rows=250, seed=4)
+    prep = prepare(workload, noise_rate=0.08, max_rules=40,
+                   enrichment_per_rule=2)
+    results = run_all_methods(prep)
+    return prep, results, experiment_report(prep, results, title="T")
+
+
+class TestExperimentReport:
+    def test_title_and_sections(self, rendered):
+        _, _, text = rendered
+        assert text.startswith("# T")
+        for heading in ("## Setup", "## Results", "## Busiest fixing "
+                        "rules", "## Fix outcome mix"):
+            assert heading in text
+
+    def test_all_methods_in_table(self, rendered):
+        _, results, text = rendered
+        for name in results:
+            assert "| %s |" % name in text
+
+    def test_setup_parameters_rendered(self, rendered):
+        prep, _, text = rendered
+        assert "| rows | %d |" % len(prep.clean) in text
+        assert ("| injected errors | %d |" % len(prep.noise.errors)
+                in text)
+
+    def test_outcome_tally_rows(self, rendered):
+        _, _, text = rendered
+        for key in ("corrected", "missed", "miscorrected", "broken"):
+            assert "| %s | " % key in text
+
+    def test_metrics_within_bounds(self, rendered):
+        _, results, _ = rendered
+        for result in results.values():
+            assert 0.0 <= result.quality.precision <= 1.0
+            assert 0.0 <= result.quality.recall <= 1.0
+
+
+class TestRunExperiment:
+    def test_end_to_end(self):
+        text = run_experiment("uis", rows=200, max_rules=20,
+                              enrichment_per_rule=1)
+        assert text.startswith("# Repair experiment: uis")
+        assert "| Fix |" in text and "| Heu |" in text
+
+
+class TestCliExperiment:
+    def test_stdout(self, capsys):
+        assert main(["experiment", "hosp", "--rows", "200",
+                     "--max-rules", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "# Repair experiment: hosp" in out
+        assert "| Fix |" in out
+
+    def test_output_file(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        assert main(["experiment", "uis", "--rows", "150",
+                     "--max-rules", "15", "--output", str(path)]) == 0
+        assert "report written" in capsys.readouterr().out
+        assert path.read_text(encoding="utf-8").startswith("# Repair")

@@ -1,0 +1,141 @@
+"""Unit tests for repro.core.resolution — Section 5.3."""
+
+import pytest
+
+from repro.core import (DROP_CONFLICTING, SHRINK_NEGATIVES, FixingRule,
+                        Revision, RuleSet, drop_conflicting,
+                        ensure_consistent, is_consistent)
+from repro.errors import RuleError
+from repro.relational import Schema
+
+
+@pytest.fixture()
+def inconsistent_rules(travel_schema, phi1_prime, phi2, phi3):
+    """Σ containing the Example 8 conflict (φ1' vs φ3) plus φ2."""
+    return RuleSet(travel_schema, [phi1_prime, phi2, phi3])
+
+
+class TestDropStrategy:
+    def test_drops_both_conflicting_rules(self, inconsistent_rules, phi2):
+        log = drop_conflicting(inconsistent_rules)
+        assert is_consistent(log.rules)
+        assert len(log.rules) == 1
+        assert phi2 in log.rules
+        assert len(log.revisions) == 2
+        assert all(rev.replacement is None for rev in log.revisions)
+
+    def test_consistent_input_untouched(self, paper_rules):
+        log = drop_conflicting(paper_rules)
+        assert len(log.rules) == len(paper_rules)
+        assert log.revisions == []
+
+    def test_via_ensure_consistent(self, inconsistent_rules):
+        log = ensure_consistent(inconsistent_rules,
+                                strategy=DROP_CONFLICTING)
+        assert is_consistent(log.rules)
+
+
+class TestShrinkStrategy:
+    def test_reproduces_fig5_expert_edit(self, inconsistent_rules, phi3):
+        """The automatic shrink removes Tokyo from φ1''s negatives —
+        exactly the Fig. 5 expert action — and keeps φ3."""
+        log = ensure_consistent(inconsistent_rules,
+                                strategy=SHRINK_NEGATIVES)
+        assert is_consistent(log.rules)
+        assert len(log.rules) == 3  # nothing dropped
+        assert phi3 in log.rules
+        revised = log.rules.by_name("phi1_prime")
+        assert revised.negatives == {"Shanghai", "Hongkong"}
+
+    def test_consistent_input_is_noop(self, paper_rules):
+        log = ensure_consistent(paper_rules, strategy=SHRINK_NEGATIVES)
+        assert log.revisions == []
+        assert log.rules.rules() == paper_rules.rules()
+
+    def test_rule_dropped_when_negatives_empty(self, travel_schema):
+        """Shrinking a single-negative rule empties it -> dropped."""
+        writer = FixingRule({"country": "X"}, "capital", {"P"}, "Q",
+                            name="writer")
+        reader = FixingRule({"capital": "P"}, "city", {"n"}, "m",
+                            name="reader")
+        rules = RuleSet(travel_schema, [writer, reader])
+        log = ensure_consistent(rules, strategy=SHRINK_NEGATIVES)
+        assert is_consistent(log.rules)
+        assert len(log.rules) == 1
+
+    def test_same_attribute_conflict_shrunk(self, travel_schema):
+        a = FixingRule({"country": "C"}, "capital", {"x", "y"}, "F1",
+                       name="a")
+        b = FixingRule({"country": "C"}, "capital", {"y", "z"}, "F2",
+                       name="b")
+        log = ensure_consistent(RuleSet(travel_schema, [a, b]),
+                                strategy=SHRINK_NEGATIVES)
+        assert is_consistent(log.rules)
+        assert len(log.rules) == 2
+        assert log.rules.by_name("a").negatives == {"x"}
+
+    def test_max_rounds_guard(self, inconsistent_rules):
+        # One round suffices for this set; the guard must not fire.
+        log = ensure_consistent(inconsistent_rules,
+                                strategy=SHRINK_NEGATIVES, max_rounds=5)
+        assert is_consistent(log.rules)
+
+
+class TestExpertCallback:
+    def test_callback_drives_resolution(self, inconsistent_rules):
+        decisions = []
+
+        def expert(conflict):
+            decisions.append(conflict.kind)
+            return Revision(conflict.rule_b, None, "expert dropped it")
+
+        log = ensure_consistent(inconsistent_rules, strategy=expert)
+        assert is_consistent(log.rules)
+        assert decisions  # expert was consulted
+
+    def test_callback_may_only_shrink(self, inconsistent_rules,
+                                      phi1_prime):
+        def bad_expert(conflict):
+            grown = conflict.rule_a.with_negatives(
+                conflict.rule_a.negatives | {"EXTRA"})
+            return Revision(conflict.rule_a, grown, "grew instead")
+
+        with pytest.raises(RuleError, match="strictly shrink"):
+            ensure_consistent(inconsistent_rules, strategy=bad_expert)
+
+    def test_callback_may_not_touch_other_fields(self, inconsistent_rules):
+        def bad_expert(conflict):
+            mutated = FixingRule(conflict.rule_a.evidence,
+                                 conflict.rule_a.attribute,
+                                 conflict.rule_a.negatives,
+                                 "DIFFERENT-FACT")
+            return Revision(conflict.rule_a, mutated, "changed fact")
+
+        with pytest.raises(RuleError, match="only change negative"):
+            ensure_consistent(inconsistent_rules, strategy=bad_expert)
+
+    def test_callback_must_target_a_conflict_rule(self, inconsistent_rules,
+                                                  travel_schema):
+        stranger = FixingRule({"country": "Q"}, "capital", {"w"}, "v")
+
+        def bad_expert(conflict):
+            return Revision(stranger, None, "dropped a bystander")
+
+        with pytest.raises(RuleError, match="neither rule"):
+            ensure_consistent(inconsistent_rules, strategy=bad_expert)
+
+    def test_unknown_strategy_rejected(self, inconsistent_rules):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            ensure_consistent(inconsistent_rules, strategy="telepathy")
+
+
+class TestWorkflowProperties:
+    def test_input_ruleset_not_mutated(self, inconsistent_rules):
+        before = inconsistent_rules.rules()
+        ensure_consistent(inconsistent_rules, strategy=SHRINK_NEGATIVES)
+        assert inconsistent_rules.rules() == before
+
+    def test_total_size_never_grows(self, inconsistent_rules):
+        log = ensure_consistent(inconsistent_rules,
+                                strategy=SHRINK_NEGATIVES)
+        assert log.rules.size() <= inconsistent_rules.size()

@@ -1,0 +1,108 @@
+"""Unit tests for repro.relational.row."""
+
+import pytest
+
+from repro.errors import TableError
+from repro.relational import Row, Schema
+
+
+@pytest.fixture()
+def schema():
+    return Schema("R", ["a", "b", "c"])
+
+
+class TestConstruction:
+    def test_from_sequence(self, schema):
+        row = Row(schema, ["1", "2", "3"])
+        assert row.values == ("1", "2", "3")
+
+    def test_from_mapping(self, schema):
+        row = Row(schema, {"b": "2", "a": "1", "c": "3"})
+        assert row.values == ("1", "2", "3")
+
+    def test_mapping_missing_attribute(self, schema):
+        with pytest.raises(TableError, match="missing attribute"):
+            Row(schema, {"a": "1", "b": "2"})
+
+    def test_wrong_arity(self, schema):
+        with pytest.raises(TableError, match="3 attributes"):
+            Row(schema, ["1", "2"])
+
+    def test_non_string_cell_rejected(self, schema):
+        with pytest.raises(TableError, match="not a string"):
+            Row(schema, ["1", 2, "3"])
+
+
+class TestAccess:
+    def test_getitem_setitem(self, schema):
+        row = Row(schema, ["1", "2", "3"])
+        assert row["b"] == "2"
+        row["b"] = "20"
+        assert row["b"] == "20"
+
+    def test_setitem_non_string_rejected(self, schema):
+        row = Row(schema, ["1", "2", "3"])
+        with pytest.raises(TableError):
+            row["a"] = 9
+
+    def test_get_with_default(self, schema):
+        row = Row(schema, ["1", "2", "3"])
+        assert row.get("a") == "1"
+        assert row.get("zz", "fallback") == "fallback"
+
+    def test_project_follows_given_order(self, schema):
+        row = Row(schema, ["1", "2", "3"])
+        assert row.project(["c", "a"]) == ("3", "1")
+
+    def test_as_dict_and_items(self, schema):
+        row = Row(schema, ["1", "2", "3"])
+        assert row.as_dict() == {"a": "1", "b": "2", "c": "3"}
+        assert list(row.items()) == [("a", "1"), ("b", "2"), ("c", "3")]
+
+    def test_len(self, schema):
+        assert len(Row(schema, ["1", "2", "3"])) == 3
+
+
+class TestDerivation:
+    def test_copy_is_independent(self, schema):
+        row = Row(schema, ["1", "2", "3"])
+        clone = row.copy()
+        clone["a"] = "9"
+        assert row["a"] == "1"
+
+    def test_with_value_does_not_mutate(self, schema):
+        row = Row(schema, ["1", "2", "3"])
+        other = row.with_value("c", "9")
+        assert row["c"] == "3"
+        assert other["c"] == "9"
+
+    def test_agrees_with(self, schema):
+        a = Row(schema, ["1", "2", "3"])
+        b = Row(schema, ["1", "9", "3"])
+        assert a.agrees_with(b, ["a", "c"])
+        assert not a.agrees_with(b, ["a", "b"])
+
+    def test_diff(self, schema):
+        a = Row(schema, ["1", "2", "3"])
+        b = Row(schema, ["1", "9", "0"])
+        assert a.diff(b) == ["b", "c"]
+        assert a.diff(a.copy()) == []
+
+    def test_diff_schema_mismatch(self, schema):
+        other = Row(Schema("S", ["a", "b", "c", "d"]),
+                    ["1", "2", "3", "4"])
+        with pytest.raises(TableError):
+            Row(schema, ["1", "2", "3"]).diff(other)
+
+
+class TestProtocol:
+    def test_equality_by_value(self, schema):
+        assert Row(schema, ["1", "2", "3"]) == Row(schema, ["1", "2", "3"])
+        assert Row(schema, ["1", "2", "3"]) != Row(schema, ["1", "2", "9"])
+
+    def test_unhashable(self, schema):
+        with pytest.raises(TypeError, match="unhashable"):
+            hash(Row(schema, ["1", "2", "3"]))
+
+    def test_repr(self, schema):
+        assert "a='1'" in repr(Row(schema, ["1", "2", "3"]))

@@ -1,0 +1,144 @@
+"""Unit tests for repro.core.rule — the fixing-rule syntax and
+single-rule semantics of Section 3.1."""
+
+import pytest
+
+from repro.core import FixingRule
+from repro.errors import RuleError
+from repro.relational import Row, Schema
+
+
+@pytest.fixture()
+def schema():
+    return Schema("Travel", ["name", "country", "capital", "city", "conf"])
+
+
+class TestSyntaxConditions:
+    """The four well-formedness conditions of the rule definition."""
+
+    def test_b_not_in_x(self):
+        with pytest.raises(RuleError, match="must not appear"):
+            FixingRule({"capital": "Beijing"}, "capital", {"x"}, "y")
+
+    def test_evidence_nonempty(self):
+        with pytest.raises(RuleError, match="non-empty"):
+            FixingRule({}, "capital", {"x"}, "y")
+
+    def test_negatives_nonempty(self):
+        with pytest.raises(RuleError, match="non-empty"):
+            FixingRule({"country": "China"}, "capital", set(), "Beijing")
+
+    def test_fact_not_in_negatives(self):
+        with pytest.raises(RuleError, match="negative pattern"):
+            FixingRule({"country": "China"}, "capital",
+                       {"Beijing", "Shanghai"}, "Beijing")
+
+    def test_non_string_evidence_rejected(self):
+        with pytest.raises(RuleError):
+            FixingRule({"country": 1}, "capital", {"x"}, "y")
+
+    def test_non_string_fact_rejected(self):
+        with pytest.raises(RuleError):
+            FixingRule({"country": "China"}, "capital", {"x"}, 5)
+
+    def test_non_string_negative_rejected(self):
+        with pytest.raises(RuleError):
+            FixingRule({"country": "China"}, "capital", {"x", 3}, "y")
+
+    def test_validate_against_schema(self, schema, phi1):
+        phi1.validate(schema)
+        bad = FixingRule({"nation": "China"}, "capital", {"x"}, "y")
+        with pytest.raises(Exception):
+            bad.validate(schema)
+
+
+class TestAccessors:
+    def test_x_attrs(self, phi3):
+        assert phi3.x_attrs == {"capital", "city", "conf"}
+
+    def test_touched_attrs(self, phi1):
+        assert phi1.touched_attrs == {"country", "capital"}
+
+    def test_size_counts_constants(self, phi1):
+        # 1 evidence + 2 negatives + 1 fact
+        assert phi1.size() == 4
+
+    def test_default_name_is_descriptive(self):
+        rule = FixingRule({"country": "China"}, "capital", {"x"}, "Beijing")
+        assert "country=China" in rule.name
+        assert "capital->Beijing" in rule.name
+
+
+class TestMatching:
+    """Example 3's match verdicts on the Fig. 1 tuples."""
+
+    def test_r1_does_not_match_phi1(self, schema, phi1):
+        r1 = Row(schema, ["George", "China", "Beijing", "Shanghai", "ICDE"])
+        assert not phi1.matches(r1)
+
+    def test_r2_matches_phi1(self, schema, phi1):
+        r2 = Row(schema, ["Ian", "China", "Shanghai", "Hongkong", "ICDE"])
+        assert phi1.matches(r2)
+
+    def test_r4_matches_phi2(self, schema, phi2):
+        r4 = Row(schema, ["Mike", "Canada", "Toronto", "Toronto", "VLDB"])
+        assert phi2.matches(r4)
+
+    def test_evidence_matches_but_value_not_negative(self, schema, phi1):
+        row = Row(schema, ["X", "China", "Tokyo", "c", "d"])
+        assert phi1.evidence_matches(row)
+        assert not phi1.matches(row)  # conservative: ambiguous error
+
+    def test_negative_value_but_wrong_evidence(self, schema, phi1):
+        row = Row(schema, ["X", "Japan", "Shanghai", "c", "d"])
+        assert not phi1.matches(row)
+
+
+class TestApplication:
+    """Example 4: applying φ1 to r2 and φ2 to r4."""
+
+    def test_apply_returns_new_row(self, schema, phi1):
+        r2 = Row(schema, ["Ian", "China", "Shanghai", "Hongkong", "ICDE"])
+        fixed = phi1.apply(r2)
+        assert fixed["capital"] == "Beijing"
+        assert r2["capital"] == "Shanghai"  # original untouched
+        assert fixed["city"] == "Hongkong"  # other attributes unchanged
+
+    def test_apply_in_place_mutates(self, schema, phi2):
+        r4 = Row(schema, ["Mike", "Canada", "Toronto", "Toronto", "VLDB"])
+        phi2.apply_in_place(r4)
+        assert r4["capital"] == "Ottawa"
+
+    def test_apply_nonmatching_raises(self, schema, phi1):
+        r1 = Row(schema, ["George", "China", "Beijing", "Shanghai", "ICDE"])
+        with pytest.raises(RuleError, match="does not match"):
+            phi1.apply(r1)
+        with pytest.raises(RuleError):
+            phi1.apply_in_place(r1)
+
+
+class TestVariantsAndProtocol:
+    def test_with_negatives(self, phi1):
+        wider = phi1.with_negatives({"Shanghai", "Hongkong", "Nanjing"})
+        assert wider.negatives == {"Shanghai", "Hongkong", "Nanjing"}
+        assert wider.fact == phi1.fact
+        assert wider.name == phi1.name
+
+    def test_with_negatives_still_validates(self, phi1):
+        with pytest.raises(RuleError):
+            phi1.with_negatives({"Beijing"})  # fact as negative
+
+    def test_equality_ignores_name(self, phi1):
+        twin = FixingRule({"country": "China"}, "capital",
+                          {"Hongkong", "Shanghai"}, "Beijing",
+                          name="different-name")
+        assert phi1 == twin
+        assert hash(phi1) == hash(twin)
+
+    def test_inequality(self, phi1, phi2):
+        assert phi1 != phi2
+
+    def test_repr_shows_phi_structure(self, phi1):
+        text = repr(phi1)
+        assert "country=China" in text
+        assert "-> Beijing" in text

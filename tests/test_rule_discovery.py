@@ -1,0 +1,164 @@
+"""Unit tests for repro.rulegen.discovery and repro.rulegen.from_cfd —
+the future-work extensions (rule discovery, CFD interaction)."""
+
+import pytest
+
+from repro.core import is_consistent, repair_table
+from repro.datagen import (constraint_attributes, generate_hosp, hosp_fds,
+                           inject_noise)
+from repro.dependencies import CFD, FD
+from repro.evaluation import evaluate_repair
+from repro.relational import Schema, Table
+from repro.rulegen import (discover_rules, discover_rules_for_fd,
+                           fixing_rule_from_cfd, fixing_rules_from_cfds,
+                           observed_negatives)
+
+
+@pytest.fixture()
+def schema():
+    return Schema("R", ["country", "capital"])
+
+
+@pytest.fixture()
+def dirty(schema):
+    """Majority says Beijing; two bad values sneak in."""
+    rows = [["China", "Beijing"]] * 8 + [["China", "Shanghai"],
+                                         ["China", "Hongkong"],
+                                         ["Canada", "Ottawa"],
+                                         ["Canada", "Ottawa"]]
+    return Table(schema, rows)
+
+
+@pytest.fixture()
+def fd():
+    return FD(["country"], ["capital"])
+
+
+class TestDiscoverRulesForFd:
+    def test_majority_becomes_fact(self, dirty, fd):
+        rules = discover_rules_for_fd(dirty, fd)
+        assert len(rules) == 1
+        rule = rules[0]
+        assert rule.evidence == {"country": "China"}
+        assert rule.fact == "Beijing"
+        assert rule.negatives == {"Shanghai", "Hongkong"}
+
+    def test_clean_group_yields_nothing(self, dirty, fd):
+        rules = discover_rules_for_fd(dirty, fd)
+        assert all(r.evidence != {"country": "Canada"} for r in rules)
+
+    def test_no_majority_no_rule(self, schema, fd):
+        """50/50 split: conservatively refuse to guess."""
+        rows = [["China", "Beijing"]] * 5 + [["China", "Shanghai"]] * 5
+        table = Table(schema, rows)
+        assert discover_rules_for_fd(table, fd,
+                                     min_confidence=0.8) == []
+
+    def test_min_support(self, schema, fd):
+        rows = [["China", "Beijing"], ["China", "Shanghai"]]
+        table = Table(schema, rows)
+        assert discover_rules_for_fd(table, fd, min_support=3) == []
+
+    def test_threshold_validation(self, dirty, fd):
+        with pytest.raises(ValueError, match="majority"):
+            discover_rules_for_fd(dirty, fd, min_confidence=0.4)
+        with pytest.raises(ValueError, match="min_support"):
+            discover_rules_for_fd(dirty, fd, min_support=1)
+
+    def test_multi_rhs_rejected(self, dirty):
+        schema3 = Schema("R", ["a", "b", "c"])
+        table = Table(schema3, [["1", "2", "3"]])
+        with pytest.raises(ValueError, match="single-RHS"):
+            discover_rules_for_fd(table, FD(["a"], ["b", "c"]))
+
+
+class TestDiscoverRules:
+    def test_with_given_fds(self, dirty, fd):
+        rules = discover_rules(dirty, [fd])
+        assert is_consistent(rules)
+        repaired = repair_table(dirty, rules).table
+        assert all(row["capital"] == "Beijing" for row in repaired
+                   if row["country"] == "China")
+
+    def test_without_fds_discovers_them_first(self, dirty):
+        rules = discover_rules(dirty, fds=None, fd_confidence=0.7)
+        assert len(rules) >= 1
+        assert is_consistent(rules)
+
+    def test_max_rules_cap(self, dirty, fd):
+        rules = discover_rules(dirty, [fd], max_rules=0)
+        assert len(rules) == 0
+
+    def test_end_to_end_no_ground_truth(self):
+        """Discovery from dirty data alone — no experts, no clean
+        table.  Precision is necessarily below oracle-seeded rules
+        (a tuple whose LHS was active-domain-swapped into a foreign
+        group poisons that group's majority vote) but stays far above
+        the heuristic baseline on the same data."""
+        from repro.baselines import heu_repair
+        clean = generate_hosp(rows=500, seed=12)
+        noise = inject_noise(clean, constraint_attributes(hosp_fds()),
+                             noise_rate=0.06, typo_ratio=0.5, seed=3)
+        rules = discover_rules(noise.table, hosp_fds(), min_support=3,
+                               min_confidence=0.7)
+        assert is_consistent(rules)
+        repaired = repair_table(noise.table, rules).table
+        quality = evaluate_repair(clean, noise.table, repaired)
+        assert quality.precision > 0.6
+        assert quality.recall > 0.4
+        heu_quality = evaluate_repair(
+            clean, noise.table, heu_repair(noise.table, hosp_fds()).table)
+        assert quality.precision > 2 * heu_quality.precision
+
+
+class TestFromCfd:
+    def test_constant_cfd_translates(self):
+        cfd = CFD(["country"], "capital",
+                  {"country": "China", "capital": "Beijing"})
+        rule = fixing_rule_from_cfd(cfd, ["Shanghai", "Beijing"])
+        assert rule is not None
+        assert rule.evidence == {"country": "China"}
+        assert rule.fact == "Beijing"
+        assert rule.negatives == {"Shanghai"}  # fact filtered out
+
+    def test_variable_cfd_rejected(self):
+        cfd = CFD(["country"], "capital", {"country": "China"})
+        assert fixing_rule_from_cfd(cfd, ["Shanghai"]) is None
+
+    def test_wildcard_evidence_rejected(self):
+        cfd = CFD(["country"], "capital",
+                  {"country": "_", "capital": "Beijing"})
+        assert fixing_rule_from_cfd(cfd, ["Shanghai"]) is None
+
+    def test_no_usable_negatives(self):
+        cfd = CFD(["country"], "capital",
+                  {"country": "China", "capital": "Beijing"})
+        assert fixing_rule_from_cfd(cfd, ["Beijing"]) is None
+
+    def test_observed_negatives(self, schema, dirty):
+        cfd = CFD(["country"], "capital",
+                  {"country": "China", "capital": "Beijing"})
+        assert observed_negatives(dirty, cfd) == ["Hongkong", "Shanghai"]
+
+    def test_batch_translation_consistent_and_effective(self, schema,
+                                                        dirty):
+        cfds = [
+            CFD(["country"], "capital",
+                {"country": "China", "capital": "Beijing"}),
+            CFD(["country"], "capital",
+                {"country": "Canada", "capital": "Ottawa"}),
+        ]
+        rules = fixing_rules_from_cfds(cfds, dirty)
+        assert is_consistent(rules)
+        assert len(rules) == 1  # Canada CFD sees no violations
+        repaired = repair_table(dirty, rules).table
+        assert all(row["capital"] == "Beijing" for row in repaired
+                   if row["country"] == "China")
+
+    def test_extra_negatives_merged(self, dirty):
+        cfds = [CFD(["country"], "capital",
+                    {"country": "Canada", "capital": "Ottawa"})]
+        rules = fixing_rules_from_cfds(
+            cfds, dirty, extra_negatives={"capital": ["Toronto"]})
+        assert len(rules) == 1
+        assert rules[0].negatives == {"Toronto"}

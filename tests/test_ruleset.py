@@ -1,0 +1,93 @@
+"""Unit tests for repro.core.ruleset."""
+
+import pytest
+
+from repro.core import FixingRule, RuleSet
+from repro.errors import RuleError
+from repro.relational import Schema
+
+
+class TestAddRemove:
+    def test_add_and_len(self, travel_schema, phi1, phi2):
+        rules = RuleSet(travel_schema)
+        assert rules.add(phi1) is True
+        assert rules.add(phi2) is True
+        assert len(rules) == 2
+
+    def test_duplicate_dropped(self, travel_schema, phi1):
+        rules = RuleSet(travel_schema, [phi1])
+        twin = FixingRule(phi1.evidence, phi1.attribute, phi1.negatives,
+                          phi1.fact, name="other-name")
+        assert rules.add(twin) is False
+        assert len(rules) == 1
+
+    def test_add_validates_schema(self, travel_schema):
+        rules = RuleSet(travel_schema)
+        bad = FixingRule({"nonexistent": "x"}, "capital", {"a"}, "b")
+        with pytest.raises(Exception):
+            rules.add(bad)
+
+    def test_add_non_rule_rejected(self, travel_schema):
+        with pytest.raises(RuleError):
+            RuleSet(travel_schema).add("not a rule")
+
+    def test_extend_counts_new(self, travel_schema, phi1, phi2):
+        rules = RuleSet(travel_schema, [phi1])
+        assert rules.extend([phi1, phi2]) == 1
+
+    def test_remove(self, travel_schema, phi1, phi2):
+        rules = RuleSet(travel_schema, [phi1, phi2])
+        assert rules.remove(phi1) is True
+        assert phi1 not in rules
+        assert rules.remove(phi1) is False
+
+    def test_replace(self, travel_schema, phi1, phi2):
+        rules = RuleSet(travel_schema, [phi1, phi2])
+        shrunk = phi1.with_negatives({"Shanghai"})
+        rules.replace(phi1, shrunk)
+        assert shrunk in rules
+        assert rules.rules()[0] == shrunk  # position preserved
+
+    def test_replace_missing_raises(self, travel_schema, phi1, phi2):
+        rules = RuleSet(travel_schema, [phi2])
+        with pytest.raises(RuleError, match="not in rule set"):
+            rules.replace(phi1, phi1)
+
+    def test_replace_with_existing_drops_old(self, travel_schema, phi1,
+                                             phi2):
+        rules = RuleSet(travel_schema, [phi1, phi2])
+        rules.replace(phi1, phi2)
+        assert len(rules) == 1
+        assert phi2 in rules
+
+
+class TestQueries:
+    def test_contains_and_iter(self, paper_rules, phi1, phi3):
+        assert phi1 in paper_rules
+        names = [rule.name for rule in paper_rules]
+        assert names == ["phi1", "phi2", "phi3", "phi4"]
+        assert phi3 in paper_rules
+
+    def test_getitem(self, paper_rules, phi2):
+        assert paper_rules[1] == phi2
+
+    def test_size_is_sum_of_rule_sizes(self, paper_rules):
+        assert paper_rules.size() == sum(rule.size()
+                                         for rule in paper_rules)
+
+    def test_by_name(self, paper_rules):
+        assert paper_rules.by_name("phi3").attribute == "country"
+        with pytest.raises(RuleError):
+            paper_rules.by_name("phi99")
+
+    def test_subset_is_prefix(self, paper_rules):
+        sub = paper_rules.subset(2)
+        assert [r.name for r in sub] == ["phi1", "phi2"]
+
+    def test_copy_is_independent(self, paper_rules, phi1):
+        clone = paper_rules.copy()
+        clone.remove(phi1)
+        assert phi1 in paper_rules
+
+    def test_repr(self, paper_rules):
+        assert "4 rules" in repr(paper_rules)

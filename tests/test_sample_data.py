@@ -1,0 +1,62 @@
+"""Golden tests for the committed sample files in examples/data/ —
+they back the README/CLI demos, so they must stay loadable and the
+demo commands must keep working on them."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.core import is_consistent, load_ruleset, repair_table
+from repro.relational import read_csv
+
+DATA_DIR = Path(__file__).resolve().parent.parent / "examples" / "data"
+
+
+@pytest.fixture(scope="module")
+def rules():
+    return load_ruleset(DATA_DIR / "travel_rules.json")
+
+
+@pytest.fixture(scope="module")
+def table(rules):
+    return read_csv(DATA_DIR / "travel.csv", schema=rules.schema)
+
+
+class TestSampleFiles:
+    def test_files_exist(self):
+        assert (DATA_DIR / "travel.csv").is_file()
+        assert (DATA_DIR / "travel_rules.json").is_file()
+
+    def test_rules_are_the_paper_sigma(self, rules):
+        assert [rule.name for rule in rules] == ["phi1", "phi2", "phi3",
+                                                 "phi4"]
+        assert is_consistent(rules)
+
+    def test_table_is_fig1(self, table):
+        assert len(table) == 4
+        assert table[2]["name"] == "Peter"
+
+    def test_demo_repair_outcome(self, rules, table):
+        repaired = repair_table(table, rules).table
+        assert repaired[1].values == ("Ian", "China", "Beijing",
+                                      "Shanghai", "ICDE")
+        assert repaired[2]["country"] == "Japan"
+
+    def test_cli_on_sample_files(self, tmp_path, capsys):
+        out = tmp_path / "fixed.csv"
+        assert main(["repair", str(DATA_DIR / "travel.csv"),
+                     str(DATA_DIR / "travel_rules.json"),
+                     str(out)]) == 0
+        assert "4 cells updated" in capsys.readouterr().out
+
+    def test_provenance_export(self, rules, table):
+        report = repair_table(table, rules)
+        records = report.provenance()
+        assert len(records) == 4
+        assert records[0] == {
+            "row": "1", "attribute": "capital",
+            "old_value": "Shanghai", "new_value": "Beijing",
+            "rule": "phi1"}
+        # Cascade order within a row is preserved.
+        assert records[1]["attribute"] == "city"

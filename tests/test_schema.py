@@ -1,0 +1,126 @@
+"""Unit tests for repro.relational.schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import Attribute, Schema, attrs_of
+
+
+class TestAttribute:
+    def test_open_domain_admits_anything(self):
+        attr = Attribute("city")
+        assert attr.domain is None
+        assert attr.admits("Springfield")
+        assert attr.admits("")
+
+    def test_closed_domain_restricts(self):
+        attr = Attribute("es", domain=["Yes", "No"])
+        assert attr.admits("Yes")
+        assert not attr.admits("Maybe")
+
+    def test_name_must_be_nonempty_string(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+        with pytest.raises(SchemaError):
+            Attribute(42)
+
+    def test_equality_includes_domain(self):
+        assert Attribute("a") == Attribute("a")
+        assert Attribute("a", ["x"]) != Attribute("a")
+        assert Attribute("a", ["x", "y"]) == Attribute("a", ["y", "x"])
+
+    def test_hashable(self):
+        assert len({Attribute("a"), Attribute("a"), Attribute("b")}) == 2
+
+    def test_repr_mentions_domain_size(self):
+        assert "2 values" in repr(Attribute("a", ["x", "y"]))
+        assert repr(Attribute("a")) == "Attribute('a')"
+
+
+class TestSchema:
+    def test_from_strings(self):
+        schema = Schema("R", ["a", "b", "c"])
+        assert len(schema) == 3
+        assert schema.attribute_names == ("a", "b", "c")
+
+    def test_from_attribute_objects(self):
+        schema = Schema("R", [Attribute("a"), Attribute("b", ["1"])])
+        assert schema.attribute("b").domain == frozenset(["1"])
+
+    def test_mixed_attribute_specs(self):
+        schema = Schema("R", ["a", Attribute("b")])
+        assert schema.attribute_names == ("a", "b")
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema("R", ["a", "a"])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("R", [])
+
+    def test_bad_schema_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("", ["a"])
+
+    def test_bad_attribute_spec_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("R", [3.14])
+
+    def test_index_of_and_contains(self):
+        schema = Schema("R", ["a", "b", "c"])
+        assert schema.index_of("b") == 1
+        assert "c" in schema
+        assert "z" not in schema
+
+    def test_index_of_missing_raises(self):
+        schema = Schema("R", ["a"])
+        with pytest.raises(SchemaError, match="no attribute 'z'"):
+            schema.index_of("z")
+
+    def test_attribute_missing_raises(self):
+        schema = Schema("R", ["a"])
+        with pytest.raises(SchemaError):
+            schema.attribute("z")
+
+    def test_validate_attrs_roundtrip(self):
+        schema = Schema("R", ["a", "b", "c"])
+        assert schema.validate_attrs(["c", "a"]) == ("c", "a")
+        with pytest.raises(SchemaError):
+            schema.validate_attrs(["a", "nope"])
+
+    def test_project_positions(self):
+        schema = Schema("R", ["a", "b", "c"])
+        assert schema.project_positions(["c", "a"]) == (2, 0)
+
+    def test_restrict(self):
+        schema = Schema("R", ["a", "b", "c"])
+        sub = schema.restrict(["c", "a"])
+        assert sub.attribute_names == ("c", "a")
+        assert sub.name == "R"
+
+    def test_restrict_missing_raises(self):
+        with pytest.raises(SchemaError):
+            Schema("R", ["a"]).restrict(["q"])
+
+    def test_equality_and_hash(self):
+        a = Schema("R", ["x", "y"])
+        b = Schema("R", ["x", "y"])
+        c = Schema("R", ["y", "x"])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_iteration_yields_attributes(self):
+        schema = Schema("R", ["a", "b"])
+        assert [attr.name for attr in schema] == ["a", "b"]
+
+    def test_describe_lists_every_attribute(self):
+        schema = Schema("R", [Attribute("a", description="first"),
+                              Attribute("b", domain=["1", "2"])])
+        text = schema.describe()
+        assert "a: open domain -- first" in text
+        assert "b: 2 values" in text
+
+    def test_attrs_of(self, travel_schema):
+        assert attrs_of(travel_schema) == {"name", "country", "capital",
+                                           "city", "conf"}

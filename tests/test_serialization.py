@@ -1,0 +1,64 @@
+"""Unit tests for repro.core.serialization."""
+
+import pytest
+
+from repro.core import (RuleSet, format_rule, format_ruleset, load_ruleset,
+                        rule_from_dict, rule_to_dict, ruleset_from_json,
+                        ruleset_to_json, save_ruleset)
+from repro.errors import SerializationError
+
+
+class TestRuleDict:
+    def test_roundtrip(self, phi1):
+        assert rule_from_dict(rule_to_dict(phi1)) == phi1
+
+    def test_dict_shape(self, phi3):
+        payload = rule_to_dict(phi3)
+        assert payload == {
+            "name": "phi3",
+            "evidence": {"capital": "Tokyo", "city": "Tokyo",
+                         "conf": "ICDE"},
+            "attribute": "country",
+            "negatives": ["China"],
+            "fact": "Japan",
+        }
+
+    def test_missing_field_raises(self):
+        with pytest.raises(SerializationError, match="missing field"):
+            rule_from_dict({"evidence": {"a": "1"}})
+
+    def test_name_preserved(self, phi2):
+        assert rule_from_dict(rule_to_dict(phi2)).name == "phi2"
+
+
+class TestRulesetJson:
+    def test_roundtrip(self, paper_rules):
+        text = ruleset_to_json(paper_rules)
+        back = ruleset_from_json(text)
+        assert back.schema == paper_rules.schema
+        assert back.rules() == paper_rules.rules()
+
+    def test_invalid_json(self):
+        with pytest.raises(SerializationError, match="invalid"):
+            ruleset_from_json("{not json")
+
+    def test_missing_schema_field(self):
+        with pytest.raises(SerializationError, match="schema"):
+            ruleset_from_json('{"rules": []}')
+
+    def test_file_roundtrip(self, paper_rules, tmp_path):
+        path = tmp_path / "rules.json"
+        save_ruleset(paper_rules, path)
+        back = load_ruleset(path)
+        assert back.rules() == paper_rules.rules()
+
+
+class TestTextNotation:
+    def test_format_rule_phi2(self, phi2):
+        assert format_rule(phi2) == ("(([country], [Canada]), "
+                                     "(capital, {Toronto})) -> Ottawa")
+
+    def test_format_ruleset_one_line_per_rule(self, paper_rules):
+        lines = format_ruleset(paper_rules).splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("phi1:")

@@ -1,0 +1,78 @@
+"""Unit tests for repro.core.stream — the monitoring/streaming API."""
+
+import pytest
+
+from repro.core import RepairSession, RuleSet, repair_stream, repair_table
+from repro.errors import InconsistentRulesError
+from repro.relational import Row
+
+
+class TestRepairSession:
+    def test_matches_batch_repair(self, travel_data, paper_rules):
+        session = RepairSession(paper_rules)
+        streamed = [session.repair_row(row).row for row in travel_data]
+        batch = repair_table(travel_data, paper_rules).table
+        assert streamed == list(batch)
+
+    def test_statistics_accumulate(self, travel_data, paper_rules):
+        session = RepairSession(paper_rules)
+        for row in travel_data:
+            session.repair_row(row)
+        stats = session.stats()
+        assert stats["rows_seen"] == 4
+        assert stats["rows_changed"] == 3   # r1 is clean
+        assert stats["cells_changed"] == 4  # the four Fig. 1 errors
+        assert session.applications_by_rule() == {
+            "phi1": 1, "phi2": 1, "phi3": 1, "phi4": 1}
+
+    def test_input_rows_not_mutated(self, travel_data, paper_rules):
+        session = RepairSession(paper_rules)
+        session.repair_row(travel_data[1])
+        assert travel_data[1]["capital"] == "Shanghai"
+
+    def test_rejects_inconsistent_rules(self, travel_schema, phi1_prime,
+                                        phi3):
+        bad = RuleSet(travel_schema, [phi1_prime, phi3])
+        with pytest.raises(InconsistentRulesError):
+            RepairSession(bad)
+
+    def test_check_can_be_skipped(self, travel_schema, phi1_prime, phi3):
+        bad = RuleSet(travel_schema, [phi1_prime, phi3])
+        session = RepairSession(bad, check_consistency=False)
+        assert session.rows_seen == 0
+
+    def test_repair_many_is_lazy(self, travel_data, paper_rules):
+        session = RepairSession(paper_rules)
+        iterator = session.repair_many(iter(travel_data))
+        assert session.rows_seen == 0
+        next(iterator)
+        assert session.rows_seen == 1
+
+    def test_repr(self, paper_rules):
+        session = RepairSession(paper_rules)
+        assert "4 rules" in repr(session)
+
+    def test_interleaved_tuples_do_not_crosstalk(self, travel_schema,
+                                                 paper_rules):
+        """Counter state must fully reset between tuples."""
+        session = RepairSession(paper_rules)
+        r2 = Row(travel_schema, ["Ian", "China", "Shanghai", "Hongkong",
+                                 "ICDE"])
+        r4 = Row(travel_schema, ["Mike", "Canada", "Toronto", "Toronto",
+                                 "VLDB"])
+        for _ in range(3):
+            assert session.repair_row(r2).row["capital"] == "Beijing"
+            assert session.repair_row(r4).row["capital"] == "Ottawa"
+
+
+class TestRepairStream:
+    def test_generator_form(self, travel_data, paper_rules):
+        results = list(repair_stream(iter(travel_data), paper_rules))
+        assert len(results) == 4
+        assert results[2].row["country"] == "Japan"
+
+    def test_stream_rejects_inconsistent(self, travel_schema, phi1_prime,
+                                         phi3):
+        with pytest.raises(InconsistentRulesError):
+            repair_stream(iter([]), RuleSet(travel_schema,
+                                            [phi1_prime, phi3]))

@@ -1,0 +1,111 @@
+"""Unit tests for streaming CSV repair and rule-set profiling."""
+
+import pytest
+
+from repro.core import (RuleSet, repair_csv_file, repair_table,
+                        ruleset_profile)
+from repro.errors import InconsistentRulesError, SerializationError
+from repro.relational import iter_csv_rows, read_csv, write_csv
+
+
+class TestIterCsvRows:
+    def test_streams_rows_lazily(self, travel_data, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(travel_data, path)
+        iterator = iter_csv_rows(path, travel_data.schema)
+        first = next(iterator)
+        assert first == travel_data[0]
+        rest = list(iterator)
+        assert len(rest) == 3
+
+    def test_reorders_columns(self, travel_schema, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("country,name,capital,city,conf\n"
+                        "China,Ian,Shanghai,HK,ICDE\n", encoding="utf-8")
+        row = next(iter_csv_rows(path, travel_schema))
+        assert row["name"] == "Ian" and row["country"] == "China"
+
+    def test_header_mismatch(self, travel_schema, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n", encoding="utf-8")
+        with pytest.raises(SerializationError):
+            list(iter_csv_rows(path, travel_schema))
+
+    def test_empty_file(self, travel_schema, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(SerializationError):
+            list(iter_csv_rows(path, travel_schema))
+
+    def test_ragged_row(self, travel_schema, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("name,country,capital,city,conf\nonly,two\n",
+                        encoding="utf-8")
+        with pytest.raises(SerializationError, match="line 2"):
+            list(iter_csv_rows(path, travel_schema))
+
+
+class TestRepairCsvFile:
+    def test_matches_batch_repair(self, travel_data, paper_rules,
+                                  tmp_path):
+        src = tmp_path / "in.csv"
+        dst = tmp_path / "out.csv"
+        write_csv(travel_data, src)
+        session = repair_csv_file(src, paper_rules, dst)
+        streamed = read_csv(dst, schema=travel_data.schema)
+        batch = repair_table(travel_data, paper_rules).table
+        assert streamed == batch
+        assert session.rows_seen == 4
+        assert session.cells_changed == 4
+
+    def test_requires_ruleset(self, paper_rules, tmp_path):
+        with pytest.raises(TypeError, match="RuleSet"):
+            repair_csv_file(tmp_path / "x.csv", paper_rules.rules(),
+                            tmp_path / "y.csv")
+
+    def test_rejects_inconsistent_rules(self, travel_schema, travel_data,
+                                        phi1_prime, phi3, tmp_path):
+        src = tmp_path / "in.csv"
+        write_csv(travel_data, src)
+        bad = RuleSet(travel_schema, [phi1_prime, phi3])
+        with pytest.raises(InconsistentRulesError):
+            repair_csv_file(src, bad, tmp_path / "out.csv")
+
+    def test_large_file_constant_shape(self, travel_schema, paper_rules,
+                                       tmp_path):
+        """A few thousand rows stream through without issue."""
+        src = tmp_path / "big.csv"
+        with open(src, "w", encoding="utf-8") as handle:
+            handle.write("name,country,capital,city,conf\n")
+            for i in range(3000):
+                handle.write("p%d,China,Shanghai,Hongkong,ICDE\n" % i)
+        session = repair_csv_file(src, paper_rules,
+                                  tmp_path / "big_out.csv")
+        assert session.rows_seen == 3000
+        assert session.cells_changed == 6000  # capital + city each row
+
+
+class TestRuleSetProfile:
+    def test_paper_rules_profile(self, paper_rules):
+        profile = ruleset_profile(paper_rules)
+        assert profile.rule_count == 4
+        assert profile.total_size == paper_rules.size()
+        assert profile.corrected_attributes == {
+            "capital": 2, "country": 1, "city": 1}
+        assert profile.evidence_size_distribution == {1: 2, 2: 1, 3: 1}
+        assert profile.negative_count_distribution == {1: 3, 2: 1}
+        # Interacting pairs: phi1-phi3 (capital in X3), phi1-phi4
+        # (capital in X4), phi2-phi3, phi2-phi4 (capital in both),
+        # phi3-phi4 (city in X3; country not in X4).
+        assert profile.interacting_pairs == 5
+
+    def test_describe_mentions_key_numbers(self, paper_rules):
+        text = ruleset_profile(paper_rules).describe()
+        assert "4 rules" in text
+        assert "capital (2)" in text
+        assert "cascade surface" in text
+
+    def test_empty_ruleset(self, travel_schema):
+        profile = ruleset_profile(RuleSet(travel_schema))
+        assert profile.rule_count == 0
+        assert profile.interacting_pairs == 0

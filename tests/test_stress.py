@@ -1,0 +1,78 @@
+"""Moderate-scale stress tests: correctness and rough linearity at
+sizes an order of magnitude above the unit tests.
+
+Wall-clock assertions are deliberately loose (10x headroom) — they
+exist to catch accidental quadratic blow-ups, not to benchmark.
+"""
+
+import time
+
+import pytest
+
+from repro.core import RepairSession, is_consistent, repair_table
+from repro.datagen import (constraint_attributes, generate_hosp,
+                           generate_uis, hosp_fds, inject_noise, uis_fds)
+from repro.dependencies import is_consistent_instance
+from repro.evaluation import evaluate_repair
+from repro.rulegen import generate_rules
+
+
+@pytest.fixture(scope="module")
+def big_hosp():
+    clean = generate_hosp(rows=5000, seed=77)
+    noise = inject_noise(clean, constraint_attributes(hosp_fds()),
+                         noise_rate=0.08, typo_ratio=0.5, seed=78)
+    rules = generate_rules(clean, noise.table, hosp_fds(),
+                           max_rules=800, enrichment_per_rule=2)
+    return clean, noise, rules
+
+
+class TestScale:
+    def test_generation_holds_fds_at_scale(self, big_hosp):
+        clean, _, _ = big_hosp
+        assert is_consistent_instance(clean, hosp_fds())
+
+    def test_rules_consistent_at_scale(self, big_hosp):
+        _, _, rules = big_hosp
+        assert is_consistent(rules)
+
+    def test_repair_5k_rows_under_budget(self, big_hosp):
+        clean, noise, rules = big_hosp
+        start = time.perf_counter()
+        report = repair_table(noise.table, rules)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 20.0  # lRepair on 5k x 17 with 800 rules
+        quality = evaluate_repair(clean, noise.table, report.table)
+        assert quality.precision > 0.9
+
+    def test_repair_scales_roughly_linearly_in_rows(self, big_hosp):
+        """10x the rows must cost well under 30x the time."""
+        _, noise, rules = big_hosp
+        small = noise.table.head(300)
+        large = noise.table.head(3000)
+        start = time.perf_counter()
+        repair_table(small, rules)
+        t_small = time.perf_counter() - start
+        start = time.perf_counter()
+        repair_table(large, rules)
+        t_large = time.perf_counter() - start
+        assert t_large < max(t_small, 0.005) * 30
+
+    def test_streaming_session_over_5k(self, big_hosp):
+        _, noise, rules = big_hosp
+        session = RepairSession(rules)
+        batch = repair_table(noise.table, rules)
+        for i, result in enumerate(session.repair_many(noise.table)):
+            assert result.row == batch.table[i]
+        assert session.rows_seen == len(noise.table)
+
+    def test_uis_round_trip_at_scale(self):
+        clean = generate_uis(rows=4000, seed=80)
+        assert is_consistent_instance(clean, uis_fds())
+        noise = inject_noise(clean, constraint_attributes(uis_fds()),
+                             noise_rate=0.05, seed=81)
+        rules = generate_rules(clean, noise.table, uis_fds(),
+                               max_rules=200)
+        report = repair_table(noise.table, rules)
+        quality = evaluate_repair(clean, noise.table, report.table)
+        assert quality.precision > 0.9

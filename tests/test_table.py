@@ -1,0 +1,176 @@
+"""Unit tests for repro.relational.table."""
+
+import pytest
+
+from repro.errors import TableError
+from repro.relational import Row, Schema, Table
+
+
+@pytest.fixture()
+def schema():
+    return Schema("R", ["a", "b"])
+
+
+@pytest.fixture()
+def table(schema):
+    return Table(schema, [["1", "x"], ["2", "y"], ["1", "x"], ["3", "x"]])
+
+
+class TestMutation:
+    def test_append_sequence_and_mapping(self, schema):
+        t = Table(schema)
+        t.append(["1", "x"])
+        t.append({"a": "2", "b": "y"})
+        assert len(t) == 2
+
+    def test_append_row_object(self, schema):
+        t = Table(schema)
+        row = t.append(Row(schema, ["1", "x"]))
+        assert t[0] is row
+
+    def test_append_row_wrong_schema(self, schema):
+        t = Table(schema)
+        with pytest.raises(TableError):
+            t.append(Row(Schema("S", ["a", "b", "c"]), ["1", "2", "3"]))
+
+    def test_extend(self, schema):
+        t = Table(schema)
+        t.extend([["1", "x"], ["2", "y"]])
+        assert len(t) == 2
+
+    def test_set_cell(self, table):
+        table.set_cell(1, "b", "z")
+        assert table[1]["b"] == "z"
+
+
+class TestAccess:
+    def test_iteration_and_indexing(self, table):
+        assert [row["a"] for row in table] == ["1", "2", "1", "3"]
+        assert table[2]["b"] == "x"
+
+    def test_head(self, table):
+        h = table.head(2)
+        assert len(h) == 2
+        h.set_cell(0, "a", "changed")
+        assert table[0]["a"] == "1"  # head copies rows
+
+    def test_copy_is_deep_for_rows(self, table):
+        clone = table.copy()
+        clone.set_cell(0, "a", "99")
+        assert table[0]["a"] == "1"
+
+    def test_cell_addressing(self, table):
+        assert table.cell((1, "b")) == "y"
+
+    def test_equality(self, schema, table):
+        assert table == table.copy()
+        other = table.copy()
+        other.set_cell(0, "a", "zz")
+        assert table != other
+
+
+class TestQueryHelpers:
+    def test_group_by_single_attr(self, table):
+        groups = table.group_by(["a"])
+        assert groups[("1",)] == [0, 2]
+        assert groups[("3",)] == [3]
+
+    def test_group_by_multi_attr(self, table):
+        groups = table.group_by(["a", "b"])
+        assert groups[("1", "x")] == [0, 2]
+
+    def test_group_by_validates_attrs(self, table):
+        with pytest.raises(Exception):
+            table.group_by(["missing"])
+
+    def test_active_domain(self, table):
+        assert table.active_domain("b") == {"x", "y"}
+
+    def test_value_counts(self, table):
+        counts = table.value_counts("b")
+        assert counts["x"] == 3 and counts["y"] == 1
+
+    def test_select_shares_rows(self, table):
+        sel = table.select(lambda r: r["b"] == "x")
+        assert len(sel) == 3
+        sel[0]["a"] = "mutated"
+        assert table[0]["a"] == "mutated"  # intentional row sharing
+
+    def test_column(self, table):
+        assert table.column("a") == ["1", "2", "1", "3"]
+
+
+class TestDiff:
+    def test_diff_cells(self, table):
+        other = table.copy()
+        other.set_cell(0, "a", "Z")
+        other.set_cell(3, "b", "Z")
+        assert table.diff_cells(other) == [(0, "a"), (3, "b")]
+
+    def test_diff_identical_is_empty(self, table):
+        assert table.diff_cells(table.copy()) == []
+
+    def test_diff_schema_mismatch(self, table):
+        with pytest.raises(TableError):
+            table.diff_cells(Table(Schema("S", ["q"]), [["1"]]))
+
+    def test_diff_size_mismatch(self, table, schema):
+        with pytest.raises(TableError, match="different sizes"):
+            table.diff_cells(Table(schema, [["1", "x"]]))
+
+
+class TestDomainValidation:
+    @pytest.fixture()
+    def closed_schema(self):
+        from repro.relational import Attribute
+        return Schema("R", [Attribute("es", domain=["Yes", "No"]),
+                            Attribute("note")])
+
+    def test_valid_rows_accepted(self, closed_schema):
+        table = Table(closed_schema, [["Yes", "anything"]],
+                      validate_domains=True)
+        assert len(table) == 1
+
+    def test_out_of_domain_append_rejected(self, closed_schema):
+        table = Table(closed_schema, validate_domains=True)
+        with pytest.raises(TableError, match="outside the declared"):
+            table.append(["Maybe", "x"])
+
+    def test_out_of_domain_set_cell_rejected(self, closed_schema):
+        table = Table(closed_schema, [["Yes", "x"]],
+                      validate_domains=True)
+        with pytest.raises(TableError, match="outside the declared"):
+            table.set_cell(0, "es", "Perhaps")
+        table.set_cell(0, "es", "No")  # in-domain is fine
+
+    def test_open_domain_attribute_unrestricted(self, closed_schema):
+        table = Table(closed_schema, validate_domains=True)
+        table.append(["No", "literally anything"])
+
+    def test_validation_off_by_default(self, closed_schema):
+        table = Table(closed_schema, [["Maybe", "x"]])
+        assert table[0]["es"] == "Maybe"
+
+    def test_copy_preserves_flag(self, closed_schema):
+        table = Table(closed_schema, validate_domains=True)
+        clone = table.copy()
+        with pytest.raises(TableError):
+            clone.append(["Nope", "x"])
+
+
+class TestRendering:
+    def test_to_text_contains_header_and_rows(self, table):
+        text = table.to_text()
+        assert "a" in text.splitlines()[0]
+        assert "| y" in text or "y" in text
+
+    def test_to_text_truncates(self, table):
+        text = table.to_text(max_rows=2)
+        assert "2 more rows" in text
+
+    def test_to_dicts(self, table):
+        dicts = table.to_dicts()
+        assert dicts[1] == {"a": "2", "b": "y"}
+
+    def test_repr(self, table):
+        assert "4 rows" in repr(table)

@@ -1,0 +1,89 @@
+"""Unit tests for repro.dependencies.violations."""
+
+import pytest
+
+from repro.dependencies import (FD, count_violations,
+                                find_violation_clusters,
+                                is_consistent_instance, iter_violations,
+                                violating_rows)
+from repro.relational import Schema, Table
+
+
+@pytest.fixture()
+def schema():
+    return Schema("R", ["country", "capital"])
+
+
+@pytest.fixture()
+def table(schema):
+    """Fig. 1-style data: three China rows with two capitals."""
+    return Table(schema, [
+        ["China", "Beijing"],
+        ["China", "Shanghai"],
+        ["China", "Beijing"],
+        ["Canada", "Ottawa"],
+    ])
+
+
+@pytest.fixture()
+def fd():
+    return FD(["country"], ["capital"])
+
+
+class TestClusters:
+    def test_cluster_found(self, table, fd):
+        clusters = find_violation_clusters(table, fd)
+        assert len(clusters) == 1
+        cluster = clusters[0]
+        assert cluster.lhs_value == ("China",)
+        assert cluster.rows == [0, 1, 2]
+        assert cluster.rhs_values[("Beijing",)] == [0, 2]
+        assert cluster.rhs_values[("Shanghai",)] == [1]
+
+    def test_majority_rhs(self, table, fd):
+        cluster = find_violation_clusters(table, fd)[0]
+        assert cluster.majority_rhs == ("Beijing",)
+
+    def test_majority_rhs_tie_breaks_by_value(self, schema, fd):
+        table = Table(schema, [["X", "b"], ["X", "a"]])
+        cluster = find_violation_clusters(table, fd)[0]
+        # On ties max() keeps the first candidate in sorted value order.
+        assert cluster.majority_rhs == ("a",)
+
+    def test_no_cluster_when_consistent(self, schema, fd):
+        table = Table(schema, [["China", "Beijing"], ["China", "Beijing"]])
+        assert find_violation_clusters(table, fd) == []
+
+    def test_singleton_groups_ignored(self, schema, fd):
+        table = Table(schema, [["A", "x"], ["B", "y"]])
+        assert find_violation_clusters(table, fd) == []
+
+
+class TestPairsAndCounts:
+    def test_iter_violations_pairs(self, table, fd):
+        pairs = {(v.row_a, v.row_b) for v in iter_violations(table, [fd])}
+        assert pairs == {(0, 1), (1, 2)}
+
+    def test_count(self, table, fd):
+        assert count_violations(table, [fd]) == 2
+
+    def test_violating_rows(self, table, fd):
+        assert violating_rows(table, [fd]) == {0, 1, 2}
+
+    def test_multiple_fds(self, schema):
+        table = Table(schema, [["China", "Beijing"], ["China", "Shanghai"]])
+        fds = [FD(["country"], ["capital"]), FD(["capital"], ["country"])]
+        # Second FD is satisfied (distinct capitals); only first violated.
+        assert count_violations(table, fds) == 1
+
+
+class TestConsistentInstance:
+    def test_consistent(self, schema, fd):
+        table = Table(schema, [["China", "Beijing"], ["Japan", "Tokyo"]])
+        assert is_consistent_instance(table, [fd])
+
+    def test_inconsistent(self, table, fd):
+        assert not is_consistent_instance(table, [fd])
+
+    def test_empty_table_consistent(self, schema, fd):
+        assert is_consistent_instance(Table(schema), [fd])
