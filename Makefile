@@ -2,13 +2,16 @@
 
 PY ?= python
 
-.PHONY: install test bench results examples clean
+.PHONY: install test test-fault bench results examples clean
 
 install:
 	$(PY) setup.py develop
 
 test:
 	$(PY) -m pytest tests/
+
+test-fault:
+	$(PY) -m pytest -m faultinjection tests/
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

@@ -27,9 +27,10 @@ Quickstart::
     print(repair_table(data, rules).table.to_text())
 """
 
-from .errors import (BudgetExceededError, DependencyError,
-                     InconsistentRulesError, ReproError, RuleError,
-                     SchemaError, SerializationError, TableError)
+from .errors import (BudgetExceededError, CheckpointError, DependencyError,
+                     InconsistentRulesError, PipelineError, ReproError,
+                     RowError, RuleError, SchemaError, SerializationError,
+                     TableError)
 from .relational import Attribute, Row, Schema, Table, read_csv, write_csv
 from .dependencies import FD, parse_fd
 from .core import (FixingRule, RuleSet, chase_repair, ensure_consistent,
@@ -51,6 +52,9 @@ __all__ = [
     "BudgetExceededError",
     "DependencyError",
     "SerializationError",
+    "PipelineError",
+    "CheckpointError",
+    "RowError",
     # relational
     "Attribute",
     "Schema",

@@ -50,6 +50,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 def _cmd_repair(args: argparse.Namespace) -> int:
     rules = load_ruleset(args.rules)
+    streaming = (args.stream or args.on_error != "strict"
+                 or args.quarantine_path is not None
+                 or args.checkpoint is not None or args.resume
+                 or args.on_inconsistent == "degrade")
+    if streaming:
+        return _streaming_repair(args, rules)
     table = read_csv(args.input, schema=rules.schema)
     report = repair_table(table, rules, algorithm=args.algorithm,
                           check_consistency=not args.skip_check)
@@ -60,6 +66,44 @@ def _cmd_repair(args: argparse.Namespace) -> int:
         for (row, attr) in report.changed_cells:
             print("  row %d, %s -> %r" % (row, attr,
                                           report.table[row][attr]))
+    return 0
+
+
+def _streaming_repair(args: argparse.Namespace, rules) -> int:
+    """The fault-tolerant constant-memory path behind ``repro repair``."""
+    from .core import repair_csv_file
+    on_error = args.on_error
+    if args.quarantine_path is not None and on_error == "strict":
+        on_error = "quarantine"  # --quarantine-path implies the policy
+    if args.resume and args.checkpoint is None:
+        print("error: --resume requires --checkpoint", file=sys.stderr)
+        return 2
+    if args.checkpoint_interval < 1:
+        print("error: --checkpoint-interval must be >= 1, got %d"
+              % args.checkpoint_interval, file=sys.stderr)
+        return 2
+    session = repair_csv_file(
+        args.input, rules, args.output,
+        check_consistency=not args.skip_check,
+        on_error=on_error,
+        quarantine_path=args.quarantine_path,
+        checkpoint_path=args.checkpoint,
+        checkpoint_interval=args.checkpoint_interval,
+        resume=args.resume,
+        on_inconsistent=args.on_inconsistent)
+    stats = session.stats()
+    print("repaired %d rows; %d cells updated; output written to %s"
+          % (stats["rows_seen"], stats["cells_changed"], args.output))
+    if stats["rows_failed"]:
+        breakdown = ", ".join("%s: %d" % item for item in
+                              sorted(stats["errors_by_type"].items()))
+        print("%d row(s) failed (%s); %d quarantined"
+              % (stats["rows_failed"], breakdown,
+                 stats["rows_quarantined"]))
+    if session.degraded:
+        print("DEGRADED: inconsistent rules; shelved or trimmed %d "
+              "rule(s): %s" % (len(session.shelved_rules),
+                               ", ".join(session.shelved_rules)))
     return 0
 
 
@@ -193,6 +237,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_repair.add_argument("--skip-check", action="store_true",
                           help="skip the consistency pre-check")
     p_repair.add_argument("--verbose", action="store_true")
+    p_repair.add_argument("--stream", action="store_true",
+                          help="constant-memory streaming repair "
+                               "(implied by the fault-tolerance flags "
+                               "below; always uses the fast algorithm)")
+    p_repair.add_argument("--on-error",
+                          choices=["strict", "skip", "quarantine"],
+                          default="strict",
+                          help="what to do with rows that fail to parse "
+                               "or repair (default: abort the run)")
+    p_repair.add_argument("--quarantine-path",
+                          help="dead-letter JSONL for failed rows "
+                               "(implies --on-error quarantine; default: "
+                               "<output>.quarantine.jsonl)")
+    p_repair.add_argument("--checkpoint",
+                          help="checkpoint sidecar path; enables "
+                               "crash-safe --resume")
+    p_repair.add_argument("--checkpoint-interval", type=int, default=1000,
+                          help="rows between checkpoint commits "
+                               "(default 1000)")
+    p_repair.add_argument("--resume", action="store_true",
+                          help="resume a killed run from --checkpoint; "
+                               "output is exactly-once")
+    p_repair.add_argument("--on-inconsistent",
+                          choices=["raise", "degrade"], default="raise",
+                          help="'degrade' repairs with a maximal "
+                               "consistent subset of the rules instead "
+                               "of refusing service")
     p_repair.set_defaults(func=_cmd_repair)
 
     p_gen = sub.add_parser("generate", help="generate synthetic data")

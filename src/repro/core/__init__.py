@@ -12,6 +12,8 @@ Public surface:
 * resolution — :func:`ensure_consistent` (Section 5.3);
 * repair — :func:`chase_repair` (cRepair), :func:`fast_repair`
   (lRepair), :func:`repair_table` (Section 6);
+* fault tolerance — :mod:`~repro.core.pipeline`: error policies,
+  dead-letter quarantine, checkpoint/resume, fault injection;
 * serialization — JSON round-tripping and the φ text notation.
 """
 
@@ -36,7 +38,12 @@ from .repair import (AppliedFix, RepairResult, TableRepairReport,
 from .serialization import (format_rule, format_ruleset, load_ruleset,
                             rule_from_dict, rule_to_dict, ruleset_from_json,
                             ruleset_to_json, save_ruleset)
-from .stream import RepairSession, repair_csv_file, repair_stream
+from .pipeline import (ERROR_POLICIES, QUARANTINE, SKIP, STRICT, Checkpoint,
+                       FaultInjected, FaultInjector, QuarantineWriter,
+                       RowError, read_quarantine, replay_quarantine,
+                       validate_error_policy)
+from .stream import (ON_INCONSISTENT_DEGRADE, ON_INCONSISTENT_RAISE,
+                     RepairSession, repair_csv_file, repair_stream)
 from .instrumentation import CountingRule, MatchCounter, counting_rules
 from .incremental import ConsistentRuleSet
 from .profile import RuleSetProfile, ruleset_profile
@@ -95,6 +102,20 @@ __all__ = [
     "RepairSession",
     "repair_stream",
     "repair_csv_file",
+    "ON_INCONSISTENT_RAISE",
+    "ON_INCONSISTENT_DEGRADE",
+    "STRICT",
+    "SKIP",
+    "QUARANTINE",
+    "ERROR_POLICIES",
+    "validate_error_policy",
+    "RowError",
+    "Checkpoint",
+    "QuarantineWriter",
+    "read_quarantine",
+    "replay_quarantine",
+    "FaultInjected",
+    "FaultInjector",
     "MatchCounter",
     "CountingRule",
     "counting_rules",

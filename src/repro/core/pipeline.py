@@ -1,0 +1,247 @@
+"""Fault-tolerance layer for the ingestion/repair pipeline.
+
+The paper positions fixing rules for *data monitoring* — certifying
+tuples as they stream into a production database (Section 7; cf. the
+editing-rules deployment of Fan et al., VLDBJ 2012).  A monitor that
+dies on the first malformed CSV line, or leaves a truncated output
+file behind when killed, is not deployable.  This module supplies the
+building blocks the streaming path
+(:mod:`repro.core.stream`) threads together:
+
+* **Error policies** (:data:`STRICT` / :data:`SKIP` /
+  :data:`QUARANTINE`, re-exported from :mod:`repro.errors`): how a row
+  that cannot be parsed or repaired is treated.  Under ``skip`` and
+  ``quarantine`` the failure becomes a structured :class:`RowError`
+  record instead of an exception; ``quarantine`` additionally writes
+  it to a dead-letter JSONL file for later replay.
+* **Dead-letter files**: :class:`QuarantineWriter` appends one JSON
+  object per failed row (with source/line-number provenance);
+  :func:`read_quarantine` and :func:`replay_quarantine` read them back
+  so fixed rows can be re-fed through a
+  :class:`~repro.core.stream.RepairSession`.
+* **Checkpoints**: :class:`Checkpoint` is the fsynced sidecar
+  ``repair_csv_file`` emits every N rows — last committed input line,
+  committed output/quarantine byte offsets, and the session counters —
+  enabling exactly-once resume after a crash.
+* **Fault injection**: :class:`FaultInjector` wraps any iterable and
+  raises :class:`FaultInjected` after K items, simulating a mid-stream
+  kill; the resume tests use it to prove byte-identical recovery.
+
+Byte offsets (not row counts) are the commit tokens: on resume the
+partial output and quarantine files are truncated back to the last
+committed offset, so rows written after the final checkpoint — which
+would otherwise be duplicated — are discarded and re-derived.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Callable, Dict, Iterable, Iterator, List, NamedTuple, Optional
+
+from ..errors import (ERROR_POLICIES, QUARANTINE, SKIP, STRICT,
+                      CheckpointError, PipelineError, RowError,
+                      validate_error_policy)
+from ..relational import Row, Schema
+
+__all__ = [
+    "STRICT", "SKIP", "QUARANTINE", "ERROR_POLICIES",
+    "validate_error_policy", "RowError",
+    "Checkpoint", "CHECKPOINT_VERSION",
+    "QuarantineWriter", "read_quarantine", "replay_quarantine",
+    "FaultInjected", "FaultInjector",
+]
+
+CHECKPOINT_VERSION = 1
+
+
+def fsync_handle(handle) -> None:
+    """Flush *handle* and force its bytes to stable storage."""
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+class Checkpoint(NamedTuple):
+    """Commit record for a resumable ``repair_csv_file`` run.
+
+    Everything needed to continue a killed job without redoing or
+    duplicating work: the last input line whose effect (output row or
+    dead-letter entry) is durably on disk, the committed byte offsets
+    of the partial output and quarantine files, and the session
+    counters at that point.
+    """
+
+    #: the input file this checkpoint belongs to (guards against resume
+    #: with a different input)
+    input_path: str
+    #: last committed 1-based input line (1 = only the header written)
+    input_line: int
+    #: committed size, in bytes, of the partial output file
+    output_offset: int
+    #: committed size, in bytes, of the quarantine file (0 if none)
+    quarantine_offset: int
+    #: session counters (``rows_seen``, ``rows_changed``, ...)
+    stats: Dict[str, int]
+    #: per-rule application counts
+    by_rule: Dict[str, int]
+    #: failure counts keyed by exception class name
+    errors_by_type: Dict[str, int]
+
+    def save(self, path) -> None:
+        """Write atomically (same-dir temp + ``os.replace``) and fsync."""
+        path = os.fspath(path)
+        payload = {"version": CHECKPOINT_VERSION}
+        payload.update(self._asdict())
+        directory = os.path.dirname(path) or "."
+        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".checkpoint.",
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+                fsync_handle(handle)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    @classmethod
+    def load(cls, path) -> "Checkpoint":
+        """Read a checkpoint; :class:`CheckpointError` if unusable."""
+        path = os.fspath(path)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except OSError as exc:
+            raise CheckpointError("cannot read checkpoint %s: %s"
+                                  % (path, exc)) from exc
+        except ValueError as exc:
+            raise CheckpointError("checkpoint %s is corrupt: %s"
+                                  % (path, exc)) from exc
+        if not isinstance(payload, dict):
+            raise CheckpointError("checkpoint %s is corrupt: not an object"
+                                  % path)
+        if payload.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                "checkpoint %s has unsupported version %r (expected %d)"
+                % (path, payload.get("version"), CHECKPOINT_VERSION))
+        try:
+            return cls(input_path=payload["input_path"],
+                       input_line=int(payload["input_line"]),
+                       output_offset=int(payload["output_offset"]),
+                       quarantine_offset=int(payload["quarantine_offset"]),
+                       stats=dict(payload["stats"]),
+                       by_rule=dict(payload["by_rule"]),
+                       errors_by_type=dict(payload["errors_by_type"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError("checkpoint %s is malformed: %s"
+                                  % (path, exc)) from exc
+
+
+class QuarantineWriter:
+    """Append-only dead-letter file: one JSON object per failed row.
+
+    Opened in binary so byte offsets are exact commit tokens.  On
+    resume, pass the checkpointed ``resume_offset``: the file is
+    truncated back to it, discarding entries written after the last
+    checkpoint (they will be re-derived from the input).
+    """
+
+    def __init__(self, path, resume_offset: Optional[int] = None):
+        self.path = os.fspath(path)
+        if resume_offset is None:
+            self._raw = open(self.path, "wb")
+        elif not os.path.exists(self.path):
+            if resume_offset:
+                raise CheckpointError(
+                    "quarantine file %s is missing but the checkpoint "
+                    "committed %d bytes of it" % (self.path, resume_offset))
+            self._raw = open(self.path, "wb")
+        else:
+            self._raw = open(self.path, "r+b")
+            self._raw.truncate(resume_offset)
+            self._raw.seek(resume_offset)
+
+    def write(self, error: RowError) -> None:
+        line = json.dumps(error.to_dict(), sort_keys=True) + "\n"
+        self._raw.write(line.encode("utf-8"))
+
+    def sync(self) -> int:
+        """Fsync and return the committed byte offset."""
+        fsync_handle(self._raw)
+        return self._raw.tell()
+
+    def close(self) -> None:
+        if not self._raw.closed:
+            self._raw.close()
+
+    def __enter__(self) -> "QuarantineWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_quarantine(path) -> List[RowError]:
+    """Read a dead-letter JSONL file back into :class:`RowError` records."""
+    errors: List[RowError] = []
+    with open(path, encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+            except ValueError as exc:
+                raise PipelineError(
+                    "quarantine file %s line %d is not valid JSON: %s"
+                    % (path, line_no, exc)) from exc
+            errors.append(RowError.from_dict(payload))
+    return errors
+
+
+def replay_quarantine(path, schema: Schema,
+                      fix: Optional[Callable[[RowError], Optional[Iterable[str]]]]
+                      = None) -> Iterator[Row]:
+    """Yield quarantined rows as :class:`Row` objects for re-repair.
+
+    *fix* maps each :class:`RowError` to corrected field values (in the
+    order of the original record / schema) or ``None`` to drop it; by
+    default the raw record is used as-is — appropriate once the
+    upstream data has been fixed and the dead letters merely replayed.
+    Records that still do not fit *schema* raise ``TableError``.
+    """
+    for error in read_quarantine(path):
+        values = error.record if fix is None else fix(error)
+        if values is None:
+            continue
+        yield Row(schema, list(values))
+
+
+class FaultInjected(RuntimeError):
+    """Deliberate crash raised by :class:`FaultInjector`.
+
+    Intentionally *not* a :class:`~repro.errors.ReproError`: no error
+    policy may swallow it, so it reliably simulates a hard kill.
+    """
+
+
+class FaultInjector:
+    """Wrap *iterable* and raise :class:`FaultInjected` after *fail_after*
+    items — the kill switch for the checkpoint/resume tests."""
+
+    def __init__(self, iterable: Iterable, fail_after: int):
+        self._iterator = iter(iterable)
+        self.fail_after = fail_after
+        self.yielded = 0
+
+    def __iter__(self) -> "FaultInjector":
+        return self
+
+    def __next__(self):
+        if self.yielded >= self.fail_after:
+            raise FaultInjected("injected fault after %d items"
+                                % self.yielded)
+        item = next(self._iterator)
+        self.yielded += 1
+        return item

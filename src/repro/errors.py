@@ -4,9 +4,18 @@ Every error raised by the library derives from :class:`ReproError`, so
 callers can catch a single base class at API boundaries.  The subclasses
 mirror the major subsystems: schema/table problems, rule-definition
 problems, and rule-set problems (inconsistency detected at repair time).
+
+This module also hosts the *error-policy vocabulary* shared by the I/O
+layer (:mod:`repro.relational.csvio`) and the fault-tolerant pipeline
+(:mod:`repro.core.pipeline`): the :data:`STRICT` / :data:`SKIP` /
+:data:`QUARANTINE` policy constants and the structured
+:class:`RowError` record.  They live here — rather than in ``core`` —
+because ``relational`` must be importable without ``core``.
 """
 
 from __future__ import annotations
+
+from typing import NamedTuple, Optional, Tuple
 
 
 class ReproError(Exception):
@@ -59,3 +68,85 @@ class DependencyError(ReproError):
 
 class SerializationError(ReproError):
     """Rule or table (de)serialization failed."""
+
+
+class PipelineError(ReproError):
+    """A fault-tolerant pipeline operation failed.
+
+    Raised for quarantine/dead-letter file problems and as the base of
+    :class:`CheckpointError`.
+    """
+
+
+class CheckpointError(PipelineError):
+    """A checkpoint sidecar is missing, corrupt, or from a different job."""
+
+
+# -- error policies ----------------------------------------------------------
+#
+# How the streaming pipeline treats a row that cannot be parsed or
+# repaired (see ``repro.core.pipeline`` for the full machinery):
+
+#: Raise immediately; the whole run aborts (the pre-existing behavior).
+STRICT = "strict"
+#: Record the failure in the session counters and drop the row.
+SKIP = "skip"
+#: Like ``skip``, but also write the row to a dead-letter file.
+QUARANTINE = "quarantine"
+
+ERROR_POLICIES = (STRICT, SKIP, QUARANTINE)
+
+
+def validate_error_policy(policy: str) -> str:
+    """Return *policy* if it is a known error policy, else raise."""
+    if policy not in ERROR_POLICIES:
+        raise ValueError("unknown error policy %r; expected one of %s"
+                         % (policy, ", ".join(ERROR_POLICIES)))
+    return policy
+
+
+class RowError(NamedTuple):
+    """Structured record of one row that failed to parse or repair.
+
+    Not an exception: under the ``skip`` / ``quarantine`` policies these
+    records replace exceptions, so a malformed row becomes data (a
+    dead-letter entry with provenance) instead of aborting the run.
+    """
+
+    #: where the row came from (file path or ``"<stream>"``)
+    source: str
+    #: 1-based line number in the source file; ``None`` when unknown
+    line_no: Optional[int]
+    #: the raw field values as read (before any schema re-ordering)
+    record: Tuple[str, ...]
+    #: the exception class name (``"SerializationError"``, ...)
+    error_type: str
+    #: the exception message
+    message: str
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form, used for dead-letter JSONL lines."""
+        return {
+            "source": self.source,
+            "line_no": self.line_no,
+            "record": list(self.record),
+            "error_type": self.error_type,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RowError":
+        try:
+            return cls(source=payload["source"],
+                       line_no=payload["line_no"],
+                       record=tuple(payload["record"]),
+                       error_type=payload["error_type"],
+                       message=payload["message"])
+        except (KeyError, TypeError) as exc:
+            raise PipelineError("malformed RowError payload: %s"
+                                % exc) from exc
+
+    def describe(self) -> str:
+        where = ("%s line %s" % (self.source, self.line_no)
+                 if self.line_no is not None else self.source)
+        return "%s: %s: %s" % (where, self.error_type, self.message)

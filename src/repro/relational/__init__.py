@@ -7,8 +7,8 @@ Public surface: :class:`Schema`, :class:`Attribute`, :class:`Row`,
 from .schema import Attribute, Schema, attrs_of
 from .row import Row
 from .table import Cell, Table
-from .csvio import (iter_csv_rows, read_csv, read_csv_text, read_json,
-                    write_csv, write_json)
+from .csvio import (iter_csv_records, iter_csv_rows, read_csv,
+                    read_csv_text, read_json, write_csv, write_json)
 
 __all__ = [
     "Attribute",
@@ -18,6 +18,7 @@ __all__ = [
     "Table",
     "Cell",
     "read_csv",
+    "iter_csv_records",
     "iter_csv_rows",
     "read_csv_text",
     "read_json",

@@ -13,11 +13,33 @@ import json
 from pathlib import Path
 from typing import Optional, Union
 
-from ..errors import SerializationError, TableError
+from ..errors import (STRICT, RowError, SerializationError, TableError,
+                      validate_error_policy)
 from .schema import Schema
 from .table import Table
 
 PathLike = Union[str, Path]
+
+
+def _header_positions(header, schema: Schema, source: str):
+    """Validate *header* against *schema*; return schema-order positions.
+
+    Duplicate column names are rejected explicitly: with the old
+    ``set(header) == set(attrs)`` comparison a header like ``A,A,B``
+    passed for schema ``{A, B}`` and ``header.index`` then silently
+    read the first ``A`` twice, dropping the duplicate column's data.
+    """
+    duplicates = sorted({name for name in header
+                         if header.count(name) > 1})
+    if duplicates:
+        raise SerializationError(
+            "CSV %s header repeats column(s): %s"
+            % (source, ", ".join(duplicates)))
+    if sorted(header) != sorted(schema.attribute_names):
+        raise SerializationError(
+            "CSV %s header %r does not match schema attributes %r"
+            % (source, header, list(schema.attribute_names)))
+    return [header.index(name) for name in schema.attribute_names]
 
 
 def write_csv(table: Table, path: PathLike) -> None:
@@ -61,12 +83,7 @@ def _read_csv_stream(handle, schema: Optional[Schema], schema_name: str,
         schema = Schema(schema_name, header)
         positions = list(range(len(header)))
     else:
-        if set(header) != set(schema.attribute_names):
-            raise SerializationError(
-                "CSV %s header %r does not match schema attributes %r"
-                % (source, header, list(schema.attribute_names)))
-        positions = [header.index(name)
-                     for name in schema.attribute_names]
+        positions = _header_positions(header, schema, source)
     table = Table(schema)
     for line_no, record in enumerate(reader, start=2):
         if not record:
@@ -83,36 +100,78 @@ def _read_csv_stream(handle, schema: Optional[Schema], schema_name: str,
     return table
 
 
-def iter_csv_rows(path: PathLike, schema: Schema):
-    """Stream a CSV file as :class:`~repro.relational.row.Row` objects.
+def iter_csv_records(path: PathLike, schema: Schema,
+                     on_error: str = STRICT):
+    """Stream a CSV file as ``(line_no, Row | RowError)`` pairs.
 
-    Unlike :func:`read_csv`, the file is never materialized as a
-    :class:`Table` — constant memory regardless of file size.  The
-    header must match *schema* (columns are re-ordered).  Used by the
-    streaming repair path (``repro.core.stream.repair_csv_file``).
+    The numbered, policy-aware primitive underneath
+    :func:`iter_csv_rows` and the fault-tolerant
+    ``repro.core.stream.repair_csv_file``.  Line numbers are 1-based
+    (the header is line 1) so checkpoints and dead-letter entries carry
+    exact provenance.
+
+    Header problems (empty file, mismatch, duplicates) always raise —
+    no policy can recover without a usable header.  Row-level problems
+    (wrong field count, schema violations) raise
+    :class:`~repro.errors.SerializationError` under ``strict`` and are
+    yielded as :class:`~repro.errors.RowError` records under ``skip`` /
+    ``quarantine``.
     """
     from .row import Row
+    validate_error_policy(on_error)
+    source = str(path)
     with open(path, newline="", encoding="utf-8") as handle:
         reader = csv.reader(handle)
         try:
             header = next(reader)
         except StopIteration:
             raise SerializationError("CSV %s is empty (no header row)"
-                                     % path) from None
-        if set(header) != set(schema.attribute_names):
-            raise SerializationError(
-                "CSV %s header %r does not match schema attributes %r"
-                % (path, header, list(schema.attribute_names)))
-        positions = [header.index(name)
-                     for name in schema.attribute_names]
+                                     % source) from None
+        positions = _header_positions(header, schema, source)
         for line_no, record in enumerate(reader, start=2):
             if not record:
-                continue
+                continue  # tolerate blank lines
+            error = None
             if len(record) != len(header):
-                raise SerializationError(
-                    "CSV %s line %d has %d fields, expected %d"
-                    % (path, line_no, len(record), len(header)))
-            yield Row(schema, [record[p] for p in positions])
+                error = RowError(source, line_no, tuple(record),
+                                 "SerializationError",
+                                 "%d fields, expected %d"
+                                 % (len(record), len(header)))
+            else:
+                try:
+                    row = Row(schema, [record[p] for p in positions])
+                except TableError as exc:
+                    error = RowError(source, line_no, tuple(record),
+                                     type(exc).__name__, str(exc))
+            if error is None:
+                yield line_no, row
+            elif on_error == STRICT:
+                raise SerializationError("CSV %s line %d: %s"
+                                         % (source, line_no, error.message))
+            else:
+                yield line_no, error
+
+
+def iter_csv_rows(path: PathLike, schema: Schema, on_error: str = STRICT,
+                  error_sink=None):
+    """Stream a CSV file as :class:`~repro.relational.row.Row` objects.
+
+    Unlike :func:`read_csv`, the file is never materialized as a
+    :class:`Table` — constant memory regardless of file size.  The
+    header must match *schema* (columns are re-ordered).  Used by the
+    streaming repair path (``repro.core.stream.repair_csv_file``).
+
+    *on_error* is an error policy (``strict`` / ``skip`` /
+    ``quarantine``): under ``strict`` a malformed row raises; otherwise
+    it is dropped after being passed — as a
+    :class:`~repro.errors.RowError` — to *error_sink* (if given).
+    """
+    for _line_no, item in iter_csv_records(path, schema, on_error=on_error):
+        if isinstance(item, RowError):
+            if error_sink is not None:
+                error_sink(item)
+            continue
+        yield item
 
 
 def write_json(table: Table, path: PathLike) -> None:

@@ -69,6 +69,70 @@ class TestRepair:
                      "--skip-check"]) == 0
 
 
+class TestRepairStreaming:
+    """The fault-tolerance flags: --on-error / --quarantine-path /
+    --checkpoint / --resume / --on-inconsistent."""
+
+    @pytest.fixture()
+    def ragged_file(self, tmp_path, travel_data):
+        path = tmp_path / "ragged.csv"
+        write_csv(travel_data, path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("too,short\n")
+        return str(path)
+
+    def test_stream_flag_matches_batch(self, rules_file, data_file,
+                                       tmp_path, travel_schema, capsys):
+        out_path = str(tmp_path / "fixed.csv")
+        assert main(["repair", data_file, rules_file, out_path,
+                     "--stream"]) == 0
+        assert "4 cells updated" in capsys.readouterr().out
+        assert read_csv(out_path, schema=travel_schema)[2]["country"] \
+            == "Japan"
+
+    def test_strict_streaming_aborts_on_ragged(self, rules_file,
+                                               ragged_file, tmp_path,
+                                               capsys):
+        out_path = str(tmp_path / "fixed.csv")
+        assert main(["repair", ragged_file, rules_file, out_path,
+                     "--stream"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_quarantine_flags(self, rules_file, ragged_file, tmp_path,
+                              capsys):
+        from repro.core import read_quarantine
+        out_path = str(tmp_path / "fixed.csv")
+        q_path = str(tmp_path / "dead.jsonl")
+        assert main(["repair", ragged_file, rules_file, out_path,
+                     "--quarantine-path", q_path]) == 0
+        out = capsys.readouterr().out
+        assert "1 quarantined" in out
+        (entry,) = read_quarantine(q_path)
+        assert entry.line_no == 6
+
+    def test_checkpoint_flag_cleans_up(self, rules_file, data_file,
+                                       tmp_path):
+        out_path = str(tmp_path / "fixed.csv")
+        ck_path = str(tmp_path / "ck.json")
+        assert main(["repair", data_file, rules_file, out_path,
+                     "--checkpoint", ck_path,
+                     "--checkpoint-interval", "2", "--resume"]) == 0
+        assert not (tmp_path / "ck.json").exists()
+
+    def test_resume_requires_checkpoint(self, rules_file, data_file,
+                                        tmp_path, capsys):
+        assert main(["repair", data_file, rules_file,
+                     str(tmp_path / "o.csv"), "--resume"]) == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_degrade_mode(self, bad_rules_file, data_file, tmp_path,
+                          capsys, recwarn):
+        out_path = str(tmp_path / "fixed.csv")
+        assert main(["repair", data_file, bad_rules_file, out_path,
+                     "--on-inconsistent", "degrade"]) == 0
+        assert "DEGRADED" in capsys.readouterr().out
+
+
 class TestGenerate:
     def test_clean_hosp(self, tmp_path, capsys):
         out = str(tmp_path / "hosp.csv")

@@ -46,6 +46,17 @@ class TestCsvRoundTrip:
         with pytest.raises(SerializationError, match="does not match"):
             read_csv_text("a,q\n1,2\n", schema=schema)
 
+    def test_duplicate_header_raises(self):
+        """`a,a,b` must not silently drop the second `a` column."""
+        schema = Schema("R", ["a", "b"])
+        with pytest.raises(SerializationError, match="repeats column"):
+            read_csv_text("a,a,b\n1,2,3\n", schema=schema)
+
+    def test_duplicate_header_names_offenders(self):
+        schema = Schema("R", ["a", "b"])
+        with pytest.raises(SerializationError, match="a"):
+            read_csv_text("b,a,a\nx,1,2\n", schema=schema)
+
     def test_empty_file_raises(self):
         with pytest.raises(SerializationError, match="empty"):
             read_csv_text("")

@@ -67,7 +67,10 @@ class TestApiReference:
         ("repro.core", ["ConsistentRuleSet", "RepairSession",
                         "repair_csv_file", "ruleset_profile",
                         "explain_repair", "counting_rules",
-                        "find_assurance_hazards"]),
+                        "find_assurance_hazards", "Checkpoint",
+                        "QuarantineWriter", "read_quarantine",
+                        "replay_quarantine", "FaultInjector",
+                        "RowError", "validate_error_policy"]),
         ("repro.rulegen", ["generate_rules", "discover_rules",
                            "rules_from_master", "fixing_rules_from_cfds",
                            "enrich_with_typo_negatives",

@@ -22,6 +22,7 @@ RUNNABLE = [
     "travel_running_example.py",
     "rule_authoring_workflow.py",
     "streaming_monitor.py",
+    "fault_tolerant_pipeline.py",
 ]
 
 

@@ -36,6 +36,24 @@ class TestRepairSession:
         with pytest.raises(InconsistentRulesError):
             RepairSession(bad)
 
+    def test_inconsistency_carries_conflicts(self, travel_schema,
+                                             phi1_prime, phi3):
+        """The conflict pair must reach callers (resolution needs it)."""
+        bad = RuleSet(travel_schema, [phi1_prime, phi3])
+        with pytest.raises(InconsistentRulesError) as excinfo:
+            RepairSession(bad)
+        assert excinfo.value.conflicts
+        conflict = excinfo.value.conflicts[0]
+        assert {conflict.rule_a.name, conflict.rule_b.name} == \
+            {"phi1_prime", "phi3"}
+
+    def test_stats_include_failure_counters(self, paper_rules):
+        stats = RepairSession(paper_rules).stats()
+        assert stats["rows_failed"] == 0
+        assert stats["rows_quarantined"] == 0
+        assert stats["errors_by_type"] == {}
+        assert stats["degraded"] is False
+
     def test_check_can_be_skipped(self, travel_schema, phi1_prime, phi3):
         bad = RuleSet(travel_schema, [phi1_prime, phi3])
         session = RepairSession(bad, check_consistency=False)
