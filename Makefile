@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-fault bench results examples clean
+.PHONY: install test test-fault test-parallel bench results examples clean
 
 install:
 	$(PY) setup.py develop
@@ -12,6 +12,13 @@ test:
 
 test-fault:
 	$(PY) -m pytest -m faultinjection tests/
+
+# Differential cRepair/lRepair/parallel harness + parallel property and
+# unit suites.  Everything is seeded/derandomized, so two runs on any
+# machine execute identical instances.
+test-parallel:
+	$(PY) -m pytest tests/test_differential_repair.py \
+	    tests/test_properties_parallel.py tests/test_parallel.py
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

@@ -21,6 +21,7 @@ tables, the JSON schema of :mod:`repro.core.serialization` for rules.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -53,7 +54,8 @@ def _cmd_repair(args: argparse.Namespace) -> int:
     streaming = (args.stream or args.on_error != "strict"
                  or args.quarantine_path is not None
                  or args.checkpoint is not None or args.resume
-                 or args.on_inconsistent == "degrade")
+                 or args.on_inconsistent == "degrade"
+                 or args.workers != 1)
     if streaming:
         return _streaming_repair(args, rules)
     table = read_csv(args.input, schema=rules.schema)
@@ -82,6 +84,14 @@ def _streaming_repair(args: argparse.Namespace, rules) -> int:
         print("error: --checkpoint-interval must be >= 1, got %d"
               % args.checkpoint_interval, file=sys.stderr)
         return 2
+    if args.workers is not None and args.workers < 1:
+        print("error: --workers must be >= 1, got %d" % args.workers,
+              file=sys.stderr)
+        return 2
+    if args.chunk_size is not None and args.chunk_size < 1:
+        print("error: --chunk-size must be >= 1, got %d" % args.chunk_size,
+              file=sys.stderr)
+        return 2
     session = repair_csv_file(
         args.input, rules, args.output,
         check_consistency=not args.skip_check,
@@ -90,7 +100,9 @@ def _streaming_repair(args: argparse.Namespace, rules) -> int:
         checkpoint_path=args.checkpoint,
         checkpoint_interval=args.checkpoint_interval,
         resume=args.resume,
-        on_inconsistent=args.on_inconsistent)
+        on_inconsistent=args.on_inconsistent,
+        workers=args.workers,
+        chunk_size=args.chunk_size)
     stats = session.stats()
     print("repaired %d rows; %d cells updated; output written to %s"
           % (stats["rows_seen"], stats["cells_changed"], args.output))
@@ -264,6 +276,14 @@ def build_parser() -> argparse.ArgumentParser:
                           help="'degrade' repairs with a maximal "
                                "consistent subset of the rules instead "
                                "of refusing service")
+    p_repair.add_argument("--workers", type=int, default=1,
+                          help="shard rows across N worker processes "
+                               "(implies --stream; 0 or a negative "
+                               "value is rejected; output is identical "
+                               "to a serial run)")
+    p_repair.add_argument("--chunk-size", type=int, default=None,
+                          help="rows per parallel shard (default: "
+                               "min(1024, checkpoint interval))")
     p_repair.set_defaults(func=_cmd_repair)
 
     p_gen = sub.add_parser("generate", help="generate synthetic data")
@@ -353,6 +373,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed our stdout; exit quietly with
+        # the conventional SIGPIPE-ish status instead of a traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover

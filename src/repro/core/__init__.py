@@ -14,6 +14,9 @@ Public surface:
   (lRepair), :func:`repair_table` (Section 6);
 * fault tolerance — :mod:`~repro.core.pipeline`: error policies,
   dead-letter quarantine, checkpoint/resume, fault injection;
+* parallel execution — :mod:`~repro.core.parallel`: sharded
+  multiprocessing repair (``repair_table(..., workers=N)``) with
+  results identical to the serial algorithms;
 * serialization — JSON round-tripping and the φ text notation.
 """
 
@@ -34,7 +37,11 @@ from .implication import implies, iter_small_model, minimize
 from .resolution import (DROP_CONFLICTING, SHRINK_NEGATIVES, ResolutionLog,
                          Revision, drop_conflicting, ensure_consistent)
 from .repair import (AppliedFix, RepairResult, TableRepairReport,
-                     chase_repair, fast_repair, repair_table)
+                     VALID_ALGORITHMS, chase_repair, fast_repair,
+                     repair_table)
+from .parallel import (BatchRepairKernel, ParallelRepairExecutor,
+                       default_workers, fork_available,
+                       parallel_repair_table, plan_chunks)
 from .serialization import (format_rule, format_ruleset, load_ruleset,
                             rule_from_dict, rule_to_dict, ruleset_from_json,
                             ruleset_to_json, save_ruleset)
@@ -88,9 +95,16 @@ __all__ = [
     "AppliedFix",
     "RepairResult",
     "TableRepairReport",
+    "VALID_ALGORITHMS",
     "chase_repair",
     "fast_repair",
     "repair_table",
+    "BatchRepairKernel",
+    "ParallelRepairExecutor",
+    "default_workers",
+    "fork_available",
+    "parallel_repair_table",
+    "plan_chunks",
     "rule_to_dict",
     "rule_from_dict",
     "ruleset_to_json",

@@ -1,0 +1,498 @@
+"""Parallel sharded repair executor (scaling lRepair across cores).
+
+The paper's efficiency result (Fig. 7) is that ``lRepair`` fixes each
+tuple in ``O(size(Σ))`` *independently of every other tuple* — repairs
+are embarrassingly parallel across rows.  This module exploits that:
+
+* :class:`BatchRepairKernel` — a positional, allocation-light
+  re-formulation of ``lRepair`` over raw value lists.  It produces the
+  exact same chase as :func:`~repro.core.repair.fast_repair` (the
+  frontier is seeded and drained in the same order), but skips the
+  per-row ``Row``/counter-array/``RepairResult`` construction, which
+  dominates the per-tuple cost for realistic rule sets.  Rows that no
+  rule can touch — the overwhelming majority in practice — cost two
+  dict probes per cell and allocate nothing.
+* :func:`plan_chunks` — deterministic shard boundaries.  Chunking
+  never affects output content (each row's fix is independent and
+  unique for a consistent Σ); it only sets the unit of work shipped to
+  a worker and the granularity at which the streaming path may commit
+  a checkpoint.
+* :class:`ParallelRepairExecutor` — a ``fork`` process pool whose
+  initializer broadcasts the pickled ``(schema, rules)`` pair **once
+  per worker** (not per task) and rebuilds the inverted-list index
+  there; tasks then carry only raw cell values.  Results are merged
+  back in submission order with a bounded in-flight window, so memory
+  stays proportional to ``workers × chunk_size``, not the input.
+* :func:`parallel_repair_table` — the table-level driver behind
+  ``repair_table(..., workers=N)``; returns the same
+  :class:`~repro.core.repair.TableRepairReport` (full provenance,
+  identical counters) as the serial path.
+
+Equivalence is not an accident to hope for but a theorem to test:
+for a consistent Σ every proper-application order yields the unique
+fix (Church–Rosser, Section 4), and ``tests/test_differential_repair.py``
+checks cRepair ≡ lRepair ≡ parallel cell-for-cell on randomized
+instances.
+
+Serial fallback: ``workers <= 1``, an empty table, or a platform
+without the ``fork`` start method (the broadcast-by-initializer model
+is only cheap there) all degrade to the plain serial path with
+identical results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from collections import deque
+from typing import (Dict, FrozenSet, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple, Union)
+
+from ..errors import InconsistentRulesError, PipelineError
+from ..relational import Row, Schema, Table
+from .indexes import InvertedIndex
+from .repair import (AppliedFix, RepairResult, RuleInput, TableRepairReport,
+                     _as_rule_list)
+from .rule import FixingRule
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "fork_available",
+    "default_workers",
+    "plan_chunks",
+    "BatchRepairKernel",
+    "ParallelRepairExecutor",
+    "parallel_repair_table",
+]
+
+#: Default rows per shard for the streaming path.  Large enough that
+#: pickling amortizes, small enough that checkpoints stay frequent.
+DEFAULT_CHUNK_SIZE = 1024
+
+#: First element of a worker-side per-row error marker (see
+#: :func:`_repair_chunk_task`).
+_ERROR_MARK = "__row_error__"
+
+
+def fork_available() -> bool:
+    """Can this platform start workers with ``fork``?
+
+    The executor relies on cheap process startup plus a one-shot
+    initializer broadcast; without ``fork`` (e.g. Windows) the serial
+    path is used instead.
+    """
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def default_workers() -> int:
+    """Worker count used when ``workers`` is passed as ``None``."""
+    return os.cpu_count() or 1
+
+
+def plan_chunks(total: int, chunk_size: int) -> List[Tuple[int, int]]:
+    """Deterministic shard boundaries: ``[start, stop)`` pairs covering
+    ``range(total)`` in order.
+
+    The plan is a pure function of ``(total, chunk_size)``, so a
+    resumed run shards the remaining rows the same way every time —
+    and because tuple repairs are independent, the merged output is
+    identical under *any* plan; determinism here is about predictable
+    scheduling and checkpoint cadence, not output content.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1, got %d" % chunk_size)
+    if total < 0:
+        raise ValueError("total must be >= 0, got %d" % total)
+    return [(start, min(start + chunk_size, total))
+            for start in range(0, total, chunk_size)]
+
+
+class BatchRepairKernel:
+    """``lRepair`` over raw value lists, tuned for batch throughput.
+
+    Built once per (schema, Σ) pair — in each pool worker by the
+    executor's initializer, or directly for in-process use.  All rule
+    state is pre-resolved to schema *positions*:
+
+    * ``_lists_by_pos[p]`` maps a cell value at position ``p`` to the
+      ids of rules whose evidence pattern constrains that attribute to
+      that value (the inverted lists of Section 6.2, re-keyed
+      positionally);
+    * evidence counters live in a per-row dict keyed by rule id, so a
+      row only pays for the rules its cells actually hit — unlike the
+      dense counter array of :class:`~repro.core.indexes.HashCounters`,
+      which is reset and scanned per row.
+
+    The chase itself follows Fig. 7 line by line, seeding and draining
+    the frontier Γ in exactly the order :func:`fast_repair` does, so
+    the two produce identical results even on an (erroneously)
+    inconsistent Σ, where order matters.
+    """
+
+    __slots__ = ("schema", "rules", "_nattrs", "_lists_by_pos", "_ev_size",
+                 "_b_pos", "_negatives", "_fact", "_touched", "_ev_pos",
+                 "_touched_pos")
+
+    def __init__(self, schema: Schema, rules: RuleInput,
+                 index: Optional[InvertedIndex] = None):
+        rule_list = _as_rule_list(rules)
+        for rule in rule_list:
+            rule.validate(schema)
+        if index is None:
+            index = InvertedIndex(rule_list)
+        self.schema = schema
+        self.rules: Tuple[FixingRule, ...] = tuple(rule_list)
+        self._nattrs = len(schema)
+        lists: List[Dict[str, Tuple[int, ...]]] = [
+            {} for _ in range(self._nattrs)]
+        for attr, value in index.keys():
+            lists[schema.index_of(attr)][value] = tuple(
+                index.lookup(attr, value))
+        self._lists_by_pos = lists
+        self._ev_size: Tuple[int, ...] = tuple(
+            len(rule.evidence) for rule in rule_list)
+        self._b_pos: Tuple[int, ...] = tuple(
+            schema.index_of(rule.attribute) for rule in rule_list)
+        self._negatives: Tuple[FrozenSet[str], ...] = tuple(
+            rule.negatives for rule in rule_list)
+        self._fact: Tuple[str, ...] = tuple(
+            rule.fact for rule in rule_list)
+        self._touched: Tuple[FrozenSet[str], ...] = tuple(
+            rule.touched_attrs for rule in rule_list)
+        self._ev_pos: Tuple[Tuple[Tuple[int, str], ...], ...] = tuple(
+            tuple((schema.index_of(attr), value)
+                  for attr, value in rule._evidence_items)
+            for rule in rule_list)
+        self._touched_pos: Tuple[FrozenSet[int], ...] = tuple(
+            frozenset(schema.index_of(attr) for attr in rule.touched_attrs)
+            for rule in rule_list)
+
+    def repair_values(self, values: Sequence[str]
+                      ) -> Optional[Tuple[List[str],
+                                          List[Tuple[int, str]]]]:
+        """Repair one tuple given as cell values in schema order.
+
+        Returns ``None`` when no rule fires (the common case — the
+        input is not copied), otherwise ``(new_values, applied)`` where
+        *applied* lists ``(rule_id, old_value)`` pairs in application
+        order.  The input sequence is never mutated.
+        """
+        lists_by_pos = self._lists_by_pos
+        ev_size = self._ev_size
+        counts: Dict[int, int] = {}
+        frontier: Optional[List[int]] = None
+        for pos in range(self._nattrs):
+            hits = lists_by_pos[pos].get(values[pos])
+            if hits:
+                for rule_id in hits:
+                    count = counts.get(rule_id, 0) + 1
+                    counts[rule_id] = count
+                    if count == ev_size[rule_id]:
+                        if frontier is None:
+                            frontier = [rule_id]
+                        else:
+                            frontier.append(rule_id)
+        if frontier is None:
+            return None
+        # fast_repair seeds Γ in ascending rule-id order (the dense
+        # counter scan of HashCounters.reset_for); match it exactly so
+        # the chase order — hence the result, even on inconsistent Σ —
+        # is identical.
+        frontier.sort()
+
+        current: List[str] = list(values)
+        applied: List[Tuple[int, str]] = []
+        assured_positions: set = set()
+        in_frontier = set(frontier)
+        checked: set = set()
+        b_pos = self._b_pos
+        negatives = self._negatives
+        facts = self._fact
+        while frontier:
+            rule_id = frontier.pop()
+            in_frontier.discard(rule_id)
+            checked.add(rule_id)
+            target = b_pos[rule_id]
+            old = current[target]
+            if target in assured_positions or old not in negatives[rule_id]:
+                continue  # removed once and for all (Fig. 7, line 16)
+            # Evidence re-check: the counter says the pattern matched
+            # at completion time, but a later application may have
+            # rewritten an evidence cell — properly_applicable() in the
+            # serial path re-reads the tuple, and so must we.
+            ok = True
+            for pos, value in self._ev_pos[rule_id]:
+                if current[pos] != value:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            fact = facts[rule_id]
+            current[target] = fact
+            assured_positions.update(self._touched_pos[rule_id])
+            applied.append((rule_id, old))
+            hit_lists = lists_by_pos[target]
+            hits = hit_lists.get(old)
+            if hits:
+                for other in hits:
+                    counts[other] = counts.get(other, 0) - 1
+            hits = hit_lists.get(fact)
+            if hits:
+                for other in hits:
+                    count = counts.get(other, 0) + 1
+                    counts[other] = count
+                    if (count == ev_size[other] and other not in checked
+                            and other not in in_frontier):
+                        frontier.append(other)
+                        in_frontier.add(other)
+        if not applied:
+            return None
+        return current, applied
+
+    def repair_row(self, row: Row) -> RepairResult:
+        """Adapter producing the classic :class:`RepairResult` for one
+        :class:`~repro.relational.row.Row` (used by tests and by the
+        serial in-process fallback)."""
+        outcome = self.repair_values(row.values)
+        if outcome is None:
+            return RepairResult(row.copy(), (), frozenset())
+        new_values, applied = outcome
+        return RepairResult(Row(self.schema, new_values),
+                            self.expand_applied(applied),
+                            self.assured_for(applied))
+
+    def expand_applied(self, applied: Sequence[Tuple[int, str]]
+                       ) -> Tuple[AppliedFix, ...]:
+        """Rehydrate compact ``(rule_id, old)`` pairs into
+        :class:`AppliedFix` provenance records."""
+        fixes = []
+        for rule_id, old in applied:
+            rule = self.rules[rule_id]
+            fixes.append(AppliedFix(rule, rule.attribute, old, rule.fact))
+        return tuple(fixes)
+
+    def assured_for(self, applied: Sequence[Tuple[int, str]]
+                    ) -> FrozenSet[str]:
+        """The assured-attribute set implied by an application log."""
+        assured: set = set()
+        for rule_id, _old in applied:
+            assured.update(self._touched[rule_id])
+        return frozenset(assured)
+
+    def __repr__(self) -> str:
+        return ("BatchRepairKernel(%d rules over %s)"
+                % (len(self.rules), self.schema.name))
+
+
+# -- worker-side plumbing ----------------------------------------------------
+#
+# Each pool worker holds exactly one kernel, installed by the
+# initializer from a pickled (schema, rules) blob shipped once at pool
+# startup.  Tasks then carry only (chunk_id, [row values...]) and
+# return (chunk_id, [encoded outcome...]).
+
+_WORKER_KERNEL: Optional[BatchRepairKernel] = None
+
+
+def _reap_with_parent() -> None:
+    """Arrange for this worker to die when its parent does.
+
+    Pool workers block on the task pipe; a SIGKILL to the parent would
+    otherwise orphan them there forever (the daemon flag only covers
+    clean interpreter exits).  Linux offers PR_SET_PDEATHSIG; elsewhere
+    this is a silent no-op and hard parent kills may leak idle workers.
+    """
+    try:
+        import ctypes
+        import signal as _signal
+        libc = ctypes.CDLL(None, use_errno=True)
+        PR_SET_PDEATHSIG = 1
+        libc.prctl(PR_SET_PDEATHSIG, _signal.SIGTERM)
+        if os.getppid() == 1:  # parent already gone before prctl took
+            os._exit(1)
+    except Exception:  # pragma: no cover - non-Linux libc
+        pass
+
+
+def _init_worker(blob: bytes) -> None:
+    global _WORKER_KERNEL
+    _reap_with_parent()
+    schema, rules = pickle.loads(blob)
+    _WORKER_KERNEL = BatchRepairKernel(schema, rules)
+
+
+def _repair_chunk_task(task):
+    chunk_id, rows = task
+    kernel = _WORKER_KERNEL
+    if kernel is None:  # pragma: no cover - initializer always runs
+        raise RuntimeError("worker used before initialization")
+    out = []
+    for values in rows:
+        try:
+            out.append(kernel.repair_values(values))
+        except Exception as exc:  # per-row capture: the error policy
+            out.append((_ERROR_MARK, type(exc).__name__, str(exc)))
+    return chunk_id, out
+
+
+def is_error_marker(encoded) -> bool:
+    """Did this per-row outcome record a worker-side exception?"""
+    return (isinstance(encoded, tuple) and len(encoded) == 3
+            and encoded[0] == _ERROR_MARK)
+
+
+class ParallelRepairExecutor:
+    """A ``fork`` pool that shards repair work and merges it in order.
+
+    Parameters
+    ----------
+    schema, rules:
+        Broadcast once per worker via the pool initializer; each worker
+        rebuilds its :class:`BatchRepairKernel` (inverted lists and
+        all) exactly once, so per-task payloads are raw cell values
+        only.
+    workers:
+        Pool size; must be >= 2 (use the serial path below that).
+
+    Use as a context manager; the pool is terminated on exit even when
+    the consuming loop raises (e.g. a
+    :class:`~repro.core.pipeline.FaultInjected` kill).
+    """
+
+    def __init__(self, schema: Schema, rules: RuleInput, workers: int):
+        if workers < 2:
+            raise ValueError("ParallelRepairExecutor needs workers >= 2, "
+                             "got %d (use the serial path)" % workers)
+        rule_list = tuple(_as_rule_list(rules))
+        blob = pickle.dumps((schema, rule_list),
+                            protocol=pickle.HIGHEST_PROTOCOL)
+        context = (multiprocessing.get_context("fork") if fork_available()
+                   else multiprocessing.get_context())
+        self.workers = workers
+        self._pool = context.Pool(processes=workers,
+                                  initializer=_init_worker,
+                                  initargs=(blob,))
+        self._closed = False
+
+    def map_chunks(self, chunks: Iterable[Sequence[Sequence[str]]],
+                   max_inflight: Optional[int] = None) -> Iterator[list]:
+        """Repair *chunks* (each a list of row value lists), yielding
+        per-chunk outcome lists **in submission order**.
+
+        At most ``max_inflight`` (default ``2 × workers``) chunks are
+        outstanding at once, bounding memory for unbounded inputs.
+        Exceptions raised by the *chunks* iterable itself propagate to
+        the caller between submissions — the streaming path relies on
+        this for fault-injection kills.
+        """
+        if max_inflight is None:
+            max_inflight = 2 * self.workers
+        pending: deque = deque()
+        chunk_id = 0
+        for chunk in chunks:
+            pending.append(self._pool.apply_async(
+                _repair_chunk_task, ((chunk_id, list(chunk)),)))
+            chunk_id += 1
+            if len(pending) >= max_inflight:
+                _cid, outcomes = pending.popleft().get()
+                yield outcomes
+        while pending:
+            _cid, outcomes = pending.popleft().get()
+            yield outcomes
+
+    def close(self) -> None:
+        if not self._closed:
+            self._pool.terminate()
+            self._pool.join()
+            self._closed = True
+
+    def __enter__(self) -> "ParallelRepairExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return "ParallelRepairExecutor(%d workers)" % self.workers
+
+
+def parallel_repair_table(table: Table, rules: RuleInput,
+                          workers: Optional[int] = None,
+                          chunk_size: Optional[int] = None,
+                          check_consistency: bool = False
+                          ) -> TableRepairReport:
+    """Repair *table* by sharding rows across a worker pool.
+
+    The result — repaired cells, per-row provenance, assured sets,
+    aggregate counters — is identical to
+    ``repair_table(table, rules)``; only the wall-clock changes.  Falls
+    back to the serial driver when ``workers <= 1``, the table is
+    empty, or the platform lacks ``fork``.
+
+    A worker-side exception while repairing a row (not possible for
+    well-formed rules, but defended against) is re-raised here as
+    :class:`~repro.errors.PipelineError` carrying the original type
+    name and row provenance — the table driver has no error policy to
+    absorb it, matching the serial path's fail-fast behavior.
+    """
+    from .repair import repair_table  # local: repair imports us lazily
+
+    rule_list = _as_rule_list(rules)
+    if check_consistency:
+        from .consistency import find_conflicts
+        conflicts = find_conflicts(rule_list, first_only=True)
+        if conflicts:
+            raise InconsistentRulesError(
+                "rule set is inconsistent: %s" % conflicts[0].describe(),
+                conflicts)
+    if workers is None:
+        workers = default_workers()
+    if workers <= 1 or len(table) == 0 or not fork_available():
+        return repair_table(table, rule_list, algorithm="fast")
+    if chunk_size is None:
+        # Aim for a few chunks per worker so stragglers even out.
+        chunk_size = max(1, -(-len(table) // (workers * 4)))
+
+    schema = table.schema
+    plan = plan_chunks(len(table), chunk_size)
+    # Ship the raw cell lists; pickling copies them, so sharing the
+    # internal list (rather than rebuilding one per row) is safe.
+    source_rows = table._rows
+    chunks = ([source_rows[i]._cells for i in range(start, stop)]
+              for start, stop in plan)
+
+    # The merge loop runs once per input row while the workers repair
+    # ahead of it, so per-row constant costs here directly cap the
+    # speedup: trusted constructors, shared empty provenance, and a
+    # bulk-adopted result table keep it lean.
+    from_trusted = Row.from_trusted
+    empty_applied: Tuple = ()
+    empty_assured: FrozenSet[str] = frozenset()
+    merged_rows: List[Row] = []
+    results: List[RepairResult] = []
+    with ParallelRepairExecutor(schema, rule_list, workers) as executor:
+        kernel_view = BatchRepairKernel(schema, rule_list)
+        for (start, _stop), outcomes in zip(plan,
+                                            executor.map_chunks(chunks)):
+            for offset, encoded in enumerate(outcomes):
+                if encoded is None:
+                    row = from_trusted(
+                        schema, list(source_rows[start + offset]._cells))
+                    result = RepairResult(row, empty_applied,
+                                          empty_assured)
+                elif is_error_marker(encoded):
+                    _mark, error_type, message = encoded
+                    raise PipelineError(
+                        "row %d failed in a repair worker: %s: %s"
+                        % (start + offset, error_type, message))
+                else:
+                    new_values, applied = encoded
+                    result = RepairResult(
+                        from_trusted(schema, list(new_values)),
+                        kernel_view.expand_applied(applied),
+                        kernel_view.assured_for(applied))
+                results.append(result)
+                merged_rows.append(result.row)
+    return TableRepairReport(Table.from_trusted_rows(schema, merged_rows),
+                             results)

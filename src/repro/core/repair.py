@@ -236,20 +236,42 @@ class TableRepairReport:
                 % (len(self.row_results), self.total_applications))
 
 
+#: Algorithm names accepted by :func:`repair_table`.
+VALID_ALGORITHMS = ("fast", "chase")
+
+
 def repair_table(table: Table, rules: RuleInput, algorithm: str = "fast",
-                 check_consistency: bool = False) -> TableRepairReport:
+                 check_consistency: bool = False,
+                 workers: int = 1,
+                 chunk_size: Optional[int] = None) -> TableRepairReport:
     """Repair every row of *table* with Σ = *rules*.
 
     Parameters
     ----------
     algorithm:
         ``"fast"`` (lRepair, default) or ``"chase"`` (cRepair).
+        Anything else raises :class:`ValueError` naming the valid
+        choices — before any expensive work happens.
     check_consistency:
         When ``True``, verify Σ is consistent first and raise
         :class:`~repro.errors.InconsistentRulesError` otherwise.  Off
         by default because the check is ``O(size(Σ)²)`` and callers in
         a pipeline typically validate Σ once up front.
+    workers:
+        With ``workers > 1`` (and a platform supporting ``fork``),
+        rows are sharded across a process pool — see
+        :mod:`repro.core.parallel`.  Tuple repairs are independent, so
+        the result is identical to the serial run; for a consistent Σ
+        this holds for either *algorithm* (Church–Rosser: both compute
+        the unique fix).  ``workers=None`` means one worker per CPU.
+    chunk_size:
+        Rows per shard when parallel; default splits the table into a
+        few chunks per worker.
     """
+    if algorithm not in VALID_ALGORITHMS:
+        raise ValueError(
+            "unknown algorithm %r; valid choices are %s"
+            % (algorithm, ", ".join(repr(a) for a in VALID_ALGORITHMS)))
     rule_list = _as_rule_list(rules)
     if check_consistency:
         # Imported lazily: consistency checking chases candidate tuples
@@ -260,9 +282,11 @@ def repair_table(table: Table, rules: RuleInput, algorithm: str = "fast",
             raise InconsistentRulesError(
                 "rule set is inconsistent: %s" % conflicts[0].describe(),
                 conflicts)
-    if algorithm not in ("fast", "chase"):
-        raise ValueError("algorithm must be 'fast' or 'chase', got %r"
-                         % algorithm)
+    if workers is None or workers > 1:
+        from .parallel import fork_available, parallel_repair_table
+        if fork_available() and len(table) > 0:
+            return parallel_repair_table(table, rule_list, workers=workers,
+                                         chunk_size=chunk_size)
 
     repaired = Table(table.schema)
     results: List[RepairResult] = []

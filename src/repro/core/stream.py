@@ -46,7 +46,7 @@ import warnings
 from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
 from ..errors import (QUARANTINE, SKIP, STRICT, CheckpointError,
-                      InconsistentRulesError, RowError,
+                      InconsistentRulesError, PipelineError, RowError,
                       validate_error_policy)
 from ..relational import Row, Schema
 from .consistency import find_conflicts
@@ -275,7 +275,9 @@ def repair_csv_file(input_path, rules: RuleInput, output_path,
                     checkpoint_interval: int = 1000,
                     resume: bool = False,
                     on_inconsistent: str = ON_INCONSISTENT_RAISE,
-                    rows=None) -> RepairSession:
+                    rows=None,
+                    workers: int = 1,
+                    chunk_size: Optional[int] = None) -> RepairSession:
     """Repair a CSV file row by row, in constant memory, crash-safely.
 
     Tuple-level repair needs no cross-row state, so arbitrarily large
@@ -308,6 +310,21 @@ def repair_csv_file(input_path, rules: RuleInput, output_path,
     ``(line_no, Row | RowError)`` pairs replacing the CSV read (the
     fault-injection tests wrap the default reader in a
     :class:`~repro.core.pipeline.FaultInjector`).
+
+    Parallelism: with ``workers > 1`` (on a platform with ``fork``),
+    parseable rows are sharded into chunks of *chunk_size* and
+    repaired by a :class:`~repro.core.parallel.ParallelRepairExecutor`;
+    results are merged back in input order, so the output file is
+    byte-identical to a serial run and the session counters are the
+    sums over all workers.  Checkpoints are committed at chunk
+    boundaries (the commit token is still the input line number, so a
+    parallel run can be resumed serially and vice versa).  The one
+    behavioral difference: a repair-time exception under
+    ``on_error='strict'`` surfaces as
+    :class:`~repro.errors.PipelineError` naming the original exception
+    type, because the original object cannot cross the process
+    boundary.  ``workers=None`` means one worker per CPU; platforms
+    without ``fork`` silently use the serial path.
     """
     import csv as _csv
     from ..relational.csvio import iter_csv_records
@@ -411,21 +428,100 @@ def repair_csv_file(input_path, rules: RuleInput, output_path,
 
         if rows is None:
             rows = iter_csv_records(input_path, schema, on_error=on_error)
-        for line_no, item in rows:
-            if line_no <= resume_line:
-                continue  # committed by the interrupted run
-            if isinstance(item, RowError):
-                session.record_error(item)
-            else:
-                result = session.try_repair_row(
-                    item, line_no=line_no, source=os.fspath(input_path))
-                if result is not None:
-                    writer.writerow(result.row.values)
-            last_line = line_no
-            since_commit += 1
-            if checkpointing and since_commit >= checkpoint_interval:
-                commit()
-                since_commit = 0
+
+        from .parallel import (DEFAULT_CHUNK_SIZE, ParallelRepairExecutor,
+                               default_workers, fork_available,
+                               is_error_marker)
+        effective_workers = (default_workers() if workers is None
+                             else workers)
+        use_parallel = effective_workers > 1 and fork_available()
+        if use_parallel:
+            shard = chunk_size if chunk_size is not None else min(
+                DEFAULT_CHUNK_SIZE, max(1, checkpoint_interval))
+            if shard < 1:
+                raise ValueError("chunk_size must be >= 1, got %d" % shard)
+            source = os.fspath(input_path)
+            rule_names = [rule.name for rule in session._rules]
+            pending_records = []
+
+            def shard_source():
+                """Group input records into chunks; ship parseable rows.
+
+                Appends each chunk's full ``(line_no, item)`` record
+                list to *pending_records* right before yielding its
+                repairable payload, so the consumer below can re-merge
+                errors and results in exact input order.
+                """
+                records, payload = [], []
+                for line_no, item in rows:
+                    if line_no <= resume_line:
+                        continue  # committed by the interrupted run
+                    records.append((line_no, item))
+                    if not isinstance(item, RowError):
+                        payload.append(list(item.values))
+                    if len(records) >= shard:
+                        pending_records.append(records)
+                        yield payload
+                        records, payload = [], []
+                if records:
+                    pending_records.append(records)
+                    yield payload
+
+            with ParallelRepairExecutor(schema, session._rules,
+                                        effective_workers) as executor:
+                for outcomes in executor.map_chunks(shard_source()):
+                    records = pending_records.pop(0)
+                    outcome_iter = iter(outcomes)
+                    for line_no, item in records:
+                        if isinstance(item, RowError):
+                            session.record_error(item)
+                        else:
+                            encoded = next(outcome_iter)
+                            if is_error_marker(encoded):
+                                _mark, error_type, message = encoded
+                                error = RowError(source, line_no,
+                                                 tuple(item.values),
+                                                 error_type, message)
+                                if on_error == STRICT:
+                                    raise PipelineError(
+                                        "row at line %d failed in a repair "
+                                        "worker: %s: %s"
+                                        % (line_no, error_type, message))
+                                session.record_error(error)
+                            elif encoded is None:
+                                session.rows_seen += 1
+                                writer.writerow(item.values)
+                            else:
+                                new_values, applied = encoded
+                                session.rows_seen += 1
+                                session.rows_changed += 1
+                                session.cells_changed += len(applied)
+                                for rule_id, _old in applied:
+                                    name = rule_names[rule_id]
+                                    session._by_rule[name] = (
+                                        session._by_rule.get(name, 0) + 1)
+                                writer.writerow(new_values)
+                        last_line = line_no
+                        since_commit += 1
+                    if checkpointing and since_commit >= checkpoint_interval:
+                        commit()
+                        since_commit = 0
+        else:
+            for line_no, item in rows:
+                if line_no <= resume_line:
+                    continue  # committed by the interrupted run
+                if isinstance(item, RowError):
+                    session.record_error(item)
+                else:
+                    result = session.try_repair_row(
+                        item, line_no=line_no, source=os.fspath(input_path))
+                    if result is not None:
+                        writer.writerow(result.row.values)
+                last_line = line_no
+                since_commit += 1
+                if checkpointing and since_commit >= checkpoint_interval:
+                    commit()
+                    since_commit = 0
 
         fsync_handle(handle)
         if quarantine is not None:

@@ -54,6 +54,21 @@ class Row:
                     "values as strings" % (name, cell))
         self._cells: List[str] = cells
 
+    @classmethod
+    def from_trusted(cls, schema: Schema, cells: List[str]) -> "Row":
+        """Build a row from pre-validated cells, skipping all checks.
+
+        *cells* must be a fresh list of strings in schema order — the
+        caller keeps no reference.  Bulk internal paths (chunk merging
+        in :mod:`repro.core.parallel`, :meth:`copy`) construct millions
+        of rows whose cells are by construction valid; re-validating
+        each one dominates their runtime.
+        """
+        row = cls.__new__(cls)
+        row.schema = schema
+        row._cells = cells
+        return row
+
     # -- access ------------------------------------------------------------
 
     def __getitem__(self, attr: str) -> str:
@@ -90,7 +105,7 @@ class Row:
 
     def copy(self) -> "Row":
         """An independent copy sharing the schema object."""
-        return Row(self.schema, list(self._cells))
+        return Row.from_trusted(self.schema, list(self._cells))
 
     def with_value(self, attr: str, value: str) -> "Row":
         """A copy of this row with one cell replaced (non-mutating)."""

@@ -81,7 +81,7 @@ class Schema:
     True
     """
 
-    __slots__ = ("name", "_attributes", "_index")
+    __slots__ = ("name", "_attributes", "_index", "_names")
 
     def __init__(self, name: str,
                  attributes: Sequence):
@@ -109,6 +109,7 @@ class Schema:
         self.name = name
         self._attributes: Tuple[Attribute, ...] = tuple(attrs)
         self._index = index
+        self._names: Tuple[str, ...] = tuple(a.name for a in attrs)
 
     # -- basic protocol ----------------------------------------------------
 
@@ -138,7 +139,7 @@ class Schema:
     @property
     def attribute_names(self) -> Tuple[str, ...]:
         """Attribute names, in declaration order."""
-        return tuple(a.name for a in self._attributes)
+        return self._names
 
     def attribute(self, name: str) -> Attribute:
         """Return the :class:`Attribute` called *name*.

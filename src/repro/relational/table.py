@@ -52,12 +52,25 @@ class Table:
             for row in rows:
                 self.append(row)
 
+    @classmethod
+    def from_trusted_rows(cls, schema: Schema, rows: List[Row]) -> "Table":
+        """Adopt *rows* — already schema-bound :class:`Row` objects —
+        without per-row checks.  Internal bulk paths (the parallel
+        chunk merger) assemble tables of pre-validated rows; the
+        regular ``append`` loop would re-check each one.
+        """
+        table = cls.__new__(cls)
+        table.schema = schema
+        table.validate_domains = False
+        table._rows = rows
+        return table
+
     # -- mutation ----------------------------------------------------------
 
     def append(self, row) -> Row:
         """Append a row (Row, sequence, or mapping); returns the Row."""
         if isinstance(row, Row):
-            if row.schema != self.schema:
+            if row.schema is not self.schema and row.schema != self.schema:
                 raise TableError(
                     "row schema %r does not match table schema %r"
                     % (row.schema.name, self.schema.name))

@@ -70,7 +70,11 @@ class TestApiReference:
                         "find_assurance_hazards", "Checkpoint",
                         "QuarantineWriter", "read_quarantine",
                         "replay_quarantine", "FaultInjector",
-                        "RowError", "validate_error_policy"]),
+                        "RowError", "validate_error_policy",
+                        "VALID_ALGORITHMS", "parallel_repair_table",
+                        "ParallelRepairExecutor", "BatchRepairKernel",
+                        "plan_chunks", "fork_available",
+                        "default_workers"]),
         ("repro.rulegen", ["generate_rules", "discover_rules",
                            "rules_from_master", "fixing_rules_from_cfds",
                            "enrich_with_typo_negatives",

@@ -23,6 +23,7 @@ RUNNABLE = [
     "rule_authoring_workflow.py",
     "streaming_monitor.py",
     "fault_tolerant_pipeline.py",
+    "parallel_repair.py",
 ]
 
 
@@ -38,7 +39,7 @@ class TestExamplesCompile:
             "hospital_pipeline.py", "mailing_list_cleanup.py",
             "rule_authoring_workflow.py", "discovery_no_ground_truth.py",
             "streaming_monitor.py", "custom_workload.py",
-            "regenerate_results.py",
+            "regenerate_results.py", "parallel_repair.py",
         }
         assert expected <= set(ALL_EXAMPLES)
 

@@ -1,0 +1,409 @@
+"""Unit tests for repro.core.parallel — the sharded repair executor —
+and its integration with ``repair_table``, ``repair_csv_file``, the
+PR-1 fault-tolerance machinery, and the CLI.
+
+The differential and property suites (``test_differential_repair.py``,
+``test_properties_parallel.py``) carry the randomized-equivalence
+load; this file pins the concrete behaviors: Fig. 8 traces through the
+batch kernel, byte-identical file output, summed statistics, chunk
+planning, serial fallbacks, kill-and-resume, and flag plumbing.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.core import (BatchRepairKernel, ParallelRepairExecutor, RuleSet,
+                        fast_repair, fork_available, parallel_repair_table,
+                        plan_chunks, repair_csv_file, repair_table)
+from repro.core.pipeline import FaultInjected, FaultInjector
+from repro.datagen import (constraint_attributes, generate_hosp, hosp_fds,
+                           inject_noise)
+from repro.errors import PipelineError
+from repro.relational import Table, write_csv
+from repro.relational.csvio import iter_csv_records
+from repro.rulegen.seeds import generate_seed_rules
+
+
+@pytest.fixture(scope="module")
+def hosp_case():
+    """A small dirty HOSP table with seed rules — realistic cascades."""
+    clean = generate_hosp(rows=400, seed=13)
+    noise = inject_noise(clean, constraint_attributes(hosp_fds()),
+                         noise_rate=0.12, typo_ratio=0.5, seed=13)
+    rules = generate_seed_rules(clean, noise.table, hosp_fds())
+    return noise.table, RuleSet(clean.schema, rules.rules()[:120])
+
+
+class TestPlanChunks:
+    def test_exact_multiple(self):
+        assert plan_chunks(6, 2) == [(0, 2), (2, 4), (4, 6)]
+
+    def test_ragged_tail(self):
+        assert plan_chunks(7, 3) == [(0, 3), (3, 6), (6, 7)]
+
+    def test_chunk_larger_than_total(self):
+        assert plan_chunks(3, 100) == [(0, 3)]
+
+    def test_empty(self):
+        assert plan_chunks(0, 4) == []
+
+
+class TestBatchKernel:
+    def test_clean_row_returns_none(self, travel_data, paper_rules,
+                                    travel_schema):
+        kernel = BatchRepairKernel(travel_schema, paper_rules)
+        assert kernel.repair_values(travel_data[0].values) is None
+
+    def test_fig8_cascade(self, travel_data, paper_rules, travel_schema):
+        """r2: φ1 fixes capital, completing φ4's evidence — the
+        cascade of Fig. 8 must survive the positional reformulation."""
+        kernel = BatchRepairKernel(travel_schema, paper_rules)
+        result = kernel.repair_row(travel_data[1])
+        assert result.row["capital"] == "Beijing"
+        assert result.row["city"] == "Shanghai"
+        assert [fix.rule.name for fix in result.applied] == ["phi1", "phi4"]
+        assert result.assured == {"country", "capital", "city", "conf"}
+
+    def test_matches_fast_repair_on_paper_table(self, travel_data,
+                                                paper_rules,
+                                                travel_schema):
+        kernel = BatchRepairKernel(travel_schema, paper_rules)
+        for row in travel_data:
+            assert kernel.repair_row(row).row == \
+                fast_repair(row, paper_rules).row
+
+    def test_compact_encoding_roundtrip(self, travel_data, paper_rules,
+                                        travel_schema):
+        kernel = BatchRepairKernel(travel_schema, paper_rules)
+        outcome = kernel.repair_values(travel_data[3].values)
+        new_values, applied = outcome
+        fixes = kernel.expand_applied(applied)
+        assert [(fix.attribute, fix.old_value, fix.new_value)
+                for fix in fixes] == [("capital", "Toronto", "Ottawa")]
+        assert kernel.assured_for(applied) == {"country", "capital"}
+
+
+class TestExecutor:
+    def test_rejects_single_worker(self, travel_schema, paper_rules):
+        with pytest.raises(ValueError, match="workers"):
+            ParallelRepairExecutor(travel_schema, paper_rules, workers=1)
+
+    def test_merges_in_submission_order(self, travel_schema, paper_rules,
+                                        travel_data):
+        chunks = [[list(row.values)] for row in travel_data]
+        with ParallelRepairExecutor(travel_schema, paper_rules, 2) as ex:
+            outcomes = list(ex.map_chunks(chunks))
+        assert len(outcomes) == len(travel_data)
+        assert outcomes[0] == [None]          # r1 is clean
+        assert outcomes[1][0] is not None     # r2 repaired
+
+    def test_fork_available_on_this_platform(self):
+        # The suite's parallel legs all assume fork; make the
+        # assumption explicit so a port to a fork-less platform fails
+        # here, loudly, instead of silently testing the serial path.
+        assert fork_available()
+
+
+class TestParallelRepairTable:
+    def test_matches_serial_on_fig1(self, travel_data, paper_rules):
+        serial = repair_table(travel_data, paper_rules)
+        report = parallel_repair_table(travel_data, paper_rules,
+                                       workers=2, chunk_size=1)
+        assert [row.values for row in report.table] == \
+            [row.values for row in serial.table]
+        assert report.applications_by_rule() == \
+            serial.applications_by_rule()
+        assert report.changed_cells == serial.changed_cells
+        assert report.total_applications == 4
+
+    def test_matches_serial_on_hosp(self, hosp_case):
+        dirty, rules = hosp_case
+        serial = repair_table(dirty, rules)
+        report = repair_table(dirty, rules, workers=2, chunk_size=37)
+        assert [row.values for row in report.table] == \
+            [row.values for row in serial.table]
+        assert report.applications_by_rule() == \
+            serial.applications_by_rule()
+        assert serial.total_applications > 0  # non-vacuous
+
+    def test_provenance_rehydrated(self, travel_data, paper_rules):
+        report = parallel_repair_table(travel_data, paper_rules,
+                                       workers=2, chunk_size=2)
+        assert report.provenance() == \
+            repair_table(travel_data, paper_rules).provenance()
+
+    def test_empty_table_falls_back_serially(self, travel_schema,
+                                             paper_rules):
+        report = parallel_repair_table(Table(travel_schema), paper_rules,
+                                       workers=4)
+        assert len(report.table) == 0
+
+    def test_workers_one_falls_back_serially(self, travel_data,
+                                             paper_rules):
+        report = parallel_repair_table(travel_data, paper_rules, workers=1)
+        assert report.total_applications == 4
+
+    def test_input_table_untouched(self, travel_data, paper_rules):
+        before = [row.values for row in travel_data]
+        parallel_repair_table(travel_data, paper_rules, workers=2)
+        assert [row.values for row in travel_data] == before
+
+    def test_consistency_precheck(self, travel_schema, travel_data,
+                                  phi1_prime, phi3):
+        from repro.errors import InconsistentRulesError
+        bad = RuleSet(travel_schema, [phi1_prime, phi3])
+        with pytest.raises(InconsistentRulesError):
+            parallel_repair_table(travel_data, bad, workers=2,
+                                  check_consistency=True)
+
+
+class TestRepairTableWorkersParam:
+    def test_workers_none_uses_cpu_count(self, travel_data, paper_rules):
+        report = repair_table(travel_data, paper_rules, workers=None)
+        assert report.total_applications == 4
+
+    def test_chase_with_workers_agrees(self, hosp_case):
+        """algorithm='chase' + workers: Church–Rosser guarantees the
+        parallel (lRepair-kernel) result equals the serial chase."""
+        dirty, rules = hosp_case
+        serial = repair_table(dirty, rules, algorithm="chase")
+        parallel = repair_table(dirty, rules, algorithm="chase", workers=2)
+        assert [row.values for row in parallel.table] == \
+            [row.values for row in serial.table]
+
+
+class TestRepairCsvFileParallel:
+    def _write_case(self, tmp_path, hosp_case, corrupt=False):
+        dirty, rules = hosp_case
+        path = tmp_path / "dirty.csv"
+        write_csv(dirty, path)
+        if corrupt:
+            lines = path.read_text(encoding="utf-8").splitlines()
+            lines[7] += ",SPURIOUS_FIELD"
+            lines[19] = lines[19].rsplit(",", 1)[0]
+            path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return path, rules
+
+    def test_output_byte_identical_and_stats_summed(self, tmp_path,
+                                                    hosp_case):
+        path, rules = self._write_case(tmp_path, hosp_case)
+        out_serial = tmp_path / "serial.csv"
+        out_parallel = tmp_path / "parallel.csv"
+        serial = repair_csv_file(path, rules, out_serial,
+                                 check_consistency=False)
+        parallel = repair_csv_file(path, rules, out_parallel,
+                                   check_consistency=False,
+                                   workers=2, chunk_size=61)
+        assert out_serial.read_bytes() == out_parallel.read_bytes()
+        assert parallel.stats() == serial.stats()
+        assert parallel.applications_by_rule() == \
+            serial.applications_by_rule()
+        assert parallel.rows_changed > 0
+
+    def test_quarantine_parity(self, tmp_path, hosp_case):
+        path, rules = self._write_case(tmp_path, hosp_case, corrupt=True)
+        out_serial = tmp_path / "serial.csv"
+        out_parallel = tmp_path / "parallel.csv"
+        q_serial = tmp_path / "serial.quarantine.jsonl"
+        q_parallel = tmp_path / "parallel.quarantine.jsonl"
+        serial = repair_csv_file(path, rules, out_serial,
+                                 check_consistency=False,
+                                 on_error="quarantine",
+                                 quarantine_path=q_serial)
+        parallel = repair_csv_file(path, rules, out_parallel,
+                                   check_consistency=False,
+                                   on_error="quarantine",
+                                   quarantine_path=q_parallel,
+                                   workers=2, chunk_size=23)
+        assert out_serial.read_bytes() == out_parallel.read_bytes()
+        assert q_serial.read_text() == q_parallel.read_text()
+        assert serial.stats() == parallel.stats()
+        assert parallel.rows_quarantined == 2
+
+    def test_chunk_size_validated(self, tmp_path, hosp_case):
+        path, rules = self._write_case(tmp_path, hosp_case)
+        with pytest.raises(ValueError, match="chunk_size"):
+            repair_csv_file(path, rules, tmp_path / "out.csv",
+                            check_consistency=False, workers=2,
+                            chunk_size=0)
+
+
+@pytest.mark.faultinjection
+class TestParallelKillAndResume:
+    """Satellite: kill a parallel run mid-chunk, resume from the
+    checkpoint, and land on byte-identical output."""
+
+    CHUNK = 29
+    INTERVAL = 60
+
+    def _setup(self, tmp_path, hosp_case):
+        dirty, rules = hosp_case
+        path = tmp_path / "dirty.csv"
+        write_csv(dirty, path)
+        reference = tmp_path / "reference.csv"
+        repair_csv_file(path, rules, reference, check_consistency=False)
+        return path, rules, reference
+
+    def _killed_run(self, path, rules, out, checkpoint, fail_after,
+                    workers=2):
+        with pytest.raises(FaultInjected):
+            repair_csv_file(
+                path, rules, out, check_consistency=False,
+                workers=workers, chunk_size=self.CHUNK,
+                checkpoint_path=checkpoint,
+                checkpoint_interval=self.INTERVAL,
+                rows=FaultInjector(
+                    iter_csv_records(path, rules.schema),
+                    fail_after=fail_after))
+
+    def test_resume_parallel_is_byte_identical(self, tmp_path, hosp_case):
+        path, rules, reference = self._setup(tmp_path, hosp_case)
+        out = tmp_path / "killed.csv"
+        checkpoint = tmp_path / "ckpt.json"
+        # The executor prefetches ~2x workers chunks, so the kill must
+        # land well past the first checkpoint interval for a commit to
+        # have happened before the fault propagates.
+        self._killed_run(path, rules, out, checkpoint, fail_after=333)
+        assert checkpoint.exists()
+        assert not out.exists()  # only the .part file exists so far
+        session = repair_csv_file(path, rules, out,
+                                  check_consistency=False,
+                                  workers=2, chunk_size=self.CHUNK,
+                                  checkpoint_path=checkpoint, resume=True,
+                                  checkpoint_interval=self.INTERVAL)
+        assert out.read_bytes() == reference.read_bytes()
+        assert not checkpoint.exists()  # removed on success
+        assert session.stats()["rows_seen"] == 400
+
+    def test_parallel_kill_serial_resume_interoperate(self, tmp_path,
+                                                      hosp_case):
+        """Commit tokens are input line numbers, so a run killed in
+        parallel mode can resume serially (and produce the same
+        bytes) — no mode lock-in for operators."""
+        path, rules, reference = self._setup(tmp_path, hosp_case)
+        out = tmp_path / "killed.csv"
+        checkpoint = tmp_path / "ckpt.json"
+        self._killed_run(path, rules, out, checkpoint, fail_after=311)
+        repair_csv_file(path, rules, out, check_consistency=False,
+                        checkpoint_path=checkpoint, resume=True,
+                        checkpoint_interval=self.INTERVAL)
+        assert out.read_bytes() == reference.read_bytes()
+
+    def test_double_kill_then_resume(self, tmp_path, hosp_case):
+        path, rules, reference = self._setup(tmp_path, hosp_case)
+        out = tmp_path / "killed.csv"
+        checkpoint = tmp_path / "ckpt.json"
+        self._killed_run(path, rules, out, checkpoint, fail_after=233)
+        # Second crash, now of a resumed run: wrap a fresh reader; the
+        # resume filter skips committed lines internally.
+        with pytest.raises(FaultInjected):
+            repair_csv_file(
+                path, rules, out, check_consistency=False,
+                workers=2, chunk_size=self.CHUNK,
+                checkpoint_path=checkpoint, resume=True,
+                checkpoint_interval=self.INTERVAL,
+                rows=FaultInjector(
+                    iter_csv_records(path, rules.schema),
+                    fail_after=350))
+        repair_csv_file(path, rules, out, check_consistency=False,
+                        workers=4, chunk_size=17,
+                        checkpoint_path=checkpoint, resume=True,
+                        checkpoint_interval=self.INTERVAL)
+        assert out.read_bytes() == reference.read_bytes()
+
+
+@pytest.mark.faultinjection
+@pytest.mark.skipif(not sys.platform.startswith("linux"),
+                    reason="PR_SET_PDEATHSIG is Linux-only")
+def test_workers_die_with_killed_parent(tmp_path):
+    """SIGKILL to the parent must not orphan pool workers: the
+    initializer arms PR_SET_PDEATHSIG so workers blocked on the task
+    pipe are reaped instead of idling forever."""
+    import signal
+    import subprocess
+    import time
+
+    script = textwrap.dedent("""
+        import sys, time
+        from repro.core import FixingRule
+        from repro.core.parallel import ParallelRepairExecutor
+        from repro.relational import Schema
+        schema = Schema("T", ["a", "b"])
+        rules = [FixingRule({"a": "1"}, "b", ["0"], "1")]
+        executor = ParallelRepairExecutor(schema, rules, 3)
+        for proc in executor._pool._pool:
+            print(proc.pid, flush=True)
+        print("READY", flush=True)
+        time.sleep(60)
+    """)
+    src = Path(__file__).resolve().parent.parent / "src"
+    env = dict(os.environ, PYTHONPATH=str(src))
+    parent = subprocess.Popen([sys.executable, "-c", script], env=env,
+                              stdout=subprocess.PIPE, text=True)
+    try:
+        worker_pids = []
+        for line in parent.stdout:
+            if line.strip() == "READY":
+                break
+            worker_pids.append(int(line))
+        assert len(worker_pids) == 3
+        parent.send_signal(signal.SIGKILL)
+        parent.wait(timeout=10)
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            alive = [pid for pid in worker_pids
+                     if os.path.exists("/proc/%d" % pid)]
+            if not alive:
+                break
+            time.sleep(0.1)
+        assert not alive, "orphaned workers survived: %s" % alive
+    finally:
+        parent.kill()
+        for pid in worker_pids:
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except OSError:
+                pass
+
+
+class TestCliWorkers:
+    @pytest.fixture()
+    def cli_case(self, tmp_path, hosp_case):
+        from repro.core import save_ruleset
+        dirty, rules = hosp_case
+        data = tmp_path / "dirty.csv"
+        write_csv(dirty, data)
+        rule_file = tmp_path / "rules.json"
+        save_ruleset(rules, rule_file)
+        return data, rule_file
+
+    def test_workers_flag_matches_serial_output(self, cli_case, tmp_path,
+                                                capsys):
+        from repro.cli import main
+        data, rule_file = cli_case
+        out_serial = tmp_path / "serial.csv"
+        out_parallel = tmp_path / "parallel.csv"
+        assert main(["repair", str(data), str(rule_file), str(out_serial),
+                     "--stream", "--skip-check"]) == 0
+        assert main(["repair", str(data), str(rule_file),
+                     str(out_parallel), "--workers", "2",
+                     "--chunk-size", "64", "--skip-check"]) == 0
+        assert out_serial.read_bytes() == out_parallel.read_bytes()
+        assert "repaired 400 rows" in capsys.readouterr().out
+
+    def test_bad_workers_rejected(self, cli_case, tmp_path, capsys):
+        from repro.cli import main
+        data, rule_file = cli_case
+        out = tmp_path / "out.csv"
+        assert main(["repair", str(data), str(rule_file), str(out),
+                     "--workers", "0"]) == 2
+        assert main(["repair", str(data), str(rule_file), str(out),
+                     "--workers", "2", "--chunk-size", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "--workers" in err and "--chunk-size" in err

@@ -1,0 +1,173 @@
+"""Property-based tests for the parallel repair path.
+
+Registered alongside ``tests/test_properties*.py`` and reusing its
+strategies (tiny alphabet, high rule-interaction density).  The
+invariants, per DESIGN.md and Section 4 of the paper:
+
+* the batch kernel behind the workers computes exactly
+  :func:`fast_repair` — same cells, same provenance, same assured set;
+* output is invariant under the shard plan: any ``chunk_size`` and any
+  ``workers ∈ {1, 2, 4}`` produce the serial result;
+* termination (≤ |attr(R)| proper applications per tuple) and
+  assured-set discipline (assured = union of touched attributes of the
+  applied rules; assured attributes never rewritten) survive the
+  reformulation.
+
+All tests run derandomized so ``make test-parallel`` executes the same
+examples on every machine.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (BatchRepairKernel, chase_repair, fast_repair,
+                        parallel_repair_table, plan_chunks, repair_table)
+from repro.relational import Table
+
+from tests.test_properties import (ATTRS, SCHEMA, consistent_rulesets,
+                                   rows)
+
+FIXED = dict(deadline=None, derandomize=True)
+
+
+@st.composite
+def tables(draw, min_rows=1, max_rows=12):
+    row_list = draw(st.lists(rows(), min_size=min_rows, max_size=max_rows))
+    table = Table(SCHEMA)
+    for row in row_list:
+        table.append(list(row.values))
+    return table
+
+
+class TestKernelEquivalence:
+    """The worker kernel ≡ lRepair, tuple for tuple."""
+
+    @settings(max_examples=250, **FIXED)
+    @given(consistent_rulesets(), rows())
+    def test_kernel_matches_fast_repair(self, ruleset, row):
+        kernel = BatchRepairKernel(SCHEMA, ruleset)
+        mine = kernel.repair_row(row)
+        reference = fast_repair(row, ruleset)
+        assert mine.row == reference.row
+        assert mine.assured == reference.assured
+        assert [(fix.rule.name, fix.attribute, fix.old_value, fix.new_value)
+                for fix in mine.applied] == \
+               [(fix.rule.name, fix.attribute, fix.old_value, fix.new_value)
+                for fix in reference.applied]
+
+    @settings(max_examples=250, **FIXED)
+    @given(consistent_rulesets(), rows())
+    def test_kernel_never_mutates_input(self, ruleset, row):
+        before = row.values
+        BatchRepairKernel(SCHEMA, ruleset).repair_values(row.values)
+        assert row.values == before
+
+    @settings(max_examples=150, **FIXED)
+    @given(consistent_rulesets(), rows())
+    def test_kernel_matches_chase(self, ruleset, row):
+        """Transitively with the above: kernel ≡ cRepair too
+        (Church–Rosser on a consistent Σ)."""
+        kernel = BatchRepairKernel(SCHEMA, ruleset)
+        assert kernel.repair_row(row).row == chase_repair(row, ruleset).row
+
+
+class TestChunkInvariance:
+    """Sharding must never leak into results."""
+
+    @settings(max_examples=120, **FIXED)
+    @given(st.integers(0, 500), st.integers(1, 64))
+    def test_plan_chunks_partitions_exactly(self, total, chunk_size):
+        plan = plan_chunks(total, chunk_size)
+        covered = [i for start, stop in plan for i in range(start, stop)]
+        assert covered == list(range(total))
+        assert all(1 <= stop - start <= chunk_size for start, stop in plan)
+        # Determinism: the plan is a pure function of its inputs.
+        assert plan == plan_chunks(total, chunk_size)
+
+    @settings(max_examples=100, **FIXED)
+    @given(consistent_rulesets(), tables(), st.integers(1, 20))
+    def test_chunked_kernel_equals_rowwise(self, ruleset, table,
+                                           chunk_size):
+        """Repairing shard-by-shard (in process) reassembles to the
+        row-by-row serial result for any chunk size."""
+        kernel = BatchRepairKernel(SCHEMA, ruleset)
+        merged = []
+        for start, stop in plan_chunks(len(table), chunk_size):
+            for i in range(start, stop):
+                outcome = kernel.repair_values(table[i].values)
+                merged.append(tuple(outcome[0]) if outcome is not None
+                              else table[i].values)
+        expected = [fast_repair(row, ruleset).row.values for row in table]
+        assert merged == expected
+
+
+class TestWorkerInvariance:
+    """Real process pools: workers ∈ {1, 2, 4} agree (few examples —
+    pool startup is the cost; the kernel tests above carry the
+    example volume)."""
+
+    @settings(max_examples=8, **FIXED)
+    @given(consistent_rulesets(), tables(min_rows=2, max_rows=10),
+           st.integers(1, 7))
+    def test_workers_1_2_4_agree(self, ruleset, table, chunk_size):
+        serial = repair_table(table, ruleset, workers=1)
+        expected = [row.values for row in serial.table]
+        for workers in (2, 4):
+            report = parallel_repair_table(table, ruleset, workers=workers,
+                                           chunk_size=chunk_size)
+            assert [row.values for row in report.table] == expected
+            assert report.applications_by_rule() == \
+                serial.applications_by_rule()
+
+
+class TestSectionFourInvariants:
+    """Termination and assured-set discipline through the kernel."""
+
+    @settings(max_examples=200, **FIXED)
+    @given(consistent_rulesets(), rows())
+    def test_termination_bound(self, ruleset, row):
+        result = BatchRepairKernel(SCHEMA, ruleset).repair_row(row)
+        assert len(result.applied) <= len(ATTRS)
+
+    @settings(max_examples=200, **FIXED)
+    @given(consistent_rulesets(), rows())
+    def test_assured_is_union_of_touched(self, ruleset, row):
+        result = BatchRepairKernel(SCHEMA, ruleset).repair_row(row)
+        expected = set()
+        for fix in result.applied:
+            expected.update(fix.rule.touched_attrs)
+        assert result.assured == frozenset(expected)
+
+    @settings(max_examples=200, **FIXED)
+    @given(consistent_rulesets(), rows())
+    def test_assured_attributes_never_rewritten(self, ruleset, row):
+        """Monotonicity: replaying the application log, no fix targets
+        an attribute assured by an earlier application."""
+        result = BatchRepairKernel(SCHEMA, ruleset).repair_row(row)
+        assured = set()
+        for fix in result.applied:
+            assert fix.attribute not in assured
+            assured.update(fix.rule.touched_attrs)
+
+    @settings(max_examples=150, **FIXED)
+    @given(consistent_rulesets(), rows())
+    def test_result_is_fixpoint_wrt_assured(self, ruleset, row):
+        """Condition (2) of a fix, relative to the final assured set
+        (plain re-repair from an empty assured set is not guaranteed
+        to be a no-op — see tests/test_properties.py)."""
+        from repro.core import is_fixpoint
+        result = BatchRepairKernel(SCHEMA, ruleset).repair_row(row)
+        assert is_fixpoint(result.row, ruleset, set(result.assured))
+
+
+@pytest.mark.parametrize("bad", [0, -3])
+def test_plan_chunks_rejects_bad_chunk_size(bad):
+    with pytest.raises(ValueError, match="chunk_size"):
+        plan_chunks(10, bad)
+
+
+def test_plan_chunks_rejects_negative_total():
+    with pytest.raises(ValueError, match="total"):
+        plan_chunks(-1, 4)

@@ -152,6 +152,35 @@ class TestRepairTable:
         with pytest.raises(ValueError, match="algorithm"):
             repair_table(travel_data, paper_rules, algorithm="quantum")
 
+    def test_unknown_algorithm_message_lists_choices(self, travel_data,
+                                                     paper_rules):
+        """Regression: the error must name the bad value and enumerate
+        every valid spelling, matching VALID_ALGORITHMS."""
+        from repro.core import VALID_ALGORITHMS
+        with pytest.raises(ValueError) as excinfo:
+            repair_table(travel_data, paper_rules, algorithm="lrepair")
+        message = str(excinfo.value)
+        assert "'lrepair'" in message
+        for choice in VALID_ALGORITHMS:
+            assert repr(choice) in message
+
+    def test_unknown_algorithm_checked_before_consistency(
+            self, travel_schema, travel_data, phi1_prime, phi3):
+        """Argument validation precedes the (potentially expensive)
+        consistency check — a typo fails fast, not after an O(n^2)
+        rule analysis."""
+        bad = RuleSet(travel_schema, [phi1_prime, phi3])
+        with pytest.raises(ValueError, match="algorithm"):
+            repair_table(travel_data, bad, algorithm="chased",
+                         check_consistency=True)
+
+    @pytest.mark.parametrize("algorithm", ["fast", "chase"])
+    def test_both_algorithm_spellings_accepted(self, travel_data,
+                                               paper_rules, algorithm):
+        report = repair_table(travel_data, paper_rules,
+                              algorithm=algorithm)
+        assert report.total_applications == 4
+
     def test_input_table_untouched(self, travel_data, paper_rules):
         before = [row.values for row in travel_data]
         repair_table(travel_data, paper_rules)
