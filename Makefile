@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-fault test-parallel bench results examples clean
+.PHONY: install test test-fault test-parallel bench bench-core results examples clean
 
 install:
 	$(PY) setup.py develop
@@ -22,6 +22,12 @@ test-parallel:
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
+
+# Compiled-engine throughput + blocked isConsist vs pairwise; writes
+# BENCH_core.json and exits nonzero if throughput regresses below the
+# pre-engine baseline (pass ARGS=--smoke for the <2s CI configuration).
+bench-core:
+	$(PY) benchmarks/bench_core_engine.py $(ARGS)
 
 bench-series:
 	$(PY) -m pytest benchmarks/ --benchmark-only -s

@@ -1,0 +1,213 @@
+"""Core engine benchmark: compiled serial hot path + blocked isConsist.
+
+Standalone script (not a pytest benchmark — run it directly):
+
+    PYTHONPATH=src python benchmarks/bench_core_engine.py
+
+Two measurements, mirroring the two halves of the engine PR:
+
+1. **Serial repair throughput** — ``repair_table(workers=None)`` on the
+   noisy-HOSP protocol (Section 7: generate clean, inject noise, mine
+   seed rules).  Before the compiled engine this path ran the Row-level
+   ``fast_repair`` at ~5,679 rows/s (see ``BENCH_parallel.json``, PR 2);
+   it now runs :class:`repro.core.engine.CompiledRuleSet` directly over
+   raw cell lists.  The script **exits nonzero** if throughput falls
+   below the pre-engine baseline, and at full scale also enforces the
+   5x acceptance target.
+
+2. **Consistency checking** — blocked vs exhaustive-pairwise
+   ``find_conflicts`` on the mined Σ (|Σ|=2,000 at full scale; ~2M rule
+   pairs).  Conflict output must be identical; at full scale the
+   blocked strategy must be >= 10x faster.
+
+Results land in ``BENCH_core.json`` at the repo root, including the
+engine counters (pairs examined/pruned) so the pruning ratio is
+auditable.  ``--smoke`` runs a tiny configuration (< 2 s) for CI; smoke
+runs still enforce output identity and the "no slower than baseline"
+floor scaled away (gates needing statistical weight are full-scale
+only) and write ``"smoke": true`` so readers don't mistake the numbers
+for the real benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core import (RuleSet, engine_stats, find_conflicts,
+                        repair_table, reset_engine_stats)
+from repro.datagen import (constraint_attributes, generate_hosp, hosp_fds,
+                           inject_noise)
+from repro.rulegen.seeds import generate_seed_rules
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_core.json"
+
+ROWS = 50_000
+RULE_CAP = 2_000
+NOISE_RATE = 0.08
+SEED = 7
+ROUNDS = 3              # best-of, serial timing has little variance
+
+#: rows/s of the pre-engine serial path (BENCH_parallel.json, PR 2).
+PRE_ENGINE_BASELINE = 5_679.1
+#: acceptance target: compiled serial path at >= 5x the old baseline.
+TARGET_SPEEDUP = 5.0
+#: acceptance target: blocked isConsist >= 10x faster than pairwise.
+TARGET_CONSISTENCY_SPEEDUP = 10.0
+
+SMOKE_ROWS = 800
+SMOKE_RULE_CAP = 150
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def build_workload(rows: int, rule_cap: int, seed: int = SEED):
+    clean = generate_hosp(rows=rows, seed=seed)
+    noise = inject_noise(clean, constraint_attributes(hosp_fds()),
+                         noise_rate=NOISE_RATE, typo_ratio=0.5, seed=seed)
+    mined = generate_seed_rules(clean, noise.table, hosp_fds())
+    rules = RuleSet(clean.schema, mined.rules()[:rule_cap])
+    return noise.table, rules
+
+
+def best_of(fn, rounds: int = ROUNDS):
+    best = result = None
+    for _ in range(rounds):
+        gc.collect()
+        start = time.perf_counter()
+        result = fn()
+        seconds = time.perf_counter() - start
+        best = seconds if best is None else min(best, seconds)
+    return best, result
+
+
+def conflict_keys(conflicts):
+    return [(c.rule_a.name, c.rule_b.name, c.kind) for c in conflicts]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=None)
+    parser.add_argument("--rules", type=int, default=None)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny configuration for CI (< 2 s)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    rows = args.rows if args.rows is not None else \
+        (SMOKE_ROWS if args.smoke else ROWS)
+    rule_cap = args.rules if args.rules is not None else \
+        (SMOKE_RULE_CAP if args.smoke else RULE_CAP)
+    full_scale = rows >= ROWS and rule_cap >= RULE_CAP
+
+    print("generating %d-row HOSP workload (%d-rule cap)..."
+          % (rows, rule_cap), flush=True)
+    table, rules = build_workload(rows=rows, rule_cap=rule_cap)
+    print("  %d rows, %d rules, %d cpus (%d usable)"
+          % (len(table), len(rules), os.cpu_count() or 1, usable_cpus()),
+          flush=True)
+
+    failures = []
+
+    # -- 1. serial repair throughput -------------------------------------
+    reset_engine_stats()
+    serial_seconds, report = best_of(
+        lambda: repair_table(table, rules, workers=None))
+    serial_rate = len(table) / serial_seconds
+    speedup_vs_baseline = serial_rate / PRE_ENGINE_BASELINE
+    print("serial repair_table: %7.3fs  %9.0f rows/s  (%.2fx the "
+          "pre-engine %0.0f rows/s; %d fixes)"
+          % (serial_seconds, serial_rate, speedup_vs_baseline,
+             PRE_ENGINE_BASELINE, report.total_applications), flush=True)
+
+    if full_scale:
+        if serial_rate < PRE_ENGINE_BASELINE:
+            failures.append(
+                "serial throughput %.0f rows/s is below the pre-engine "
+                "baseline %.0f rows/s" % (serial_rate, PRE_ENGINE_BASELINE))
+        if speedup_vs_baseline < TARGET_SPEEDUP:
+            failures.append(
+                "serial speedup %.2fx is below the %.0fx acceptance "
+                "target" % (speedup_vs_baseline, TARGET_SPEEDUP))
+
+    # -- 2. blocked vs pairwise consistency checking ---------------------
+    rule_list = rules.rules()
+    # counters from exactly one run (best_of would accumulate them)
+    reset_engine_stats()
+    find_conflicts(rule_list, strategy="blocked")
+    blocked_stats = engine_stats()
+    blocked_seconds, blocked_conflicts = best_of(
+        lambda: find_conflicts(rule_list, strategy="blocked"))
+
+    reset_engine_stats()
+    pairwise_seconds, pairwise_conflicts = best_of(
+        lambda: find_conflicts(rule_list, strategy="pairwise"))
+
+    if conflict_keys(blocked_conflicts) != conflict_keys(pairwise_conflicts):
+        failures.append("blocked and pairwise conflict lists differ")
+    consistency_speedup = pairwise_seconds / blocked_seconds \
+        if blocked_seconds else float("inf")
+    total_pairs = len(rule_list) * (len(rule_list) - 1) // 2
+    print("isConsist pairwise : %7.3fs  (%d pairs)"
+          % (pairwise_seconds, total_pairs), flush=True)
+    print("isConsist blocked  : %7.3fs  (%d examined, %d pruned, %.1fx)"
+          % (blocked_seconds, blocked_stats["pairs_examined"],
+             blocked_stats["pairs_pruned"], consistency_speedup),
+          flush=True)
+
+    if full_scale and consistency_speedup < TARGET_CONSISTENCY_SPEEDUP:
+        failures.append(
+            "blocked consistency speedup %.1fx is below the %.0fx "
+            "acceptance target"
+            % (consistency_speedup, TARGET_CONSISTENCY_SPEEDUP))
+
+    payload = {
+        "benchmark": "core_engine",
+        "dataset": "hosp",
+        "smoke": bool(args.smoke),
+        "rows": len(table),
+        "rules": len(rules),
+        "noise_rate": NOISE_RATE,
+        # both counts: cpu_count is the machine, cpus_usable is what the
+        # scheduler actually grants this process (containers differ)
+        "cpu_count": os.cpu_count() or 1,
+        "cpus_usable": usable_cpus(),
+        "serial": {
+            "seconds": round(serial_seconds, 4),
+            "rows_per_sec": round(serial_rate, 1),
+            "pre_engine_rows_per_sec": PRE_ENGINE_BASELINE,
+            "speedup_vs_pre_engine": round(speedup_vs_baseline, 2),
+            "total_applications": report.total_applications,
+        },
+        "consistency": {
+            "total_pairs": total_pairs,
+            "pairs_examined": blocked_stats["pairs_examined"],
+            "pairs_pruned": blocked_stats["pairs_pruned"],
+            "conflicts": len(pairwise_conflicts),
+            "pairwise_seconds": round(pairwise_seconds, 4),
+            "blocked_seconds": round(blocked_seconds, 4),
+            "speedup": round(consistency_speedup, 1),
+        },
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n",
+                           encoding="utf-8")
+    print("wrote %s" % args.output, flush=True)
+
+    for failure in failures:
+        print("FAIL: %s" % failure, flush=True)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

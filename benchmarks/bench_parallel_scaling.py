@@ -41,6 +41,14 @@ WORKER_COUNTS = (1, 2, 4, 8)
 ROUNDS = 2              # best-of; fork/COW timing is noisy on shared cores
 
 
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
 def build_workload(rows: int = ROWS, seed: int = SEED):
     clean = generate_hosp(rows=rows, seed=seed)
     noise = inject_noise(clean, constraint_attributes(hosp_fds()),
@@ -71,8 +79,9 @@ def main(argv=None) -> int:
 
     print("generating %d-row HOSP workload..." % args.rows, flush=True)
     table, rules = build_workload(rows=args.rows)
-    print("  %d rows, %d rules, %d cpus" %
-          (len(table), len(rules), os.cpu_count() or 1), flush=True)
+    print("  %d rows, %d rules, %d cpus (%d usable)" %
+          (len(table), len(rules), os.cpu_count() or 1,
+           usable_cpus()), flush=True)
 
     serial_seconds, serial_report = time_repair(table, rules, workers=1)
     serial_rate = len(table) / serial_seconds
@@ -107,7 +116,10 @@ def main(argv=None) -> int:
         "rows": len(table),
         "rules": len(rules),
         "noise_rate": NOISE_RATE,
-        "cpus": os.cpu_count() or 1,
+        # both counts: cpu_count is the machine, cpus_usable is what the
+        # scheduler actually grants this process (containers differ)
+        "cpu_count": os.cpu_count() or 1,
+        "cpus_usable": usable_cpus(),
         "total_applications": serial_report.total_applications,
         "trajectory": trajectory,
         "speedup_at_4_workers": at4["speedup"],

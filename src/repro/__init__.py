@@ -33,9 +33,10 @@ from .errors import (BudgetExceededError, CheckpointError, DependencyError,
                      TableError)
 from .relational import Attribute, Row, Schema, Table, read_csv, write_csv
 from .dependencies import FD, parse_fd
-from .core import (FixingRule, RuleSet, chase_repair, ensure_consistent,
-                   fast_repair, find_conflicts, format_rule, implies,
-                   is_consistent, load_ruleset, minimize, repair_table,
+from .core import (CompiledRuleSet, FixingRule, RuleSet, chase_repair,
+                   compile_ruleset, ensure_consistent, fast_repair,
+                   find_conflicts, format_rule, implies, is_consistent,
+                   load_ruleset, minimize, repair_table, rules_fingerprint,
                    save_ruleset)
 from .evaluation import RepairQuality, evaluate_repair
 
@@ -76,6 +77,9 @@ __all__ = [
     "chase_repair",
     "fast_repair",
     "repair_table",
+    "CompiledRuleSet",
+    "compile_ruleset",
+    "rules_fingerprint",
     "format_rule",
     "save_ruleset",
     "load_ruleset",

@@ -37,8 +37,16 @@ from .rulegen import discover_rules, generate_rules
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
+    from .core import engine_stats
     rules = load_ruleset(args.rules)
-    conflicts = find_conflicts(rules, method=args.method)
+    before = engine_stats()
+    conflicts = find_conflicts(rules, method=args.method,
+                               strategy=args.strategy)
+    after = engine_stats()
+    if args.verbose:
+        print("examined %d candidate pair(s); pruned %d by blocking"
+              % (after["pairs_examined"] - before["pairs_examined"],
+                 after["pairs_pruned"] - before["pairs_pruned"]))
     if not conflicts:
         print("CONSISTENT: %d rules, no conflicts" % len(rules))
         return 0
@@ -57,6 +65,10 @@ def _cmd_repair(args: argparse.Namespace) -> int:
                  or args.on_inconsistent == "degrade"
                  or args.workers != 1)
     if streaming:
+        if args.algorithm == "chase":
+            print("warning: the streaming/parallel path always runs the "
+                  "fast (lRepair) engine; --algorithm chase is only "
+                  "honored by the plain serial path", file=sys.stderr)
         return _streaming_repair(args, rules)
     table = read_csv(args.input, schema=rules.schema)
     report = repair_table(table, rules, algorithm=args.algorithm,
@@ -238,6 +250,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("rules", help="rule JSON file")
     p_check.add_argument("--method", choices=["characterize", "enumerate"],
                          default="characterize")
+    p_check.add_argument("--strategy", choices=["blocked", "pairwise"],
+                         default=None,
+                         help="candidate-pair strategy (default: blocked "
+                              "for characterize, pairwise for enumerate); "
+                              "output is identical either way")
+    p_check.add_argument("--verbose", action="store_true",
+                         help="also print examined/pruned pair counts")
     p_check.set_defaults(func=_cmd_check)
 
     p_repair = sub.add_parser("repair", help="repair a CSV with rules")

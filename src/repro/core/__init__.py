@@ -12,6 +12,10 @@ Public surface:
 * resolution — :func:`ensure_consistent` (Section 5.3);
 * repair — :func:`chase_repair` (cRepair), :func:`fast_repair`
   (lRepair), :func:`repair_table` (Section 6);
+* the compiled engine — :mod:`~repro.core.engine`:
+  :class:`CompiledRuleSet`, the single positional hot path every
+  repair driver (serial, streaming, parallel) executes, plus the
+  content fingerprinting behind consistency-verdict caching;
 * fault tolerance — :mod:`~repro.core.pipeline`: error policies,
   dead-letter quarantine, checkpoint/resume, fault injection;
 * parallel execution — :mod:`~repro.core.parallel`: sharded
@@ -25,14 +29,18 @@ from .ruleset import RuleSet
 from .matching import (first_proper, is_fixpoint, matching_rules,
                        properly_applicable)
 from .indexes import HashCounters, InvertedIndex
+from .engine import (CompiledRuleSet, compile_for_schema, compile_ruleset,
+                     rules_fingerprint)
 from .consistency import (AssuranceHazard, CASE_B_I_IN_X_J, CASE_B_J_IN_X_I, CASE_ENUMERATED,
                           CASE_MUTUAL, CASE_SAME_ATTRIBUTE, OUT_OF_DOMAIN,
-                          Conflict, check_pair_characterize,
-                          check_pair_enumerate, enumerate_candidate_tuples,
+                          VALID_STRATEGIES, Conflict,
+                          blocked_candidate_pairs, check_pair_characterize,
+                          check_pair_enumerate, clear_conflict_cache,
+                          enumerate_candidate_tuples,
                           find_assurance_hazards, find_conflicts,
-                          is_consistent,
+                          find_conflicts_cached, is_consistent,
                           is_consistent_characterize,
-                          is_consistent_enumerate)
+                          is_consistent_enumerate, seed_conflict_cache)
 from .implication import implies, iter_small_model, minimize
 from .resolution import (DROP_CONFLICTING, SHRINK_NEGATIVES, ResolutionLog,
                          Revision, drop_conflicting, ensure_consistent)
@@ -51,7 +59,9 @@ from .pipeline import (ERROR_POLICIES, QUARANTINE, SKIP, STRICT, Checkpoint,
                        validate_error_policy)
 from .stream import (ON_INCONSISTENT_DEGRADE, ON_INCONSISTENT_RAISE,
                      RepairSession, repair_csv_file, repair_stream)
-from .instrumentation import CountingRule, MatchCounter, counting_rules
+from .instrumentation import (ENGINE_STATS, CountingRule, EngineStats,
+                              MatchCounter, counting_rules, engine_stats,
+                              reset_engine_stats)
 from .incremental import ConsistentRuleSet
 from .profile import RuleSetProfile, ruleset_profile
 from .explain import (APPLIES, EVIDENCE_MISMATCH, TARGET_ASSURED,
@@ -67,6 +77,10 @@ __all__ = [
     "is_fixpoint",
     "InvertedIndex",
     "HashCounters",
+    "CompiledRuleSet",
+    "compile_ruleset",
+    "compile_for_schema",
+    "rules_fingerprint",
     "Conflict",
     "OUT_OF_DOMAIN",
     "CASE_SAME_ATTRIBUTE",
@@ -78,6 +92,11 @@ __all__ = [
     "check_pair_enumerate",
     "enumerate_candidate_tuples",
     "find_conflicts",
+    "find_conflicts_cached",
+    "seed_conflict_cache",
+    "clear_conflict_cache",
+    "blocked_candidate_pairs",
+    "VALID_STRATEGIES",
     "AssuranceHazard",
     "find_assurance_hazards",
     "is_consistent",
@@ -133,6 +152,10 @@ __all__ = [
     "MatchCounter",
     "CountingRule",
     "counting_rules",
+    "EngineStats",
+    "ENGINE_STATS",
+    "engine_stats",
+    "reset_engine_stats",
     "APPLIES",
     "EVIDENCE_MISMATCH",
     "VALUE_NOT_NEGATIVE",

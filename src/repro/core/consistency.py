@@ -17,14 +17,47 @@ Both return a :class:`Conflict` witness rather than a bare boolean so
 the resolution workflow (Section 5.3) can act on *why* the pair
 conflicts.  ``tests/test_properties.py`` checks the two are equivalent
 on randomly generated rule pairs.
+
+Two optimizations keep the Proposition 3 pairwise reduction tractable
+at benchmark scale (|Σ| in the thousands):
+
+* **Blocked candidate generation** (``strategy="blocked"``, the
+  default for the characterization method).  By Lemma 4, only pairs
+  whose evidence patterns are compatible on shared attributes can
+  conflict, and the Fig. 4 case analysis narrows that further: every
+  conflicting pair either shares a negative pattern on a common
+  corrected attribute with differing facts (case 1) or has one rule's
+  evidence constant on the other's corrected attribute among that
+  other's negative patterns (cases 2a–2c).  Both conditions are
+  equi-joins, so hashing negatives by ``(B, value)`` and evidence
+  entries by ``(attr, value)`` yields the candidate pairs in
+  near-linear time for realistic rule sets; the all-pairs scan only
+  reappears when the rules genuinely all collide.  Candidates are
+  deduplicated and checked in the same ``(i, j)`` lexicographic order
+  the full scan uses, so the conflict list — and the ``first_only``
+  conflict — is *identical* to the pairwise scan's, not merely
+  equivalent.  ``tests/test_blocked_consistency.py`` asserts this with
+  Hypothesis, including on adversarial all-colliding sets.
+* **Verdict caching** (:func:`find_conflicts_cached`).  Verdicts are
+  cached per process under the rule set's content fingerprint
+  (:func:`repro.core.engine.rules_fingerprint`), so drivers that
+  validate Σ once per table, per pipeline stage, or per pool worker
+  never re-scan an unchanged Σ; :func:`seed_conflict_cache` lets a
+  parent process hand its verdict to workers through the init blob.
+
+Scan and pruning activity is counted in
+:data:`repro.core.instrumentation.ENGINE_STATS`.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, List, NamedTuple, Optional, Sequence, Union
+from typing import (Dict, Iterable, List, NamedTuple, Optional, Sequence,
+                    Tuple, Union)
 
 from ..relational import Row, Schema
+from .engine import rules_fingerprint
+from .instrumentation import ENGINE_STATS
 from .repair import chase_repair
 from .rule import FixingRule
 from .ruleset import RuleSet
@@ -197,9 +230,73 @@ def _rules_and_schema(rules: RuleInput,
     return list(rules), schema
 
 
+#: Candidate-pair strategies accepted by :func:`find_conflicts`.
+VALID_STRATEGIES = ("blocked", "pairwise")
+
+
+def blocked_candidate_pairs(rule_list: Sequence[FixingRule]
+                            ) -> List[Tuple[int, int]]:
+    """The Lemma-4-admissible candidate pairs of Σ, in ``(i, j)``
+    lexicographic order with ``i < j``.
+
+    A pair can only conflict under the Fig. 4 characterization when at
+    least one of two hash-joinable conditions holds:
+
+    * **case 1** — same corrected attribute ``B``, a shared negative
+      pattern, and differing facts: join the rules on ``(B, negative)``
+      keys and emit cross-fact pairs within each bucket;
+    * **cases 2a/2b/2c** — some rule reads (as evidence) a value the
+      other can erase: join negative patterns ``(B_i, n)`` against
+      evidence entries ``(attr, value)`` on equal keys.
+
+    The union is a *superset* of the conflicting pairs (evidence
+    compatibility on the remaining shared attributes is still checked
+    pairwise), so checking exactly these pairs finds every conflict
+    the full scan finds.  Pairs outside every bucket — same-``B`` rules
+    with disjoint negatives or equal facts, different-``B`` rules where
+    neither evidence pattern mentions the other's negative values —
+    fall under Fig. 4's consistent cases by construction and are never
+    materialized.
+    """
+    by_negative: Dict[Tuple[str, str], List[int]] = {}
+    by_evidence: Dict[Tuple[str, str], List[int]] = {}
+    for rule_id, rule in enumerate(rule_list):
+        attribute = rule.attribute
+        for value in rule.negatives:
+            by_negative.setdefault((attribute, value), []).append(rule_id)
+        for attr, value in rule._evidence_items:
+            by_evidence.setdefault((attr, value), []).append(rule_id)
+
+    pairs = set()
+    for key, writer_ids in by_negative.items():
+        # Case 1: same (B, negative) bucket, facts differ.
+        if len(writer_ids) > 1:
+            by_fact: Dict[str, List[int]] = {}
+            for rule_id in writer_ids:
+                by_fact.setdefault(rule_list[rule_id].fact,
+                                   []).append(rule_id)
+            if len(by_fact) > 1:
+                groups = list(by_fact.values())
+                for g in range(len(groups)):
+                    for h in range(g + 1, len(groups)):
+                        for i in groups[g]:
+                            for j in groups[h]:
+                                pairs.add((i, j) if i < j else (j, i))
+        # Cases 2a/2b/2c: a reader's evidence constant at B equals one
+        # of the writer's negative patterns at B.
+        reader_ids = by_evidence.get(key)
+        if reader_ids:
+            for i in writer_ids:
+                for j in reader_ids:
+                    if i != j:
+                        pairs.add((i, j) if i < j else (j, i))
+    return sorted(pairs)
+
+
 def find_conflicts(rules: RuleInput, method: str = "characterize",
                    schema: Optional[Schema] = None,
-                   first_only: bool = False) -> List[Conflict]:
+                   first_only: bool = False,
+                   strategy: Optional[str] = None) -> List[Conflict]:
     """All pairwise conflicts in Σ (Proposition 3 reduction).
 
     Parameters
@@ -213,6 +310,18 @@ def find_conflicts(rules: RuleInput, method: str = "characterize",
     first_only:
         Stop at the first conflict (the paper's "real case" behavior
         in Exp-1, as opposed to the all-pairs worst case).
+    strategy:
+        ``"blocked"`` checks only the candidate pairs admitted by
+        :func:`blocked_candidate_pairs`; ``"pairwise"`` scans all
+        ``|Σ|·(|Σ|-1)/2`` pairs.  The default is blocked for the
+        characterization (whose case analysis the blocking mirrors
+        exactly, so the output is identical) and pairwise for
+        enumeration (kept exhaustive by default; pass
+        ``strategy="blocked"`` to opt in, sound whenever the two
+        methods agree — which ``tests/test_properties.py`` verifies).
+
+    The conflict list is deterministic and strategy-independent:
+    pairs are checked in ``(i, j)`` lexicographic order either way.
     """
     rule_list, resolved_schema = _rules_and_schema(rules, schema)
     if method == "characterize":
@@ -229,8 +338,29 @@ def find_conflicts(rules: RuleInput, method: str = "characterize",
     else:
         raise ValueError("method must be 'characterize' or 'enumerate', "
                          "got %r" % method)
+    if strategy is None:
+        strategy = "blocked" if method == "characterize" else "pairwise"
+    elif strategy not in VALID_STRATEGIES:
+        raise ValueError("strategy must be one of %s, got %r"
+                         % (", ".join(repr(s) for s in VALID_STRATEGIES),
+                            strategy))
 
+    ENGINE_STATS.consistency_checks += 1
+    total_pairs = len(rule_list) * (len(rule_list) - 1) // 2
     conflicts: List[Conflict] = []
+    if strategy == "blocked":
+        candidates = blocked_candidate_pairs(rule_list)
+        ENGINE_STATS.pairs_examined += len(candidates)
+        ENGINE_STATS.pairs_pruned += total_pairs - len(candidates)
+        for i, j in candidates:
+            conflict = check(rule_list[i], rule_list[j])
+            if conflict is not None:
+                conflicts.append(conflict)
+                if first_only:
+                    return conflicts
+        return conflicts
+
+    ENGINE_STATS.pairs_examined += total_pairs
     for i in range(len(rule_list)):
         for j in range(i + 1, len(rule_list)):
             conflict = check(rule_list[i], rule_list[j])
@@ -239,6 +369,63 @@ def find_conflicts(rules: RuleInput, method: str = "characterize",
                 if first_only:
                     return conflicts
     return conflicts
+
+
+# -- verdict caching ----------------------------------------------------------
+#
+# Keyed by the content fingerprint of Σ (rules_fingerprint), valid for
+# the characterization method with the default strategy — the verdict
+# is a pure function of rule content, independent of schema and
+# process.  Each entry is (complete, conflicts): `complete` records
+# whether the scan ran to the end (a first_only scan that found a
+# conflict did not, so it can only answer later first_only queries).
+
+_VERDICT_CACHE: Dict[str, Tuple[bool, Tuple[Conflict, ...]]] = {}
+
+
+def find_conflicts_cached(rules: RuleInput,
+                          first_only: bool = False) -> List[Conflict]:
+    """:func:`find_conflicts` (characterize, blocked) with the verdict
+    cached on Σ's content fingerprint.
+
+    The repair drivers — ``repair_table(check_consistency=True)``, the
+    parallel executor, the streaming session, the CLI — all validate Σ
+    through this function, so one rule set is scanned at most once per
+    process however many tables, shards, or pipeline stages it repairs.
+    """
+    fingerprint = rules_fingerprint(rules)
+    cached = _VERDICT_CACHE.get(fingerprint)
+    if cached is not None:
+        complete, conflicts = cached
+        if first_only:
+            ENGINE_STATS.consistency_cache_hits += 1
+            return [conflicts[0]] if conflicts else []
+        if complete:
+            ENGINE_STATS.consistency_cache_hits += 1
+            return list(conflicts)
+    conflicts_list = find_conflicts(rules, first_only=first_only)
+    complete = not (first_only and conflicts_list)
+    _VERDICT_CACHE[fingerprint] = (complete, tuple(conflicts_list))
+    return conflicts_list
+
+
+def seed_conflict_cache(fingerprint: str,
+                        conflicts: Sequence[Conflict] = (),
+                        complete: bool = True) -> None:
+    """Install a known verdict for the Σ identified by *fingerprint*.
+
+    Used by the parallel worker initializer: the parent checks Σ once,
+    ships ``(fingerprint, verdict)`` in the init blob, and each worker
+    seeds its own per-process cache — so the check provably runs once
+    per Σ rather than once per worker.
+    """
+    _VERDICT_CACHE[fingerprint] = (complete, tuple(conflicts))
+
+
+def clear_conflict_cache() -> None:
+    """Drop every cached verdict (tests and long-lived services that
+    churn through many rule sets)."""
+    _VERDICT_CACHE.clear()
 
 
 def is_consistent(rules: RuleInput, method: str = "characterize",

@@ -31,7 +31,7 @@ class InvertedIndex:
     >>> # pattern constrains country to China
     """
 
-    __slots__ = ("_lists", "_rules", "_evidence_sizes")
+    __slots__ = ("_lists", "_rules", "_evidence_sizes", "_compiled")
 
     def __init__(self, rules: Iterable[FixingRule]):
         self._rules: Tuple[FixingRule, ...] = tuple(rules)
@@ -41,6 +41,10 @@ class InvertedIndex:
         for rule_id, rule in enumerate(self._rules):
             for attr, value in rule.evidence.items():
                 self._lists.setdefault((attr, value), []).append(rule_id)
+        # Memoized CompiledRuleSet for the legacy fast_repair(index=...)
+        # path (see repro.core.engine); the rule tuple is immutable, so
+        # the compilation can never go stale.
+        self._compiled = None
 
     @property
     def rules(self) -> Tuple[FixingRule, ...]:

@@ -15,11 +15,21 @@ they flow through ``chase_repair``/``fast_repair`` unchanged.
 ``tests/test_complexity.py`` uses them to verify that cRepair's
 examinations grow linearly with |Σ| while lRepair's stay bounded by
 the frontier discipline.
+
+The module also hosts the process-wide counters of the compiled rule
+engine (:mod:`repro.core.engine`) and of blocked consistency checking:
+
+* :class:`EngineStats` / :data:`ENGINE_STATS` — rule sets and rules
+  compiled, compile/verdict cache hits, rows repaired, consistency
+  scans run, and candidate pairs examined vs pruned by the Lemma 4
+  blocking of :func:`repro.core.consistency.find_conflicts`;
+* :func:`engine_stats` / :func:`reset_engine_stats` — snapshot and
+  reset helpers for tests, benchmarks, and monitoring dashboards.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Dict, Iterable, List
 
 from .rule import FixingRule
 
@@ -60,3 +70,66 @@ def counting_rules(rules: Iterable[FixingRule],
     return [CountingRule(rule.evidence, rule.attribute, rule.negatives,
                          rule.fact, rule.name, counter)
             for rule in rules]
+
+
+class EngineStats:
+    """Process-wide counters of the compiled rule engine.
+
+    All fields are plain integers, bumped from the hot paths at most
+    once per unit of work (per compile, per row, per consistency
+    scan, per candidate pair) so the accounting itself stays cheap.
+    The counters are advisory — they exist so tests can *prove*
+    properties like "the consistency check ran once per Σ" and so
+    benchmarks can report pruning ratios — and are not synchronized
+    across processes (each pool worker has its own instance).
+    """
+
+    __slots__ = (
+        "rulesets_compiled", "rules_compiled", "compile_cache_hits",
+        "rows_repaired", "consistency_checks", "consistency_cache_hits",
+        "pairs_examined", "pairs_pruned",
+    )
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        #: distinct CompiledRuleSet constructions (cache misses)
+        self.rulesets_compiled = 0
+        #: total rules flattened across those compilations
+        self.rules_compiled = 0
+        #: compile requests answered from a memoized CompiledRuleSet
+        self.compile_cache_hits = 0
+        #: tuples pushed through CompiledRuleSet.repair_values/repair_row
+        self.rows_repaired = 0
+        #: consistency scans actually executed (cache misses)
+        self.consistency_checks = 0
+        #: consistency verdicts answered from the fingerprint cache
+        self.consistency_cache_hits = 0
+        #: rule pairs handed to the pair checker by find_conflicts
+        self.pairs_examined = 0
+        #: rule pairs skipped by Lemma 4 blocking (never materialized)
+        self.pairs_pruned = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """The counters as a plain dict (JSON-ready)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        return "EngineStats(%s)" % ", ".join(
+            "%s=%d" % (name, getattr(self, name))
+            for name in self.__slots__)
+
+
+#: The process-wide engine counter block.
+ENGINE_STATS = EngineStats()
+
+
+def engine_stats() -> Dict[str, int]:
+    """Snapshot of :data:`ENGINE_STATS` as a plain dict."""
+    return ENGINE_STATS.snapshot()
+
+
+def reset_engine_stats() -> None:
+    """Zero every counter in :data:`ENGINE_STATS` (tests, benchmarks)."""
+    ENGINE_STATS.reset()

@@ -4,25 +4,28 @@ The paper's efficiency result (Fig. 7) is that ``lRepair`` fixes each
 tuple in ``O(size(Σ))`` *independently of every other tuple* — repairs
 are embarrassingly parallel across rows.  This module exploits that:
 
-* :class:`BatchRepairKernel` — a positional, allocation-light
-  re-formulation of ``lRepair`` over raw value lists.  It produces the
-  exact same chase as :func:`~repro.core.repair.fast_repair` (the
-  frontier is seeded and drained in the same order), but skips the
-  per-row ``Row``/counter-array/``RepairResult`` construction, which
-  dominates the per-tuple cost for realistic rule sets.  Rows that no
-  rule can touch — the overwhelming majority in practice — cost two
-  dict probes per cell and allocate nothing.
+* :class:`BatchRepairKernel` — historically the positional,
+  allocation-light re-formulation of ``lRepair`` that made batch
+  repair ~9x faster than the per-row path; that formulation was
+  promoted to :class:`repro.core.engine.CompiledRuleSet` and now
+  powers *every* driver (``fast_repair``, serial ``repair_table``,
+  streaming, and these workers).  The kernel remains as a thin
+  compatibility subclass.
 * :func:`plan_chunks` — deterministic shard boundaries.  Chunking
   never affects output content (each row's fix is independent and
   unique for a consistent Σ); it only sets the unit of work shipped to
   a worker and the granularity at which the streaming path may commit
   a checkpoint.
 * :class:`ParallelRepairExecutor` — a ``fork`` process pool whose
-  initializer broadcasts the pickled ``(schema, rules)`` pair **once
-  per worker** (not per task) and rebuilds the inverted-list index
-  there; tasks then carry only raw cell values.  Results are merged
-  back in submission order with a bounded in-flight window, so memory
-  stays proportional to ``workers × chunk_size``, not the input.
+  initializer broadcasts one pickled blob — ``(schema, rules)`` plus
+  Σ's content fingerprint and the parent's consistency verdict —
+  **once per worker** (not per task) and compiles the rule engine
+  there; tasks then carry only raw cell values.  Seeding the verdict
+  means a rule set checked in the parent is *never* re-checked in a
+  worker: the consistency scan provably runs once per Σ.  Results are
+  merged back in submission order with a bounded in-flight window, so
+  memory stays proportional to ``workers × chunk_size``, not the
+  input.
 * :func:`parallel_repair_table` — the table-level driver behind
   ``repair_table(..., workers=N)``; returns the same
   :class:`~repro.core.repair.TableRepairReport` (full provenance,
@@ -51,6 +54,7 @@ from typing import (Dict, FrozenSet, Iterable, Iterator, List, Optional,
 
 from ..errors import InconsistentRulesError, PipelineError
 from ..relational import Row, Schema, Table
+from .engine import CompiledRuleSet, compile_for_schema
 from .indexes import InvertedIndex
 from .repair import (AppliedFix, RepairResult, RuleInput, TableRepairReport,
                      _as_rule_list)
@@ -108,191 +112,35 @@ def plan_chunks(total: int, chunk_size: int) -> List[Tuple[int, int]]:
             for start in range(0, total, chunk_size)]
 
 
-class BatchRepairKernel:
-    """``lRepair`` over raw value lists, tuned for batch throughput.
+class BatchRepairKernel(CompiledRuleSet):
+    """Backward-compatible alias for the compiled rule engine.
 
-    Built once per (schema, Σ) pair — in each pool worker by the
-    executor's initializer, or directly for in-process use.  All rule
-    state is pre-resolved to schema *positions*:
-
-    * ``_lists_by_pos[p]`` maps a cell value at position ``p`` to the
-      ids of rules whose evidence pattern constrains that attribute to
-      that value (the inverted lists of Section 6.2, re-keyed
-      positionally);
-    * evidence counters live in a per-row dict keyed by rule id, so a
-      row only pays for the rules its cells actually hit — unlike the
-      dense counter array of :class:`~repro.core.indexes.HashCounters`,
-      which is reset and scanned per row.
-
-    The chase itself follows Fig. 7 line by line, seeding and draining
-    the frontier Γ in exactly the order :func:`fast_repair` does, so
-    the two produce identical results even on an (erroneously)
-    inconsistent Σ, where order matters.
+    PR 2 introduced this class as a positional re-formulation of
+    ``lRepair``; the engine consolidation moved that implementation —
+    verbatim, chase order and all — to
+    :class:`repro.core.engine.CompiledRuleSet` so every driver shares
+    it.  The subclass only keeps the historical constructor signature
+    (the optional prebuilt :class:`InvertedIndex`, which the compiled
+    layout no longer needs).
     """
 
-    __slots__ = ("schema", "rules", "_nattrs", "_lists_by_pos", "_ev_size",
-                 "_b_pos", "_negatives", "_fact", "_touched", "_ev_pos",
-                 "_touched_pos")
+    __slots__ = ()
 
     def __init__(self, schema: Schema, rules: RuleInput,
                  index: Optional[InvertedIndex] = None):
-        rule_list = _as_rule_list(rules)
-        for rule in rule_list:
-            rule.validate(schema)
-        if index is None:
-            index = InvertedIndex(rule_list)
-        self.schema = schema
-        self.rules: Tuple[FixingRule, ...] = tuple(rule_list)
-        self._nattrs = len(schema)
-        lists: List[Dict[str, Tuple[int, ...]]] = [
-            {} for _ in range(self._nattrs)]
-        for attr, value in index.keys():
-            lists[schema.index_of(attr)][value] = tuple(
-                index.lookup(attr, value))
-        self._lists_by_pos = lists
-        self._ev_size: Tuple[int, ...] = tuple(
-            len(rule.evidence) for rule in rule_list)
-        self._b_pos: Tuple[int, ...] = tuple(
-            schema.index_of(rule.attribute) for rule in rule_list)
-        self._negatives: Tuple[FrozenSet[str], ...] = tuple(
-            rule.negatives for rule in rule_list)
-        self._fact: Tuple[str, ...] = tuple(
-            rule.fact for rule in rule_list)
-        self._touched: Tuple[FrozenSet[str], ...] = tuple(
-            rule.touched_attrs for rule in rule_list)
-        self._ev_pos: Tuple[Tuple[Tuple[int, str], ...], ...] = tuple(
-            tuple((schema.index_of(attr), value)
-                  for attr, value in rule._evidence_items)
-            for rule in rule_list)
-        self._touched_pos: Tuple[FrozenSet[int], ...] = tuple(
-            frozenset(schema.index_of(attr) for attr in rule.touched_attrs)
-            for rule in rule_list)
-
-    def repair_values(self, values: Sequence[str]
-                      ) -> Optional[Tuple[List[str],
-                                          List[Tuple[int, str]]]]:
-        """Repair one tuple given as cell values in schema order.
-
-        Returns ``None`` when no rule fires (the common case — the
-        input is not copied), otherwise ``(new_values, applied)`` where
-        *applied* lists ``(rule_id, old_value)`` pairs in application
-        order.  The input sequence is never mutated.
-        """
-        lists_by_pos = self._lists_by_pos
-        ev_size = self._ev_size
-        counts: Dict[int, int] = {}
-        frontier: Optional[List[int]] = None
-        for pos in range(self._nattrs):
-            hits = lists_by_pos[pos].get(values[pos])
-            if hits:
-                for rule_id in hits:
-                    count = counts.get(rule_id, 0) + 1
-                    counts[rule_id] = count
-                    if count == ev_size[rule_id]:
-                        if frontier is None:
-                            frontier = [rule_id]
-                        else:
-                            frontier.append(rule_id)
-        if frontier is None:
-            return None
-        # fast_repair seeds Γ in ascending rule-id order (the dense
-        # counter scan of HashCounters.reset_for); match it exactly so
-        # the chase order — hence the result, even on inconsistent Σ —
-        # is identical.
-        frontier.sort()
-
-        current: List[str] = list(values)
-        applied: List[Tuple[int, str]] = []
-        assured_positions: set = set()
-        in_frontier = set(frontier)
-        checked: set = set()
-        b_pos = self._b_pos
-        negatives = self._negatives
-        facts = self._fact
-        while frontier:
-            rule_id = frontier.pop()
-            in_frontier.discard(rule_id)
-            checked.add(rule_id)
-            target = b_pos[rule_id]
-            old = current[target]
-            if target in assured_positions or old not in negatives[rule_id]:
-                continue  # removed once and for all (Fig. 7, line 16)
-            # Evidence re-check: the counter says the pattern matched
-            # at completion time, but a later application may have
-            # rewritten an evidence cell — properly_applicable() in the
-            # serial path re-reads the tuple, and so must we.
-            ok = True
-            for pos, value in self._ev_pos[rule_id]:
-                if current[pos] != value:
-                    ok = False
-                    break
-            if not ok:
-                continue
-            fact = facts[rule_id]
-            current[target] = fact
-            assured_positions.update(self._touched_pos[rule_id])
-            applied.append((rule_id, old))
-            hit_lists = lists_by_pos[target]
-            hits = hit_lists.get(old)
-            if hits:
-                for other in hits:
-                    counts[other] = counts.get(other, 0) - 1
-            hits = hit_lists.get(fact)
-            if hits:
-                for other in hits:
-                    count = counts.get(other, 0) + 1
-                    counts[other] = count
-                    if (count == ev_size[other] and other not in checked
-                            and other not in in_frontier):
-                        frontier.append(other)
-                        in_frontier.add(other)
-        if not applied:
-            return None
-        return current, applied
-
-    def repair_row(self, row: Row) -> RepairResult:
-        """Adapter producing the classic :class:`RepairResult` for one
-        :class:`~repro.relational.row.Row` (used by tests and by the
-        serial in-process fallback)."""
-        outcome = self.repair_values(row.values)
-        if outcome is None:
-            return RepairResult(row.copy(), (), frozenset())
-        new_values, applied = outcome
-        return RepairResult(Row(self.schema, new_values),
-                            self.expand_applied(applied),
-                            self.assured_for(applied))
-
-    def expand_applied(self, applied: Sequence[Tuple[int, str]]
-                       ) -> Tuple[AppliedFix, ...]:
-        """Rehydrate compact ``(rule_id, old)`` pairs into
-        :class:`AppliedFix` provenance records."""
-        fixes = []
-        for rule_id, old in applied:
-            rule = self.rules[rule_id]
-            fixes.append(AppliedFix(rule, rule.attribute, old, rule.fact))
-        return tuple(fixes)
-
-    def assured_for(self, applied: Sequence[Tuple[int, str]]
-                    ) -> FrozenSet[str]:
-        """The assured-attribute set implied by an application log."""
-        assured: set = set()
-        for rule_id, _old in applied:
-            assured.update(self._touched[rule_id])
-        return frozenset(assured)
-
-    def __repr__(self) -> str:
-        return ("BatchRepairKernel(%d rules over %s)"
-                % (len(self.rules), self.schema.name))
+        del index  # the compiled layout supersedes the inverted index
+        super().__init__(schema, rules)
 
 
 # -- worker-side plumbing ----------------------------------------------------
 #
-# Each pool worker holds exactly one kernel, installed by the
-# initializer from a pickled (schema, rules) blob shipped once at pool
-# startup.  Tasks then carry only (chunk_id, [row values...]) and
-# return (chunk_id, [encoded outcome...]).
+# Each pool worker holds exactly one compiled engine, installed by the
+# initializer from a pickled (schema, rules, fingerprint, verdict)
+# blob shipped once at pool startup.  Tasks then carry only
+# (chunk_id, [row values...]) and return (chunk_id, [encoded
+# outcome...]).
 
-_WORKER_KERNEL: Optional[BatchRepairKernel] = None
+_WORKER_KERNEL: Optional[CompiledRuleSet] = None
 
 
 def _reap_with_parent() -> None:
@@ -318,8 +166,14 @@ def _reap_with_parent() -> None:
 def _init_worker(blob: bytes) -> None:
     global _WORKER_KERNEL
     _reap_with_parent()
-    schema, rules = pickle.loads(blob)
-    _WORKER_KERNEL = BatchRepairKernel(schema, rules)
+    schema, rules, fingerprint, verified_consistent = pickle.loads(blob)
+    _WORKER_KERNEL = CompiledRuleSet(schema, rules)
+    _WORKER_KERNEL._fingerprint = fingerprint
+    if verified_consistent:
+        # The parent already scanned this Σ; seed the worker-local
+        # verdict cache so no code path re-checks it in-worker.
+        from .consistency import seed_conflict_cache
+        seed_conflict_cache(fingerprint)
 
 
 def _repair_chunk_task(task):
@@ -349,23 +203,30 @@ class ParallelRepairExecutor:
     ----------
     schema, rules:
         Broadcast once per worker via the pool initializer; each worker
-        rebuilds its :class:`BatchRepairKernel` (inverted lists and
-        all) exactly once, so per-task payloads are raw cell values
-        only.
+        compiles its :class:`~repro.core.engine.CompiledRuleSet`
+        exactly once, so per-task payloads are raw cell values only.
     workers:
         Pool size; must be >= 2 (use the serial path below that).
+    verified_consistent:
+        Set when the parent has already checked Σ; the fingerprint and
+        verdict ride in the init blob so workers seed their verdict
+        cache instead of ever re-scanning Σ.
 
     Use as a context manager; the pool is terminated on exit even when
     the consuming loop raises (e.g. a
     :class:`~repro.core.pipeline.FaultInjected` kill).
     """
 
-    def __init__(self, schema: Schema, rules: RuleInput, workers: int):
+    def __init__(self, schema: Schema, rules: RuleInput, workers: int,
+                 verified_consistent: bool = False):
         if workers < 2:
             raise ValueError("ParallelRepairExecutor needs workers >= 2, "
                              "got %d (use the serial path)" % workers)
         rule_list = tuple(_as_rule_list(rules))
-        blob = pickle.dumps((schema, rule_list),
+        from .engine import rules_fingerprint
+        blob = pickle.dumps((schema, rule_list,
+                             rules_fingerprint(rule_list),
+                             bool(verified_consistent)),
                             protocol=pickle.HIGHEST_PROTOCOL)
         context = (multiprocessing.get_context("fork") if fork_available()
                    else multiprocessing.get_context())
@@ -420,7 +281,8 @@ class ParallelRepairExecutor:
 def parallel_repair_table(table: Table, rules: RuleInput,
                           workers: Optional[int] = None,
                           chunk_size: Optional[int] = None,
-                          check_consistency: bool = False
+                          check_consistency: bool = False,
+                          verified_consistent: bool = False
                           ) -> TableRepairReport:
     """Repair *table* by sharding rows across a worker pool.
 
@@ -429,6 +291,11 @@ def parallel_repair_table(table: Table, rules: RuleInput,
     ``repair_table(table, rules)``; only the wall-clock changes.  Falls
     back to the serial driver when ``workers <= 1``, the table is
     empty, or the platform lacks ``fork``.
+
+    *verified_consistent* records that the caller already validated Σ
+    (``repair_table(check_consistency=True)`` sets it); either way the
+    verdict travels to the workers via their init blob, so Σ is
+    scanned at most once per process tree.
 
     A worker-side exception while repairing a row (not possible for
     well-formed rules, but defended against) is re-raised here as
@@ -440,16 +307,17 @@ def parallel_repair_table(table: Table, rules: RuleInput,
 
     rule_list = _as_rule_list(rules)
     if check_consistency:
-        from .consistency import find_conflicts
-        conflicts = find_conflicts(rule_list, first_only=True)
+        from .consistency import find_conflicts_cached
+        conflicts = find_conflicts_cached(rules, first_only=True)
         if conflicts:
             raise InconsistentRulesError(
                 "rule set is inconsistent: %s" % conflicts[0].describe(),
                 conflicts)
+        verified_consistent = True
     if workers is None:
         workers = default_workers()
     if workers <= 1 or len(table) == 0 or not fork_available():
-        return repair_table(table, rule_list, algorithm="fast")
+        return repair_table(table, rules, algorithm="fast")
     if chunk_size is None:
         # Aim for a few chunks per worker so stragglers even out.
         chunk_size = max(1, -(-len(table) // (workers * 4)))
@@ -471,8 +339,10 @@ def parallel_repair_table(table: Table, rules: RuleInput,
     empty_assured: FrozenSet[str] = frozenset()
     merged_rows: List[Row] = []
     results: List[RepairResult] = []
-    with ParallelRepairExecutor(schema, rule_list, workers) as executor:
-        kernel_view = BatchRepairKernel(schema, rule_list)
+    with ParallelRepairExecutor(
+            schema, rule_list, workers,
+            verified_consistent=verified_consistent) as executor:
+        kernel_view = compile_for_schema(schema, rules)
         for (start, _stop), outcomes in zip(plan,
                                             executor.map_chunks(chunks)):
             for offset, encoded in enumerate(outcomes):

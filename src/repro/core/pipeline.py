@@ -27,6 +27,12 @@ building blocks the streaming path
   raises :class:`FaultInjected` after K items, simulating a mid-stream
   kill; the resume tests use it to prove byte-identical recovery.
 
+The repair work this layer wraps — serial, streaming, or sharded
+across workers — all executes through the one compiled hot path,
+:class:`repro.core.engine.CompiledRuleSet`, so a pipeline restarted
+under a different worker count (or resumed serially after a parallel
+crash) reproduces byte-identical output by construction.
+
 Byte offsets (not row counts) are the commit tokens: on resume the
 partial output and quarantine files are truncated back to the last
 committed offset, so rows written after the final checkpoint — which

@@ -5,12 +5,16 @@ Two tuple-level algorithms plus a table-level driver:
 * :func:`chase_repair` — ``cRepair`` (Fig. 6).  A straightforward
   chase: repeatedly scan the unused rules, properly apply any that
   fires, until a fixpoint.  ``O(size(Σ)·|R|)`` per tuple.
-* :func:`fast_repair` — ``lRepair`` (Fig. 7).  Uses inverted lists and
-  hash counters so each rule is examined at most ``|X_φ| + 1`` times,
-  giving ``O(size(Σ))`` per tuple.
+* :func:`fast_repair` — ``lRepair`` (Fig. 7).  ``O(size(Σ))`` per
+  tuple: each rule is examined at most ``|X_φ| + 1`` times.  Since the
+  engine consolidation this is a thin adapter over
+  :class:`repro.core.engine.CompiledRuleSet` — the same compiled hot
+  path every other driver (table, streaming, parallel) executes.
 * :func:`repair_table` — applies either algorithm to every row of a
   table, collecting a :class:`TableRepairReport` with full provenance
-  (which rule rewrote which cell from what to what).
+  (which rule rewrote which cell from what to what).  The serial fast
+  path compiles Σ once and chases raw cell lists, so its throughput
+  matches the per-worker throughput of the parallel executor.
 
 Both algorithms implement the *proper application* discipline of
 Section 3.2: applying φ rewrites ``t[B_φ] := tp+[B_φ]`` and marks
@@ -23,11 +27,13 @@ and by the property tests in ``tests/test_properties.py``.
 from __future__ import annotations
 
 import random
+import warnings
 from typing import (Dict, FrozenSet, List, NamedTuple, Optional, Sequence,
                     Set, Tuple, Union)
 
 from ..errors import InconsistentRulesError
 from ..relational import Row, Table
+from .engine import CompiledRuleSet, compile_for_schema
 from .indexes import HashCounters, InvertedIndex
 from .matching import properly_applicable
 from .rule import FixingRule
@@ -121,58 +127,41 @@ def chase_repair(row: Row, rules: RuleInput,
 def fast_repair(row: Row, rules: RuleInput,
                 index: Optional[InvertedIndex] = None,
                 counters: Optional[HashCounters] = None) -> RepairResult:
-    """``lRepair`` (Fig. 7): repair *row* using inverted lists + counters.
+    """``lRepair`` (Fig. 7): repair *row* through the compiled engine.
 
     Parameters
     ----------
     row:
         The tuple to repair; not mutated.
     rules:
-        A consistent set Σ.  Ignored when *index* is given except that
-        they should describe the same Σ.
+        A consistent set Σ.  Pass a :class:`~repro.core.ruleset.
+        RuleSet` when repairing many tuples — its compiled form is
+        memoized, so the ``O(size(Σ))`` compilation is paid once.
+        Ignored when *index* is given except that they should describe
+        the same Σ.
     index:
-        A prebuilt :class:`InvertedIndex` over Σ.  Build it once per
-        rule set when repairing many tuples — that amortization is the
-        point of the algorithm.
+        A prebuilt :class:`InvertedIndex` over Σ (the historical
+        amortization vehicle).  The compiled engine supersedes it —
+        the index now merely memoizes a
+        :class:`~repro.core.engine.CompiledRuleSet` on first use —
+        but the parameter keeps working for existing callers.
     counters:
-        A reusable :class:`HashCounters` bound to *index*; one is
-        created when omitted.
+        Accepted for backward compatibility and unused: the engine
+        keeps its evidence counters in a per-row dict, so there is no
+        reusable counter state to share.
 
     Each rule enters the frontier Γ at most once (when its evidence
     counter completes) and leaves permanently once examined, applied or
     not — see the correctness argument accompanying Fig. 7.
     """
-    if index is None:
-        index = InvertedIndex(_as_rule_list(rules))
-    if counters is None:
-        counters = HashCounters(index)
-
-    current = row.copy()
-    assured: Set[str] = set()
-    applied: List[AppliedFix] = []
-
-    frontier: List[int] = counters.reset_for(current)
-    in_frontier: Set[int] = set(frontier)
-    checked: Set[int] = set()
-
-    while frontier:
-        rule_id = frontier.pop()
-        in_frontier.discard(rule_id)
-        checked.add(rule_id)
-        rule = index.rules[rule_id]
-        if not properly_applicable(rule, current, assured):
-            continue  # removed once and for all (Fig. 7, line 16)
-        old = current[rule.attribute]
-        rule.apply_in_place(current)
-        assured.update(rule.touched_attrs)
-        applied.append(AppliedFix(rule, rule.attribute, old, rule.fact))
-        for newly_complete in counters.on_update(rule.attribute, old,
-                                                 rule.fact):
-            if (newly_complete not in checked
-                    and newly_complete not in in_frontier):
-                frontier.append(newly_complete)
-                in_frontier.add(newly_complete)
-    return RepairResult(current, tuple(applied), frozenset(assured))
+    del counters  # superseded by the engine's per-row counter dict
+    if index is not None:
+        compiled = index._compiled
+        if compiled is None or not compiled.compatible_with(row.schema):
+            compiled = CompiledRuleSet(row.schema, list(index.rules))
+            index._compiled = compiled
+        return compiled.repair_row(row)
+    return compile_for_schema(row.schema, rules).repair_row(row)
 
 
 class TableRepairReport:
@@ -255,15 +244,23 @@ def repair_table(table: Table, rules: RuleInput, algorithm: str = "fast",
     check_consistency:
         When ``True``, verify Σ is consistent first and raise
         :class:`~repro.errors.InconsistentRulesError` otherwise.  Off
-        by default because the check is ``O(size(Σ)²)`` and callers in
-        a pipeline typically validate Σ once up front.
+        by default because the check costs a scan of Σ; when on, the
+        verdict is cached on Σ's content fingerprint, so repairing
+        many tables with one rule set checks it exactly once.
     workers:
         With ``workers > 1`` (and a platform supporting ``fork``),
         rows are sharded across a process pool — see
         :mod:`repro.core.parallel`.  Tuple repairs are independent, so
-        the result is identical to the serial run; for a consistent Σ
-        this holds for either *algorithm* (Church–Rosser: both compute
-        the unique fix).  ``workers=None`` means one worker per CPU.
+        the result is identical to the serial run.  ``workers=None``
+        means one worker per CPU.  The pool workers run the compiled
+        lRepair kernel; combining ``algorithm="chase"`` with
+        ``workers > 1`` therefore falls back to the **serial** chase
+        (with a :class:`RuntimeWarning`) rather than silently running
+        a different algorithm: on a consistent Σ the two agree
+        (Church–Rosser) and the caller should simply use ``"fast"``,
+        while on an inconsistent Σ they may genuinely diverge — and a
+        caller pinning ``"chase"`` is asking for *that* algorithm's
+        answer, not whichever one the pool happens to run.
     chunk_size:
         Rows per shard when parallel; default splits the table into a
         few chunks per worker.
@@ -276,31 +273,67 @@ def repair_table(table: Table, rules: RuleInput, algorithm: str = "fast",
     if check_consistency:
         # Imported lazily: consistency checking chases candidate tuples
         # with these same repair primitives.
-        from .consistency import find_conflicts
-        conflicts = find_conflicts(rule_list, first_only=True)
+        from .consistency import find_conflicts_cached
+        conflicts = find_conflicts_cached(rules, first_only=True)
         if conflicts:
             raise InconsistentRulesError(
                 "rule set is inconsistent: %s" % conflicts[0].describe(),
                 conflicts)
     if workers is None or workers > 1:
-        from .parallel import fork_available, parallel_repair_table
-        if fork_available() and len(table) > 0:
-            return parallel_repair_table(table, rule_list, workers=workers,
-                                         chunk_size=chunk_size)
+        if algorithm == "chase":
+            warnings.warn(
+                "repair_table(algorithm='chase') cannot run parallel: "
+                "pool workers execute the compiled lRepair kernel; "
+                "running the requested chase serially instead (use "
+                "algorithm='fast' for parallel repair)",
+                RuntimeWarning, stacklevel=2)
+        else:
+            from .parallel import fork_available, parallel_repair_table
+            if fork_available() and len(table) > 0:
+                return parallel_repair_table(
+                    table, rules, workers=workers, chunk_size=chunk_size,
+                    verified_consistent=check_consistency)
 
-    repaired = Table(table.schema)
     results: List[RepairResult] = []
     if algorithm == "fast":
-        index = InvertedIndex(rule_list)
-        counters = HashCounters(index)
+        # One compiled Σ for the whole table; the chase runs over raw
+        # cell lists and rows are rebuilt through the trusted
+        # constructor — the same hot loop the pool workers execute.
+        compiled = compile_for_schema(table.schema, rules)
+        if compiled.instrumented:
+            repaired_rows: List[Row] = []
+            for row in table:
+                result = compiled.repair_row(row)
+                results.append(result)
+                repaired_rows.append(result.row)
+            return TableRepairReport(
+                Table.from_trusted_rows(table.schema, repaired_rows),
+                results)
+        schema = table.schema
+        from_trusted = Row.from_trusted
+        empty_applied: Tuple[AppliedFix, ...] = ()
+        empty_assured: FrozenSet[str] = frozenset()
+        repaired_rows = []
+        repair_values = compiled.repair_values
         for row in table:
-            result = fast_repair(row, rule_list, index=index,
-                                 counters=counters)
+            outcome = repair_values(row._cells)
+            if outcome is None:
+                result = RepairResult(
+                    from_trusted(schema, list(row._cells)),
+                    empty_applied, empty_assured)
+            else:
+                new_values, applied = outcome
+                result = RepairResult(from_trusted(schema, new_values),
+                                      compiled.expand_applied(applied),
+                                      compiled.assured_for(applied))
             results.append(result)
-            repaired.append(result.row)
-    else:
-        for row in table:
-            result = chase_repair(row, rule_list)
-            results.append(result)
-            repaired.append(result.row)
+            repaired_rows.append(result.row)
+        return TableRepairReport(
+            Table.from_trusted_rows(schema, repaired_rows), results)
+
+    repaired = Table(table.schema)
+    for row in table:
+        result = chase_repair(row, rule_list)
+        results.append(result)
+        repaired.append(result.row)
     return TableRepairReport(repaired, results)

@@ -35,6 +35,10 @@ class RuleSet:
         self.schema = schema
         self._rules: List[FixingRule] = []
         self._signatures = set()
+        # Memoized CompiledRuleSet (see repro.core.engine); written by
+        # compile_ruleset(), cleared by every mutating method so a
+        # stale compilation can never serve a changed Σ.
+        self._compiled = None
         if rules is not None:
             for rule in rules:
                 self.add(rule)
@@ -55,6 +59,7 @@ class RuleSet:
             return False
         self._signatures.add(sig)
         self._rules.append(rule)
+        self._compiled = None
         return True
 
     def extend(self, rules: Iterable[FixingRule]) -> int:
@@ -68,6 +73,7 @@ class RuleSet:
             return False
         self._signatures.discard(sig)
         self._rules = [r for r in self._rules if r.signature() != sig]
+        self._compiled = None
         return True
 
     def replace(self, old: FixingRule, new: FixingRule) -> None:
@@ -82,6 +88,7 @@ class RuleSet:
                 else:
                     self._signatures.add(new.signature())
                     self._rules[i] = new
+                self._compiled = None
                 return
         raise RuleError("rule %s not in rule set" % old.name)
 

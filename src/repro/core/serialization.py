@@ -97,8 +97,17 @@ def save_ruleset(rules: RuleSet, path: PathLike) -> None:
 
 
 def load_ruleset(path: PathLike) -> RuleSet:
-    """Read a rule set written by :func:`save_ruleset`."""
-    return ruleset_from_json(Path(path).read_text(encoding="utf-8"))
+    """Read a rule set written by :func:`save_ruleset`.
+
+    Unreadable files raise :class:`SerializationError` (not a raw
+    ``OSError``) so CLI callers report them as clean errors.
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SerializationError("cannot read rule file %s: %s"
+                                 % (path, exc)) from exc
+    return ruleset_from_json(text)
 
 
 def format_rule(rule: FixingRule) -> str:

@@ -7,9 +7,9 @@ entering the database.  Fixing rules suit that deployment even better
 tuple-at-a-time use:
 
 * :class:`RepairSession` holds the immutable
-  :class:`~repro.core.indexes.InvertedIndex` (built once) and a
-  reusable counter block, and exposes :meth:`repair_row` /
-  :meth:`repair_many`;
+  :class:`~repro.core.engine.CompiledRuleSet` (Σ compiled once, the
+  same engine every other driver runs) and exposes :meth:`repair_row`
+  / :meth:`repair_many`;
 * :func:`repair_stream` is the generator form for pipeline code;
 * :func:`repair_csv_file` streams a file through a session in constant
   memory.
@@ -49,10 +49,10 @@ from ..errors import (QUARANTINE, SKIP, STRICT, CheckpointError,
                       InconsistentRulesError, PipelineError, RowError,
                       validate_error_policy)
 from ..relational import Row, Schema
-from .consistency import find_conflicts
-from .indexes import HashCounters, InvertedIndex
+from .consistency import find_conflicts_cached
+from .engine import CompiledRuleSet, compile_for_schema
 from .pipeline import Checkpoint, FaultInjected, QuarantineWriter, fsync_handle
-from .repair import RepairResult, RuleInput, _as_rule_list, fast_repair
+from .repair import RepairResult, RuleInput, _as_rule_list
 
 ON_INCONSISTENT_RAISE = "raise"
 ON_INCONSISTENT_DEGRADE = "degrade"
@@ -103,7 +103,7 @@ class RepairSession:
         #: the :class:`~repro.core.resolution.Revision` records behind it
         self.revisions = []
         if check_consistency:
-            conflicts = find_conflicts(rule_list, first_only=True)
+            conflicts = find_conflicts_cached(rule_list, first_only=True)
             if conflicts:
                 if on_inconsistent == ON_INCONSISTENT_DEGRADE:
                     rule_list = self._degrade(rules, rule_list)
@@ -112,8 +112,13 @@ class RepairSession:
                         "refusing to open a repair session on inconsistent "
                         "rules: %s" % conflicts[0].describe(), conflicts)
         self._rules = rule_list
-        self._index = InvertedIndex(rule_list)
-        self._counters = HashCounters(self._index)
+        # Compile Σ eagerly when a schema is at hand (a RuleSet input),
+        # lazily from the first row's schema otherwise — plain rule
+        # sequences carry no schema of their own.
+        self._compiled: Optional[CompiledRuleSet] = None
+        from .ruleset import RuleSet
+        if isinstance(rules, RuleSet) and not self.degraded:
+            self._compiled = compile_for_schema(rules.schema, rules)
         self.on_error = on_error
         self.quarantine_sink = quarantine_sink
         #: tuples seen / tuples changed / cells rewritten so far
@@ -154,10 +159,18 @@ class RepairSession:
             RuntimeWarning, stacklevel=4)
         return log.rules.rules()
 
+    def _engine_for(self, schema: Schema) -> CompiledRuleSet:
+        """The session's compiled engine, built on first use for
+        sessions opened over a plain (schema-less) rule sequence."""
+        compiled = self._compiled
+        if compiled is None or not compiled.compatible_with(schema):
+            compiled = CompiledRuleSet(schema, self._rules)
+            self._compiled = compiled
+        return compiled
+
     def repair_row(self, row: Row) -> RepairResult:
         """Repair one tuple; the input row is not mutated."""
-        result = fast_repair(row, self._rules, index=self._index,
-                             counters=self._counters)
+        result = self._engine_for(row.schema).repair_row(row)
         self.rows_seen += 1
         if result.changed:
             self.rows_changed += 1
@@ -467,8 +480,12 @@ def repair_csv_file(input_path, rules: RuleInput, output_path,
                     pending_records.append(records)
                     yield payload
 
-            with ParallelRepairExecutor(schema, session._rules,
-                                        effective_workers) as executor:
+            # Σ was already validated when the session opened (or its
+            # degraded subset is consistent by construction), so the
+            # workers inherit the verdict instead of re-checking.
+            with ParallelRepairExecutor(
+                    schema, session._rules, effective_workers,
+                    verified_consistent=check_consistency) as executor:
                 for outcomes in executor.map_chunks(shard_source()):
                     records = pending_records.pop(0)
                     outcome_iter = iter(outcomes)

@@ -16,11 +16,13 @@ instances:
 
 For every instance we assert, cell for cell:
 
-  ``chase_repair == fast_repair == repair_table(workers=2)
-    == repair_table(workers=4)``
+  ``chase_repair == fast_repair == repair_stream
+    == repair_table(workers=2) == repair_table(workers=4)``
 
 plus identical assured sets and identical per-rule application
-counters.  Chunk sizes are drawn per-instance so shard boundaries vary
+counters.  The streaming leg goes through
+:class:`~repro.core.stream.RepairSession`, i.e. the compiled-engine
+path a production monitor runs.  Chunk sizes are drawn per-instance so shard boundaries vary
 across the corpus.
 
 Everything is seeded — two runs of this file execute byte-identical
@@ -34,7 +36,8 @@ import random
 import pytest
 
 from repro.core import (RuleSet, chase_repair, ensure_consistent,
-                        fast_repair, parallel_repair_table, repair_table)
+                        fast_repair, parallel_repair_table, repair_stream,
+                        repair_table)
 from repro.core.resolution import DROP_CONFLICTING
 from repro.datagen import (constraint_attributes, generate_hosp, hosp_fds,
                            inject_noise)
@@ -88,18 +91,31 @@ def assert_all_equivalent(ruleset: RuleSet, table: Table,
     par4 = parallel_repair_table(table, ruleset, workers=4,
                                  chunk_size=chunk_4)
 
+    stream_rows = list(repair_stream(iter(table), ruleset))
+
     expected = [result.row.values for result in chase_rows]
     assert [result.row.values for result in fast_rows] == expected
+    assert [result.row.values for result in stream_rows] == expected
     assert _cells(par2.table) == expected
     assert _cells(par4.table) == expected
 
     # Identical assured sets: the paper's fix is (tuple, assured) pairs.
     expected_assured = [result.assured for result in chase_rows]
     assert [result.assured for result in fast_rows] == expected_assured
+    assert [result.assured for result in stream_rows] == expected_assured
     assert [result.assured for result in par2.row_results] == \
         expected_assured
     assert [result.assured for result in par4.row_results] == \
         expected_assured
+
+    # Identical provenance through the streaming path too.
+    stream_applied = [tuple((f.rule.name, f.attribute, f.old_value,
+                             f.new_value) for f in result.applied)
+                      for result in stream_rows]
+    fast_applied = [tuple((f.rule.name, f.attribute, f.old_value,
+                           f.new_value) for f in result.applied)
+                    for result in fast_rows]
+    assert stream_applied == fast_applied
 
     # Identical aggregate provenance.
     serial_report = repair_table(table, ruleset)

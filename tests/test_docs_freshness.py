@@ -74,7 +74,12 @@ class TestApiReference:
                         "VALID_ALGORITHMS", "parallel_repair_table",
                         "ParallelRepairExecutor", "BatchRepairKernel",
                         "plan_chunks", "fork_available",
-                        "default_workers"]),
+                        "default_workers", "CompiledRuleSet",
+                        "compile_ruleset", "compile_for_schema",
+                        "rules_fingerprint", "blocked_candidate_pairs",
+                        "find_conflicts_cached", "seed_conflict_cache",
+                        "clear_conflict_cache", "VALID_STRATEGIES",
+                        "engine_stats", "reset_engine_stats"]),
         ("repro.rulegen", ["generate_rules", "discover_rules",
                            "rules_from_master", "fixing_rules_from_cfds",
                            "enrich_with_typo_negatives",

@@ -136,9 +136,12 @@ class TestRepairEdgeCases:
 
 class TestCliErrorPaths:
     def test_missing_rule_file(self, tmp_path, capsys):
+        """A missing rules path is a clean CLI error (exit 2), not a
+        raw OSError traceback."""
         from repro.cli import main
-        with pytest.raises(OSError):
-            main(["check", str(tmp_path / "absent.json")])
+        rc = main(["check", str(tmp_path / "absent.json")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
 
     def test_malformed_fd_text(self, tmp_path, capsys):
         from repro.cli import main
