@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-fault test-parallel bench bench-core results examples clean
+.PHONY: install test test-fault test-parallel test-chaos bench bench-core results examples clean
 
 install:
 	$(PY) setup.py develop
@@ -19,6 +19,14 @@ test-fault:
 test-parallel:
 	$(PY) -m pytest tests/test_differential_repair.py \
 	    tests/test_properties_parallel.py tests/test_parallel.py
+
+# Worker-chaos harness: supervised parallel runs under injected worker
+# SIGKILLs, hangs, OOM exits, and stragglers.  Deterministic (planted
+# triggers, seeded backoff); every scenario is bounded by deadlines, so
+# a hang here is itself a regression.
+test-chaos:
+	$(PY) -m pytest -m faultinjection tests/test_worker_chaos.py \
+	    tests/test_supervisor.py tests/test_differential_repair.py
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

@@ -25,8 +25,8 @@ import os
 import sys
 from typing import List, Optional
 
-from .core import (find_conflicts, format_ruleset, load_ruleset,
-                   repair_table, save_ruleset)
+from .core import (SupervisorConfig, find_conflicts, format_ruleset,
+                   load_ruleset, repair_table, save_ruleset)
 from .datagen import (constraint_attributes, generate_hosp, generate_uis,
                       hosp_fds, inject_noise, uis_fds)
 from .dependencies import parse_fd
@@ -63,7 +63,8 @@ def _cmd_repair(args: argparse.Namespace) -> int:
                  or args.quarantine_path is not None
                  or args.checkpoint is not None or args.resume
                  or args.on_inconsistent == "degrade"
-                 or args.workers != 1)
+                 or args.workers != 1
+                 or args.fail_on_quarantine)
     if streaming:
         if args.algorithm == "chase":
             print("warning: the streaming/parallel path always runs the "
@@ -104,6 +105,18 @@ def _streaming_repair(args: argparse.Namespace, rules) -> int:
         print("error: --chunk-size must be >= 1, got %d" % args.chunk_size,
               file=sys.stderr)
         return 2
+    if args.chunk_timeout is not None and args.chunk_timeout <= 0:
+        print("error: --chunk-timeout must be > 0, got %s"
+              % args.chunk_timeout, file=sys.stderr)
+        return 2
+    if args.max_chunk_retries < 0:
+        print("error: --max-chunk-retries must be >= 0, got %d"
+              % args.max_chunk_retries, file=sys.stderr)
+        return 2
+    supervisor = SupervisorConfig(
+        chunk_timeout=args.chunk_timeout,
+        max_chunk_retries=args.max_chunk_retries,
+        degrade_to_serial=args.degrade_to_serial)
     session = repair_csv_file(
         args.input, rules, args.output,
         check_consistency=not args.skip_check,
@@ -114,7 +127,8 @@ def _streaming_repair(args: argparse.Namespace, rules) -> int:
         resume=args.resume,
         on_inconsistent=args.on_inconsistent,
         workers=args.workers,
-        chunk_size=args.chunk_size)
+        chunk_size=args.chunk_size,
+        supervisor=supervisor)
     stats = session.stats()
     print("repaired %d rows; %d cells updated; output written to %s"
           % (stats["rows_seen"], stats["cells_changed"], args.output))
@@ -128,6 +142,16 @@ def _streaming_repair(args: argparse.Namespace, rules) -> int:
         print("DEGRADED: inconsistent rules; shelved or trimmed %d "
               "rule(s): %s" % (len(session.shelved_rules),
                                ", ".join(session.shelved_rules)))
+    sup = session.supervisor_stats or {}
+    print("summary: rows repaired=%d quarantined=%d | chunk retries=%d "
+          "deadline hits=%d workers respawned=%d rows isolated=%d "
+          "degradations=%d"
+          % (stats["rows_seen"], stats["rows_quarantined"],
+             sup.get("chunk_retries", 0), sup.get("deadline_hits", 0),
+             sup.get("workers_respawned", 0), sup.get("rows_isolated", 0),
+             sup.get("degradations", 0)))
+    if args.fail_on_quarantine and stats["rows_failed"]:
+        return 3
     return 0
 
 
@@ -303,6 +327,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_repair.add_argument("--chunk-size", type=int, default=None,
                           help="rows per parallel shard (default: "
                                "min(1024, checkpoint interval))")
+    p_repair.add_argument("--chunk-timeout", type=float, default=None,
+                          help="per-chunk deadline in seconds for "
+                               "parallel repair; a chunk whose worker "
+                               "hangs past this is retried, then "
+                               "bisected (default: no deadline)")
+    p_repair.add_argument("--max-chunk-retries", type=int, default=2,
+                          help="resubmissions of a chunk whose worker "
+                               "died or timed out before the chunk is "
+                               "bisected to isolate the poison row "
+                               "(default 2)")
+    p_repair.add_argument("--degrade-to-serial",
+                          action=argparse.BooleanOptionalAction,
+                          default=True,
+                          help="when the worker pool cannot be "
+                               "(re)built, finish the run in-process "
+                               "instead of aborting (default: on)")
+    p_repair.add_argument("--fail-on-quarantine", action="store_true",
+                          help="exit with status 3 if any row failed "
+                               "or was quarantined (implies --stream)")
     p_repair.set_defaults(func=_cmd_repair)
 
     p_gen = sub.add_parser("generate", help="generate synthetic data")

@@ -21,6 +21,10 @@ Public surface:
 * parallel execution — :mod:`~repro.core.parallel`: sharded
   multiprocessing repair (``repair_table(..., workers=N)``) with
   results identical to the serial algorithms;
+* supervision — :mod:`~repro.core.supervisor`: chunk deadlines,
+  bounded retries with backoff, poison-row isolation by bisection,
+  degradation to in-process execution, and the worker-side chaos
+  harness (:class:`WorkerFaultPlan`);
 * serialization — JSON round-tripping and the φ text notation.
 """
 
@@ -50,6 +54,9 @@ from .repair import (AppliedFix, RepairResult, TableRepairReport,
 from .parallel import (BatchRepairKernel, ParallelRepairExecutor,
                        default_workers, fork_available,
                        parallel_repair_table, plan_chunks)
+from .supervisor import (FAULT_MODES, POISON_ERROR_TYPE, ChunkSupervisor,
+                         SupervisorConfig, SupervisorError,
+                         WorkerFaultInjected, WorkerFaultPlan)
 from .serialization import (format_rule, format_ruleset, load_ruleset,
                             rule_from_dict, rule_to_dict, ruleset_from_json,
                             ruleset_to_json, save_ruleset)
@@ -59,9 +66,11 @@ from .pipeline import (ERROR_POLICIES, QUARANTINE, SKIP, STRICT, Checkpoint,
                        validate_error_policy)
 from .stream import (ON_INCONSISTENT_DEGRADE, ON_INCONSISTENT_RAISE,
                      RepairSession, repair_csv_file, repair_stream)
-from .instrumentation import (ENGINE_STATS, CountingRule, EngineStats,
-                              MatchCounter, counting_rules, engine_stats,
-                              reset_engine_stats)
+from .instrumentation import (ENGINE_STATS, SUPERVISOR_STATS, CountingRule,
+                              EngineStats, MatchCounter, SupervisorStats,
+                              counting_rules, engine_stats,
+                              reset_engine_stats, reset_supervisor_stats,
+                              supervisor_stats)
 from .incremental import ConsistentRuleSet
 from .profile import RuleSetProfile, ruleset_profile
 from .explain import (APPLIES, EVIDENCE_MISMATCH, TARGET_ASSURED,
@@ -124,6 +133,13 @@ __all__ = [
     "fork_available",
     "parallel_repair_table",
     "plan_chunks",
+    "ChunkSupervisor",
+    "SupervisorConfig",
+    "SupervisorError",
+    "WorkerFaultPlan",
+    "WorkerFaultInjected",
+    "POISON_ERROR_TYPE",
+    "FAULT_MODES",
     "rule_to_dict",
     "rule_from_dict",
     "ruleset_to_json",
@@ -156,6 +172,10 @@ __all__ = [
     "ENGINE_STATS",
     "engine_stats",
     "reset_engine_stats",
+    "SupervisorStats",
+    "SUPERVISOR_STATS",
+    "supervisor_stats",
+    "reset_supervisor_stats",
     "APPLIES",
     "EVIDENCE_MISMATCH",
     "VALUE_NOT_NEGATIVE",

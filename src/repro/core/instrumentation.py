@@ -25,6 +25,20 @@ engine (:mod:`repro.core.engine`) and of blocked consistency checking:
   blocking of :func:`repro.core.consistency.find_conflicts`;
 * :func:`engine_stats` / :func:`reset_engine_stats` — snapshot and
   reset helpers for tests, benchmarks, and monitoring dashboards.
+
+Since the supervised-execution PR it also hosts the counters of the
+worker supervision layer (:mod:`repro.core.supervisor`):
+
+* :class:`SupervisorStats` / :data:`SUPERVISOR_STATS` — chunks
+  submitted and retried, deadline hits, worker deaths detected,
+  workers respawned, poison-chunk bisections, rows isolated into
+  quarantine, and degradations to in-process serial execution;
+* :func:`supervisor_stats` / :func:`reset_supervisor_stats` — the
+  matching snapshot/reset helpers.  Each supervised executor also
+  keeps a per-run :class:`SupervisorStats` instance (exposed as
+  ``executor.stats`` and, after ``repair_csv_file(workers=N)``, as
+  ``session.supervisor_stats``), so a single run's failure history is
+  separable from the process-wide totals.
 """
 
 from __future__ import annotations
@@ -133,3 +147,71 @@ def engine_stats() -> Dict[str, int]:
 def reset_engine_stats() -> None:
     """Zero every counter in :data:`ENGINE_STATS` (tests, benchmarks)."""
     ENGINE_STATS.reset()
+
+
+class SupervisorStats:
+    """Counters of the worker supervision layer.
+
+    Every field counts a *failure-path* event, so on a healthy run the
+    whole block stays zero — which is itself the property the
+    supervision overhead benchmarks assert.  The counters are bumped
+    only in the parent process (workers never see this object), so no
+    synchronization is needed.
+    """
+
+    __slots__ = (
+        "chunks_submitted", "chunk_retries", "deadline_hits",
+        "worker_deaths", "workers_respawned", "chunks_bisected",
+        "rows_isolated", "degradations", "serial_chunks",
+    )
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        #: chunk submissions to the pool (includes retries/bisections)
+        self.chunks_submitted = 0
+        #: chunks resubmitted after a deadline hit or worker death
+        self.chunk_retries = 0
+        #: chunk waits that exceeded the configured chunk_timeout
+        self.deadline_hits = 0
+        #: worker-process deaths detected by the liveness poll
+        self.worker_deaths = 0
+        #: workers restarted by pool rebuilds (workers x rebuilds)
+        self.workers_respawned = 0
+        #: chunks split in half to localize a poison row
+        self.chunks_bisected = 0
+        #: single rows isolated as poison and routed to the error policy
+        self.rows_isolated = 0
+        #: falls from pooled to in-process serial execution
+        self.degradations = 0
+        #: chunks executed in-process after a degradation
+        self.serial_chunks = 0
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment counter *name* by *amount*."""
+        setattr(self, name, getattr(self, name) + amount)
+
+    def snapshot(self) -> Dict[str, int]:
+        """The counters as a plain dict (JSON-ready)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        return "SupervisorStats(%s)" % ", ".join(
+            "%s=%d" % (name, getattr(self, name))
+            for name in self.__slots__)
+
+
+#: The process-wide supervisor counter block (sums over every
+#: supervised executor this process has run).
+SUPERVISOR_STATS = SupervisorStats()
+
+
+def supervisor_stats() -> Dict[str, int]:
+    """Snapshot of :data:`SUPERVISOR_STATS` as a plain dict."""
+    return SUPERVISOR_STATS.snapshot()
+
+
+def reset_supervisor_stats() -> None:
+    """Zero every counter in :data:`SUPERVISOR_STATS`."""
+    SUPERVISOR_STATS.reset()

@@ -18,14 +18,21 @@ are embarrassingly parallel across rows.  This module exploits that:
   a checkpoint.
 * :class:`ParallelRepairExecutor` — a ``fork`` process pool whose
   initializer broadcasts one pickled blob — ``(schema, rules)`` plus
-  Σ's content fingerprint and the parent's consistency verdict —
-  **once per worker** (not per task) and compiles the rule engine
-  there; tasks then carry only raw cell values.  Seeding the verdict
-  means a rule set checked in the parent is *never* re-checked in a
-  worker: the consistency scan provably runs once per Σ.  Results are
-  merged back in submission order with a bounded in-flight window, so
-  memory stays proportional to ``workers × chunk_size``, not the
-  input.
+  Σ's content fingerprint, the parent's consistency verdict, and an
+  optional worker-side fault plan — **once per worker** (not per
+  task) and compiles the rule engine there; tasks then carry only raw
+  cell values.  Seeding the verdict means a rule set checked in the
+  parent is *never* re-checked in a worker: the consistency scan
+  provably runs once per Σ.  Results are merged back in submission
+  order with a bounded in-flight window, so memory stays proportional
+  to ``workers × chunk_size``, not the input.
+
+  Since the supervised-execution PR the executor's ``map_chunks`` runs
+  under a :class:`~repro.core.supervisor.ChunkSupervisor`: per-chunk
+  deadlines, dead/hung-worker detection, bounded retries with
+  exponential backoff, poison-chunk bisection, and graceful
+  degradation to in-process serial execution — see
+  :mod:`repro.core.supervisor` for the failure model.
 * :func:`parallel_repair_table` — the table-level driver behind
   ``repair_table(..., workers=N)``; returns the same
   :class:`~repro.core.repair.TableRepairReport` (full provenance,
@@ -48,7 +55,6 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
-from collections import deque
 from typing import (Dict, FrozenSet, Iterable, Iterator, List, Optional,
                     Sequence, Tuple, Union)
 
@@ -59,6 +65,8 @@ from .indexes import InvertedIndex
 from .repair import (AppliedFix, RepairResult, RuleInput, TableRepairReport,
                      _as_rule_list)
 from .rule import FixingRule
+from .supervisor import (ERROR_MARK, ChunkSupervisor, SupervisorConfig,
+                         WorkerFaultPlan)
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
@@ -75,8 +83,9 @@ __all__ = [
 DEFAULT_CHUNK_SIZE = 1024
 
 #: First element of a worker-side per-row error marker (see
-#: :func:`_repair_chunk_task`).
-_ERROR_MARK = "__row_error__"
+#: :func:`_repair_chunk_task`); re-exported from the supervisor, which
+#: mints the same markers for poison rows.
+_ERROR_MARK = ERROR_MARK
 
 
 def fork_available() -> bool:
@@ -135,12 +144,16 @@ class BatchRepairKernel(CompiledRuleSet):
 # -- worker-side plumbing ----------------------------------------------------
 #
 # Each pool worker holds exactly one compiled engine, installed by the
-# initializer from a pickled (schema, rules, fingerprint, verdict)
-# blob shipped once at pool startup.  Tasks then carry only
-# (chunk_id, [row values...]) and return (chunk_id, [encoded
+# initializer from a pickled (schema, rules, fingerprint, verdict,
+# fault_plan) blob shipped once at pool startup.  Tasks then carry
+# only (chunk_id, [row values...]) and return (chunk_id, [encoded
 # outcome...]).
 
 _WORKER_KERNEL: Optional[CompiledRuleSet] = None
+_WORKER_FAULTS: Optional[WorkerFaultPlan] = None
+#: PID this worker must stay a child of; checked between tasks as the
+#: portable fallback to PR_SET_PDEATHSIG.
+_PARENT_PID: Optional[int] = None
 
 
 def _reap_with_parent() -> None:
@@ -148,8 +161,10 @@ def _reap_with_parent() -> None:
 
     Pool workers block on the task pipe; a SIGKILL to the parent would
     otherwise orphan them there forever (the daemon flag only covers
-    clean interpreter exits).  Linux offers PR_SET_PDEATHSIG; elsewhere
-    this is a silent no-op and hard parent kills may leak idle workers.
+    clean interpreter exits).  Linux offers PR_SET_PDEATHSIG for
+    prompt reaping even mid-wait; every other platform falls back to
+    the ``os.getppid()`` poll in :func:`_repair_chunk_task`, which
+    exits the worker at its next task once it has been reparented.
     """
     try:
         import ctypes
@@ -164,11 +179,14 @@ def _reap_with_parent() -> None:
 
 
 def _init_worker(blob: bytes) -> None:
-    global _WORKER_KERNEL
+    global _WORKER_KERNEL, _WORKER_FAULTS, _PARENT_PID
+    _PARENT_PID = os.getppid()
     _reap_with_parent()
-    schema, rules, fingerprint, verified_consistent = pickle.loads(blob)
+    schema, rules, fingerprint, verified_consistent, fault_plan = \
+        pickle.loads(blob)
     _WORKER_KERNEL = CompiledRuleSet(schema, rules)
     _WORKER_KERNEL._fingerprint = fingerprint
+    _WORKER_FAULTS = fault_plan
     if verified_consistent:
         # The parent already scanned this Σ; seed the worker-local
         # verdict cache so no code path re-checks it in-worker.
@@ -178,12 +196,20 @@ def _init_worker(blob: bytes) -> None:
 
 def _repair_chunk_task(task):
     chunk_id, rows = task
+    # Portable orphan guard: PR_SET_PDEATHSIG reaps us promptly on
+    # Linux; everywhere else this getppid() poll notices reparenting
+    # (parent hard-killed) between tasks and exits instead of leaking.
+    if _PARENT_PID is not None and os.getppid() != _PARENT_PID:
+        os._exit(2)
     kernel = _WORKER_KERNEL
     if kernel is None:  # pragma: no cover - initializer always runs
         raise RuntimeError("worker used before initialization")
+    plan = _WORKER_FAULTS
     out = []
     for values in rows:
         try:
+            if plan is not None:
+                plan.maybe_fire(values)
             out.append(kernel.repair_values(values))
         except Exception as exc:  # per-row capture: the error policy
             out.append((_ERROR_MARK, type(exc).__name__, str(exc)))
@@ -196,8 +222,34 @@ def is_error_marker(encoded) -> bool:
             and encoded[0] == _ERROR_MARK)
 
 
+def _make_serial_runner(schema: Schema, rule_list):
+    """In-process chunk runner for the supervisor's degraded mode.
+
+    Produces the same encoded outcomes as :func:`_repair_chunk_task`
+    (including per-row error markers), so the merge loops cannot tell
+    which side executed a chunk.  The kernel is compiled lazily: a run
+    that never degrades never pays for it.
+    """
+    holder: List[CompiledRuleSet] = []
+
+    def run(rows):
+        if not holder:
+            holder.append(CompiledRuleSet(schema, list(rule_list)))
+        kernel = holder[0]
+        out = []
+        for values in rows:
+            try:
+                out.append(kernel.repair_values(values))
+            except Exception as exc:
+                out.append((_ERROR_MARK, type(exc).__name__, str(exc)))
+        return out
+
+    return run
+
+
 class ParallelRepairExecutor:
-    """A ``fork`` pool that shards repair work and merges it in order.
+    """A supervised ``fork`` pool that shards repair work and merges it
+    in order.
 
     Parameters
     ----------
@@ -211,14 +263,24 @@ class ParallelRepairExecutor:
         Set when the parent has already checked Σ; the fingerprint and
         verdict ride in the init blob so workers seed their verdict
         cache instead of ever re-scanning Σ.
+    supervisor:
+        A :class:`~repro.core.supervisor.SupervisorConfig` tuning
+        deadlines, retries, backoff, and degradation; ``None`` uses
+        the defaults (no chunk deadline, two retries, degradation on).
+    fault_plan:
+        Optional :class:`~repro.core.supervisor.WorkerFaultPlan`
+        shipped to the workers — the chaos-testing hook.
 
-    Use as a context manager; the pool is terminated on exit even when
-    the consuming loop raises (e.g. a
-    :class:`~repro.core.pipeline.FaultInjected` kill).
+    Use as a context manager: a clean exit drains the pool with
+    ``close()``/``join()`` so in-flight state winds down in an
+    orderly way, while an exceptional exit (or any run the supervisor
+    flagged as failed) tears the pool down with ``terminate()``.
     """
 
     def __init__(self, schema: Schema, rules: RuleInput, workers: int,
-                 verified_consistent: bool = False):
+                 verified_consistent: bool = False,
+                 supervisor: Optional[SupervisorConfig] = None,
+                 fault_plan: Optional[WorkerFaultPlan] = None):
         if workers < 2:
             raise ValueError("ParallelRepairExecutor needs workers >= 2, "
                              "got %d (use the serial path)" % workers)
@@ -226,20 +288,44 @@ class ParallelRepairExecutor:
         from .engine import rules_fingerprint
         blob = pickle.dumps((schema, rule_list,
                              rules_fingerprint(rule_list),
-                             bool(verified_consistent)),
+                             bool(verified_consistent),
+                             fault_plan),
                             protocol=pickle.HIGHEST_PROTOCOL)
         context = (multiprocessing.get_context("fork") if fork_available()
                    else multiprocessing.get_context())
         self.workers = workers
-        self._pool = context.Pool(processes=workers,
-                                  initializer=_init_worker,
-                                  initargs=(blob,))
+        self._supervisor = ChunkSupervisor(
+            workers=workers,
+            spawn=lambda: context.Pool(processes=workers,
+                                       initializer=_init_worker,
+                                       initargs=(blob,)),
+            task=_repair_chunk_task,
+            serial_runner=_make_serial_runner(schema, rule_list),
+            config=supervisor)
         self._closed = False
+
+    @property
+    def stats(self):
+        """Per-run :class:`~repro.core.instrumentation.SupervisorStats`."""
+        return self._supervisor.stats
+
+    @property
+    def degraded(self) -> bool:
+        """True once execution fell back to in-process serial chunks."""
+        return self._supervisor.degraded
+
+    @property
+    def _pool(self):
+        # Kept for tests and introspection; the supervisor owns the
+        # pool because it must be able to rebuild it mid-run.
+        return self._supervisor.pool
 
     def map_chunks(self, chunks: Iterable[Sequence[Sequence[str]]],
                    max_inflight: Optional[int] = None) -> Iterator[list]:
         """Repair *chunks* (each a list of row value lists), yielding
-        per-chunk outcome lists **in submission order**.
+        per-chunk outcome lists **in submission order**, exactly once
+        each, under supervision (deadlines, retries, bisection,
+        degradation — see :mod:`repro.core.supervisor`).
 
         At most ``max_inflight`` (default ``2 × workers``) chunks are
         outstanding at once, bounding memory for unbounded inputs.
@@ -247,32 +333,37 @@ class ParallelRepairExecutor:
         the caller between submissions — the streaming path relies on
         this for fault-injection kills.
         """
-        if max_inflight is None:
-            max_inflight = 2 * self.workers
-        pending: deque = deque()
-        chunk_id = 0
-        for chunk in chunks:
-            pending.append(self._pool.apply_async(
-                _repair_chunk_task, ((chunk_id, list(chunk)),)))
-            chunk_id += 1
-            if len(pending) >= max_inflight:
-                _cid, outcomes = pending.popleft().get()
-                yield outcomes
-        while pending:
-            _cid, outcomes = pending.popleft().get()
-            yield outcomes
+        return self._supervisor.map_chunks(chunks, max_inflight)
 
     def close(self) -> None:
-        if not self._closed:
-            self._pool.terminate()
-            self._pool.join()
-            self._closed = True
+        """Graceful shutdown for the clean path: ``close()``/``join()``
+        lets idle workers drain and exit instead of SIGTERMing them
+        mid-breath.  Runs ``terminate()`` instead when the supervisor
+        recorded a failure (a rebuilt pool may coexist with stragglers
+        from the old one)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._supervisor.failed:
+            self._supervisor.terminate()
+        else:
+            self._supervisor.close()
+
+    def terminate(self) -> None:
+        """Hard teardown for error/timeout paths: kill in-flight tasks."""
+        if self._closed:
+            return
+        self._closed = True
+        self._supervisor.terminate()
 
     def __enter__(self) -> "ParallelRepairExecutor":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.terminate()
+        else:
+            self.close()
 
     def __repr__(self) -> str:
         return "ParallelRepairExecutor(%d workers)" % self.workers
@@ -282,7 +373,9 @@ def parallel_repair_table(table: Table, rules: RuleInput,
                           workers: Optional[int] = None,
                           chunk_size: Optional[int] = None,
                           check_consistency: bool = False,
-                          verified_consistent: bool = False
+                          verified_consistent: bool = False,
+                          supervisor: Optional[SupervisorConfig] = None,
+                          fault_plan: Optional[WorkerFaultPlan] = None
                           ) -> TableRepairReport:
     """Repair *table* by sharding rows across a worker pool.
 
@@ -297,11 +390,16 @@ def parallel_repair_table(table: Table, rules: RuleInput,
     verdict travels to the workers via their init blob, so Σ is
     scanned at most once per process tree.
 
-    A worker-side exception while repairing a row (not possible for
-    well-formed rules, but defended against) is re-raised here as
-    :class:`~repro.errors.PipelineError` carrying the original type
-    name and row provenance — the table driver has no error policy to
-    absorb it, matching the serial path's fail-fast behavior.
+    *supervisor* tunes the worker supervision layer (deadlines,
+    retries, bisection, degradation); *fault_plan* arms worker-side
+    chaos for the fault-injection tests.  A worker-side exception
+    while repairing a row — and likewise a poison row isolated by the
+    supervisor after repeatedly killing its worker — is re-raised here
+    as :class:`~repro.errors.PipelineError` carrying the original type
+    name and row provenance: the table driver has no error policy to
+    absorb it, matching the serial path's fail-fast behavior.  Use
+    ``repair_csv_file(on_error='quarantine')`` to route poison rows to
+    a dead-letter file instead.
     """
     from .repair import repair_table  # local: repair imports us lazily
 
@@ -341,7 +439,8 @@ def parallel_repair_table(table: Table, rules: RuleInput,
     results: List[RepairResult] = []
     with ParallelRepairExecutor(
             schema, rule_list, workers,
-            verified_consistent=verified_consistent) as executor:
+            verified_consistent=verified_consistent,
+            supervisor=supervisor, fault_plan=fault_plan) as executor:
         kernel_view = compile_for_schema(schema, rules)
         for (start, _stop), outcomes in zip(plan,
                                             executor.map_chunks(chunks)):

@@ -26,6 +26,11 @@ building blocks the streaming path
 * **Fault injection**: :class:`FaultInjector` wraps any iterable and
   raises :class:`FaultInjected` after K items, simulating a mid-stream
   kill; the resume tests use it to prove byte-identical recovery.
+  Its worker-side counterpart —
+  :class:`~repro.core.supervisor.WorkerFaultPlan`, which crashes,
+  hangs, or slows a *pool worker* when it sees a trigger row — lives
+  in :mod:`repro.core.supervisor` next to the supervision machinery
+  that has to survive it.
 
 The repair work this layer wraps — serial, streaming, or sharded
 across workers — all executes through the one compiled hot path,

@@ -232,7 +232,8 @@ VALID_ALGORITHMS = ("fast", "chase")
 def repair_table(table: Table, rules: RuleInput, algorithm: str = "fast",
                  check_consistency: bool = False,
                  workers: int = 1,
-                 chunk_size: Optional[int] = None) -> TableRepairReport:
+                 chunk_size: Optional[int] = None,
+                 supervisor=None) -> TableRepairReport:
     """Repair every row of *table* with Σ = *rules*.
 
     Parameters
@@ -264,6 +265,11 @@ def repair_table(table: Table, rules: RuleInput, algorithm: str = "fast",
     chunk_size:
         Rows per shard when parallel; default splits the table into a
         few chunks per worker.
+    supervisor:
+        Optional :class:`~repro.core.supervisor.SupervisorConfig`
+        tuning the parallel path's worker supervision (chunk
+        deadlines, retries, poison-row bisection, degradation);
+        ignored by the serial path, ``None`` uses the defaults.
     """
     if algorithm not in VALID_ALGORITHMS:
         raise ValueError(
@@ -292,7 +298,8 @@ def repair_table(table: Table, rules: RuleInput, algorithm: str = "fast",
             if fork_available() and len(table) > 0:
                 return parallel_repair_table(
                     table, rules, workers=workers, chunk_size=chunk_size,
-                    verified_consistent=check_consistency)
+                    verified_consistent=check_consistency,
+                    supervisor=supervisor)
 
     results: List[RepairResult] = []
     if algorithm == "fast":

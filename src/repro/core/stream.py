@@ -131,6 +131,13 @@ class RepairSession:
         self.rows_quarantined = 0
         #: failure counts keyed by exception class name
         self.errors_by_type: Dict[str, int] = {}
+        #: after a parallel ``repair_csv_file`` run, the supervision
+        #: counters of that run (retries, deadline hits, workers
+        #: respawned, rows isolated, degradations) as a plain dict;
+        #: ``None`` for serial runs.  Deliberately *not* part of
+        #: :meth:`stats`: serial and parallel runs of the same input
+        #: must report identical session statistics.
+        self.supervisor_stats: Optional[Dict[str, int]] = None
         self._by_rule: Dict[str, int] = {}
 
     def _degrade(self, rules: RuleInput, rule_list):
@@ -290,7 +297,9 @@ def repair_csv_file(input_path, rules: RuleInput, output_path,
                     on_inconsistent: str = ON_INCONSISTENT_RAISE,
                     rows=None,
                     workers: int = 1,
-                    chunk_size: Optional[int] = None) -> RepairSession:
+                    chunk_size: Optional[int] = None,
+                    supervisor=None,
+                    fault_plan=None) -> RepairSession:
     """Repair a CSV file row by row, in constant memory, crash-safely.
 
     Tuple-level repair needs no cross-row state, so arbitrarily large
@@ -338,6 +347,21 @@ def repair_csv_file(input_path, rules: RuleInput, output_path,
     type, because the original object cannot cross the process
     boundary.  ``workers=None`` means one worker per CPU; platforms
     without ``fork`` silently use the serial path.
+
+    Supervision: parallel chunks run under a
+    :class:`~repro.core.supervisor.ChunkSupervisor` — *supervisor* (a
+    :class:`~repro.core.supervisor.SupervisorConfig`, default
+    ``None`` = defaults) sets the per-chunk deadline, retry budget,
+    backoff, and whether an unrecoverable pool degrades to in-process
+    serial execution.  A poison row that repeatedly kills its worker
+    is isolated by bisection and fed to the *on_error* policy as a
+    :class:`~repro.errors.RowError` with ``error_type``
+    ``"WorkerCrashError"`` (quarantined under ``quarantine``, a
+    :class:`~repro.errors.PipelineError` under ``strict``).  The
+    run's supervision counters are exposed afterwards as
+    ``session.supervisor_stats``.  *fault_plan* (a
+    :class:`~repro.core.supervisor.WorkerFaultPlan`) arms worker-side
+    chaos for the fault-injection tests.
     """
     import csv as _csv
     from ..relational.csvio import iter_csv_records
@@ -485,7 +509,9 @@ def repair_csv_file(input_path, rules: RuleInput, output_path,
             # workers inherit the verdict instead of re-checking.
             with ParallelRepairExecutor(
                     schema, session._rules, effective_workers,
-                    verified_consistent=check_consistency) as executor:
+                    verified_consistent=check_consistency,
+                    supervisor=supervisor,
+                    fault_plan=fault_plan) as executor:
                 for outcomes in executor.map_chunks(shard_source()):
                     records = pending_records.pop(0)
                     outcome_iter = iter(outcomes)
@@ -523,6 +549,7 @@ def repair_csv_file(input_path, rules: RuleInput, output_path,
                     if checkpointing and since_commit >= checkpoint_interval:
                         commit()
                         since_commit = 0
+                session.supervisor_stats = executor.stats.snapshot()
         else:
             for line_no, item in rows:
                 if line_no <= resume_line:

@@ -1,0 +1,519 @@
+"""Worker supervision for the parallel repair executor.
+
+The paper's dependability claim is per-tuple: every fix is
+deterministic and assured.  The production drivers, however, push
+those per-tuple fixes through a ``fork`` pool, and a process pool has
+failure modes no tuple-level theorem covers — a worker SIGKILLed by
+the OOM killer, a worker hung on a bad interaction with a C library, a
+single *poison row* that crashes the interpreter outright.  Before
+this module, any of those stalled ``ApplyResult.get()`` forever or
+took the whole run down, defeating the row-level error policies of
+:mod:`repro.core.pipeline`.
+
+:class:`ChunkSupervisor` closes that gap with four mechanisms, all of
+them confined to the failure path (a healthy run pays only a sliced
+wait in the parent):
+
+* **Deadlines + liveness polling.**  Waits on a chunk are sliced into
+  ``poll_interval`` windows; between slices the supervisor compares
+  the pool's worker PIDs against its baseline, so a dead worker is
+  detected in ~one slice even with no ``chunk_timeout`` configured.
+  With a timeout, a *hung* worker is bounded too.
+* **Retry with backoff.**  A failed chunk is retried up to
+  ``max_chunk_retries`` times against a rebuilt pool, sleeping an
+  exponentially growing, jittered delay between attempts so transient
+  faults (a flaky worker, memory pressure) heal without hammering.
+* **Poison-chunk bisection.**  A chunk that keeps killing its workers
+  is split in half recursively — each half re-run under supervision —
+  until the offending row is isolated.  The poison row becomes an
+  ordinary per-row error marker (``error_type`` =
+  :data:`POISON_ERROR_TYPE`), which the existing
+  :class:`~repro.errors.RowError` / quarantine machinery then routes
+  exactly like a row that raised an exception; every innocent
+  neighbor is still repaired.
+* **Graceful degradation.**  If the pool itself becomes unrecoverable
+  (respawning workers fails), the supervisor — unless configured with
+  ``degrade_to_serial=False`` — finishes the remaining chunks
+  in-process through a caller-supplied serial runner, preserving
+  output order and exactly-once semantics.
+
+Because retries happen *before* a chunk's outcomes are yielded and
+chunks are always yielded in submission order, the consuming merge
+loops (table driver, streaming CSV path, checkpoint commits) are
+untouched: output stays byte-identical to a serial run and a
+checkpointed job can still be resumed under any mode.
+
+The module also extends fault injection to the worker side:
+:class:`WorkerFaultPlan` travels to the workers inside the pool init
+blob and can deterministically SIGKILL, ``os._exit``, hang, slow down,
+OOM-kill (simulated), or raise inside a worker when a trigger value is
+seen — the chaos harness behind ``make test-chaos``.
+
+Counters live in :class:`repro.core.instrumentation.SupervisorStats`:
+each supervisor keeps a per-run instance (``executor.stats``) and
+mirrors every bump into the process-wide
+:data:`~repro.core.instrumentation.SUPERVISOR_STATS` block.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+import warnings
+from collections import deque
+from multiprocessing import TimeoutError as _MPTimeoutError
+from typing import (Callable, Iterable, Iterator, List, NamedTuple, Optional,
+                    Sequence, Tuple)
+
+from ..errors import PipelineError
+from .instrumentation import SUPERVISOR_STATS, SupervisorStats
+
+__all__ = [
+    "ERROR_MARK",
+    "POISON_ERROR_TYPE",
+    "FAULT_MODES",
+    "SupervisorConfig",
+    "SupervisorError",
+    "WorkerFaultInjected",
+    "WorkerFaultPlan",
+    "ChunkSupervisor",
+]
+
+#: First element of a per-row error marker; shared with
+#: :mod:`repro.core.parallel` (defined here so the supervisor can mint
+#: poison markers without importing it — parallel imports us).
+ERROR_MARK = "__row_error__"
+
+#: ``error_type`` recorded for a row isolated by poison-chunk
+#: bisection.  Deliberately exception-class-shaped so it aggregates
+#: naturally in ``errors_by_type`` next to real exception names.
+POISON_ERROR_TYPE = "WorkerCrashError"
+
+
+class SupervisorError(PipelineError):
+    """The worker pool is unrecoverable and degradation is disabled."""
+
+
+class SupervisorConfig(NamedTuple):
+    """Tuning knobs for :class:`ChunkSupervisor`.
+
+    The defaults supervise without changing the happy path's
+    semantics: no chunk deadline (dead workers are still detected by
+    the liveness poll), two retries with a short jittered backoff, and
+    degradation to serial execution when the pool cannot be rebuilt.
+    """
+
+    #: seconds a single chunk attempt may run before it is declared
+    #: hung and retried; ``None`` disables the deadline (worker
+    #: *deaths* are still detected via the liveness poll)
+    chunk_timeout: Optional[float] = None
+    #: resubmissions granted to a failing chunk before it is bisected
+    #: (multi-row) or isolated as poison (single row)
+    max_chunk_retries: int = 2
+    #: retry budget for the sub-chunks created by bisection; kept low
+    #: because by then the failure has already proven persistent
+    bisect_max_retries: int = 0
+    #: first backoff delay, seconds; doubles per retry
+    backoff_base: float = 0.05
+    #: backoff ceiling, seconds
+    backoff_cap: float = 2.0
+    #: uniform jitter fraction added on top of the backoff delay
+    backoff_jitter: float = 0.5
+    #: seed for the jitter RNG (None: nondeterministic); jitter only
+    #: affects timing, never output content
+    backoff_seed: Optional[int] = None
+    #: wait-slice width, seconds: the latency floor for detecting a
+    #: dead worker, and the only supervision cost on the happy path
+    poll_interval: float = 0.1
+    #: on an unrecoverable pool, continue in-process instead of
+    #: raising :class:`SupervisorError`
+    degrade_to_serial: bool = True
+
+    def validate(self) -> "SupervisorConfig":
+        """Return self if every knob is in range, else raise."""
+        if self.chunk_timeout is not None and self.chunk_timeout <= 0:
+            raise ValueError("chunk_timeout must be positive or None, "
+                             "got %r" % (self.chunk_timeout,))
+        if self.max_chunk_retries < 0:
+            raise ValueError("max_chunk_retries must be >= 0, got %d"
+                             % self.max_chunk_retries)
+        if self.bisect_max_retries < 0:
+            raise ValueError("bisect_max_retries must be >= 0, got %d"
+                             % self.bisect_max_retries)
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.backoff_jitter < 0:
+            raise ValueError("backoff_jitter must be >= 0, got %r"
+                             % (self.backoff_jitter,))
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive, got %r"
+                             % (self.poll_interval,))
+        return self
+
+
+# -- worker-side fault injection ---------------------------------------------
+
+#: Modes a :class:`WorkerFaultPlan` can fire.
+FAULT_MODES = ("kill", "exit", "oom", "hang", "slow", "exception")
+
+
+class WorkerFaultInjected(RuntimeError):
+    """Exception raised inside a worker by ``mode='exception'``.
+
+    Unlike :class:`~repro.core.pipeline.FaultInjected` this one *is*
+    meant to be absorbed: it exercises the ordinary per-row error
+    capture inside the worker, not a process kill.
+    """
+
+
+class WorkerFaultPlan:
+    """Deterministic worker-side chaos, armed via the pool init blob.
+
+    When a worker is about to repair a row whose raw values contain
+    *trigger_value*, the plan fires *mode*:
+
+    ``kill``
+        SIGKILL the worker process — the hard death of an OOM kill or
+        a segfault, with no Python-level cleanup.
+    ``exit``
+        ``os._exit(1)`` — an abrupt interpreter exit that still skips
+        all teardown.
+    ``oom``
+        ``os._exit(137)`` — the exit status a kernel OOM kill leaves
+        behind (128 + SIGKILL), for log/monitoring realism.
+    ``hang``
+        Sleep for *delay_seconds* (default: effectively forever) —
+        a worker stuck in a syscall or native loop.
+    ``slow``
+        Sleep *delay_seconds*, then repair normally — a straggler.
+    ``exception``
+        Raise :class:`WorkerFaultInjected` — exercises the per-row
+        error capture, not the supervision layer.
+
+    *limit* bounds the total number of firings **across all worker
+    processes and respawns**, coordinated through sentinel files in
+    *state_dir* (created atomically with ``O_CREAT | O_EXCL``), so a
+    "transient" fault that fails twice and then heals is expressible
+    even though every firing may kill the process that fired it.
+    ``limit=None`` fires every time — a deterministic poison row.
+
+    The plan is pickled into the worker init blob; it holds only plain
+    values, so it crosses the process boundary trivially.
+    """
+
+    def __init__(self, trigger_value: str, mode: str,
+                 limit: Optional[int] = None,
+                 state_dir: Optional[str] = None,
+                 delay_seconds: float = 3600.0):
+        if mode not in FAULT_MODES:
+            raise ValueError("unknown fault mode %r; expected one of %s"
+                             % (mode, ", ".join(FAULT_MODES)))
+        if limit is not None:
+            if limit < 1:
+                raise ValueError("limit must be >= 1 or None, got %d"
+                                 % limit)
+            if state_dir is None:
+                raise ValueError("a firing limit needs state_dir: the "
+                                 "budget must survive worker respawns")
+        if delay_seconds < 0:
+            raise ValueError("delay_seconds must be >= 0, got %r"
+                             % (delay_seconds,))
+        self.trigger_value = trigger_value
+        self.mode = mode
+        self.limit = limit
+        self.state_dir = os.fspath(state_dir) if state_dir else None
+        self.delay_seconds = delay_seconds
+
+    def _consume_budget(self) -> bool:
+        """Claim one firing; False once *limit* firings happened."""
+        if self.limit is None:
+            return True
+        os.makedirs(self.state_dir, exist_ok=True)
+        for i in range(self.limit):
+            path = os.path.join(self.state_dir, "fired.%d" % i)
+            try:
+                os.close(os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+                return True
+            except FileExistsError:
+                continue
+        return False
+
+    def maybe_fire(self, values: Sequence[str]) -> None:
+        """Fire the configured fault if *values* contains the trigger."""
+        if self.trigger_value not in values:
+            return
+        if not self._consume_budget():
+            return
+        if self.mode == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif self.mode == "exit":
+            os._exit(1)
+        elif self.mode == "oom":
+            os._exit(137)
+        elif self.mode == "hang":
+            time.sleep(self.delay_seconds)
+        elif self.mode == "slow":
+            time.sleep(self.delay_seconds)
+        else:  # exception
+            raise WorkerFaultInjected(
+                "injected worker fault on trigger %r" % self.trigger_value)
+
+    def __repr__(self) -> str:
+        return ("WorkerFaultPlan(trigger=%r, mode=%r, limit=%r)"
+                % (self.trigger_value, self.mode, self.limit))
+
+
+# -- the supervisor ----------------------------------------------------------
+
+def _poison_marker(tries: int):
+    return (ERROR_MARK, POISON_ERROR_TYPE,
+            "row crashed or hung its repair worker %d time(s); isolated "
+            "by poison-chunk bisection" % tries)
+
+
+class ChunkSupervisor:
+    """Owns a worker pool and runs chunks through it under supervision.
+
+    The supervisor is deliberately generic: it knows nothing about
+    rules or schemas, only about *chunks* (opaque row-value lists),
+    a *task* function workers execute, a *spawn* callable that builds
+    a fresh pool, and a *serial_runner* for degraded mode.
+    :class:`repro.core.parallel.ParallelRepairExecutor` supplies all
+    four.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; informational (stats) — the pool itself comes from
+        *spawn*.
+    spawn:
+        Zero-argument callable returning a started
+        ``multiprocessing.pool.Pool`` whose workers are initialized
+        and ready.  Called once up front and once per rebuild.
+    task:
+        The function submitted per chunk, as
+        ``pool.apply_async(task, ((chunk_id, rows),))``; must return
+        ``(chunk_id, outcomes)``.
+    serial_runner:
+        ``rows -> outcomes`` executed in-process for degraded mode.
+    config:
+        A :class:`SupervisorConfig`; ``None`` means the defaults.
+    """
+
+    def __init__(self, workers: int,
+                 spawn: Callable[[], object],
+                 task: Callable,
+                 serial_runner: Callable[[List[list]], list],
+                 config: Optional[SupervisorConfig] = None):
+        self.workers = workers
+        self.config = (config or SupervisorConfig()).validate()
+        self.stats = SupervisorStats()
+        self._spawn = spawn
+        self._task = task
+        self._serial_runner = serial_runner
+        self._rng = random.Random(self.config.backoff_seed)
+        self._chunk_id = 0
+        #: True once any recovery action (rebuild/degrade) has run;
+        #: the executor uses it to pick terminate() over close()
+        self.failed = False
+        #: True once execution has fallen back to the serial runner
+        self.degraded = False
+        self.pool = None
+        self._baseline_pids: frozenset = frozenset()
+        self._start_pool(initial=True)
+
+    # -- counters ------------------------------------------------------------
+
+    def _bump(self, name: str, amount: int = 1) -> None:
+        self.stats.bump(name, amount)
+        SUPERVISOR_STATS.bump(name, amount)
+
+    # -- pool lifecycle ------------------------------------------------------
+
+    def _start_pool(self, initial: bool = False) -> None:
+        if self.degraded:
+            return
+        try:
+            self.pool = self._spawn()
+        except Exception as exc:
+            self.pool = None
+            self._degrade_or_raise(exc)
+            return
+        if not initial:
+            self._bump("workers_respawned", self.workers)
+        self._refresh_baseline()
+
+    def _degrade_or_raise(self, exc: BaseException) -> None:
+        self.failed = True
+        if not self.config.degrade_to_serial:
+            raise SupervisorError(
+                "repair worker pool is unrecoverable and "
+                "degrade_to_serial is off: %s: %s"
+                % (type(exc).__name__, exc)) from exc
+        self.degraded = True
+        self._bump("degradations")
+        warnings.warn(
+            "repair worker pool is unrecoverable (%s: %s); degrading to "
+            "in-process serial execution of the remaining chunks"
+            % (type(exc).__name__, exc), RuntimeWarning, stacklevel=4)
+
+    def _worker_pids(self) -> frozenset:
+        pool = self.pool
+        if pool is None:
+            return frozenset()
+        try:
+            return frozenset(proc.pid for proc in pool._pool)
+        except Exception:  # racing the pool's maintenance thread
+            return frozenset()
+
+    def _refresh_baseline(self) -> None:
+        self._baseline_pids = self._worker_pids()
+
+    def _kill_pool(self) -> None:
+        pool, self.pool = self.pool, None
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
+    def _rebuild_pool(self) -> None:
+        """Tear down the (suspect) pool and start a fresh one."""
+        self.failed = True
+        self._kill_pool()
+        self._start_pool()
+
+    def close(self) -> None:
+        """Graceful shutdown: let idle workers drain and exit."""
+        pool, self.pool = self.pool, None
+        if pool is not None:
+            pool.close()
+            pool.join()
+
+    def terminate(self) -> None:
+        """Hard shutdown: kill workers, including hung or busy ones."""
+        self._kill_pool()
+
+    # -- supervised execution ------------------------------------------------
+
+    def _submit(self, rows: List[list]):
+        self._chunk_id += 1
+        self._bump("chunks_submitted")
+        return self.pool.apply_async(self._task, ((self._chunk_id, rows),))
+
+    def _wait(self, result) -> Tuple[str, object]:
+        """Await one chunk: ``('ok', (chunk_id, outcomes))`` or a
+        failure verdict ``('deadline' | 'died' | 'error', detail)``.
+
+        The wait is sliced so worker deaths surface within about one
+        ``poll_interval`` instead of only at the (possibly absent)
+        deadline: the pool silently respawns a killed worker, but the
+        task it held is lost forever — exactly the stall this layer
+        exists to bound.
+        """
+        timeout = self.config.chunk_timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            wait_slice = self.config.poll_interval
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return ("deadline", None)
+                wait_slice = min(wait_slice, remaining)
+            try:
+                return ("ok", result.get(wait_slice))
+            except _MPTimeoutError:
+                pass
+            except Exception as exc:  # task-level failure crossed get()
+                return ("error", exc)
+            if self._worker_pids() != self._baseline_pids:
+                return ("died", None)
+
+    def _record_failure(self, status: str) -> None:
+        if status == "deadline":
+            self._bump("deadline_hits")
+        elif status == "died":
+            self._bump("worker_deaths")
+
+    def _backoff_sleep(self, attempt: int) -> None:
+        delay = min(self.config.backoff_cap,
+                    self.config.backoff_base * (2 ** (attempt - 1)))
+        delay *= 1.0 + self.config.backoff_jitter * self._rng.random()
+        if delay > 0:
+            time.sleep(delay)
+
+    def _run_serial(self, rows: List[list]) -> list:
+        self._bump("serial_chunks")
+        return self._serial_runner(rows)
+
+    def _run_alone(self, rows: List[list], budget: int) -> list:
+        """Run one chunk with nothing else in flight, so every failure
+        is attributable to *it*; bisect or isolate on budget
+        exhaustion."""
+        attempts = 0
+        while True:
+            if self.degraded or self.pool is None:
+                return self._run_serial(rows)
+            status, value = self._wait(self._submit(rows))
+            if status == "ok":
+                return value[1]
+            self._record_failure(status)
+            self._rebuild_pool()
+            if attempts >= budget:
+                break
+            attempts += 1
+            self._bump("chunk_retries")
+            self._backoff_sleep(attempts)
+        if len(rows) <= 1:
+            self._bump("rows_isolated")
+            return [_poison_marker(attempts + 1) for _ in rows]
+        self._bump("chunks_bisected")
+        mid = len(rows) // 2
+        bisect_budget = self.config.bisect_max_retries
+        return (self._run_alone(rows[:mid], bisect_budget)
+                + self._run_alone(rows[mid:], bisect_budget))
+
+    def map_chunks(self, chunks: Iterable[Sequence[Sequence[str]]],
+                   max_inflight: Optional[int] = None) -> Iterator[list]:
+        """Supervised version of the executor's pipelined map: yield
+        per-chunk outcome lists in submission order, exactly once each.
+
+        Healthy chunks flow through the pool with a bounded in-flight
+        window, identical to the unsupervised design.  On the first
+        failure the whole in-flight backlog is re-run *alone* (one
+        chunk at a time) so the culprit is attributed precisely, then
+        pipelined submission resumes for subsequent chunks against the
+        rebuilt pool.
+        """
+        if max_inflight is None:
+            max_inflight = 2 * self.workers
+        pending: deque = deque()  # [rows, AsyncResult | None] pairs
+        for chunk in chunks:
+            rows = list(chunk)
+            if self.degraded or self.pool is None:
+                pending.append([rows, None])
+            else:
+                pending.append([rows, self._submit(rows)])
+            if len(pending) >= max_inflight:
+                yield self._drain_head(pending)
+        while pending:
+            yield self._drain_head(pending)
+
+    def _drain_head(self, pending: deque) -> list:
+        rows, result = pending[0]
+        if result is not None:
+            status, value = self._wait(result)
+            if status == "ok":
+                pending.popleft()
+                return value[1]
+            self._record_failure(status)
+            # The pool is now suspect and every in-flight task may be
+            # lost; rebuild once and re-run the backlog attributably.
+            # The head's re-run below is its first retry.
+            self._rebuild_pool()
+            self._bump("chunk_retries")
+            self._backoff_sleep(1)
+            for entry in pending:
+                entry[1] = None
+        pending.popleft()
+        return self._run_alone(rows, self.config.max_chunk_retries)

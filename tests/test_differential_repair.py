@@ -144,6 +144,30 @@ def test_differential_hosp_instance(seed):
     assert_all_equivalent(capped, noise.table, chunk_2=17, chunk_4=53)
 
 
+@pytest.mark.faultinjection
+@pytest.mark.parametrize("seed", [3, 17])
+def test_differential_supervised_chaos(seed, tmp_path):
+    """Chaos leg: transient worker SIGKILLs (two firings, budgeted
+    through sentinel files) must not move a single cell — the
+    supervised parallel run retries through them and still equals the
+    serial repair exactly."""
+    from repro.core import SupervisorConfig, WorkerFaultPlan
+    ruleset, table, chunk_2, _chunk_4 = make_instance(seed)
+    serial = repair_table(table, ruleset)
+    trigger = table[0].values[0]  # guaranteed to occur in the data
+    plan = WorkerFaultPlan(trigger, "kill", limit=2,
+                           state_dir=tmp_path / "budget")
+    config = SupervisorConfig(poll_interval=0.02, backoff_base=0.01,
+                              backoff_cap=0.05, backoff_seed=seed,
+                              max_chunk_retries=3)
+    report = parallel_repair_table(table, ruleset, workers=2,
+                                   chunk_size=chunk_2,
+                                   supervisor=config, fault_plan=plan)
+    assert _cells(report.table) == _cells(serial.table)
+    assert report.applications_by_rule() == serial.applications_by_rule()
+    assert report.changed_cells == serial.changed_cells
+
+
 def test_corpus_is_not_trivial():
     """The random corpus must actually exercise repairs: across all
     instances a healthy share of rows change, so the equivalences

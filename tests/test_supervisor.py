@@ -1,0 +1,317 @@
+"""Unit tests for repro.core.supervisor — the worker supervision layer.
+
+The chaos-at-scale legs (worker kills on realistic HOSP runs, full CSV
+pipeline parity) live in ``test_worker_chaos.py``; this file pins the
+mechanisms one by one: config validation, the fault-plan contract,
+poison-row bisection, transient-fault healing, deadline enforcement,
+degraded mode, the close()/terminate() split, the portable orphan
+guard, and the CLI plumbing.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import (FixingRule, ParallelRepairExecutor, RuleSet,
+                        SupervisorConfig, SupervisorError,
+                        WorkerFaultInjected, WorkerFaultPlan)
+from repro.core.parallel import is_error_marker
+from repro.core.supervisor import (ChunkSupervisor, POISON_ERROR_TYPE,
+                                   _poison_marker)
+
+#: Test-speed supervision: tight poll, token backoff, deterministic
+#: jitter.  Semantics identical to the defaults.
+FAST = dict(poll_interval=0.02, backoff_base=0.01, backoff_cap=0.05,
+            backoff_seed=0)
+
+
+class TestSupervisorConfig:
+    def test_defaults_validate(self):
+        config = SupervisorConfig().validate()
+        assert config.chunk_timeout is None
+        assert config.max_chunk_retries == 2
+        assert config.degrade_to_serial is True
+
+    @pytest.mark.parametrize("bad", [
+        dict(chunk_timeout=0),
+        dict(chunk_timeout=-1.5),
+        dict(max_chunk_retries=-1),
+        dict(bisect_max_retries=-1),
+        dict(backoff_base=-0.1),
+        dict(backoff_cap=-1.0),
+        dict(backoff_jitter=-0.5),
+        dict(poll_interval=0),
+    ])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ValueError):
+            SupervisorConfig(**bad).validate()
+
+
+class TestWorkerFaultPlan:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="fault mode"):
+            WorkerFaultPlan("x", "segfault")
+
+    def test_limit_requires_state_dir(self):
+        with pytest.raises(ValueError, match="state_dir"):
+            WorkerFaultPlan("x", "kill", limit=1)
+
+    def test_rejects_nonpositive_limit(self, tmp_path):
+        with pytest.raises(ValueError, match="limit"):
+            WorkerFaultPlan("x", "kill", limit=0, state_dir=tmp_path)
+
+    def test_budget_spans_firings(self, tmp_path):
+        """limit=2 grants exactly two firings, even across plan
+        copies — the sentinel files in state_dir are the ledger, so a
+        respawned worker (a fresh unpickled copy) shares the budget."""
+        plan = WorkerFaultPlan("x", "exception", limit=2,
+                               state_dir=tmp_path)
+        clone = WorkerFaultPlan("x", "exception", limit=2,
+                                state_dir=tmp_path)
+        assert plan._consume_budget() is True
+        assert clone._consume_budget() is True
+        assert plan._consume_budget() is False
+        assert clone._consume_budget() is False
+
+    def test_fires_only_on_trigger(self):
+        plan = WorkerFaultPlan("BAD", "exception")
+        plan.maybe_fire(["a", "b"])  # no trigger: no-op
+        with pytest.raises(WorkerFaultInjected):
+            plan.maybe_fire(["a", "BAD"])
+
+    def test_slow_mode_returns(self):
+        plan = WorkerFaultPlan("BAD", "slow", delay_seconds=0.01)
+        start = time.monotonic()
+        plan.maybe_fire(["BAD"])
+        assert time.monotonic() - start >= 0.01
+
+
+@pytest.fixture()
+def executor_case(travel_schema, paper_rules, travel_data):
+    """Chunks of raw values for the Fig. 1 table + expected outcomes."""
+    rows = [list(row.values) for row in travel_data]
+    return travel_schema, paper_rules, rows
+
+
+@pytest.mark.faultinjection
+class TestPoisonIsolation:
+    def test_poison_row_isolated_neighbors_repaired(self, executor_case):
+        """A row that SIGKILLs its worker every time ends as a poison
+        marker; every innocent neighbor in the same chunk still gets
+        its ordinary repair."""
+        schema, rules, rows = executor_case
+        config = SupervisorConfig(max_chunk_retries=1, **FAST)
+        plan = WorkerFaultPlan("Peter", "kill")  # r3's name cell
+        start = time.monotonic()
+        with ParallelRepairExecutor(schema, rules, 2, supervisor=config,
+                                    fault_plan=plan) as ex:
+            (outcomes,) = list(ex.map_chunks([rows]))
+            stats = ex.stats.snapshot()
+        assert time.monotonic() - start < 30  # bounded, not a hang
+        assert len(outcomes) == len(rows)
+        assert outcomes[0] is None                    # r1 clean
+        assert outcomes[1] is not None                # r2 repaired
+        assert not is_error_marker(outcomes[1])
+        assert is_error_marker(outcomes[2])           # r3 = poison
+        assert outcomes[2][1] == POISON_ERROR_TYPE
+        assert not is_error_marker(outcomes[3])       # r4 repaired
+        assert stats["rows_isolated"] == 1
+        assert stats["chunks_bisected"] >= 1
+        assert stats["worker_deaths"] >= 1
+        assert stats["chunk_retries"] >= 1
+        assert stats["workers_respawned"] >= 2
+
+    def test_transient_kill_heals_with_retry(self, executor_case,
+                                             tmp_path):
+        """A worker killed once (limit=1) costs a retry, not a row: the
+        resubmitted chunk completes and nothing is isolated."""
+        schema, rules, rows = executor_case
+        config = SupervisorConfig(max_chunk_retries=2, **FAST)
+        plan = WorkerFaultPlan("Peter", "kill", limit=1,
+                               state_dir=tmp_path / "budget")
+        with ParallelRepairExecutor(schema, rules, 2, supervisor=config,
+                                    fault_plan=plan) as ex:
+            (outcomes,) = list(ex.map_chunks([rows]))
+            stats = ex.stats.snapshot()
+        assert not any(is_error_marker(o) for o in outcomes if o)
+        assert outcomes[2] is not None  # r3 repaired after the retry
+        assert stats["chunk_retries"] >= 1
+        assert stats["rows_isolated"] == 0
+        assert stats["chunks_bisected"] == 0
+
+    def test_hung_worker_bounded_by_deadline(self, executor_case,
+                                             tmp_path):
+        """A hang has no death to poll for — only the chunk deadline
+        bounds it.  With limit=1 the retry then succeeds."""
+        schema, rules, rows = executor_case
+        config = SupervisorConfig(chunk_timeout=0.5, max_chunk_retries=2,
+                                  **FAST)
+        plan = WorkerFaultPlan("Peter", "hang", limit=1,
+                               state_dir=tmp_path / "budget")
+        start = time.monotonic()
+        with ParallelRepairExecutor(schema, rules, 2, supervisor=config,
+                                    fault_plan=plan) as ex:
+            (outcomes,) = list(ex.map_chunks([rows]))
+            stats = ex.stats.snapshot()
+        assert time.monotonic() - start < 30
+        assert not any(is_error_marker(o) for o in outcomes if o)
+        assert stats["deadline_hits"] >= 1
+        assert stats["chunk_retries"] >= 1
+        assert stats["rows_isolated"] == 0
+
+
+class TestDegradedMode:
+    @staticmethod
+    def _broken_spawn():
+        raise OSError("fork bomb protection engaged")
+
+    @staticmethod
+    def _echo_runner(rows):
+        return [("ran", values) for values in rows]
+
+    def test_degrades_to_serial_runner(self):
+        with pytest.warns(RuntimeWarning, match="degrading"):
+            supervisor = ChunkSupervisor(
+                workers=2, spawn=self._broken_spawn, task=None,
+                serial_runner=self._echo_runner,
+                config=SupervisorConfig(**FAST))
+        assert supervisor.degraded
+        chunks = [[["a"], ["b"]], [["c"]]]
+        outcomes = list(supervisor.map_chunks(chunks))
+        assert outcomes == [[("ran", ["a"]), ("ran", ["b"])],
+                            [("ran", ["c"])]]
+        assert supervisor.stats.degradations == 1
+        assert supervisor.stats.serial_chunks == 2
+
+    def test_raises_when_degradation_disabled(self):
+        with pytest.raises(SupervisorError, match="unrecoverable"):
+            ChunkSupervisor(
+                workers=2, spawn=self._broken_spawn, task=None,
+                serial_runner=self._echo_runner,
+                config=SupervisorConfig(degrade_to_serial=False, **FAST))
+
+    def test_poison_marker_shape(self):
+        marker = _poison_marker(3)
+        assert is_error_marker(marker)
+        assert marker[1] == POISON_ERROR_TYPE
+        assert "3 time(s)" in marker[2]
+
+
+class TestShutdownPaths:
+    def _spy(self, executor):
+        pool = executor._pool
+        calls = []
+        original = pool.terminate
+
+        def spying_terminate():
+            calls.append("terminate")
+            original()
+
+        pool.terminate = spying_terminate
+        return calls
+
+    def test_clean_exit_closes_not_terminates(self, executor_case):
+        schema, rules, rows = executor_case
+        executor = ParallelRepairExecutor(schema, rules, 2)
+        calls = self._spy(executor)
+        with executor as ex:
+            list(ex.map_chunks([rows]))
+        assert calls == []
+
+    def test_exceptional_exit_terminates(self, executor_case):
+        schema, rules, _rows = executor_case
+        executor = ParallelRepairExecutor(schema, rules, 2)
+        calls = self._spy(executor)
+        with pytest.raises(RuntimeError, match="boom"):
+            with executor:
+                raise RuntimeError("boom")
+        assert calls == ["terminate"]
+
+
+def test_orphan_guard_exits_on_reparent():
+    """Satellite: the portable fallback to PR_SET_PDEATHSIG.  A worker
+    whose recorded parent PID no longer matches os.getppid() must
+    os._exit(2) at its next task instead of serving an orphaned pool."""
+    script = (
+        "import repro.core.parallel as par\n"
+        "par._PARENT_PID = 999999999  # nobody's parent\n"
+        "par._repair_chunk_task((1, []))\n"
+        "raise SystemExit(99)  # unreachable: the guard exits first\n"
+    )
+    src = Path(__file__).resolve().parent.parent / "src"
+    env = dict(os.environ, PYTHONPATH=str(src))
+    proc = subprocess.run([sys.executable, "-c", script], env=env,
+                          timeout=60)
+    assert proc.returncode == 2
+
+
+class TestCliSupervisionFlags:
+    @pytest.fixture()
+    def cli_case(self, tmp_path):
+        from repro.core import save_ruleset
+        from repro.relational import Schema
+        schema = Schema("T", ["a", "b"])
+        rules = RuleSet(schema, [FixingRule({"a": "1"}, "b", ["0"], "1")])
+        rule_file = tmp_path / "rules.json"
+        save_ruleset(rules, rule_file)
+        data = tmp_path / "dirty.csv"
+        data.write_text("a,b\n1,0\n1,1\n2,5\n", encoding="utf-8")
+        return data, rule_file
+
+    def test_flag_validation(self, cli_case, tmp_path, capsys):
+        from repro.cli import main
+        data, rule_file = cli_case
+        out = tmp_path / "out.csv"
+        assert main(["repair", str(data), str(rule_file), str(out),
+                     "--workers", "2", "--chunk-timeout", "0"]) == 2
+        assert main(["repair", str(data), str(rule_file), str(out),
+                     "--workers", "2", "--max-chunk-retries", "-1"]) == 2
+        err = capsys.readouterr().err
+        assert "--chunk-timeout" in err and "--max-chunk-retries" in err
+
+    def test_summary_line_and_clean_exit(self, cli_case, tmp_path,
+                                         capsys):
+        from repro.cli import main
+        data, rule_file = cli_case
+        out = tmp_path / "out.csv"
+        assert main(["repair", str(data), str(rule_file), str(out),
+                     "--stream", "--skip-check",
+                     "--fail-on-quarantine"]) == 0
+        stdout = capsys.readouterr().out
+        assert "repaired 3 rows" in stdout
+        assert "summary: rows repaired=3 quarantined=0" in stdout
+
+    def test_fail_on_quarantine_exit_code(self, cli_case, tmp_path,
+                                          capsys):
+        from repro.cli import main
+        data, rule_file = cli_case
+        data.write_text("a,b\n1,0\n1,1,EXTRA\n2,5\n", encoding="utf-8")
+        out = tmp_path / "out.csv"
+        quarantine = tmp_path / "dead.jsonl"
+        assert main(["repair", str(data), str(rule_file), str(out),
+                     "--skip-check", "--on-error", "quarantine",
+                     "--quarantine-path", str(quarantine),
+                     "--fail-on-quarantine"]) == 3
+        stdout = capsys.readouterr().out
+        assert "summary: rows repaired=2 quarantined=1" in stdout
+        assert quarantine.exists()
+
+    def test_supervision_flags_reach_parallel_run(self, cli_case,
+                                                  tmp_path, capsys):
+        from repro.cli import main
+        data, rule_file = cli_case
+        out = tmp_path / "out.csv"
+        assert main(["repair", str(data), str(rule_file), str(out),
+                     "--skip-check", "--workers", "2",
+                     "--chunk-timeout", "30",
+                     "--max-chunk-retries", "1",
+                     "--no-degrade-to-serial"]) == 0
+        stdout = capsys.readouterr().out
+        assert "summary: rows repaired=3 quarantined=0" in stdout
+        assert "chunk retries=0" in stdout

@@ -1,0 +1,205 @@
+"""Worker-chaos harness: supervised runs under injected worker faults.
+
+Every test here arms a :class:`~repro.core.supervisor.WorkerFaultPlan`
+against a realistic HOSP streaming run and asserts the paper-level
+contract survives anyway: the output is byte-identical to a serial
+run (minus, at most, the deliberately poisoned row, which must land in
+quarantine as a structured :class:`~repro.errors.RowError`), and the
+run terminates within its deadline budget instead of hanging on a dead
+or stuck worker.  ``make test-chaos`` runs this file plus the
+mechanism-level suite in ``test_supervisor.py``.
+
+All chaos is deterministic: triggers are planted cell values, firing
+budgets live in sentinel files, and backoff jitter is seeded.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import (RuleSet, SupervisorConfig, WorkerFaultPlan,
+                        repair_csv_file)
+from repro.core.pipeline import read_quarantine
+from repro.core.supervisor import POISON_ERROR_TYPE
+from repro.datagen import (constraint_attributes, generate_hosp, hosp_fds,
+                           inject_noise)
+from repro.relational import write_csv
+from repro.rulegen.seeds import generate_seed_rules
+
+pytestmark = pytest.mark.faultinjection
+
+#: The planted poison cell value, its 0-based row index, and that
+#: row's input CSV line number (header = line 1, row 0 = line 2).
+TRIGGER = "XCHAOSX"
+POISON_ROW = 57
+POISON_LINE = POISON_ROW + 2
+
+#: Test-speed supervision (identical semantics to the defaults).
+FAST = dict(poll_interval=0.02, backoff_base=0.01, backoff_cap=0.05,
+            backoff_seed=0)
+
+
+@pytest.fixture(scope="module")
+def chaos_case(tmp_path_factory):
+    """A dirty HOSP CSV with one planted trigger cell + its rules and
+    the serial reference output."""
+    clean = generate_hosp(rows=200, seed=23)
+    noise = inject_noise(clean, constraint_attributes(hosp_fds()),
+                         noise_rate=0.12, typo_ratio=0.5, seed=23)
+    rules = RuleSet(clean.schema,
+                    generate_seed_rules(clean, noise.table,
+                                        hosp_fds()).rules()[:80])
+    base = tmp_path_factory.mktemp("chaos")
+    path = base / "dirty.csv"
+    write_csv(noise.table, path)
+    lines = path.read_bytes().splitlines(keepends=True)
+    line = lines[POISON_LINE - 1]
+    lines[POISON_LINE - 1] = \
+        TRIGGER.encode("ascii") + line[line.index(b","):]
+    path.write_bytes(b"".join(lines))
+    reference = base / "serial.csv"
+    session = repair_csv_file(path, rules, reference,
+                              check_consistency=False)
+    assert session.rows_changed > 0  # non-vacuous workload
+    return path, rules, reference
+
+
+def _reference_without_poison_row(reference) -> bytes:
+    lines = reference.read_bytes().splitlines(keepends=True)
+    del lines[POISON_LINE - 1]
+    return b"".join(lines)
+
+
+class TestPoisonRowEndToEnd:
+    def test_poison_row_quarantined_output_serial_identical(
+            self, chaos_case, tmp_path):
+        """The acceptance scenario: a row that SIGKILLs its worker
+        every time it is attempted ends in quarantine as a
+        WorkerCrashError with exact line provenance, every other row
+        is repaired, and the output is byte-identical to the serial
+        run minus that one line.  The run is bounded — a SIGKILLed
+        worker mid-chunk no longer hangs the parent."""
+        path, rules, reference = chaos_case
+        out = tmp_path / "chaos.csv"
+        quarantine = tmp_path / "dead.jsonl"
+        plan = WorkerFaultPlan(TRIGGER, "kill")  # fires every attempt
+        config = SupervisorConfig(max_chunk_retries=1, **FAST)
+        start = time.monotonic()
+        session = repair_csv_file(path, rules, out,
+                                  check_consistency=False,
+                                  on_error="quarantine",
+                                  quarantine_path=quarantine,
+                                  workers=2, chunk_size=16,
+                                  supervisor=config, fault_plan=plan)
+        assert time.monotonic() - start < 60
+        records = read_quarantine(quarantine)
+        assert len(records) == 1
+        assert records[0].error_type == POISON_ERROR_TYPE
+        assert records[0].line_no == POISON_LINE
+        assert records[0].record[0] == TRIGGER
+        assert session.rows_failed == 1
+        assert session.rows_quarantined == 1
+        stats = session.supervisor_stats
+        assert stats["rows_isolated"] == 1
+        assert stats["worker_deaths"] >= 1
+        assert stats["chunks_bisected"] >= 1
+        assert out.read_bytes() == _reference_without_poison_row(reference)
+
+    def test_poison_row_strict_policy_raises(self, chaos_case, tmp_path):
+        from repro.errors import PipelineError
+        path, rules, _reference = chaos_case
+        plan = WorkerFaultPlan(TRIGGER, "kill")
+        config = SupervisorConfig(max_chunk_retries=0, **FAST)
+        with pytest.raises(PipelineError, match=POISON_ERROR_TYPE):
+            repair_csv_file(path, rules, tmp_path / "out.csv",
+                            check_consistency=False,
+                            workers=2, chunk_size=16,
+                            supervisor=config, fault_plan=plan)
+
+
+class TestTransientFaultsHeal:
+    def test_oom_killed_worker_retries_to_full_output(self, chaos_case,
+                                                      tmp_path):
+        """Two simulated OOM kills (exit 137) exhaust their budget and
+        the rerun completes: full byte-identical output, no quarantine,
+        retries on the books."""
+        path, rules, reference = chaos_case
+        out = tmp_path / "oom.csv"
+        plan = WorkerFaultPlan(TRIGGER, "oom", limit=2,
+                               state_dir=tmp_path / "budget")
+        config = SupervisorConfig(max_chunk_retries=3, **FAST)
+        session = repair_csv_file(path, rules, out,
+                                  check_consistency=False,
+                                  workers=2, chunk_size=16,
+                                  supervisor=config, fault_plan=plan)
+        assert out.read_bytes() == reference.read_bytes()
+        assert session.rows_failed == 0
+        stats = session.supervisor_stats
+        assert stats["chunk_retries"] >= 1
+        assert stats["rows_isolated"] == 0
+
+    def test_slow_worker_changes_nothing(self, chaos_case, tmp_path):
+        """A straggler (no deadline configured) just finishes late:
+        zero supervision events, byte-identical output."""
+        path, rules, reference = chaos_case
+        out = tmp_path / "slow.csv"
+        plan = WorkerFaultPlan(TRIGGER, "slow", limit=1,
+                               state_dir=tmp_path / "budget",
+                               delay_seconds=0.3)
+        session = repair_csv_file(path, rules, out,
+                                  check_consistency=False,
+                                  workers=2, chunk_size=16,
+                                  supervisor=SupervisorConfig(**FAST),
+                                  fault_plan=plan)
+        assert out.read_bytes() == reference.read_bytes()
+        stats = session.supervisor_stats
+        assert stats["worker_deaths"] == 0
+        assert stats["deadline_hits"] == 0
+        assert stats["rows_isolated"] == 0
+
+    def test_hung_worker_deadline_then_heal(self, chaos_case, tmp_path):
+        """One hang is cut off by the chunk deadline; the retry (budget
+        spent) completes the run byte-identically."""
+        path, rules, reference = chaos_case
+        out = tmp_path / "hang.csv"
+        plan = WorkerFaultPlan(TRIGGER, "hang", limit=1,
+                               state_dir=tmp_path / "budget")
+        config = SupervisorConfig(chunk_timeout=0.5, max_chunk_retries=2,
+                                  **FAST)
+        start = time.monotonic()
+        session = repair_csv_file(path, rules, out,
+                                  check_consistency=False,
+                                  workers=2, chunk_size=16,
+                                  supervisor=config, fault_plan=plan)
+        assert time.monotonic() - start < 60
+        assert out.read_bytes() == reference.read_bytes()
+        stats = session.supervisor_stats
+        assert stats["deadline_hits"] >= 1
+        assert stats["rows_isolated"] == 0
+
+    def test_worker_exception_is_per_row_not_supervision(self, chaos_case,
+                                                         tmp_path):
+        """mode='exception' exercises the ordinary per-row capture: the
+        row is quarantined as WorkerFaultInjected without any pool
+        recovery — the supervision counters stay untouched."""
+        path, rules, reference = chaos_case
+        out = tmp_path / "exc.csv"
+        quarantine = tmp_path / "exc.jsonl"
+        plan = WorkerFaultPlan(TRIGGER, "exception")
+        session = repair_csv_file(path, rules, out,
+                                  check_consistency=False,
+                                  on_error="quarantine",
+                                  quarantine_path=quarantine,
+                                  workers=2, chunk_size=16,
+                                  supervisor=SupervisorConfig(**FAST),
+                                  fault_plan=plan)
+        records = read_quarantine(quarantine)
+        assert len(records) == 1
+        assert records[0].error_type == "WorkerFaultInjected"
+        assert records[0].line_no == POISON_LINE
+        stats = session.supervisor_stats
+        assert stats["worker_deaths"] == 0
+        assert stats["chunk_retries"] == 0
+        assert out.read_bytes() == _reference_without_poison_row(reference)
