@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-fault test-parallel test-chaos bench bench-core results examples clean
+.PHONY: install test test-fault test-parallel test-chaos test-serve bench bench-core bench-serve results examples clean
 
 install:
 	$(PY) setup.py develop
@@ -28,6 +28,14 @@ test-chaos:
 	$(PY) -m pytest -m faultinjection tests/test_worker_chaos.py \
 	    tests/test_supervisor.py tests/test_differential_repair.py
 
+# The repair-as-a-service daemon end to end: HTTP contract, hot-reload
+# with rollback, the mid-stream-reload equivalence property, and the
+# serve-chaos legs (worker kills, hangs, overload shedding, drain).
+# Like test-chaos, every scenario is deadline-bounded — a hang here is
+# itself a regression.
+test-serve:
+	$(PY) -m pytest tests/test_serve.py
+
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
 
@@ -36,6 +44,12 @@ bench:
 # pre-engine baseline (pass ARGS=--smoke for the <2s CI configuration).
 bench-core:
 	$(PY) benchmarks/bench_core_engine.py $(ARGS)
+
+# Serve-path latency/throughput; writes BENCH_serve.json and exits
+# nonzero on any failed request or a throughput regression (pass
+# ARGS=--smoke for the <10s CI configuration).
+bench-serve:
+	$(PY) benchmarks/bench_serve.py $(ARGS)
 
 bench-series:
 	$(PY) -m pytest benchmarks/ --benchmark-only -s

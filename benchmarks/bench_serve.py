@@ -1,0 +1,232 @@
+"""Serve-path benchmark: /repair latency quantiles and throughput.
+
+Standalone script (not a pytest benchmark — run it directly):
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+
+Boots a real ``repro serve`` daemon (loopback TCP, pre-warmed worker
+pool, admission control on) exactly as ``repro serve`` would, uploads a
+mined HOSP Σ through the hot-reload endpoint, then drives concurrent
+``POST /repair`` batches at it from client threads and measures
+*client-observed* wall latency — the number a caller of the service
+actually experiences, including HTTP framing, admission, IPC to the
+pool, and response assembly.
+
+Results land in ``BENCH_serve.json`` at the repo root: p50/p99 request
+latency, end-to-end rows/s, and the daemon's own ``/metrics`` counters
+(pool vs serial engine split, shed/timeout counts — all must be clean
+in a benchmark run).  The script **exits nonzero** if
+
+* any request fails, is shed, or times out (a dependability benchmark
+  with errors in it is not a benchmark),
+* throughput falls below the absolute floor (full scale only), or
+* ``--baseline`` names a prior BENCH_serve.json and throughput drops
+  below ``REGRESSION_FRACTION`` of it.
+
+``--smoke`` runs a tiny configuration (< 10 s) for CI; smoke runs
+still enforce the zero-error gate but skip the throughput gates, and
+write ``"smoke": true`` so readers don't mistake the numbers for the
+real benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import threading
+import time
+from pathlib import Path
+
+from repro.core import RuleSet
+from repro.core.serialization import ruleset_to_json
+from repro.datagen import (constraint_attributes, generate_hosp, hosp_fds,
+                           inject_noise)
+from repro.rulegen.seeds import generate_seed_rules
+from repro.serve import ServeConfig, ServerThread, percentile
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_serve.json"
+
+ROWS = 20_000
+RULE_CAP = 500
+NOISE_RATE = 0.08
+SEED = 7
+BATCH_ROWS = 200        # rows per POST /repair
+CLIENT_THREADS = 4      # concurrent callers (under max_concurrency=8)
+
+SMOKE_ROWS = 1_000
+SMOKE_RULE_CAP = 100
+
+#: full-scale sanity floor; the serial CSV path does ~28K rows/s, a
+#: loopback HTTP round trip per 200-row batch must still clear this.
+ROWS_PER_S_FLOOR = 1_000.0
+#: with --baseline: fail if rows/s regresses below this fraction of it.
+REGRESSION_FRACTION = 0.5
+
+
+def build_workload(rows: int, rule_cap: int, seed: int = SEED):
+    clean = generate_hosp(rows=rows, seed=seed)
+    noise = inject_noise(clean, constraint_attributes(hosp_fds()),
+                         noise_rate=NOISE_RATE, typo_ratio=0.5, seed=seed)
+    mined = generate_seed_rules(clean, noise.table, hosp_fds())
+    rules = RuleSet(clean.schema, mined.rules()[:rule_cap])
+    return noise.table, rules
+
+
+def request(port: int, method: str, path: str, body=None, timeout=60.0):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        payload = None
+        headers = {}
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        conn.request(method, path, body=payload, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        return response.status, raw.decode("utf-8", "replace")
+    finally:
+        conn.close()
+
+
+def drive(port: int, batches, threads: int):
+    """Send every batch as ``POST /repair``; return per-request stats."""
+    lock = threading.Lock()
+    latencies = []
+    failures = []
+    queue = list(enumerate(batches))
+
+    def worker():
+        while True:
+            with lock:
+                if not queue:
+                    return
+                index, rows = queue.pop()
+            started = time.perf_counter()
+            status, text = request(port, "POST", "/repair", {"rows": rows})
+            elapsed = time.perf_counter() - started
+            with lock:
+                if status != 200:
+                    failures.append((index, status, text[:200]))
+                else:
+                    latencies.append(elapsed)
+
+    pool = [threading.Thread(target=worker) for _ in range(threads)]
+    start = time.perf_counter()
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    return time.perf_counter() - start, latencies, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=None)
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="a prior BENCH_serve.json; fail if rows/s "
+                             "drops below %.0f%% of it"
+                             % (100 * REGRESSION_FRACTION))
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny configuration for CI (<10s); skips "
+                             "the throughput gates")
+    args = parser.parse_args(argv)
+
+    rows = args.rows or (SMOKE_ROWS if args.smoke else ROWS)
+    rule_cap = SMOKE_RULE_CAP if args.smoke else RULE_CAP
+
+    print("generating workload: %d rows, <=%d rules ..." % (rows, rule_cap))
+    table, rules = build_workload(rows, rule_cap)
+    batches = []
+    values = [list(row.values) for row in table]
+    for start in range(0, len(values), BATCH_ROWS):
+        batches.append(values[start:start + BATCH_ROWS])
+
+    config = ServeConfig(pool_workers=2, max_concurrency=8,
+                         queue_watermark=16, request_timeout=120.0)
+    with ServerThread(config) as daemon:
+        status, _ = request(daemon.port, "POST", "/rulesets/default",
+                            body=json.loads(ruleset_to_json(rules)))
+        if status != 200:
+            raise SystemExit("FAIL: ruleset upload returned %d" % status)
+        print("daemon on port %d; driving %d batches x %d rows "
+              "from %d client threads ..."
+              % (daemon.port, len(batches), BATCH_ROWS, CLIENT_THREADS))
+        seconds, latencies, failures = drive(daemon.port, batches,
+                                             CLIENT_THREADS)
+        status, metrics_text = request(daemon.port, "GET", "/metrics")
+
+    failed = False
+    if failures:
+        failed = True
+        print("FAIL: %d request(s) did not return 200, e.g. %r"
+              % (len(failures), failures[0]))
+
+    rows_per_s = rows / seconds if seconds else 0.0
+    p50 = percentile(latencies, 0.50)
+    p99 = percentile(latencies, 0.99)
+    print("served %d rows in %.2fs -> %.0f rows/s  "
+          "(p50 %.1f ms, p99 %.1f ms per %d-row batch)"
+          % (rows, seconds, rows_per_s, p50 * 1e3, p99 * 1e3, BATCH_ROWS))
+
+    if not args.smoke:
+        if rows_per_s < ROWS_PER_S_FLOOR:
+            failed = True
+            print("FAIL: %.0f rows/s is below the %.0f rows/s floor"
+                  % (rows_per_s, ROWS_PER_S_FLOOR))
+        if args.baseline and args.baseline.exists():
+            baseline = json.loads(args.baseline.read_text())
+            prior = float(baseline.get("repair", {})
+                          .get("rows_per_s", 0.0))
+            if prior and rows_per_s < REGRESSION_FRACTION * prior:
+                failed = True
+                print("FAIL: %.0f rows/s < %.0f%% of baseline %.0f"
+                      % (rows_per_s, 100 * REGRESSION_FRACTION, prior))
+
+    # the daemon's own view: everything pool-served, nothing shed/504'd
+    daemon_counters = {}
+    for line in metrics_text.splitlines():
+        for key in ("repro_serve_admission_shed_total",
+                    "repro_serve_timeouts_total",
+                    "repro_serve_fallbacks_total",
+                    "repro_serve_supervisor_worker_deaths"):
+            if line.startswith(key + " "):
+                daemon_counters[key[len("repro_serve_"):]] = \
+                    int(float(line.split()[-1]))
+    if any(daemon_counters.values()):
+        failed = True
+        print("FAIL: daemon saw faults during a clean benchmark: %r"
+              % daemon_counters)
+
+    result = {
+        "benchmark": "serve_repair_http",
+        "smoke": bool(args.smoke),
+        "protocol": {
+            "rows": rows, "rules": len(rules.rules()),
+            "batch_rows": BATCH_ROWS, "client_threads": CLIENT_THREADS,
+            "noise_rate": NOISE_RATE, "seed": SEED,
+            "pool_workers": config.pool_workers,
+            "max_concurrency": config.max_concurrency,
+        },
+        "repair": {
+            "seconds": round(seconds, 3),
+            "rows_per_s": round(rows_per_s, 1),
+            "requests": len(latencies),
+            "latency_p50_ms": round(p50 * 1e3, 2),
+            "latency_p99_ms": round(p99 * 1e3, 2),
+        },
+        "daemon": daemon_counters,
+        "gates": {
+            "zero_errors": not failures,
+            "rows_per_s_floor": None if args.smoke else ROWS_PER_S_FLOOR,
+        },
+    }
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    print("wrote %s" % args.output)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

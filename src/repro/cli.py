@@ -13,6 +13,8 @@ Subcommands (``python -m repro <cmd>`` or the ``repro`` console script):
 * ``experiment``— run the Section 7 protocol end to end, emit a
   markdown report.
 * ``show``      — pretty-print a rule file in the paper's φ notation.
+* ``serve``     — run the hardened repair-as-a-service HTTP daemon
+  (admission control, deadlines, circuit breaker, hot-reload).
 
 All file formats are the library's standard ones: header-first CSV for
 tables, the JSON schema of :mod:`repro.core.serialization` for rules.
@@ -128,7 +130,8 @@ def _streaming_repair(args: argparse.Namespace, rules) -> int:
         on_inconsistent=args.on_inconsistent,
         workers=args.workers,
         chunk_size=args.chunk_size,
-        supervisor=supervisor)
+        supervisor=supervisor,
+        force_workers=args.force_workers)
     stats = session.stats()
     print("repaired %d rows; %d cells updated; output written to %s"
           % (stats["rows_seen"], stats["cells_changed"], args.output))
@@ -263,6 +266,47 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0 if not conflicts else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .serve import RepairServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        pool_workers=args.pool_workers,
+        max_concurrency=args.max_concurrency,
+        queue_watermark=args.queue_watermark,
+        request_timeout=args.request_timeout,
+        drain_timeout=args.drain_timeout,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset=args.breaker_reset,
+        spool_dir=args.spool_dir,
+    )
+
+    async def run() -> int:
+        server = RepairServer(config)
+        if args.rules:
+            rules = load_ruleset(args.rules)
+            entry = server.registry.install(args.tenant, rules)
+            print("loaded %d rule(s) for tenant %r (fingerprint %s)"
+                  % (entry.rule_count, args.tenant,
+                     entry.fingerprint[:12]))
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                signum, lambda: asyncio.ensure_future(server.drain()))
+        print("repro serve listening on http://%s:%d (pool workers: %d)"
+              % (config.host, server.port, config.pool_workers))
+        await server.serve_forever()
+        print("drained; bye")
+        return 0
+
+    return asyncio.run(run())
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -324,6 +368,11 @@ def build_parser() -> argparse.ArgumentParser:
                                "(implies --stream; 0 or a negative "
                                "value is rejected; output is identical "
                                "to a serial run)")
+    p_repair.add_argument("--force-workers", action="store_true",
+                          help="run real worker processes even when "
+                               "fewer than two CPUs are usable (by "
+                               "default such requests warn and run "
+                               "serial, which is strictly faster)")
     p_repair.add_argument("--chunk-size", type=int, default=None,
                           help="rows per parallel shard (default: "
                                "min(1024, checkpoint interval))")
@@ -424,6 +473,48 @@ def build_parser() -> argparse.ArgumentParser:
         "profile", help="descriptive statistics of a rule file")
     p_profile.add_argument("rules")
     p_profile.set_defaults(func=_cmd_profile)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the repair-as-a-service HTTP daemon")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8787)
+    p_serve.add_argument("--rules",
+                         help="rule JSON preloaded for --tenant at "
+                              "startup (more can be uploaded at "
+                              "runtime via POST /rulesets/{tenant})")
+    p_serve.add_argument("--tenant", default="default",
+                         help="tenant name the preloaded --rules are "
+                              "installed under (default: 'default')")
+    p_serve.add_argument("--pool-workers", type=int, default=2,
+                         help="pre-warmed repair worker processes; 0 "
+                              "serves in-process only (default 2)")
+    p_serve.add_argument("--max-concurrency", type=int, default=8,
+                         help="repair requests executing at once "
+                              "(default 8)")
+    p_serve.add_argument("--queue-watermark", type=int, default=16,
+                         help="waiting requests beyond which arrivals "
+                              "are shed with 503 + Retry-After "
+                              "(default 16)")
+    p_serve.add_argument("--request-timeout", type=float, default=30.0,
+                         help="per-request deadline in seconds; work "
+                              "is cancelled, not orphaned, on expiry "
+                              "(default 30)")
+    p_serve.add_argument("--drain-timeout", type=float, default=10.0,
+                         help="seconds SIGTERM waits for in-flight "
+                              "requests before tearing the pool down "
+                              "(default 10)")
+    p_serve.add_argument("--breaker-threshold", type=int, default=3,
+                         help="consecutive pool failures that open "
+                              "the circuit breaker (default 3)")
+    p_serve.add_argument("--breaker-reset", type=float, default=2.0,
+                         help="seconds the breaker stays open before "
+                              "probing the pool again (default 2)")
+    p_serve.add_argument("--spool-dir", default=None,
+                         help="directory validated rulesets are "
+                              "spooled to for the workers (default: "
+                              "a fresh temp dir)")
+    p_serve.set_defaults(func=_cmd_serve)
     return parser
 
 

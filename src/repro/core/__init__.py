@@ -33,8 +33,8 @@ from .ruleset import RuleSet
 from .matching import (first_proper, is_fixpoint, matching_rules,
                        properly_applicable)
 from .indexes import HashCounters, InvertedIndex
-from .engine import (CompiledRuleSet, compile_for_schema, compile_ruleset,
-                     rules_fingerprint)
+from .engine import (CompiledRuleSet, clear_compiled_cache, compile_cached,
+                     compile_for_schema, compile_ruleset, rules_fingerprint)
 from .consistency import (AssuranceHazard, CASE_B_I_IN_X_J, CASE_B_J_IN_X_I, CASE_ENUMERATED,
                           CASE_MUTUAL, CASE_SAME_ATTRIBUTE, OUT_OF_DOMAIN,
                           VALID_STRATEGIES, Conflict,
@@ -52,11 +52,12 @@ from .repair import (AppliedFix, RepairResult, TableRepairReport,
                      VALID_ALGORITHMS, chase_repair, fast_repair,
                      repair_table)
 from .parallel import (BatchRepairKernel, ParallelRepairExecutor,
-                       default_workers, fork_available,
-                       parallel_repair_table, plan_chunks)
-from .supervisor import (FAULT_MODES, POISON_ERROR_TYPE, ChunkSupervisor,
-                         SupervisorConfig, SupervisorError,
-                         WorkerFaultInjected, WorkerFaultPlan)
+                       cpus_usable, default_workers, fork_available,
+                       parallel_repair_table, plan_chunks, resolve_workers)
+from .supervisor import (FAULT_MODES, POISON_ERROR_TYPE, ChunkDeadlineError,
+                         ChunkSupervisor, SupervisorConfig, SupervisorError,
+                         WorkerCrashError, WorkerFaultInjected,
+                         WorkerFaultPlan)
 from .serialization import (format_rule, format_ruleset, load_ruleset,
                             rule_from_dict, rule_to_dict, ruleset_from_json,
                             ruleset_to_json, save_ruleset)
@@ -68,9 +69,9 @@ from .stream import (ON_INCONSISTENT_DEGRADE, ON_INCONSISTENT_RAISE,
                      RepairSession, repair_csv_file, repair_stream)
 from .instrumentation import (ENGINE_STATS, SUPERVISOR_STATS, CountingRule,
                               EngineStats, MatchCounter, SupervisorStats,
-                              counting_rules, engine_stats,
-                              reset_engine_stats, reset_supervisor_stats,
-                              supervisor_stats)
+                              SupervisorStatsSession, counting_rules,
+                              engine_stats, reset_engine_stats,
+                              reset_supervisor_stats, supervisor_stats)
 from .incremental import ConsistentRuleSet
 from .profile import RuleSetProfile, ruleset_profile
 from .explain import (APPLIES, EVIDENCE_MISMATCH, TARGET_ASSURED,
@@ -89,6 +90,8 @@ __all__ = [
     "CompiledRuleSet",
     "compile_ruleset",
     "compile_for_schema",
+    "compile_cached",
+    "clear_compiled_cache",
     "rules_fingerprint",
     "Conflict",
     "OUT_OF_DOMAIN",
@@ -130,12 +133,16 @@ __all__ = [
     "BatchRepairKernel",
     "ParallelRepairExecutor",
     "default_workers",
+    "cpus_usable",
+    "resolve_workers",
     "fork_available",
     "parallel_repair_table",
     "plan_chunks",
     "ChunkSupervisor",
     "SupervisorConfig",
     "SupervisorError",
+    "ChunkDeadlineError",
+    "WorkerCrashError",
     "WorkerFaultPlan",
     "WorkerFaultInjected",
     "POISON_ERROR_TYPE",
@@ -173,6 +180,7 @@ __all__ = [
     "engine_stats",
     "reset_engine_stats",
     "SupervisorStats",
+    "SupervisorStatsSession",
     "SUPERVISOR_STATS",
     "supervisor_stats",
     "reset_supervisor_stats",

@@ -44,6 +44,8 @@ in :data:`repro.core.instrumentation.ENGINE_STATS`.
 from __future__ import annotations
 
 import hashlib
+import threading
+from collections import OrderedDict
 from typing import (Dict, FrozenSet, List, Optional, Sequence, Tuple,
                     TYPE_CHECKING, Union)
 
@@ -60,6 +62,8 @@ __all__ = [
     "CompiledRuleSet",
     "compile_ruleset",
     "compile_for_schema",
+    "compile_cached",
+    "clear_compiled_cache",
     "rules_fingerprint",
 ]
 
@@ -451,3 +455,62 @@ def compile_for_schema(schema: Schema, rules: RuleInput) -> CompiledRuleSet:
             return compile_ruleset(rules)
         return CompiledRuleSet(schema, rules.rules())
     return CompiledRuleSet(schema, rules)
+
+
+# -- fingerprint-keyed compilation cache (multi-tenant serving) --------------
+#
+# The RuleSet memo above covers the batch drivers, where one Σ object
+# lives for the whole run.  A serving process instead juggles many
+# tenants whose rule sets arrive, reload, and roll back independently —
+# and its pool workers receive Σ by value, so object-identity memoing
+# never hits.  This cache keys compilations on Σ's *content*
+# fingerprint (plus the positional schema layout), giving every tenant,
+# request, and worker the same O(1) lookup for an unchanged Σ.
+
+#: Compiled rule sets retained per process; enough for a healthy
+#: tenant mix, small enough that a churn attack cannot balloon memory.
+COMPILED_CACHE_SIZE = 32
+
+_compiled_cache: "OrderedDict[Tuple[str, Tuple[str, ...]], CompiledRuleSet]" \
+    = OrderedDict()
+_compiled_cache_lock = threading.Lock()
+
+
+def compile_cached(schema: Schema, rules: RuleInput,
+                   fingerprint: Optional[str] = None,
+                   max_entries: int = COMPILED_CACHE_SIZE
+                   ) -> CompiledRuleSet:
+    """Compile Σ through the process-wide fingerprint-keyed LRU cache.
+
+    *fingerprint* may be passed when the caller already knows Σ's
+    content hash (serve-pool tasks ship it instead of recomputing);
+    otherwise it is derived here.  Two callers holding *different* rule
+    objects with identical content share one compilation — the property
+    the multi-tenant serving layer and its pool workers rely on.
+
+    Thread-safe; eviction is LRU.  Cache hits are counted in
+    ``ENGINE_STATS.compile_cache_hits`` alongside the RuleSet memo's.
+    """
+    if fingerprint is None:
+        fingerprint = rules_fingerprint(rules)
+    key = (fingerprint, tuple(schema.attribute_names))
+    with _compiled_cache_lock:
+        cached = _compiled_cache.get(key)
+        if cached is not None:
+            _compiled_cache.move_to_end(key)
+            ENGINE_STATS.compile_cache_hits += 1
+            return cached
+    compiled = compile_for_schema(schema, rules)
+    compiled._fingerprint = fingerprint
+    with _compiled_cache_lock:
+        _compiled_cache[key] = compiled
+        _compiled_cache.move_to_end(key)
+        while len(_compiled_cache) > max(1, max_entries):
+            _compiled_cache.popitem(last=False)
+    return compiled
+
+
+def clear_compiled_cache() -> None:
+    """Drop every entry of the fingerprint-keyed compilation cache."""
+    with _compiled_cache_lock:
+        _compiled_cache.clear()

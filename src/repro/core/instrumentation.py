@@ -196,6 +196,15 @@ class SupervisorStats:
         """The counters as a plain dict (JSON-ready)."""
         return {name: getattr(self, name) for name in self.__slots__}
 
+    def delta(self, baseline: Dict[str, int]) -> Dict[str, int]:
+        """Counters accumulated since *baseline* (a prior snapshot).
+
+        Missing baseline keys count as zero, so a baseline captured by
+        an older release still subtracts cleanly.
+        """
+        return {name: getattr(self, name) - int(baseline.get(name, 0))
+                for name in self.__slots__}
+
     def __repr__(self) -> str:
         return "SupervisorStats(%s)" % ", ".join(
             "%s=%d" % (name, getattr(self, name))
@@ -215,3 +224,37 @@ def supervisor_stats() -> Dict[str, int]:
 def reset_supervisor_stats() -> None:
     """Zero every counter in :data:`SUPERVISOR_STATS`."""
     SUPERVISOR_STATS.reset()
+
+
+class SupervisorStatsSession:
+    """A baseline-delta view over :data:`SUPERVISOR_STATS`.
+
+    The process-wide block must stay **monotonic** — a ``/metrics``
+    scraper differentiates it, and resetting it mid-flight would show
+    up as a counter going backwards.  But a serving process also needs
+    *attributable* numbers: "how many deadline hits since this serve
+    session started / since this request began".  A session solves
+    both: it snapshots the block at construction (or :meth:`rebase`)
+    and reports only the delta, never mutating the underlying
+    counters.  Each pool rebuild is counted exactly once in the
+    process-wide block (the supervisor's generation counter guarantees
+    single attribution even under concurrent requests), so deltas of
+    disjoint windows sum to the process totals — no double count.
+    """
+
+    __slots__ = ("_baseline",)
+
+    def __init__(self):
+        self._baseline = SUPERVISOR_STATS.snapshot()
+
+    def rebase(self) -> None:
+        """Re-anchor the session at the current process-wide totals."""
+        self._baseline = SUPERVISOR_STATS.snapshot()
+
+    def snapshot(self) -> Dict[str, int]:
+        """Counters accumulated since the session's baseline."""
+        return SUPERVISOR_STATS.delta(self._baseline)
+
+    def __repr__(self) -> str:
+        return "SupervisorStatsSession(%s)" % ", ".join(
+            "%s=%d" % item for item in sorted(self.snapshot().items()))

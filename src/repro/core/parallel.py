@@ -55,6 +55,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import warnings
 from typing import (Dict, FrozenSet, Iterable, Iterator, List, Optional,
                     Sequence, Tuple, Union)
 
@@ -72,6 +73,8 @@ __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "fork_available",
     "default_workers",
+    "cpus_usable",
+    "resolve_workers",
     "plan_chunks",
     "BatchRepairKernel",
     "ParallelRepairExecutor",
@@ -101,6 +104,58 @@ def fork_available() -> bool:
 def default_workers() -> int:
     """Worker count used when ``workers`` is passed as ``None``."""
     return os.cpu_count() or 1
+
+
+def cpus_usable() -> int:
+    """CPUs the scheduler actually grants this process.
+
+    ``os.cpu_count()`` reports the machine; containers and cgroup
+    affinity masks routinely grant less.  The parallelism heuristic
+    must reason about the granted number — forking four workers onto
+    one usable core is all IPC and no compute.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_workers(workers: Optional[int],
+                    force_workers: bool = False) -> int:
+    """The pointless-parallelism guard used by the high-level drivers.
+
+    ``BENCH_parallel.json`` measured the sharded executor at **0.31x**
+    of serial throughput on a box with a single usable CPU: per-row
+    repair is too cheap to amortize fork + pickle IPC unless real
+    cores run the workers.  So ``repair_table``, ``repair_csv_file``
+    and the CLI resolve their ``workers`` argument here: a request for
+    parallelism on a machine with fewer than two usable CPUs warns and
+    runs serial — identical output, strictly faster — unless
+    *force_workers* (CLI: ``--force-workers``) insists.  The low-level
+    drivers (:func:`parallel_repair_table`,
+    :class:`ParallelRepairExecutor`) stay un-gated: tests and the
+    chaos harness need real pools regardless of core count.
+
+    The ``REPRO_FORCE_WORKERS`` environment variable (any value other
+    than empty/``0``/``false``/``no``) forces pools process-wide —
+    the escape hatch for harnesses that must exercise real pools on
+    single-core CI runners without threading a flag through every
+    call site.
+    """
+    if workers is None:
+        workers = default_workers()
+    if not force_workers:
+        force_workers = (os.environ.get("REPRO_FORCE_WORKERS", "")
+                         .strip().lower() not in ("", "0", "false", "no"))
+    if workers > 1 and not force_workers and cpus_usable() < 2:
+        warnings.warn(
+            "workers=%d requested but only %d CPU(s) are usable by this "
+            "process; multiprocessing would slow the repair down "
+            "(measured 0.31x), so running serial instead — pass "
+            "force_workers=True (CLI: --force-workers) to insist"
+            % (workers, cpus_usable()), RuntimeWarning, stacklevel=3)
+        return 1
+    return workers
 
 
 def plan_chunks(total: int, chunk_size: int) -> List[Tuple[int, int]]:

@@ -233,7 +233,8 @@ def repair_table(table: Table, rules: RuleInput, algorithm: str = "fast",
                  check_consistency: bool = False,
                  workers: int = 1,
                  chunk_size: Optional[int] = None,
-                 supervisor=None) -> TableRepairReport:
+                 supervisor=None,
+                 force_workers: bool = False) -> TableRepairReport:
     """Repair every row of *table* with Σ = *rules*.
 
     Parameters
@@ -270,6 +271,12 @@ def repair_table(table: Table, rules: RuleInput, algorithm: str = "fast",
         tuning the parallel path's worker supervision (chunk
         deadlines, retries, poison-row bisection, degradation);
         ignored by the serial path, ``None`` uses the defaults.
+    force_workers:
+        By default a ``workers > 1`` request on a machine with fewer
+        than two *usable* CPUs warns and runs serial (multiprocessing
+        is a measured net slowdown there — see
+        :func:`~repro.core.parallel.resolve_workers`); ``True``
+        forces the pool anyway.
     """
     if algorithm not in VALID_ALGORITHMS:
         raise ValueError(
@@ -294,8 +301,10 @@ def repair_table(table: Table, rules: RuleInput, algorithm: str = "fast",
                 "algorithm='fast' for parallel repair)",
                 RuntimeWarning, stacklevel=2)
         else:
-            from .parallel import fork_available, parallel_repair_table
-            if fork_available() and len(table) > 0:
+            from .parallel import (fork_available, parallel_repair_table,
+                                   resolve_workers)
+            workers = resolve_workers(workers, force_workers)
+            if workers > 1 and fork_available() and len(table) > 0:
                 return parallel_repair_table(
                     table, rules, workers=workers, chunk_size=chunk_size,
                     verified_consistent=check_consistency,

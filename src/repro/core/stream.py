@@ -299,7 +299,8 @@ def repair_csv_file(input_path, rules: RuleInput, output_path,
                     workers: int = 1,
                     chunk_size: Optional[int] = None,
                     supervisor=None,
-                    fault_plan=None) -> RepairSession:
+                    fault_plan=None,
+                    force_workers: bool = False) -> RepairSession:
     """Repair a CSV file row by row, in constant memory, crash-safely.
 
     Tuple-level repair needs no cross-row state, so arbitrarily large
@@ -346,7 +347,11 @@ def repair_csv_file(input_path, rules: RuleInput, output_path,
     :class:`~repro.errors.PipelineError` naming the original exception
     type, because the original object cannot cross the process
     boundary.  ``workers=None`` means one worker per CPU; platforms
-    without ``fork`` silently use the serial path.
+    without ``fork`` silently use the serial path.  A ``workers > 1``
+    request on a machine with fewer than two *usable* CPUs warns and
+    runs serial — multiprocessing is a measured net slowdown there —
+    unless ``force_workers=True`` (see
+    :func:`~repro.core.parallel.resolve_workers`).
 
     Supervision: parallel chunks run under a
     :class:`~repro.core.supervisor.ChunkSupervisor` — *supervisor* (a
@@ -467,10 +472,9 @@ def repair_csv_file(input_path, rules: RuleInput, output_path,
             rows = iter_csv_records(input_path, schema, on_error=on_error)
 
         from .parallel import (DEFAULT_CHUNK_SIZE, ParallelRepairExecutor,
-                               default_workers, fork_available,
-                               is_error_marker)
-        effective_workers = (default_workers() if workers is None
-                             else workers)
+                               fork_available, is_error_marker,
+                               resolve_workers)
+        effective_workers = resolve_workers(workers, force_workers)
         use_parallel = effective_workers > 1 and fork_available()
         if use_parallel:
             shard = chunk_size if chunk_size is not None else min(

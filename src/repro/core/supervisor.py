@@ -60,6 +60,7 @@ from __future__ import annotations
 import os
 import random
 import signal
+import threading
 import time
 import warnings
 from collections import deque
@@ -76,6 +77,8 @@ __all__ = [
     "FAULT_MODES",
     "SupervisorConfig",
     "SupervisorError",
+    "ChunkDeadlineError",
+    "WorkerCrashError",
     "WorkerFaultInjected",
     "WorkerFaultPlan",
     "ChunkSupervisor",
@@ -91,9 +94,37 @@ ERROR_MARK = "__row_error__"
 #: naturally in ``errors_by_type`` next to real exception names.
 POISON_ERROR_TYPE = "WorkerCrashError"
 
+#: How long :meth:`ChunkSupervisor._kill_pool` waits for the standard
+#: library's ``Pool.terminate()`` before abandoning the teardown to a
+#: daemon thread (see the deadlock note in that method).  A healthy
+#: teardown completes in milliseconds; a wedged one never completes,
+#: so a long wait only slows the failover path down.
+POOL_TEARDOWN_TIMEOUT = 1.0
+
+#: ``multiprocessing.pool.TERMINATE`` without importing a private
+#: name at module scope; the literal has been stable since 2.6.
+_POOL_TERMINATE_STATE = "TERMINATE"
+
 
 class SupervisorError(PipelineError):
     """The worker pool is unrecoverable and degradation is disabled."""
+
+
+class ChunkDeadlineError(PipelineError):
+    """A :meth:`ChunkSupervisor.run_chunk` call exceeded its per-call
+    deadline; the pool was rebuilt, so the orphaned attempt is dead —
+    cancelled, not still running somewhere."""
+
+
+class WorkerCrashError(PipelineError):
+    """A :meth:`ChunkSupervisor.run_chunk` call lost its worker (death
+    detected by the liveness poll, or collateral loss from another
+    caller's pool rebuild) and its retry budget is exhausted.
+
+    Deliberately named like :data:`POISON_ERROR_TYPE`: whether the
+    failure is recorded as a per-row marker (batch path) or raised as
+    an exception (serving path), it aggregates under one name.
+    """
 
 
 class SupervisorConfig(NamedTuple):
@@ -322,6 +353,13 @@ class ChunkSupervisor:
         self.degraded = False
         self.pool = None
         self._baseline_pids: frozenset = frozenset()
+        # run_chunk() may be called from many serving threads at once;
+        # the lock serializes pool lifecycle transitions and the
+        # generation counter attributes each rebuild to exactly one
+        # failure event (the batch map_chunks path is single-threaded
+        # and pays only an uncontended acquire).
+        self._lock = threading.RLock()
+        self._generation = 0
         self._start_pool(initial=True)
 
     # -- counters ------------------------------------------------------------
@@ -373,15 +411,47 @@ class ChunkSupervisor:
 
     def _kill_pool(self) -> None:
         pool, self.pool = self.pool, None
-        if pool is not None:
-            pool.terminate()
-            pool.join()
+        if pool is None:
+            return
+        # Never trust Pool.terminate() with a compromised pool: a
+        # worker SIGKILLed while holding the task-queue lock (or an
+        # idle respawn blocked inside inqueue.get(), which holds the
+        # same lock) deadlocks _help_stuff_finish forever.  Stop the
+        # maintenance thread from respawning, SIGKILL the workers
+        # ourselves so cancellation semantics hold no matter what,
+        # then run the stdlib teardown on a daemon thread with a
+        # bounded wait — if it still wedges, abandon it (its helper
+        # threads are daemonic and cannot block interpreter exit).
+        try:
+            pool._worker_handler._state = _POOL_TERMINATE_STATE
+        except Exception:
+            pass
+        for proc in list(getattr(pool, "_pool", None) or []):
+            try:
+                if proc.pid is not None and proc.is_alive():
+                    os.kill(proc.pid, signal.SIGKILL)
+            except Exception:
+                pass
+
+        def _teardown() -> None:
+            try:
+                pool.terminate()
+                pool.join()
+            except Exception:
+                pass
+
+        reaper = threading.Thread(target=_teardown,
+                                  name="repro-pool-reaper", daemon=True)
+        reaper.start()
+        reaper.join(POOL_TEARDOWN_TIMEOUT)
 
     def _rebuild_pool(self) -> None:
         """Tear down the (suspect) pool and start a fresh one."""
-        self.failed = True
-        self._kill_pool()
-        self._start_pool()
+        with self._lock:
+            self.failed = True
+            self._generation += 1
+            self._kill_pool()
+            self._start_pool()
 
     def close(self) -> None:
         """Graceful shutdown: let idle workers drain and exit."""
@@ -397,9 +467,11 @@ class ChunkSupervisor:
     # -- supervised execution ------------------------------------------------
 
     def _submit(self, rows: List[list]):
-        self._chunk_id += 1
-        self._bump("chunks_submitted")
-        return self.pool.apply_async(self._task, ((self._chunk_id, rows),))
+        with self._lock:
+            self._chunk_id += 1
+            self._bump("chunks_submitted")
+            return self.pool.apply_async(self._task,
+                                         ((self._chunk_id, rows),))
 
     def _wait(self, result) -> Tuple[str, object]:
         """Await one chunk: ``('ok', (chunk_id, outcomes))`` or a
@@ -472,6 +544,102 @@ class ChunkSupervisor:
         bisect_budget = self.config.bisect_max_retries
         return (self._run_alone(rows[:mid], bisect_budget)
                 + self._run_alone(rows[mid:], bisect_budget))
+
+    # -- request-scoped execution (the serving path) -------------------------
+
+    def _await_request(self, result, timeout: Optional[float],
+                       generation: int) -> Tuple[str, object]:
+        """Like :meth:`_wait`, but with a per-call deadline (overriding
+        the config-wide ``chunk_timeout``) and a generation check: if
+        another thread rebuilt the pool while we waited, our task died
+        with the old pool and will never complete."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            wait_slice = self.config.poll_interval
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return ("deadline", None)
+                wait_slice = min(wait_slice, remaining)
+            try:
+                return ("ok", result.get(wait_slice))
+            except _MPTimeoutError:
+                pass
+            except Exception as exc:
+                return ("error", exc)
+            if self._generation != generation:
+                return ("died", None)
+            if self._worker_pids() != self._baseline_pids:
+                return ("died", None)
+
+    def run_chunk(self, rows, timeout: Optional[float] = None,
+                  retries: int = 0) -> list:
+        """Run one chunk with a per-call deadline — the cancellation
+        hook the serving layer builds on.
+
+        Unlike :meth:`map_chunks`, failures here are never bisected and
+        never degrade silently: on a deadline hit or a worker death the
+        pool is **rebuilt** — which is what cancels the orphaned
+        attempt; a ``fork`` worker cannot be interrupted politely — and
+        after *retries* resubmissions the failure is raised as
+        :class:`ChunkDeadlineError` or :class:`WorkerCrashError` so the
+        caller (e.g. a circuit breaker) can count it and pick a
+        fallback.  Task-level exceptions (the task raised; the pool is
+        healthy) propagate as-is without a rebuild.
+
+        Thread-safe: concurrent calls share the pool, and a rebuild
+        triggered by one caller's failure is attributed exactly once
+        via the generation counter.  Other callers' in-flight tasks die
+        with the old pool; they observe the generation change within
+        one ``poll_interval`` and fail fast as ``WorkerCrashError``
+        (or retry) instead of blocking on a result that will never
+        arrive.
+
+        With *timeout* ``None``, the config-wide ``chunk_timeout``
+        applies (which may itself be ``None`` — then only worker
+        deaths bound the wait).
+        """
+        if timeout is None:
+            timeout = self.config.chunk_timeout
+        attempts = 0
+        while True:
+            with self._lock:
+                if self.degraded:
+                    return self._run_serial(rows)
+                if self.pool is None:
+                    # A previous caller's rebuild failed (or raised with
+                    # degradation off); probe a fresh spawn — this is
+                    # the half-open recovery path.
+                    self._start_pool()
+                    if self.degraded:
+                        return self._run_serial(rows)
+                generation = self._generation
+                result = self._submit(rows)
+            status, value = self._await_request(result, timeout, generation)
+            if status == "ok":
+                return value[1]
+            if status == "error":
+                raise value
+            self._record_failure(status)
+            with self._lock:
+                if self._generation == generation:
+                    # First thread to notice this failure event owns
+                    # the rebuild; latecomers see the bumped generation
+                    # and skip straight to their retry/raise decision.
+                    self._rebuild_pool()
+            if attempts >= retries:
+                if status == "deadline":
+                    raise ChunkDeadlineError(
+                        "chunk exceeded its %.3fs deadline; the worker "
+                        "pool was rebuilt so the attempt is cancelled, "
+                        "not orphaned" % timeout)
+                raise WorkerCrashError(
+                    "a repair worker died mid-chunk (or was lost to a "
+                    "concurrent pool rebuild) and the retry budget "
+                    "(%d) is exhausted" % retries)
+            attempts += 1
+            self._bump("chunk_retries")
+            self._backoff_sleep(attempts)
 
     def map_chunks(self, chunks: Iterable[Sequence[Sequence[str]]],
                    max_inflight: Optional[int] = None) -> Iterator[list]:

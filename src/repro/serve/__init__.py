@@ -1,0 +1,52 @@
+"""Repair-as-a-service: the hardened ``repro serve`` daemon.
+
+The batch drivers answer "repair this file"; this package answers
+"keep repairing whatever shows up, indefinitely, without falling
+over".  It layers the paper's per-tuple dependability guarantees
+(deterministic, assured fixes under a consistent Σ — Sections 3–6)
+with the *process-level* dependability a long-running service needs:
+
+* :mod:`~repro.serve.admission` — bounded concurrency and watermark
+  shedding (503 + ``Retry-After``) instead of unbounded queueing;
+* :mod:`~repro.serve.breaker` — a circuit breaker that routes around
+  a crashing worker pool and probes it back to health;
+* :mod:`~repro.serve.registry` — per-tenant hot reload of Σ with
+  shadow-slot validation (parse, blocked consistency check, compile)
+  and one-step rollback; an inconsistent upload is rejected with the
+  old Σ still serving, preserving Theorem 5's uniqueness guarantee
+  for every request;
+* :mod:`~repro.serve.pool` — a pre-warmed supervised fork pool whose
+  tasks name their Σ by content fingerprint;
+* :mod:`~repro.serve.server` — the asyncio daemon tying it together
+  with per-request deadlines that cancel (not orphan) work, and
+  graceful SIGTERM drain.
+
+Everything is standard library only, like the rest of the repo.
+"""
+
+from .admission import AdmissionController
+from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from .httpio import HttpError, Request
+from .metrics import ServeMetrics, percentile
+from .pool import ServePool
+from .registry import RulesetRegistry, RulesetRejected, TenantRuleset
+from .server import RepairServer, ServeConfig, ServerThread
+
+__all__ = [
+    "AdmissionController",
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "HttpError",
+    "Request",
+    "ServeMetrics",
+    "percentile",
+    "ServePool",
+    "RulesetRegistry",
+    "RulesetRejected",
+    "TenantRuleset",
+    "RepairServer",
+    "ServeConfig",
+    "ServerThread",
+]

@@ -1,0 +1,111 @@
+"""Admission control: bounded concurrency with watermark shedding.
+
+The daemon admits at most ``max_concurrency`` heavy requests at a
+time; arrivals beyond that wait on the semaphore.  The *queue
+watermark* bounds that wait line — once ``waiting`` reaches the
+watermark a new arrival is shed immediately with ``503`` and a
+``Retry-After`` hint, because making it queue would only convert
+overload into latency and memory growth.  Draining (the SIGTERM path)
+flips ``accepting`` off so every new heavy request is shed while
+in-flight ones finish.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Semaphore-bounded admission with an explicit shed decision.
+
+    Usage::
+
+        if not admission.try_begin():
+            # shed: 503 + Retry-After
+        async with admission:
+            ... handle the request ...
+
+    ``try_begin`` only *decides*; the context manager does the actual
+    acquire (and registers as waiting while it blocks).  The split
+    keeps the shed path synchronous: a shed request never touches the
+    semaphore, so it cannot jump the line or leak a permit.
+    """
+
+    def __init__(self, max_concurrency: int, queue_watermark: int,
+                 retry_after: float = 1.0):
+        if max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1, got %d"
+                             % max_concurrency)
+        if queue_watermark < 0:
+            raise ValueError("queue_watermark must be >= 0, got %d"
+                             % queue_watermark)
+        self.max_concurrency = max_concurrency
+        self.queue_watermark = queue_watermark
+        self.retry_after = retry_after
+        self._semaphore = asyncio.Semaphore(max_concurrency)
+        self.accepting = True
+        self.waiting = 0
+        self.inflight = 0
+        self.admitted_total = 0
+        self.shed_total = 0
+        self._idle_event = asyncio.Event()
+        self._idle_event.set()
+
+    def try_begin(self) -> bool:
+        """Decide admission for one new heavy request.
+
+        Sheds while draining, or when the request would have to *wait*
+        (no free slot) and the wait line is already at the watermark —
+        a free slot always admits, even with ``queue_watermark=0``.
+        """
+        would_wait = self.inflight >= self.max_concurrency
+        if not self.accepting or \
+                (would_wait and self.waiting >= self.queue_watermark):
+            self.shed_total += 1
+            return False
+        return True
+
+    async def __aenter__(self) -> "AdmissionController":
+        self.waiting += 1
+        self._idle_event.clear()
+        try:
+            await self._semaphore.acquire()
+        finally:
+            self.waiting -= 1
+        self.inflight += 1
+        self.admitted_total += 1
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        self.inflight -= 1
+        self._semaphore.release()
+        if self.inflight == 0 and self.waiting == 0:
+            self._idle_event.set()
+
+    def begin_drain(self) -> None:
+        """Stop admitting; in-flight requests keep running."""
+        self.accepting = False
+        if self.inflight == 0 and self.waiting == 0:
+            self._idle_event.set()
+
+    async def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until no request is in flight; False on timeout."""
+        try:
+            await asyncio.wait_for(self._idle_event.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    def snapshot(self) -> dict:
+        return {
+            "accepting": self.accepting,
+            "inflight": self.inflight,
+            "waiting": self.waiting,
+            "admitted_total": self.admitted_total,
+            "shed_total": self.shed_total,
+            "max_concurrency": self.max_concurrency,
+            "queue_watermark": self.queue_watermark,
+        }

@@ -1,0 +1,98 @@
+"""Circuit breaker guarding the pre-warmed worker pool.
+
+The pool is the fast path for ``/repair``; when workers crash or hang
+repeatedly, every request that tries the pool pays a full deadline (or
+a pool rebuild) before failing over.  The breaker cuts that loss
+short: after ``failure_threshold`` *consecutive* pool failures it
+opens and requests go straight to the in-process serial engine.  After
+``reset_timeout`` seconds it admits up to ``half_open_probes``
+requests back to the pool ("half-open"); one success closes it, one
+failure re-opens it and restarts the clock.
+
+The breaker is driven from the event loop only, so it needs no lock —
+``allow``/``record_*`` are plain synchronous calls.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    def __init__(self, failure_threshold: int = 5, reset_timeout: float = 5.0,
+                 half_open_probes: int = 1, clock=time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1, got %d"
+                             % failure_threshold)
+        if half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1, got %d"
+                             % half_open_probes)
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self.state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_inflight = 0
+        self.opens_total = 0
+        self.closes_total = 0
+        self.probe_successes = 0
+        self.probe_failures = 0
+
+    def allow(self) -> bool:
+        """May the next request use the pool?"""
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if self._clock() - self._opened_at >= self.reset_timeout:
+                self.state = HALF_OPEN
+                self._probes_inflight = 0
+            else:
+                return False
+        # half-open: admit a bounded number of concurrent probes
+        if self._probes_inflight < self.half_open_probes:
+            self._probes_inflight += 1
+            return True
+        return False
+
+    def record_success(self) -> None:
+        if self.state == HALF_OPEN:
+            self.probe_successes += 1
+            self.state = CLOSED
+            self.closes_total += 1
+        self._consecutive_failures = 0
+        self._probes_inflight = 0
+
+    def record_failure(self) -> None:
+        if self.state == HALF_OPEN:
+            self.probe_failures += 1
+            self._trip()
+            return
+        self._consecutive_failures += 1
+        if self.state == CLOSED and \
+                self._consecutive_failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self.state = OPEN
+        self.opens_total += 1
+        self._opened_at = self._clock()
+        self._consecutive_failures = 0
+        self._probes_inflight = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self._consecutive_failures,
+            "opens_total": self.opens_total,
+            "closes_total": self.closes_total,
+            "probe_successes": self.probe_successes,
+            "probe_failures": self.probe_failures,
+        }

@@ -1,0 +1,195 @@
+"""Minimal HTTP/1.1 framing over asyncio streams.
+
+The serve daemon deliberately depends on nothing beyond the standard
+library, and the standard library's HTTP servers are either
+thread-per-connection (``http.server``) or absent for asyncio — so
+this module hand-rolls the small slice of HTTP/1.1 the daemon needs:
+request-line + headers + ``Content-Length`` bodies in, status + headers
++ body out, with keep-alive.  It is a *server-side* framing layer, not
+a general HTTP implementation: no chunked transfer encoding (a request
+using it is answered ``411 Length Required``), no multipart, no
+continuation lines.
+
+Every limit is explicit because the daemon sits in front of untrusted
+clients: an over-long request line, an unbounded header list, or a
+body larger than the configured cap each abort the request with a 4xx
+instead of buffering without bound.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "read_request",
+    "render_response",
+    "json_response",
+]
+
+#: Hard framing limits, independent of the configurable body cap.
+MAX_REQUEST_LINE = 8192
+MAX_HEADER_LINE = 8192
+MAX_HEADERS = 100
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    411: "Length Required",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A request-level failure with a definite status code.
+
+    Raising one anywhere inside a handler produces a JSON error
+    response with *status*, optional extra *headers*, and the message
+    as the ``error`` field — the connection survives when keep-alive
+    allows it.
+    """
+
+    def __init__(self, status: int, message: str,
+                 headers: Optional[Dict[str, str]] = None,
+                 payload: Optional[dict] = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = dict(headers or {})
+        #: extra JSON fields merged into the error body (e.g. the
+        #: conflict list of a rejected ruleset upload)
+        self.payload = dict(payload or {})
+
+
+class Request:
+    """One parsed HTTP request."""
+
+    __slots__ = ("method", "path", "query", "headers", "body")
+
+    def __init__(self, method: str, path: str, query: Dict[str, str],
+                 headers: Dict[str, str], body: bytes):
+        self.method = method
+        self.path = path
+        self.query = query
+        #: header names lower-cased; duplicate headers keep the last
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> object:
+        """The body decoded as JSON; :class:`HttpError` 400 on garbage."""
+        if not self.body:
+            return None
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, "request body is not valid JSON: %s" % exc)
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def __repr__(self) -> str:
+        return "Request(%s %s, %d body bytes)" % (self.method, self.path,
+                                                  len(self.body))
+
+
+async def _read_line(reader: asyncio.StreamReader, limit: int) -> bytes:
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return b""  # clean EOF between requests
+        raise HttpError(400, "truncated request")
+    except asyncio.LimitOverrunError:
+        raise HttpError(400, "request line exceeds %d bytes" % limit)
+    if len(line) > limit:
+        raise HttpError(400, "request line exceeds %d bytes" % limit)
+    return line
+
+
+async def read_request(reader: asyncio.StreamReader,
+                       max_body: int) -> Optional[Request]:
+    """Parse one request; ``None`` on clean EOF (client closed)."""
+    line = await _read_line(reader, MAX_REQUEST_LINE)
+    if not line:
+        return None
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1"):
+        raise HttpError(400, "malformed request line")
+    method, target, _version = parts
+    split = urlsplit(target)
+    query = {key: value for key, value in parse_qsl(split.query)}
+
+    headers: Dict[str, str] = {}
+    for _ in range(MAX_HEADERS + 1):
+        line = await _read_line(reader, MAX_HEADER_LINE)
+        if line in (b"\r\n", b"\n"):
+            break
+        if not line:
+            raise HttpError(400, "truncated headers")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, "malformed header line")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise HttpError(400, "more than %d headers" % MAX_HEADERS)
+
+    if headers.get("transfer-encoding", "").lower() not in ("", "identity"):
+        raise HttpError(411, "chunked transfer encoding is not supported; "
+                             "send Content-Length")
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise HttpError(400, "bad Content-Length %r" % length_text)
+    if length < 0:
+        raise HttpError(400, "negative Content-Length")
+    if length > max_body:
+        raise HttpError(413, "body of %d bytes exceeds the %d-byte limit"
+                        % (length, max_body))
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "body shorter than Content-Length")
+    return Request(method.upper(), unquote(split.path), query, headers, body)
+
+
+def render_response(status: int, body: bytes,
+                    content_type: str = "application/json",
+                    headers: Optional[Dict[str, str]] = None,
+                    close: bool = False) -> bytes:
+    """Serialize one response, keep-alive by default."""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        "HTTP/1.1 %d %s" % (status, reason),
+        "Content-Type: %s" % content_type,
+        "Content-Length: %d" % len(body),
+        "Connection: %s" % ("close" if close else "keep-alive"),
+    ]
+    for name, value in (headers or {}).items():
+        lines.append("%s: %s" % (name, value))
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_response(status: int, payload: dict,
+                  headers: Optional[Dict[str, str]] = None,
+                  close: bool = False) -> bytes:
+    """A JSON body response (the daemon's default shape)."""
+    body = (json.dumps(payload, separators=(",", ":"), sort_keys=True)
+            .encode("utf-8"))
+    return render_response(status, body, headers=headers, close=close)

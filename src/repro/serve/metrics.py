@@ -1,0 +1,157 @@
+"""Serve-side observability: counters, latency quantiles, /metrics text.
+
+Two scoping rules, fixed by the ``supervisor_stats()`` session-scoping
+bug this PR closes:
+
+* everything exported from ``/metrics`` is **monotonic for the life of
+  the process** (a scraper differentiates it; counters must never go
+  backwards), and
+* supervisor counters are reported as a
+  :class:`~repro.core.instrumentation.SupervisorStatsSession` delta —
+  events since *this daemon* started, not since the process imported
+  repro — so a test harness (or an embedding application) that ran
+  pools before the daemon does not pollute the daemon's numbers.
+
+Latency quantiles come from a bounded reservoir of the most recent
+``/repair`` durations: honest p50/p99 for the recent window at O(1)
+memory, recomputed only when scraped.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+from ..core.instrumentation import SupervisorStatsSession
+
+__all__ = ["ServeMetrics", "percentile"]
+
+#: /repair durations kept for quantile estimates.
+LATENCY_WINDOW = 2048
+
+
+def percentile(samples: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of *samples*; 0.0 when empty."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[rank]
+
+
+class ServeMetrics:
+    """All counters one daemon exports; mutated from the event loop only."""
+
+    def __init__(self):
+        self.started_at = time.monotonic()
+        self.requests_by_endpoint: Dict[str, int] = {}
+        self.responses_by_status: Dict[int, int] = {}
+        self.rows_repaired_total = 0
+        self.cells_changed_total = 0
+        self.row_errors_total = 0
+        self.timeouts_total = 0
+        self.pool_requests_total = 0
+        self.serial_requests_total = 0
+        self.fallbacks_total = 0
+        self._latencies: deque = deque(maxlen=LATENCY_WINDOW)
+        self.supervisor_session = SupervisorStatsSession()
+
+    # -- recording -----------------------------------------------------------
+
+    def record_request(self, endpoint: str) -> None:
+        self.requests_by_endpoint[endpoint] = \
+            self.requests_by_endpoint.get(endpoint, 0) + 1
+
+    def record_response(self, status: int) -> None:
+        self.responses_by_status[status] = \
+            self.responses_by_status.get(status, 0) + 1
+
+    def record_repair(self, rows: int, cells_changed: int, row_errors: int,
+                      duration: float, engine: str) -> None:
+        self.rows_repaired_total += rows
+        self.cells_changed_total += cells_changed
+        self.row_errors_total += row_errors
+        self._latencies.append(duration)
+        if engine == "pool":
+            self.pool_requests_total += 1
+        else:
+            self.serial_requests_total += 1
+
+    # -- reporting -----------------------------------------------------------
+
+    def latency_quantiles(self) -> Dict[str, float]:
+        samples = list(self._latencies)
+        return {
+            "p50": percentile(samples, 0.50),
+            "p99": percentile(samples, 0.99),
+            "samples": float(len(samples)),
+        }
+
+    def snapshot(self, admission: Optional[dict] = None,
+                 breaker: Optional[dict] = None,
+                 registry: Optional[dict] = None) -> dict:
+        """JSON-shaped view, used by tests and the bench harness."""
+        return {
+            "uptime_seconds": time.monotonic() - self.started_at,
+            "requests_by_endpoint": dict(self.requests_by_endpoint),
+            "responses_by_status": {str(code): count for code, count
+                                    in self.responses_by_status.items()},
+            "rows_repaired_total": self.rows_repaired_total,
+            "cells_changed_total": self.cells_changed_total,
+            "row_errors_total": self.row_errors_total,
+            "timeouts_total": self.timeouts_total,
+            "pool_requests_total": self.pool_requests_total,
+            "serial_requests_total": self.serial_requests_total,
+            "fallbacks_total": self.fallbacks_total,
+            "latency": self.latency_quantiles(),
+            "supervisor": self.supervisor_session.snapshot(),
+            "admission": dict(admission or {}),
+            "breaker": dict(breaker or {}),
+            "registry": dict(registry or {}),
+        }
+
+    def render(self, admission: Optional[dict] = None,
+               breaker: Optional[dict] = None,
+               registry: Optional[dict] = None) -> str:
+        """Prometheus-style exposition text for ``GET /metrics``."""
+        lines: List[str] = []
+
+        def emit(name: str, value, labels: str = "") -> None:
+            lines.append("repro_serve_%s%s %s" % (name, labels, value))
+
+        emit("uptime_seconds", "%.3f"
+             % (time.monotonic() - self.started_at))
+        for endpoint, count in sorted(self.requests_by_endpoint.items()):
+            emit("requests_total", count, '{endpoint="%s"}' % endpoint)
+        for status, count in sorted(self.responses_by_status.items()):
+            emit("responses_total", count, '{status="%d"}' % status)
+        emit("rows_repaired_total", self.rows_repaired_total)
+        emit("cells_changed_total", self.cells_changed_total)
+        emit("row_errors_total", self.row_errors_total)
+        emit("timeouts_total", self.timeouts_total)
+        emit("requests_engine_total", self.pool_requests_total,
+             '{engine="pool"}')
+        emit("requests_engine_total", self.serial_requests_total,
+             '{engine="serial"}')
+        emit("fallbacks_total", self.fallbacks_total)
+        quantiles = self.latency_quantiles()
+        emit("repair_latency_seconds", "%.6f" % quantiles["p50"],
+             '{quantile="0.5"}')
+        emit("repair_latency_seconds", "%.6f" % quantiles["p99"],
+             '{quantile="0.99"}')
+        for name, value in sorted(self.supervisor_session
+                                  .snapshot().items()):
+            emit("supervisor_%s" % name, value)
+        for source, block in (("admission", admission),
+                              ("breaker", breaker),
+                              ("registry", registry)):
+            for name, value in sorted((block or {}).items()):
+                if isinstance(value, bool):
+                    value = int(value)
+                if isinstance(value, (int, float)):
+                    emit("%s_%s" % (source, name), value)
+                else:
+                    emit("%s_info" % source, 1,
+                         '{%s="%s"}' % (name, value))
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,167 @@
+"""The daemon's pre-warmed, supervised worker pool.
+
+The batch executor (:class:`~repro.core.parallel.ParallelRepairExecutor`)
+broadcasts one Σ per pool lifetime through the initializer — the right
+shape for a run that repairs one table under one ruleset.  A daemon
+serves *many* tenants whose rulesets hot-reload, so the serve pool
+inverts the distribution: workers start Σ-less, and every task names
+its ruleset by ``(fingerprint, spool_path)``.  A worker resolves the
+fingerprint against a small in-worker kernel cache and loads the
+spooled JSON only on a miss — so steady-state tasks ship raw cell
+values plus two short strings, and a hot-reload needs no pool restart:
+the next task's new fingerprint misses the cache and loads the new
+file.  The spool file is written atomically before any request can
+name its fingerprint, so a worker can never read a torn Σ.
+
+Supervision reuses :meth:`~repro.core.supervisor.ChunkSupervisor.run_chunk`
+— per-request deadlines that *cancel* (pool rebuild) rather than
+orphan, worker-death detection, thread-safe concurrent submission —
+with degradation disabled: the daemon's circuit breaker owns the
+pool-vs-serial decision, so the supervisor must surface failures, not
+absorb them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+from ..core.engine import CompiledRuleSet
+from ..core.supervisor import (ERROR_MARK, ChunkSupervisor, SupervisorConfig,
+                               WorkerFaultPlan)
+
+__all__ = ["ServePool"]
+
+#: Kernels a single worker keeps compiled; small because each entry
+#: holds a full compiled Σ and tenants on one daemon rarely churn
+#: through many distinct fingerprints at once.
+WORKER_KERNEL_CACHE_SIZE = 8
+
+# -- worker-side state --------------------------------------------------------
+
+_SERVE_KERNELS: "OrderedDict[str, CompiledRuleSet]" = OrderedDict()
+_SERVE_FAULTS: Optional[WorkerFaultPlan] = None
+_SERVE_PARENT_PID: Optional[int] = None
+
+
+def _init_serve_worker(blob: bytes) -> None:
+    global _SERVE_FAULTS, _SERVE_PARENT_PID
+    _SERVE_PARENT_PID = os.getppid()
+    from ..core.parallel import _reap_with_parent
+    _reap_with_parent()
+    _SERVE_FAULTS = pickle.loads(blob)
+    _SERVE_KERNELS.clear()
+
+
+def _worker_kernel(fingerprint: str, spool_path: str) -> CompiledRuleSet:
+    kernel = _SERVE_KERNELS.get(fingerprint)
+    if kernel is not None:
+        _SERVE_KERNELS.move_to_end(fingerprint)
+        return kernel
+    from ..core.serialization import load_ruleset
+    ruleset = load_ruleset(spool_path)
+    kernel = CompiledRuleSet(ruleset.schema, list(ruleset))
+    kernel._fingerprint = fingerprint
+    _SERVE_KERNELS[fingerprint] = kernel
+    while len(_SERVE_KERNELS) > WORKER_KERNEL_CACHE_SIZE:
+        _SERVE_KERNELS.popitem(last=False)
+    return kernel
+
+
+def _serve_chunk_task(task):
+    """Repair one request's rows against the named Σ.
+
+    Payload: ``(chunk_id, (fingerprint, spool_path, rows))``; returns
+    ``(chunk_id, outcomes)`` in the standard per-row encoding —
+    ``None`` (unchanged) | ``(new_values, applied)`` |
+    ``(ERROR_MARK, error_type, message)``.
+    """
+    chunk_id, (fingerprint, spool_path, rows) = task
+    if _SERVE_PARENT_PID is not None and os.getppid() != _SERVE_PARENT_PID:
+        os._exit(2)  # orphaned by a hard-killed daemon
+    plan = _SERVE_FAULTS
+    out = []
+    kernel = None
+    for values in rows:
+        try:
+            if plan is not None:
+                plan.maybe_fire(values)
+            if kernel is None:
+                kernel = _worker_kernel(fingerprint, spool_path)
+            out.append(kernel.repair_values(values))
+        except Exception as exc:  # per-row capture, same as batch path
+            out.append((ERROR_MARK, type(exc).__name__, str(exc)))
+    return chunk_id, out
+
+
+def _no_serial_runner(payload):  # pragma: no cover - degrade is off
+    raise RuntimeError("the serve pool never degrades in place; the "
+                       "circuit breaker owns the serial fallback")
+
+
+# -- the parent-side pool -----------------------------------------------------
+
+class ServePool:
+    """A supervised fork pool shared by every tenant of one daemon."""
+
+    def __init__(self, workers: int, poll_interval: float = 0.05,
+                 fault_plan: Optional[WorkerFaultPlan] = None):
+        if workers < 1:
+            raise ValueError("ServePool needs workers >= 1, got %d"
+                             % workers)
+        blob = pickle.dumps(fault_plan, protocol=pickle.HIGHEST_PROTOCOL)
+        context = multiprocessing.get_context("fork")
+        self.workers = workers
+        self._supervisor = ChunkSupervisor(
+            workers=workers,
+            spawn=lambda: context.Pool(processes=workers,
+                                       initializer=_init_serve_worker,
+                                       initargs=(blob,)),
+            task=_serve_chunk_task,
+            serial_runner=_no_serial_runner,
+            config=SupervisorConfig(
+                chunk_timeout=None,   # per-request deadlines instead
+                max_chunk_retries=0,  # the breaker owns retry policy
+                degrade_to_serial=False,
+                poll_interval=poll_interval,
+            ))
+        self._closed = False
+
+    @property
+    def stats(self):
+        return self._supervisor.stats
+
+    def repair(self, fingerprint: str, spool_path: str,
+               rows: List[list], timeout: Optional[float] = None) -> list:
+        """Repair *rows* under the spooled Σ; blocks up to *timeout*.
+
+        Raises :class:`~repro.core.supervisor.ChunkDeadlineError` on a
+        deadline hit and :class:`~repro.core.supervisor.WorkerCrashError`
+        on a worker death — in both cases the pool was rebuilt, so the
+        attempt is cancelled, not orphaned.  Called from executor
+        threads; safe to call concurrently.
+        """
+        payload = (fingerprint, spool_path, rows)
+        return self._supervisor.run_chunk(payload, timeout=timeout)
+
+    def close(self) -> None:
+        """Drain shutdown; hard-terminates if the pool ever failed."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._supervisor.failed:
+            self._supervisor.terminate()
+        else:
+            self._supervisor.close()
+
+    def terminate(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._supervisor.terminate()
+
+    def __repr__(self) -> str:
+        return "ServePool(%d workers)" % self.workers

@@ -1,0 +1,199 @@
+"""Per-tenant ruleset registry with validate-then-swap hot reload.
+
+Each tenant owns one *active* ruleset and (after the first reload) one
+*previous* ruleset.  An upload never touches the active slot until the
+candidate Σ′ has fully survived validation in a shadow slot:
+
+1. parse (``ruleset_from_json``) — malformed JSON / rule syntax is a
+   client error, :class:`RulesetRejected` 400;
+2. blocked consistency check (``find_conflicts_cached``) — an
+   inconsistent Σ′ would make repair results order-dependent
+   (Theorem 5), so it is rejected with 422 and the conflict pairs;
+3. compile (``compile_cached``) — the positional kernel the serial
+   path executes;
+4. spool to disk atomically (``tmp`` + ``os.replace``) under the
+   content fingerprint — this file is what pool workers load, so a
+   worker can never observe a half-written Σ.
+
+Only after all four does the swap happen: ``previous ← active``,
+``active ← candidate``.  That makes rollback a one-step pointer swap,
+and it makes the failure-mode guarantee trivial — a rejected upload
+leaves the old Σ serving because nothing was mutated.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Dict, Optional
+
+from ..errors import ReproError, SerializationError
+from ..core.consistency import find_conflicts_cached
+from ..core.engine import (CompiledRuleSet, compile_cached,
+                           rules_fingerprint)
+from ..core.ruleset import RuleSet
+from ..core.serialization import ruleset_from_json, ruleset_to_json
+
+__all__ = ["RulesetRejected", "TenantRuleset", "RulesetRegistry"]
+
+
+class RulesetRejected(ReproError):
+    """An uploaded Σ′ failed shadow validation; the old Σ keeps serving."""
+
+    def __init__(self, status: int, message: str, conflicts=None):
+        super().__init__(message)
+        #: the HTTP status the daemon maps this to (400 parse, 422
+        #: inconsistent)
+        self.status = status
+        self.conflicts = list(conflicts or [])
+
+
+class TenantRuleset:
+    """One validated, compiled, spooled ruleset version."""
+
+    __slots__ = ("ruleset", "compiled", "fingerprint", "json_text",
+                 "spool_path", "rule_count")
+
+    def __init__(self, ruleset: RuleSet, compiled: CompiledRuleSet,
+                 fingerprint: str, json_text: str, spool_path: str):
+        self.ruleset = ruleset
+        self.compiled = compiled
+        self.fingerprint = fingerprint
+        self.json_text = json_text
+        self.spool_path = spool_path
+        self.rule_count = len(ruleset)
+
+    def describe(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "rules": self.rule_count,
+            "schema": self.ruleset.schema.name,
+            "attributes": list(self.ruleset.schema.attribute_names),
+        }
+
+
+class _TenantSlots:
+    __slots__ = ("active", "previous")
+
+    def __init__(self, active: TenantRuleset):
+        self.active = active
+        self.previous: Optional[TenantRuleset] = None
+
+
+class RulesetRegistry:
+    """All tenants' rulesets; every mutation is validate-then-swap."""
+
+    def __init__(self, spool_dir: str):
+        self.spool_dir = spool_dir
+        os.makedirs(spool_dir, exist_ok=True)
+        self._tenants: Dict[str, _TenantSlots] = {}
+        self.reloads_total = 0
+        self.rejects_total = 0
+        self.rollbacks_total = 0
+
+    # -- lookup --------------------------------------------------------------
+
+    def get(self, tenant: str) -> TenantRuleset:
+        try:
+            return self._tenants[tenant].active
+        except KeyError:
+            raise KeyError("unknown tenant %r; upload a ruleset to "
+                           "/rulesets/%s first" % (tenant, tenant))
+
+    def tenants(self) -> Dict[str, dict]:
+        return {name: slots.active.describe()
+                for name, slots in sorted(self._tenants.items())}
+
+    def __contains__(self, tenant: str) -> bool:
+        return tenant in self._tenants
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    # -- mutation ------------------------------------------------------------
+
+    def upload(self, tenant: str, json_text: str) -> TenantRuleset:
+        """Validate Σ′ in a shadow slot; swap it in only on full success.
+
+        Raises :class:`RulesetRejected` (carrying the HTTP status) on
+        any validation failure; the tenant's active slot is untouched.
+        """
+        candidate = self._validate(json_text)
+        self.reloads_total += 1
+        slots = self._tenants.get(tenant)
+        if slots is None:
+            self._tenants[tenant] = _TenantSlots(candidate)
+        else:
+            slots.previous = slots.active
+            slots.active = candidate
+        return candidate
+
+    def install(self, tenant: str, ruleset: RuleSet) -> TenantRuleset:
+        """Register an already-parsed Σ (the CLI preload path).
+
+        Runs the same consistency + compile + spool validation as
+        :meth:`upload`.
+        """
+        return self.upload(tenant, ruleset_to_json(ruleset))
+
+    def rollback(self, tenant: str) -> TenantRuleset:
+        """Swap active and previous; error when there is no previous."""
+        slots = self._tenants.get(tenant)
+        if slots is None:
+            raise KeyError("unknown tenant %r" % tenant)
+        if slots.previous is None:
+            raise RulesetRejected(
+                409, "tenant %r has no previous ruleset to roll back to"
+                % tenant)
+        slots.active, slots.previous = slots.previous, slots.active
+        self.rollbacks_total += 1
+        return slots.active
+
+    # -- internals -----------------------------------------------------------
+
+    def _validate(self, json_text: str) -> TenantRuleset:
+        try:
+            ruleset = ruleset_from_json(json_text)
+        except SerializationError as exc:
+            self.rejects_total += 1
+            raise RulesetRejected(400, "ruleset rejected: %s" % exc)
+        if len(ruleset) == 0:
+            self.rejects_total += 1
+            raise RulesetRejected(400, "ruleset rejected: no rules")
+        conflicts = find_conflicts_cached(ruleset, first_only=True)
+        fingerprint = rules_fingerprint(ruleset)
+        if conflicts:
+            self.rejects_total += 1
+            raise RulesetRejected(
+                422,
+                "ruleset rejected: Σ is inconsistent (%s); an inconsistent "
+                "rule set would make repairs order-dependent"
+                % conflicts[0].describe(), conflicts=conflicts)
+        compiled = compile_cached(ruleset.schema, ruleset,
+                                  fingerprint=fingerprint)
+        spool_path = self._spool(fingerprint, json_text)
+        return TenantRuleset(ruleset, compiled, fingerprint, json_text,
+                             spool_path)
+
+    def _spool(self, fingerprint: str, json_text: str) -> str:
+        """Write Σ to ``<spool_dir>/<fingerprint>.json`` atomically.
+
+        Content-addressed: two tenants sharing a Σ share the file, and
+        re-uploading a previous version is a no-op write.
+        """
+        path = os.path.join(self.spool_dir, "%s.json" % fingerprint)
+        if os.path.exists(path):
+            return path
+        fd, tmp_path = tempfile.mkstemp(dir=self.spool_dir,
+                                        suffix=".json.tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(json_text)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return path

@@ -1,0 +1,660 @@
+"""The repair-as-a-service daemon: ``repro serve``.
+
+One asyncio event loop owns admission, routing, the circuit breaker,
+and the ruleset registry; repair compute happens off-loop — in the
+pre-warmed supervised worker pool (fast path) or the in-process serial
+engine (fallback) — via executor threads, so a slow repair never
+blocks health checks or metrics scrapes.
+
+The request lifecycle for ``POST /repair``:
+
+1. **Admission.**  Heavy endpoints pass the
+   :class:`~repro.serve.admission.AdmissionController`; past the queue
+   watermark (or while draining) the request is shed immediately with
+   ``503`` and ``Retry-After`` — overload becomes backpressure, not
+   latency.
+2. **Deadline.**  Every admitted request carries a deadline — the
+   configured ``request_timeout``, lowered per-request by an
+   ``X-Repro-Timeout`` header.  The deadline propagates into
+   :meth:`ChunkSupervisor.run_chunk`, whose pool rebuild *cancels* the
+   attempt on expiry (a fork worker cannot be interrupted politely);
+   the serial fallback checks it cooperatively between rows.  Either
+   way an expired request ends as a clean ``504``, never as orphaned
+   work.
+3. **Breaker.**  Pool failures (worker crashes, deadline hits) feed
+   the :class:`~repro.serve.breaker.CircuitBreaker`; when it opens,
+   requests skip the pool and run serially in-process until a
+   half-open probe closes it again.
+4. **Response.**  The response always carries exactly the admitted
+   rows, in order — per-row worker exceptions become ``row_errors``
+   entries, not missing rows.
+
+Hot reload (``POST /rulesets/{tenant}``) and rollback are delegated to
+the :class:`~repro.serve.registry.RulesetRegistry`: validate in a
+shadow slot, swap atomically, keep one previous version.
+
+Graceful drain: :meth:`RepairServer.drain` (wired to SIGTERM by the
+CLI) stops admission, waits for in-flight requests up to
+``drain_timeout``, then closes the listener and the pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from typing import List, NamedTuple, Optional, Tuple
+
+from ..core.consistency import find_conflicts_cached
+from ..core.explain import explain_repair
+from ..core.serialization import ruleset_from_json
+from ..core.supervisor import (ChunkDeadlineError, SupervisorError,
+                               WorkerCrashError, WorkerFaultPlan)
+from ..errors import SerializationError
+from ..relational import Row
+from .admission import AdmissionController
+from .breaker import CircuitBreaker
+from .httpio import HttpError, Request, json_response, read_request, \
+    render_response
+from .metrics import ServeMetrics
+from .pool import ServePool
+from .registry import RulesetRegistry, RulesetRejected, TenantRuleset
+
+__all__ = ["ServeConfig", "RepairServer", "ServerThread"]
+
+#: Marker first element of a per-row error outcome (mirrors
+#: :data:`repro.core.supervisor.ERROR_MARK` without importing the
+#: worker machinery here).
+from ..core.supervisor import ERROR_MARK as _ERROR_MARK
+
+
+class _SerialDeadline(Exception):
+    """The in-process fallback ran out of deadline between rows."""
+
+
+class ServeConfig(NamedTuple):
+    """Daemon tuning; every knob has a production-shaped default."""
+
+    host: str = "127.0.0.1"
+    #: 0 binds an ephemeral port (tests); the CLI defaults to 8787
+    port: int = 0
+    #: supervised pool size; 0 disables the pool (serial-only daemon)
+    pool_workers: int = 2
+    #: heavy requests executing at once
+    max_concurrency: int = 8
+    #: heavy requests allowed to *wait*; beyond this arrivals are shed
+    queue_watermark: int = 16
+    #: default per-request deadline, seconds
+    request_timeout: float = 30.0
+    #: scheduling slack granted on top of the deadline before the
+    #: event loop gives up on the executor thread
+    grace: float = 2.0
+    #: Retry-After hint on shed responses, seconds
+    retry_after: float = 1.0
+    #: drain budget on SIGTERM, seconds
+    drain_timeout: float = 10.0
+    #: consecutive pool failures that open the breaker
+    breaker_threshold: int = 3
+    #: seconds the breaker stays open before half-open probing
+    breaker_reset: float = 2.0
+    #: concurrent probes admitted while half-open
+    breaker_probes: int = 1
+    #: request body cap, bytes
+    max_body_bytes: int = 8 * 1024 * 1024
+    #: supervisor wait-slice for the pool, seconds
+    poll_interval: float = 0.05
+    #: where validated rulesets are spooled for workers; None: tempdir
+    spool_dir: Optional[str] = None
+    #: worker-side chaos plan (tests only)
+    fault_plan: Optional[WorkerFaultPlan] = None
+
+    def validate(self) -> "ServeConfig":
+        if self.pool_workers < 0:
+            raise ValueError("pool_workers must be >= 0, got %d"
+                             % self.pool_workers)
+        if self.request_timeout <= 0:
+            raise ValueError("request_timeout must be positive, got %r"
+                             % (self.request_timeout,))
+        if self.grace < 0 or self.retry_after < 0 or self.drain_timeout < 0:
+            raise ValueError("grace, retry_after and drain_timeout must "
+                             "be >= 0")
+        if self.max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be >= 1, got %d"
+                             % self.max_body_bytes)
+        # admission/breaker constructors validate their own knobs
+        return self
+
+
+class RepairServer:
+    """One daemon instance: routing + the subsystems it composes."""
+
+    def __init__(self, config: ServeConfig = ServeConfig(),
+                 registry: Optional[RulesetRegistry] = None):
+        self.config = config.validate()
+        if registry is None:
+            spool_dir = config.spool_dir
+            if spool_dir is None:
+                import tempfile
+                spool_dir = tempfile.mkdtemp(prefix="repro-serve-spool-")
+            registry = RulesetRegistry(spool_dir)
+        self.registry = registry
+        self.admission = AdmissionController(config.max_concurrency,
+                                             config.queue_watermark,
+                                             config.retry_after)
+        self.breaker = CircuitBreaker(config.breaker_threshold,
+                                      config.breaker_reset,
+                                      config.breaker_probes)
+        self.metrics = ServeMetrics()
+        #: pre-warmed at construction so the first request never pays
+        #: pool startup; None when configured serial-only
+        self.pool: Optional[ServePool] = None
+        if config.pool_workers > 0:
+            self.pool = ServePool(config.pool_workers,
+                                  poll_interval=config.poll_interval,
+                                  fault_plan=config.fault_plan)
+        self._server: Optional[asyncio.AbstractServer] = None
+        #: open keep-alive connections, cancelled at the end of drain
+        self._connections: set = set()
+        self.draining = False
+        self._drained = asyncio.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`drain` completes (the CLI entry point)."""
+        if self._server is None:
+            await self.start()
+        await self._drained.wait()
+
+    async def drain(self) -> bool:
+        """Stop admission, wait out in-flight work, shut down.
+
+        Returns True when every in-flight request finished inside the
+        drain budget; False when the budget expired and the pool was
+        torn down with work still running.
+        """
+        if self.draining:
+            return True
+        self.draining = True
+        self.admission.begin_drain()
+        clean = await self.admission.wait_idle(self.config.drain_timeout)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # idle keep-alive connections are parked in read_request();
+        # nothing new can be admitted, so cut them loose
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections,
+                                 return_exceptions=True)
+        if self.pool is not None:
+            # close()/terminate() join worker processes; keep that off
+            # the event loop.
+            loop = asyncio.get_running_loop()
+            if clean:
+                await loop.run_in_executor(None, self.pool.close)
+            else:
+                await loop.run_in_executor(None, self.pool.terminate)
+        self._drained.set()
+        return clean
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader,
+                                                 self.config.max_body_bytes)
+                except HttpError as exc:
+                    # framing errors poison the byte stream; answer and
+                    # close rather than misparse what follows
+                    writer.write(self._error_bytes(exc, close=True))
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                response = await self._dispatch(request)
+                if not request.keep_alive:
+                    # re-render with Connection: close is not worth it;
+                    # just stop reading after the write
+                    writer.write(response)
+                    await writer.drain()
+                    return
+                writer.write(response)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            pass  # drain cut this idle connection loose
+        finally:
+            self._connections.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError,
+                    asyncio.CancelledError):
+                pass
+
+    def _error_bytes(self, exc: HttpError, close: bool = False) -> bytes:
+        self.metrics.record_response(exc.status)
+        payload = dict(exc.payload)
+        payload["error"] = exc.message
+        return json_response(exc.status, payload, headers=exc.headers,
+                             close=close)
+
+    async def _dispatch(self, request: Request) -> bytes:
+        endpoint = self._route_name(request)
+        self.metrics.record_request(endpoint)
+        try:
+            status, payload, headers, raw = await self._route(request)
+        except HttpError as exc:
+            return self._error_bytes(exc)
+        except RulesetRejected as exc:
+            http = HttpError(exc.status, str(exc), payload={
+                "conflicts": [conflict.describe()
+                              for conflict in exc.conflicts],
+            })
+            return self._error_bytes(http)
+        except Exception as exc:  # the daemon must outlive any request
+            http = HttpError(500, "internal error: %s: %s"
+                             % (type(exc).__name__, exc))
+            return self._error_bytes(http)
+        self.metrics.record_response(status)
+        if raw is not None:
+            return render_response(status, raw, content_type="text/plain",
+                                   headers=headers)
+        return json_response(status, payload, headers=headers)
+
+    @staticmethod
+    def _route_name(request: Request) -> str:
+        path = request.path
+        if path.startswith("/rulesets"):
+            return "/rulesets"
+        return path
+
+    async def _route(self, request: Request
+                     ) -> Tuple[int, dict, Optional[dict], Optional[bytes]]:
+        method, path = request.method, request.path
+
+        # light endpoints: never admitted, never shed — they are how
+        # you observe an overloaded or draining daemon
+        if path == "/healthz" and method == "GET":
+            return 200, {"status": "ok"}, None, None
+        if path == "/readyz" and method == "GET":
+            if self.draining:
+                raise HttpError(503, "draining")
+            if len(self.registry) == 0:
+                raise HttpError(503, "no rulesets loaded")
+            return 200, {"status": "ready",
+                         "tenants": sorted(self.registry.tenants())}, \
+                None, None
+        if path == "/metrics" and method == "GET":
+            text = self.metrics.render(admission=self.admission.snapshot(),
+                                       breaker=self.breaker.snapshot(),
+                                       registry={
+                                           "tenants": len(self.registry),
+                                           "reloads_total":
+                                               self.registry.reloads_total,
+                                           "rejects_total":
+                                               self.registry.rejects_total,
+                                           "rollbacks_total":
+                                               self.registry.rollbacks_total,
+                                       })
+            return 200, {}, None, text.encode("utf-8")
+        if path == "/rulesets" and method == "GET":
+            return 200, {"tenants": self.registry.tenants()}, None, None
+
+        # heavy endpoints: admission-controlled
+        handler = None
+        if method == "POST":
+            if path == "/repair":
+                handler = self._handle_repair
+            elif path == "/check":
+                handler = self._handle_check
+            elif path == "/explain":
+                handler = self._handle_explain
+            elif path.startswith("/rulesets/"):
+                handler = self._handle_rulesets
+        if handler is None:
+            raise HttpError(404 if path not in
+                            ("/repair", "/check", "/explain") else 405,
+                            "no route for %s %s" % (method, path))
+
+        if not self.admission.try_begin():
+            raise HttpError(
+                503,
+                "over capacity" if self.admission.accepting else "draining",
+                headers={"Retry-After":
+                         "%d" % max(1, round(self.admission.retry_after))})
+        async with self.admission:
+            return await handler(request)
+
+    # -- heavy handlers ------------------------------------------------------
+
+    def _tenant_entry(self, request: Request) -> TenantRuleset:
+        tenant = request.query.get("tenant", "default")
+        try:
+            return self.registry.get(tenant)
+        except KeyError as exc:
+            raise HttpError(404, str(exc))
+
+    def _deadline_budget(self, request: Request) -> float:
+        budget = self.config.request_timeout
+        header = request.headers.get("x-repro-timeout")
+        if header is not None:
+            try:
+                requested = float(header)
+            except ValueError:
+                raise HttpError(400, "bad X-Repro-Timeout %r" % header)
+            if requested <= 0:
+                raise HttpError(400, "X-Repro-Timeout must be positive")
+            budget = min(budget, requested)
+        return budget
+
+    @staticmethod
+    def _coerce_row(item, entry: TenantRuleset, index: int) -> List[str]:
+        """One posted row (list or object) to schema-ordered cells."""
+        names = list(entry.ruleset.schema.attribute_names)
+        if isinstance(item, dict):
+            try:
+                cells = [item[name] for name in names]
+            except KeyError as exc:
+                raise HttpError(400, "row %d is missing attribute %s"
+                                % (index, exc))
+        elif isinstance(item, list):
+            if len(item) != len(names):
+                raise HttpError(400, "row %d has %d cells; schema %s has "
+                                "%d attributes"
+                                % (index, len(item),
+                                   entry.ruleset.schema.name, len(names)))
+            cells = item
+        else:
+            raise HttpError(400, "row %d must be a list or an object, "
+                            "got %s" % (index, type(item).__name__))
+        coerced = []
+        for cell in cells:
+            if isinstance(cell, str):
+                coerced.append(cell)
+            elif isinstance(cell, (int, float)) and \
+                    not isinstance(cell, bool):
+                coerced.append(str(cell))
+            else:
+                raise HttpError(400, "row %d contains a non-scalar cell"
+                                % index)
+        return coerced
+
+    def _parse_rows(self, request: Request,
+                    entry: TenantRuleset) -> List[List[str]]:
+        body = request.json()
+        if not isinstance(body, dict) or "rows" not in body:
+            raise HttpError(400, 'body must be {"rows": [...]}')
+        raw_rows = body["rows"]
+        if not isinstance(raw_rows, list):
+            raise HttpError(400, '"rows" must be a list')
+        return [self._coerce_row(item, entry, index)
+                for index, item in enumerate(raw_rows)]
+
+    def _serial_repair(self, entry: TenantRuleset, rows: List[List[str]],
+                       deadline: float) -> list:
+        """In-process fallback with a cooperative per-row deadline."""
+        kernel = entry.compiled
+        out = []
+        for values in rows:
+            if time.monotonic() >= deadline:
+                raise _SerialDeadline()
+            try:
+                out.append(kernel.repair_values(values))
+            except Exception as exc:
+                out.append((_ERROR_MARK, type(exc).__name__, str(exc)))
+        return out
+
+    async def _handle_repair(self, request: Request):
+        started = time.monotonic()
+        entry = self._tenant_entry(request)
+        budget = self._deadline_budget(request)
+        deadline = started + budget
+        rows = self._parse_rows(request, entry)
+        loop = asyncio.get_running_loop()
+        engine = "serial"
+        outcomes = None
+
+        if self.pool is not None and rows and self.breaker.allow():
+            engine = "pool"
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise HttpError(504, "deadline expired before execution")
+            try:
+                outcomes = await asyncio.wait_for(
+                    loop.run_in_executor(
+                        None, self.pool.repair, entry.fingerprint,
+                        entry.spool_path, rows, remaining),
+                    timeout=remaining + self.config.grace)
+                self.breaker.record_success()
+            except (ChunkDeadlineError, asyncio.TimeoutError):
+                self.breaker.record_failure()
+                self.metrics.timeouts_total += 1
+                raise HttpError(504, "repair exceeded its %.3fs deadline; "
+                                "the attempt was cancelled" % budget)
+            except (WorkerCrashError, SupervisorError) as exc:
+                # pool is sick but the request still has budget: fail
+                # over to the in-process engine for *this* request and
+                # let the breaker decide about the next ones
+                self.breaker.record_failure()
+                self.metrics.fallbacks_total += 1
+                engine = "serial+fallback"
+                outcomes = None
+                if time.monotonic() >= deadline:
+                    self.metrics.timeouts_total += 1
+                    raise HttpError(504, "worker pool failed (%s) and the "
+                                    "deadline is spent" % type(exc).__name__)
+
+        if outcomes is None:
+            try:
+                outcomes = await asyncio.wait_for(
+                    loop.run_in_executor(None, self._serial_repair, entry,
+                                         rows, deadline),
+                    timeout=(deadline - time.monotonic())
+                    + self.config.grace)
+            except (_SerialDeadline, asyncio.TimeoutError):
+                self.metrics.timeouts_total += 1
+                raise HttpError(504, "repair exceeded its %.3fs deadline"
+                                % budget)
+
+        out_rows: List[List[str]] = []
+        row_errors = []
+        rows_changed = 0
+        cells_changed = 0
+        for index, (values, encoded) in enumerate(zip(rows, outcomes)):
+            if encoded is None:
+                out_rows.append(values)
+            elif isinstance(encoded, tuple) and len(encoded) == 3 \
+                    and encoded[0] == _ERROR_MARK:
+                out_rows.append(values)  # errored rows pass through
+                row_errors.append({"index": index,
+                                   "error_type": encoded[1],
+                                   "message": encoded[2]})
+            else:
+                new_values, _applied = encoded
+                new_values = list(new_values)
+                rows_changed += 1
+                cells_changed += sum(1 for old, new
+                                     in zip(values, new_values)
+                                     if old != new)
+                out_rows.append(new_values)
+        duration = time.monotonic() - started
+        self.metrics.record_repair(len(rows), cells_changed,
+                                   len(row_errors), duration,
+                                   "pool" if engine == "pool" else "serial")
+        return 200, {
+            "tenant": request.query.get("tenant", "default"),
+            "fingerprint": entry.fingerprint,
+            "engine": engine,
+            "rows": out_rows,
+            "rows_changed": rows_changed,
+            "cells_changed": cells_changed,
+            "row_errors": row_errors,
+        }, None, None
+
+    async def _handle_check(self, request: Request):
+        if request.body:
+            try:
+                ruleset = ruleset_from_json(request.body.decode("utf-8"))
+            except (UnicodeDecodeError, SerializationError) as exc:
+                raise HttpError(400, "bad ruleset: %s" % exc)
+            fingerprint = None
+        else:
+            entry = self._tenant_entry(request)
+            ruleset, fingerprint = entry.ruleset, entry.fingerprint
+        loop = asyncio.get_running_loop()
+        conflicts = await loop.run_in_executor(
+            None, find_conflicts_cached, ruleset)
+        return 200, {
+            "consistent": not conflicts,
+            "rules": len(ruleset),
+            "fingerprint": fingerprint,
+            "conflicts": [conflict.describe() for conflict in conflicts],
+        }, None, None
+
+    async def _handle_explain(self, request: Request):
+        entry = self._tenant_entry(request)
+        body = request.json()
+        if not isinstance(body, dict) or "row" not in body:
+            raise HttpError(400, 'body must be {"row": [...]}')
+        row = Row(entry.ruleset.schema,
+                  self._coerce_row(body["row"], entry, 0))
+        loop = asyncio.get_running_loop()
+        explanation = await loop.run_in_executor(
+            None, explain_repair, row, entry.ruleset)
+        result = explanation.result
+        return 200, {
+            "row": list(result.row.values),
+            "changed": result.changed,
+            "applied": [{"rule": fix.rule.name,
+                         "attribute": fix.attribute,
+                         "old_value": fix.old_value,
+                         "new_value": fix.new_value}
+                        for fix in result.applied],
+            "assured": sorted(result.assured),
+            "verdicts": [{"rule": item.rule.name,
+                          "verdict": item.verdict,
+                          "details": list(item.details)}
+                         for item in explanation.explanations],
+            "description": explanation.describe(),
+        }, None, None
+
+    async def _handle_rulesets(self, request: Request):
+        parts = [part for part in request.path.split("/") if part]
+        # /rulesets/{tenant} or /rulesets/{tenant}/rollback
+        if len(parts) == 2:
+            tenant = parts[1]
+            if not request.body:
+                raise HttpError(400, "upload body must be ruleset JSON")
+            loop = asyncio.get_running_loop()
+            try:
+                text = request.body.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise HttpError(400, "ruleset is not UTF-8: %s" % exc)
+            # validation compiles and scans Σ — off-loop
+            entry = await loop.run_in_executor(
+                None, self.registry.upload, tenant, text)
+            return 200, {"tenant": tenant, "installed": entry.describe()}, \
+                None, None
+        if len(parts) == 3 and parts[2] == "rollback":
+            tenant = parts[1]
+            try:
+                entry = self.registry.rollback(tenant)
+            except KeyError as exc:
+                raise HttpError(404, str(exc))
+            return 200, {"tenant": tenant, "active": entry.describe()}, \
+                None, None
+        raise HttpError(404, "no route for %s" % request.path)
+
+
+class ServerThread:
+    """A daemon running on a private event loop in a thread.
+
+    The test suite and the bench harness talk to the server with
+    synchronous ``http.client`` calls, so the server needs to live on
+    its own loop.  ``start()`` blocks until the port is bound.
+    """
+
+    def __init__(self, config: ServeConfig = ServeConfig(),
+                 registry: Optional[RulesetRegistry] = None):
+        self._config = config
+        self._registry = registry
+        self.server: Optional[RepairServer] = None
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self, timeout: float = 30.0) -> "ServerThread":
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-serve", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("server failed to start within %.1fs"
+                               % timeout)
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start: %s"
+                               % self._startup_error)
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self.loop = loop
+        try:
+            self.server = RepairServer(self._config, self._registry)
+            loop.run_until_complete(self.server.start())
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_until_complete(self.server.serve_forever())
+        finally:
+            loop.close()
+
+    @property
+    def port(self) -> int:
+        assert self.server is not None
+        return self.server.port
+
+    def stop(self, timeout: float = 30.0) -> bool:
+        """Drain and shut down; True when the drain was clean."""
+        if self.loop is None or self.server is None:
+            return True
+        future = asyncio.run_coroutine_threadsafe(self.server.drain(),
+                                                  self.loop)
+        try:
+            clean = future.result(timeout)
+        except Exception:
+            clean = False
+        if self._thread is not None:
+            self._thread.join(timeout)
+        return clean
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

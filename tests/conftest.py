@@ -2,7 +2,15 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+# The suite's pool tests (chaos harness, supervisor, differential legs)
+# must exercise *real* worker pools even on single-core CI runners,
+# where the pointless-parallelism guard would otherwise auto-serialize
+# them.  The guard's own unit tests clear this variable locally.
+os.environ.setdefault("REPRO_FORCE_WORKERS", "1")
 
 from repro import FixingRule, RuleSet, Schema, Table
 from repro.datagen import generate_hosp, generate_uis, hosp_fds, uis_fds

@@ -266,3 +266,63 @@ class TestSchemaCompatibility:
         compiled = compile_for_schema(reordered, paper_rules)
         assert compiled.schema is reordered
         assert compiled is not compile_ruleset(paper_rules)
+
+
+class TestCompileCached:
+    """The process-wide fingerprint-keyed compilation cache the serve
+    layer's pool workers rely on (one compile per Σ content, however
+    many tenants or request payloads name it)."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_cache(self):
+        from repro.core.engine import clear_compiled_cache
+        clear_compiled_cache()
+        yield
+        clear_compiled_cache()
+
+    def test_identical_content_shares_one_compilation(self, paper_rules):
+        from repro.core.engine import compile_cached
+        copy = RuleSet(paper_rules.schema, list(paper_rules.rules()))
+        first = compile_cached(paper_rules.schema, paper_rules)
+        second = compile_cached(copy.schema, copy)
+        assert first is second  # different objects, same content hash
+
+    def test_hit_counted_in_engine_stats(self, paper_rules):
+        from repro.core.engine import compile_cached
+        reset_engine_stats()
+        compile_cached(paper_rules.schema, paper_rules)
+        before = engine_stats()["compile_cache_hits"]
+        compile_cached(paper_rules.schema, paper_rules)
+        assert engine_stats()["compile_cache_hits"] == before + 1
+
+    def test_precomputed_fingerprint_matches_derived(self, paper_rules):
+        from repro.core.engine import compile_cached
+        fingerprint = rules_fingerprint(paper_rules)
+        derived = compile_cached(paper_rules.schema, paper_rules)
+        named = compile_cached(paper_rules.schema, paper_rules,
+                               fingerprint=fingerprint)
+        assert derived is named
+
+    def test_lru_evicts_oldest(self, travel_schema, phi1, phi2, phi3):
+        # eviction is only observable through content-equal *copies*:
+        # the original RuleSet instance would answer from its own memo
+        from repro.core.engine import compile_cached
+        sets = [RuleSet(travel_schema, [phi]) for phi in (phi1, phi2, phi3)]
+        first = compile_cached(travel_schema, sets[0], max_entries=2)
+        compile_cached(travel_schema, sets[1], max_entries=2)
+        third = compile_cached(travel_schema, sets[2],
+                               max_entries=2)  # evicts φ1
+        fresh = [RuleSet(travel_schema, [phi]) for phi in (phi1, phi3)]
+        assert compile_cached(travel_schema, fresh[1],
+                              max_entries=2) is third  # still cached
+        assert compile_cached(travel_schema, fresh[0],
+                              max_entries=2) is not first  # recompiled
+
+    def test_schema_layout_is_part_of_the_key(self, paper_rules):
+        from repro.core.engine import compile_cached
+        names = list(paper_rules.schema.attribute_names)
+        reordered = Schema("Reordered", list(reversed(names)))
+        base = compile_cached(paper_rules.schema, paper_rules)
+        other = compile_cached(reordered, paper_rules)
+        assert base is not other
+        assert other.schema is reordered

@@ -410,3 +410,59 @@ class TestCliWorkers:
                      "--workers", "2", "--chunk-size", "0"]) == 2
         err = capsys.readouterr().err
         assert "--workers" in err and "--chunk-size" in err
+
+
+class TestResolveWorkers:
+    """The pointless-parallelism guard the high-level drivers share."""
+
+    @pytest.fixture(autouse=True)
+    def _unforced(self, monkeypatch):
+        # conftest force-enables pools process-wide so the chaos and
+        # differential suites get real forks on 1-CPU CI; these tests
+        # are *about* the guard, so lift the override.
+        monkeypatch.delenv("REPRO_FORCE_WORKERS", raising=False)
+
+    def test_none_resolves_to_default(self, monkeypatch):
+        from repro.core.parallel import default_workers, resolve_workers
+        monkeypatch.setattr("repro.core.parallel.cpus_usable", lambda: 8)
+        assert resolve_workers(None) == default_workers()
+
+    def test_single_cpu_warns_and_runs_serial(self, monkeypatch):
+        from repro.core.parallel import resolve_workers
+        monkeypatch.setattr("repro.core.parallel.cpus_usable", lambda: 1)
+        with pytest.warns(RuntimeWarning, match="--force-workers"):
+            assert resolve_workers(4) == 1
+
+    def test_force_flag_overrides_heuristic(self, monkeypatch, recwarn):
+        from repro.core.parallel import resolve_workers
+        monkeypatch.setattr("repro.core.parallel.cpus_usable", lambda: 1)
+        assert resolve_workers(4, force_workers=True) == 4
+        assert not recwarn.list
+
+    def test_env_var_overrides_heuristic(self, monkeypatch, recwarn):
+        from repro.core.parallel import resolve_workers
+        monkeypatch.setattr("repro.core.parallel.cpus_usable", lambda: 1)
+        monkeypatch.setenv("REPRO_FORCE_WORKERS", "1")
+        assert resolve_workers(4) == 4
+        monkeypatch.setenv("REPRO_FORCE_WORKERS", "0")  # falsey spelling
+        with pytest.warns(RuntimeWarning):
+            assert resolve_workers(4) == 1
+
+    def test_multi_cpu_passes_through(self, monkeypatch, recwarn):
+        from repro.core.parallel import resolve_workers
+        monkeypatch.setattr("repro.core.parallel.cpus_usable", lambda: 4)
+        assert resolve_workers(4) == 4
+        assert resolve_workers(1) == 1
+        assert not recwarn.list
+
+    def test_serial_resolution_matches_parallel_output(self, hosp_case):
+        """Resolving to serial is an optimization, not a semantic
+        change: repair_table(workers resolved to 1) equals the real
+        pool run (Church–Rosser on a consistent-enough Σ subset, and
+        row independence in general)."""
+        table, rules = hosp_case
+        serial = repair_table(table, rules)
+        forced = repair_table(table, rules, workers=2, chunk_size=64,
+                              force_workers=True)
+        assert [r.values for r in serial.table] == \
+            [r.values for r in forced.table]

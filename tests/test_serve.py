@@ -1,0 +1,660 @@
+"""The hardened repair-as-a-service daemon, end to end.
+
+Three layers of coverage:
+
+* **Mechanism units** — the admission controller, circuit breaker,
+  latency percentile helper, and ruleset registry in isolation, with
+  fake clocks and no sockets.
+* **HTTP contract** — a real daemon on an ephemeral port (via
+  :class:`~repro.serve.ServerThread`), spoken to with stdlib
+  ``http.client``: repair round-trips, tenant hot-reload with
+  rejection and rollback, explain/check, metrics, readiness, and the
+  Hypothesis property that a mid-stream reload to Σ′ produces output
+  cell-identical to a fresh daemon that had Σ′ all along.
+* **Chaos** (``faultinjection``-marked, run by ``make test-serve``) —
+  worker kills and injected hangs under load: the daemon sheds with
+  503 + ``Retry-After`` past the watermark, every admitted request
+  completes or cleanly 504s inside its deadline + grace, the breaker
+  opens and recovers through a half-open probe, and no response ever
+  drops or duplicates a row.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import FixingRule, RuleSet, Schema
+from repro.core.serialization import ruleset_to_json
+from repro.serve import (AdmissionController, CircuitBreaker, RulesetRegistry,
+                         RulesetRejected, ServeConfig, ServerThread,
+                         percentile)
+from repro.core.supervisor import WorkerFaultPlan
+
+
+# -- shared material ---------------------------------------------------------
+
+TRAVEL = Schema("Travel", ["name", "country", "capital", "city", "conf"])
+
+
+def travel_rules(*names):
+    """A consistent Σ drawn from the paper's running example."""
+    pool = {
+        "phi1": FixingRule({"country": "China"}, "capital",
+                           {"Shanghai", "Hongkong"}, "Beijing",
+                           name="phi1"),
+        "phi2": FixingRule({"country": "Canada"}, "capital", {"Toronto"},
+                           "Ottawa", name="phi2"),
+        "phi3": FixingRule({"capital": "Tokyo", "city": "Tokyo",
+                            "conf": "ICDE"}, "country", {"China"}, "Japan",
+                           name="phi3"),
+        "phi4": FixingRule({"capital": "Beijing", "conf": "ICDE"}, "city",
+                           {"Hongkong"}, "Shanghai", name="phi4"),
+    }
+    return RuleSet(TRAVEL, [pool[name] for name in names])
+
+
+def inconsistent_rules_json():
+    """Two rules that conflict (same evidence, same attribute,
+    overlapping negatives, different facts)."""
+    rules = RuleSet(TRAVEL, [
+        FixingRule({"country": "China"}, "capital", {"Shanghai"},
+                   "Beijing", name="a"),
+        FixingRule({"country": "China"}, "capital", {"Shanghai"},
+                   "Nanjing", name="b"),
+    ])
+    return ruleset_to_json(rules)
+
+
+def request(port, method, path, body=None, headers=None, timeout=30.0):
+    """One HTTP request; returns (status, headers dict, decoded body)."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        if isinstance(body, (dict, list)):
+            body = json.dumps(body)
+        conn.request(method, path, body=body, headers=headers or {})
+        response = conn.getresponse()
+        raw = response.read()
+        header_map = {key.lower(): value
+                      for key, value in response.getheaders()}
+        if header_map.get("content-type", "").startswith("application/json"):
+            payload = json.loads(raw) if raw else None
+        else:
+            payload = raw.decode("utf-8", "replace")
+        return response.status, header_map, payload
+    finally:
+        conn.close()
+
+
+# -- mechanism units ---------------------------------------------------------
+
+class TestAdmission:
+    def test_watermark_shedding_and_idle(self):
+        async def scenario():
+            admission = AdmissionController(1, 1, retry_after=2.0)
+            release = asyncio.Event()
+
+            async def hold():
+                async with admission:
+                    await release.wait()
+
+            holder = asyncio.create_task(hold())
+            await asyncio.sleep(0.01)
+            assert admission.inflight == 1
+            # one request may still wait (waiting 0 < watermark 1)
+            assert admission.try_begin()
+            waiter = asyncio.create_task(hold())
+            await asyncio.sleep(0.01)
+            assert admission.waiting == 1
+            # the line is full now: shed
+            assert not admission.try_begin()
+            assert admission.shed_total == 1
+            release.set()
+            await holder
+            await waiter
+            assert admission.inflight == 0
+            assert await admission.wait_idle(1.0)
+            assert admission.admitted_total == 2
+
+        asyncio.run(scenario())
+
+    def test_drain_stops_admission(self):
+        async def scenario():
+            admission = AdmissionController(4, 8)
+            assert admission.try_begin()
+            admission.begin_drain()
+            assert not admission.try_begin()
+            assert await admission.wait_idle(0.1)
+
+        asyncio.run(scenario())
+
+    def test_validates_knobs(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0, 1)
+        with pytest.raises(ValueError):
+            AdmissionController(1, -1)
+
+
+class TestBreaker:
+    def test_full_state_machine(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=5.0,
+                                 clock=lambda: clock[0])
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # threshold not reached
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.opens_total == 1
+        assert not breaker.allow()
+
+        clock[0] = 6.0  # past reset_timeout: half-open
+        assert breaker.allow()
+        assert breaker.state == "half-open"
+        assert not breaker.allow()  # only one probe admitted
+        breaker.record_failure()    # probe failed: re-open
+        assert breaker.state == "open"
+        assert breaker.opens_total == 2
+
+        clock[0] = 12.0
+        assert breaker.allow()
+        breaker.record_success()    # probe succeeded: closed
+        assert breaker.state == "closed"
+        assert breaker.closes_total == 1
+        assert breaker.allow()
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # streak broken by the success
+
+    def test_validates_knobs(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_probes=0)
+
+
+def test_percentile_nearest_rank():
+    assert percentile([], 0.5) == 0.0
+    assert percentile([3.0], 0.99) == 3.0
+    samples = [float(i) for i in range(100)]
+    assert percentile(samples, 0.50) == 50.0
+    assert percentile(samples, 0.99) == 99.0
+
+
+class TestRegistry:
+    def test_upload_reject_rollback(self, tmp_path):
+        registry = RulesetRegistry(str(tmp_path / "spool"))
+        sigma = travel_rules("phi1", "phi2")
+        first = registry.upload("t1", ruleset_to_json(sigma))
+        assert first.rule_count == 2
+        assert (tmp_path / "spool" /
+                ("%s.json" % first.fingerprint)).exists()
+
+        # an inconsistent Σ′ is rejected with 422 and leaves Σ serving
+        with pytest.raises(RulesetRejected) as excinfo:
+            registry.upload("t1", inconsistent_rules_json())
+        assert excinfo.value.status == 422
+        assert excinfo.value.conflicts
+        assert registry.get("t1").fingerprint == first.fingerprint
+
+        # parse garbage is a 400-class rejection
+        with pytest.raises(RulesetRejected) as excinfo:
+            registry.upload("t1", "{not json")
+        assert excinfo.value.status == 400
+        assert registry.get("t1").fingerprint == first.fingerprint
+
+        # a valid Σ′ swaps in; rollback swaps back
+        second = registry.upload("t1", ruleset_to_json(
+            travel_rules("phi1")))
+        assert registry.get("t1").fingerprint == second.fingerprint
+        rolled = registry.rollback("t1")
+        assert rolled.fingerprint == first.fingerprint
+        assert registry.rollbacks_total == 1
+
+    def test_rollback_without_previous(self, tmp_path):
+        registry = RulesetRegistry(str(tmp_path))
+        registry.upload("t", ruleset_to_json(travel_rules("phi1")))
+        with pytest.raises(RulesetRejected) as excinfo:
+            registry.rollback("t")
+        assert excinfo.value.status == 409
+        with pytest.raises(KeyError):
+            registry.rollback("ghost")
+
+    def test_spool_is_content_addressed(self, tmp_path):
+        registry = RulesetRegistry(str(tmp_path))
+        text = ruleset_to_json(travel_rules("phi1"))
+        a = registry.upload("t1", text)
+        b = registry.upload("t2", text)
+        assert a.spool_path == b.spool_path
+        assert a.fingerprint == b.fingerprint
+
+
+def test_serve_config_validation():
+    with pytest.raises(ValueError):
+        ServeConfig(pool_workers=-1).validate()
+    with pytest.raises(ValueError):
+        ServeConfig(request_timeout=0).validate()
+    with pytest.raises(ValueError):
+        ServeConfig(drain_timeout=-1).validate()
+    ServeConfig().validate()  # defaults are valid
+
+
+# -- HTTP contract -----------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def daemon():
+    """One shared daemon; tests isolate via distinct tenant names."""
+    with ServerThread(ServeConfig(pool_workers=2, request_timeout=20.0,
+                                  poll_interval=0.02)) as thread:
+        yield thread
+
+
+@pytest.fixture(scope="module")
+def default_tenant(daemon):
+    """The 'default' tenant loaded with the paper's Σ."""
+    sigma = travel_rules("phi1", "phi2", "phi3", "phi4")
+    status, _, payload = request(daemon.port, "POST", "/rulesets/default",
+                                 body=ruleset_to_json(sigma))
+    assert status == 200
+    return payload["installed"]["fingerprint"]
+
+
+def test_health_and_readiness(daemon, default_tenant):
+    status, _, payload = request(daemon.port, "GET", "/healthz")
+    assert (status, payload["status"]) == (200, "ok")
+    status, _, payload = request(daemon.port, "GET", "/readyz")
+    assert status == 200
+    assert "default" in payload["tenants"]
+
+
+def test_repair_round_trip(daemon, default_tenant):
+    rows = [
+        ["George", "China", "Beijing", "Shanghai", "ICDE"],   # clean
+        ["Ian", "China", "Shanghai", "Hongkong", "ICDE"],     # 2 fixes
+        ["Mike", "Canada", "Toronto", "Toronto", "VLDB"],     # 1 fix
+    ]
+    status, _, payload = request(daemon.port, "POST", "/repair",
+                                 body={"rows": rows})
+    assert status == 200
+    assert payload["fingerprint"] == default_tenant
+    assert payload["engine"] == "pool"
+    assert len(payload["rows"]) == len(rows)
+    assert payload["rows"][0] == rows[0]
+    assert payload["rows"][1] == ["Ian", "China", "Beijing", "Shanghai",
+                                  "ICDE"]
+    assert payload["rows"][2] == ["Mike", "Canada", "Ottawa", "Toronto",
+                                  "VLDB"]
+    assert payload["rows_changed"] == 2
+    assert payload["cells_changed"] == 3
+    assert payload["row_errors"] == []
+
+
+def test_repair_accepts_objects(daemon, default_tenant):
+    row = {"name": "Ian", "country": "China", "capital": "Shanghai",
+           "city": "Hongkong", "conf": "ICDE"}
+    status, _, payload = request(daemon.port, "POST", "/repair",
+                                 body={"rows": [row]})
+    assert status == 200
+    assert payload["rows"][0][2] == "Beijing"
+
+
+def test_repair_validation_errors(daemon, default_tenant):
+    port = daemon.port
+    status, _, payload = request(port, "POST", "/repair", body="{oops")
+    assert status == 400
+    status, _, _ = request(port, "POST", "/repair", body={"nope": 1})
+    assert status == 400
+    status, _, _ = request(port, "POST", "/repair",
+                           body={"rows": [["too", "short"]]})
+    assert status == 400
+    status, _, _ = request(port, "POST", "/repair",
+                           body={"rows": [[None] * 5]})
+    assert status == 400
+    status, _, payload = request(port, "POST", "/repair?tenant=ghost",
+                                 body={"rows": []})
+    assert status == 404
+    status, _, _ = request(port, "GET", "/repair")
+    assert status == 405
+
+
+def test_check_endpoint(daemon, default_tenant):
+    status, _, payload = request(daemon.port, "POST", "/check")
+    assert status == 200
+    assert payload["consistent"] is True
+    status, _, payload = request(daemon.port, "POST", "/check",
+                                 body=inconsistent_rules_json())
+    assert status == 200
+    assert payload["consistent"] is False
+    assert payload["conflicts"]
+
+
+def test_explain_endpoint(daemon, default_tenant):
+    status, _, payload = request(
+        daemon.port, "POST", "/explain",
+        body={"row": ["Ian", "China", "Shanghai", "Hongkong", "ICDE"]})
+    assert status == 200
+    assert payload["changed"] is True
+    applied = {fix["rule"] for fix in payload["applied"]}
+    assert "phi1" in applied
+    assert len(payload["verdicts"]) == 4
+
+
+def test_hot_reload_reject_and_rollback(daemon):
+    port = daemon.port
+    sigma = travel_rules("phi1", "phi2")
+    status, _, payload = request(port, "POST", "/rulesets/reloader",
+                                 body=ruleset_to_json(sigma))
+    assert status == 200
+    original = payload["installed"]["fingerprint"]
+    dirty = ["Ian", "China", "Shanghai", "Hongkong", "ICDE"]
+
+    # inconsistent upload: 422, conflicts listed, old Σ still serving
+    status, _, payload = request(port, "POST", "/rulesets/reloader",
+                                 body=inconsistent_rules_json())
+    assert status == 422
+    assert payload["conflicts"]
+    status, _, payload = request(port, "POST", "/repair?tenant=reloader",
+                                 body={"rows": [dirty]})
+    assert status == 200
+    assert payload["fingerprint"] == original
+    assert payload["rows"][0][2] == "Beijing"
+
+    # a valid Σ′ (phi1 removed) changes behavior...
+    status, _, payload = request(
+        port, "POST", "/rulesets/reloader",
+        body=ruleset_to_json(travel_rules("phi2")))
+    assert status == 200
+    reloaded = payload["installed"]["fingerprint"]
+    assert reloaded != original
+    status, _, payload = request(port, "POST", "/repair?tenant=reloader",
+                                 body={"rows": [dirty]})
+    assert payload["fingerprint"] == reloaded
+    assert payload["rows"][0] == dirty  # phi1 gone: no fix
+
+    # ...and one-step rollback restores the original Σ
+    status, _, payload = request(port, "POST",
+                                 "/rulesets/reloader/rollback")
+    assert status == 200
+    assert payload["active"]["fingerprint"] == original
+    status, _, payload = request(port, "POST", "/repair?tenant=reloader",
+                                 body={"rows": [dirty]})
+    assert payload["fingerprint"] == original
+    assert payload["rows"][0][2] == "Beijing"
+
+
+def test_metrics_exposition(daemon, default_tenant):
+    status, _, text = request(daemon.port, "GET", "/metrics")
+    assert status == 200
+    assert "repro_serve_requests_total" in text
+    assert "repro_serve_supervisor_worker_deaths" in text
+    assert 'repro_serve_breaker_info{state="closed"}' in text
+
+    # counters are monotonic across scrapes
+    def scrape_value(body, needle):
+        for line in body.splitlines():
+            if line.startswith(needle + " "):
+                return float(line.split()[-1])
+        return 0.0
+
+    first = scrape_value(text, "repro_serve_rows_repaired_total")
+    request(daemon.port, "POST", "/repair",
+            body={"rows": [["a", "b", "c", "d", "e"]]})
+    _, _, text = request(daemon.port, "GET", "/metrics")
+    assert scrape_value(text, "repro_serve_rows_repaired_total") >= first + 1
+
+
+def test_unknown_route(daemon):
+    status, _, _ = request(daemon.port, "GET", "/nope")
+    assert status == 404
+
+
+# -- the reload-equivalence property (Hypothesis) ----------------------------
+
+COUNTRIES = ["China", "Canada", "Japan"]
+CAPITALS = ["Beijing", "Shanghai", "Hongkong", "Tokyo", "Toronto",
+            "Ottawa"]
+CITIES = ["Shanghai", "Hongkong", "Tokyo", "Toronto"]
+CONFS = ["ICDE", "VLDB"]
+
+travel_row = st.tuples(
+    st.sampled_from(["George", "Ian", "Peter", "Mike"]),
+    st.sampled_from(COUNTRIES),
+    st.sampled_from(CAPITALS),
+    st.sampled_from(CITIES),
+    st.sampled_from(CONFS),
+).map(list)
+
+rule_subset = st.sets(st.sampled_from(["phi1", "phi2", "phi3", "phi4"]),
+                      min_size=1).map(sorted)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(rows=st.lists(travel_row, min_size=1, max_size=8),
+       split=st.integers(min_value=0, max_value=8),
+       sigma_names=rule_subset, sigma_prime_names=rule_subset)
+def test_mid_stream_reload_equivalence(daemon, rows, split, sigma_names,
+                                       sigma_prime_names):
+    """Repairing a stream with a mid-stream hot reload to Σ′ yields
+    output cell-identical to a daemon that had Σ′ from the split point
+    on — a reload leaves no residue (stale kernel, cache, or worker
+    state) that could leak Σ into Σ′'s repairs."""
+    port = daemon.port
+    split = min(split, len(rows))
+    sigma = ruleset_to_json(travel_rules(*sigma_names))
+    sigma_prime = ruleset_to_json(travel_rules(*sigma_prime_names))
+
+    # stream with a reload at the split point
+    assert request(port, "POST", "/rulesets/prop-live",
+                   body=sigma)[0] == 200
+    live = []
+    if rows[:split]:
+        status, _, payload = request(port, "POST",
+                                     "/repair?tenant=prop-live",
+                                     body={"rows": rows[:split]})
+        assert status == 200
+        live.extend(payload["rows"])
+    assert request(port, "POST", "/rulesets/prop-live",
+                   body=sigma_prime)[0] == 200
+    if rows[split:]:
+        status, _, payload = request(port, "POST",
+                                     "/repair?tenant=prop-live",
+                                     body={"rows": rows[split:]})
+        assert status == 200
+        live.extend(payload["rows"])
+
+    # reference: Σ for the prefix, a fresh Σ′ tenant for the suffix
+    assert request(port, "POST", "/rulesets/prop-ref",
+                   body=sigma)[0] == 200
+    reference = []
+    if rows[:split]:
+        _, _, payload = request(port, "POST", "/repair?tenant=prop-ref",
+                                body={"rows": rows[:split]})
+        reference.extend(payload["rows"])
+    assert request(port, "POST", "/rulesets/prop-ref2",
+                   body=sigma_prime)[0] == 200
+    if rows[split:]:
+        _, _, payload = request(port, "POST", "/repair?tenant=prop-ref2",
+                                body={"rows": rows[split:]})
+        reference.extend(payload["rows"])
+
+    assert live == reference
+
+
+# -- chaos: shedding, deadlines, breaker, worker kills -----------------------
+
+TRIGGER = "XSERVECHAOSX"
+
+#: fast breaker/pool knobs shared by the chaos daemons
+CHAOS = dict(pool_workers=1, poll_interval=0.02, grace=1.0,
+             retry_after=1.0)
+
+
+def start_chaos_daemon(tmp_path, fault_plan=None, **overrides):
+    config = ServeConfig(**{**CHAOS, **overrides,
+                            "fault_plan": fault_plan,
+                            "spool_dir": str(tmp_path / "spool")})
+    thread = ServerThread(config).start()
+    sigma = travel_rules("phi1", "phi2")
+    status, _, _ = request(thread.port, "POST", "/rulesets/default",
+                           body=ruleset_to_json(sigma))
+    assert status == 200
+    return thread
+
+
+@pytest.mark.faultinjection
+def test_worker_kill_fails_over_to_serial(tmp_path):
+    """A SIGKILLed worker never loses a request: the daemon fails over
+    in-process and the response still carries every row, in order."""
+    plan = WorkerFaultPlan(TRIGGER, "kill", limit=1,
+                           state_dir=str(tmp_path / "faults"))
+    daemon = start_chaos_daemon(tmp_path, fault_plan=plan,
+                                request_timeout=20.0, breaker_threshold=5)
+    try:
+        rows = [["Ian", "China", "Shanghai", "Hongkong", "ICDE"],
+                [TRIGGER, "China", "Shanghai", "Hongkong", "ICDE"],
+                ["Mike", "Canada", "Toronto", "Toronto", "VLDB"]]
+        status, _, payload = request(daemon.port, "POST", "/repair",
+                                     body={"rows": rows})
+        assert status == 200
+        assert payload["engine"] == "serial+fallback"
+        # zero dropped, zero duplicated: exactly the admitted rows
+        assert len(payload["rows"]) == 3
+        assert [row[0] for row in payload["rows"]] == \
+            ["Ian", TRIGGER, "Mike"]
+        # and they are still *repaired* (the serial engine did the work)
+        assert payload["rows"][0][2] == "Beijing"
+        assert payload["rows"][2][2] == "Ottawa"
+
+        # the fault budget is spent: the pool serves again
+        status, _, payload = request(daemon.port, "POST", "/repair",
+                                     body={"rows": rows})
+        assert status == 200
+        assert payload["engine"] == "pool"
+    finally:
+        daemon.stop()
+
+
+@pytest.mark.faultinjection
+def test_deadline_504_breaker_opens_and_recovers(tmp_path):
+    """A hung worker turns into a clean 504 inside deadline + grace;
+    repeated hangs open the breaker (requests degrade to the serial
+    engine); after the reset window a half-open probe closes it."""
+    plan = WorkerFaultPlan(TRIGGER, "hang", limit=2,
+                           state_dir=str(tmp_path / "faults"))
+    daemon = start_chaos_daemon(tmp_path, fault_plan=plan,
+                                request_timeout=20.0,
+                                breaker_threshold=2, breaker_reset=0.5)
+    try:
+        hang_rows = [[TRIGGER, "China", "Shanghai", "Hongkong", "ICDE"]]
+        clean_rows = [["Ian", "China", "Shanghai", "Hongkong", "ICDE"]]
+
+        for _ in range(2):  # two deadline hits open the breaker
+            started = time.monotonic()
+            status, _, payload = request(
+                daemon.port, "POST", "/repair", body={"rows": hang_rows},
+                headers={"X-Repro-Timeout": "0.75"})
+            elapsed = time.monotonic() - started
+            assert status == 504
+            assert elapsed < 0.75 + CHAOS["grace"] + 2.0
+
+        # breaker open: the pool is skipped entirely
+        status, _, payload = request(daemon.port, "POST", "/repair",
+                                     body={"rows": clean_rows})
+        assert status == 200
+        assert payload["engine"] == "serial"
+        assert payload["rows"][0][2] == "Beijing"
+
+        # after the reset window, a half-open probe finds the rebuilt
+        # pool healthy (the hang budget is spent) and closes the breaker
+        time.sleep(0.6)
+        status, _, payload = request(daemon.port, "POST", "/repair",
+                                     body={"rows": clean_rows})
+        assert status == 200
+        assert payload["engine"] == "pool"
+
+        _, _, text = request(daemon.port, "GET", "/metrics")
+        assert 'repro_serve_breaker_info{state="closed"}' in text
+        assert "repro_serve_breaker_opens_total 1" in text
+    finally:
+        daemon.stop()
+
+
+@pytest.mark.faultinjection
+def test_overload_sheds_with_retry_after(tmp_path):
+    """With the only execution slot hung and the queue at watermark,
+    new arrivals get an immediate 503 + Retry-After — and the hung
+    request itself still ends in a clean 504, not a stall."""
+    plan = WorkerFaultPlan(TRIGGER, "hang", limit=1,
+                           state_dir=str(tmp_path / "faults"))
+    daemon = start_chaos_daemon(tmp_path, fault_plan=plan,
+                                request_timeout=2.0, max_concurrency=1,
+                                queue_watermark=0, breaker_threshold=10)
+    try:
+        import threading
+        results = {}
+
+        def slow_request():
+            results["slow"] = request(
+                daemon.port, "POST", "/repair",
+                body={"rows": [[TRIGGER, "China", "Shanghai", "Hongkong",
+                                "ICDE"]]},
+                timeout=30.0)
+
+        worker = threading.Thread(target=slow_request)
+        worker.start()
+        time.sleep(0.4)  # let it occupy the only slot
+
+        # 2x watermark arrivals: all shed, immediately
+        for _ in range(2):
+            started = time.monotonic()
+            status, headers, payload = request(
+                daemon.port, "POST", "/repair",
+                body={"rows": [["Ian", "China", "Shanghai", "Hongkong",
+                                "ICDE"]]})
+            assert status == 503
+            assert float(headers["retry-after"]) >= 1
+            assert time.monotonic() - started < 1.0
+
+        worker.join(timeout=15.0)
+        assert not worker.is_alive()
+        status, _, _ = results["slow"]
+        assert status == 504  # admitted: completed or cleanly timed out
+
+        # the daemon recovered: the next request is served
+        status, _, payload = request(
+            daemon.port, "POST", "/repair",
+            body={"rows": [["Mike", "Canada", "Toronto", "Toronto",
+                            "VLDB"]]})
+        assert status == 200
+        assert payload["rows"][0][2] == "Ottawa"
+
+        _, _, text = request(daemon.port, "GET", "/metrics")
+        assert "repro_serve_admission_shed_total 2" in text
+    finally:
+        daemon.stop()
+
+
+@pytest.mark.faultinjection
+def test_graceful_drain(tmp_path):
+    """stop() drains cleanly and the listener actually goes away."""
+    daemon = start_chaos_daemon(tmp_path, request_timeout=5.0)
+    port = daemon.port
+    status, _, _ = request(port, "POST", "/repair",
+                           body={"rows": [["Ian", "China", "Shanghai",
+                                           "Hongkong", "ICDE"]]})
+    assert status == 200
+    assert daemon.stop() is True
+    with pytest.raises(OSError):
+        request(port, "GET", "/healthz", timeout=2.0)

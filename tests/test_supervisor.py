@@ -315,3 +315,56 @@ class TestCliSupervisionFlags:
         stdout = capsys.readouterr().out
         assert "summary: rows repaired=3 quarantined=0" in stdout
         assert "chunk retries=0" in stdout
+
+
+class TestStatsSession:
+    """Session-scoped supervisor counters: the process-wide block stays
+    monotonic (scrapers differentiate it) while a session reports only
+    what happened on its watch — the ``supervisor_stats()`` scoping fix
+    the serve daemon's ``/metrics`` endpoint depends on."""
+
+    def test_delta_since_baseline(self):
+        from repro.core.instrumentation import (SUPERVISOR_STATS,
+                                                SupervisorStatsSession)
+        SUPERVISOR_STATS.bump("worker_deaths")  # pre-session noise
+        session = SupervisorStatsSession()
+        assert session.snapshot()["worker_deaths"] == 0
+        SUPERVISOR_STATS.bump("worker_deaths", 3)
+        SUPERVISOR_STATS.bump("deadline_hits")
+        snap = session.snapshot()
+        assert snap["worker_deaths"] == 3
+        assert snap["deadline_hits"] == 1
+        # reading a session never mutates the process-wide block
+        assert SUPERVISOR_STATS.worker_deaths >= 4
+
+    def test_rebase_reanchors(self):
+        from repro.core.instrumentation import (SUPERVISOR_STATS,
+                                                SupervisorStatsSession)
+        session = SupervisorStatsSession()
+        SUPERVISOR_STATS.bump("chunk_retries", 2)
+        assert session.snapshot()["chunk_retries"] == 2
+        session.rebase()
+        assert session.snapshot()["chunk_retries"] == 0
+
+    def test_disjoint_sessions_sum_to_process_totals(self):
+        from repro.core.instrumentation import (SUPERVISOR_STATS,
+                                                SupervisorStatsSession)
+        start = SUPERVISOR_STATS.snapshot()["workers_respawned"]
+        first = SupervisorStatsSession()
+        SUPERVISOR_STATS.bump("workers_respawned", 2)
+        first_seen = first.snapshot()["workers_respawned"]
+        second = SupervisorStatsSession()
+        SUPERVISOR_STATS.bump("workers_respawned", 5)
+        second_seen = second.snapshot()["workers_respawned"]
+        total = SUPERVISOR_STATS.snapshot()["workers_respawned"]
+        # window [first, second) saw 2, [second, now) saw 5: the
+        # disjoint deltas add up to the process-wide growth exactly
+        assert first_seen + second_seen == total - start
+        assert second_seen == 5
+
+    def test_delta_tolerates_missing_baseline_keys(self):
+        from repro.core.instrumentation import SUPERVISOR_STATS
+        partial = {"worker_deaths": 0}  # baseline from an older release
+        delta = SUPERVISOR_STATS.delta(partial)
+        assert delta["worker_deaths"] == SUPERVISOR_STATS.worker_deaths
+        assert delta["chunks_submitted"] == SUPERVISOR_STATS.chunks_submitted
