@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-fault test-parallel test-chaos test-serve bench bench-core bench-serve results examples clean
+.PHONY: install test test-fault test-parallel test-chaos test-columnar test-serve bench bench-core bench-serve results examples clean
 
 install:
 	$(PY) setup.py develop
@@ -27,6 +27,15 @@ test-parallel:
 test-chaos:
 	$(PY) -m pytest -m faultinjection tests/test_worker_chaos.py \
 	    tests/test_supervisor.py tests/test_differential_repair.py
+
+# Columnar backend: encoding round-trip properties, columnar == row
+# engine equivalence (cells, provenance, assured sets), permutation
+# invariance, and the cross-backend differential matrix incl. the
+# streaming and shared-memory parallel legs.  Run it twice in CI —
+# plain and with REPRO_NO_NUMPY=1 — to cover both code paths.
+test-columnar:
+	$(PY) -m pytest tests/test_columnar.py \
+	    tests/test_differential_repair.py
 
 # The repair-as-a-service daemon end to end: HTTP contract, hot-reload
 # with rollback, the mid-stream-reload equivalence property, and the

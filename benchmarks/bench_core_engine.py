@@ -15,7 +15,14 @@ Two measurements, mirroring the two halves of the engine PR:
    below the pre-engine baseline, and at full scale also enforces the
    5x acceptance target.
 
-2. **Consistency checking** — blocked vs exhaustive-pairwise
+2. **Columnar bulk throughput** — the same workload through
+   ``repair_table(backend="columnar")``: dictionary-encoded columns,
+   code-space candidate scans, row engine only on the rows that
+   actually change.  Output and provenance must be identical to the
+   row leg; at full scale throughput must be >= 3x the row engine's
+   92K rows/s (the columnar acceptance gate, pointed at 1M rows/s).
+
+3. **Consistency checking** — blocked vs exhaustive-pairwise
    ``find_conflicts`` on the mined Σ (|Σ|=2,000 at full scale; ~2M rule
    pairs).  Conflict output must be identical; at full scale the
    blocked strategy must be >= 10x faster.
@@ -39,7 +46,7 @@ import time
 from pathlib import Path
 
 from repro.core import (RuleSet, engine_stats, find_conflicts,
-                        repair_table, reset_engine_stats)
+                        numpy_available, repair_table, reset_engine_stats)
 from repro.datagen import (constraint_attributes, generate_hosp, hosp_fds,
                            inject_noise)
 from repro.rulegen.seeds import generate_seed_rules
@@ -59,6 +66,13 @@ PRE_ENGINE_BASELINE = 5_679.1
 TARGET_SPEEDUP = 5.0
 #: acceptance target: blocked isConsist >= 10x faster than pairwise.
 TARGET_CONSISTENCY_SPEEDUP = 10.0
+#: rows/s of the compiled row engine when the columnar backend landed
+#: (BENCH_core.json, PR 5).  The columnar acceptance gate is relative
+#: to this number, not to whatever the row leg measures today, so a
+#: slow box fails both legs instead of hiding a columnar regression.
+ROW_ENGINE_BASELINE = 92_097.6
+#: acceptance target: columnar bulk path >= 3x the row engine.
+TARGET_COLUMNAR_SPEEDUP = 3.0
 
 SMOKE_ROWS = 800
 SMOKE_RULE_CAP = 150
@@ -121,9 +135,12 @@ def main(argv=None) -> int:
     failures = []
 
     # -- 1. serial repair throughput -------------------------------------
+    # backend="row" pins the per-row compiled engine: at this scale the
+    # auto policy would route to the columnar backend and this leg
+    # would silently measure the wrong engine.
     reset_engine_stats()
     serial_seconds, report = best_of(
-        lambda: repair_table(table, rules, workers=None))
+        lambda: repair_table(table, rules, workers=None, backend="row"))
     serial_rate = len(table) / serial_seconds
     speedup_vs_baseline = serial_rate / PRE_ENGINE_BASELINE
     print("serial repair_table: %7.3fs  %9.0f rows/s  (%.2fx the "
@@ -141,7 +158,31 @@ def main(argv=None) -> int:
                 "serial speedup %.2fx is below the %.0fx acceptance "
                 "target" % (speedup_vs_baseline, TARGET_SPEEDUP))
 
-    # -- 2. blocked vs pairwise consistency checking ---------------------
+    # -- 2. columnar bulk throughput -------------------------------------
+    columnar_seconds, columnar_report = best_of(
+        lambda: repair_table(table, rules, workers=None,
+                             backend="columnar"))
+    columnar_rate = len(table) / columnar_seconds
+    columnar_speedup = columnar_rate / ROW_ENGINE_BASELINE
+    print("columnar repair_table: %5.3fs  %9.0f rows/s  (%.2fx the row "
+          "engine's %0.0f rows/s; numpy=%s)"
+          % (columnar_seconds, columnar_rate, columnar_speedup,
+             ROW_ENGINE_BASELINE, numpy_available()), flush=True)
+    if [row.values for row in columnar_report.table] != \
+            [row.values for row in report.table]:
+        failures.append("columnar backend output diverged from the row "
+                        "engine")
+    if columnar_report.applications_by_rule() != \
+            report.applications_by_rule():
+        failures.append("columnar backend provenance diverged from the "
+                        "row engine")
+    if full_scale and columnar_speedup < TARGET_COLUMNAR_SPEEDUP:
+        failures.append(
+            "columnar throughput %.0f rows/s is %.2fx the row-engine "
+            "baseline, below the %.0fx acceptance target"
+            % (columnar_rate, columnar_speedup, TARGET_COLUMNAR_SPEEDUP))
+
+    # -- 3. blocked vs pairwise consistency checking ---------------------
     rule_list = rules.rules()
     # counters from exactly one run (best_of would accumulate them)
     reset_engine_stats()
@@ -189,6 +230,15 @@ def main(argv=None) -> int:
             "pre_engine_rows_per_sec": PRE_ENGINE_BASELINE,
             "speedup_vs_pre_engine": round(speedup_vs_baseline, 2),
             "total_applications": report.total_applications,
+        },
+        "columnar": {
+            "seconds": round(columnar_seconds, 4),
+            "rows_per_sec": round(columnar_rate, 1),
+            "row_engine_rows_per_sec": ROW_ENGINE_BASELINE,
+            "speedup_vs_row_engine": round(columnar_speedup, 2),
+            "target_speedup": TARGET_COLUMNAR_SPEEDUP,
+            "numpy": numpy_available(),
+            "total_applications": columnar_report.total_applications,
         },
         "consistency": {
             "total_pairs": total_pairs,

@@ -6,9 +6,11 @@ Standalone script (not a pytest benchmark — run it directly):
 
 Generates a noisy HOSP table (Section 7 protocol), seeds fixing rules
 from the clean/dirty pair, then times ``repair_table`` end to end —
-the serial per-tuple lRepair loop as the baseline, and the sharded
-executor at each worker count.  Results land in ``BENCH_parallel.json``
-at the repo root.
+the serial per-tuple lRepair loop as the baseline, the serial columnar
+bulk engine, and the sharded executor at each worker count over both
+transports (pickled row lists and dictionary-encoded shared-memory
+buffers) wherever ``multiprocessing.shared_memory`` exists.  Results
+land in ``BENCH_parallel.json`` at the repo root.
 
 Reading the numbers honestly: the parallel path is faster even at one
 process per core because its workers run the positional
@@ -26,7 +28,7 @@ import time
 from pathlib import Path
 
 from repro.core import (RuleSet, repair_table, reset_supervisor_stats,
-                        supervisor_stats)
+                        shm_available, supervisor_stats)
 from repro.datagen import (constraint_attributes, generate_hosp, hosp_fds,
                            inject_noise)
 from repro.rulegen.seeds import generate_seed_rules
@@ -59,7 +61,8 @@ def build_workload(rows: int = ROWS, seed: int = SEED):
     return noise.table, rules
 
 
-def time_repair(table, rules, workers: int, rounds: int = ROUNDS):
+def time_repair(table, rules, workers: int, rounds: int = ROUNDS,
+                backend: str = "auto"):
     import gc
     best = None
     report = None
@@ -67,10 +70,10 @@ def time_repair(table, rules, workers: int, rounds: int = ROUNDS):
         gc.collect()
         start = time.perf_counter()
         # force_workers: this benchmark measures real pools by design;
-        # the pointless-parallelism guard would turn the multi-worker
-        # legs into serial reruns on a single-CPU box.
+        # the cost-model guard would turn the multi-worker legs into
+        # serial reruns on a single-CPU box.
         report = repair_table(table, rules, workers=workers,
-                              force_workers=True)
+                              force_workers=True, backend=backend)
         seconds = time.perf_counter() - start
         best = seconds if best is None else min(best, seconds)
     return best, report
@@ -94,7 +97,11 @@ def main(argv=None) -> int:
           (len(table), len(rules), os.cpu_count() or 1,
            usable_cpus()), flush=True)
 
-    serial_seconds, serial_report = time_repair(table, rules, workers=1)
+    # backend="row" pins the per-row compiled engine as the historical
+    # 1-worker baseline; the auto policy would route a table this size
+    # to the columnar backend.
+    serial_seconds, serial_report = time_repair(table, rules, workers=1,
+                                                backend="row")
     serial_rate = len(table) / serial_seconds
     print("serial    : %7.2fs  %9.0f rows/s  (%d fixes)" %
           (serial_seconds, serial_rate, serial_report.total_applications),
@@ -106,21 +113,50 @@ def main(argv=None) -> int:
                    "speedup": 1.0}]
     serial_cells = [row.values for row in serial_report.table]
 
-    for workers in WORKER_COUNTS[1:]:
-        seconds, report = time_repair(table, rules, workers=workers)
-        if [row.values for row in report.table] != serial_cells:
-            raise SystemExit("parallel output diverged at workers=%d"
-                             % workers)
-        rate = len(table) / seconds
-        trajectory.append({"workers": workers, "mode": "parallel",
-                           "seconds": round(seconds, 4),
-                           "rows_per_sec": round(rate, 1),
-                           "speedup": round(serial_seconds / seconds, 2)})
-        print("workers=%-2d: %7.2fs  %9.0f rows/s  (%.2fx)" %
-              (workers, seconds, rate, serial_seconds / seconds),
-              flush=True)
+    columnar_seconds, columnar_report = time_repair(table, rules,
+                                                    workers=1,
+                                                    backend="columnar")
+    if [row.values for row in columnar_report.table] != serial_cells:
+        raise SystemExit("columnar serial output diverged")
+    columnar_rate = len(table) / columnar_seconds
+    trajectory.append({"workers": 1, "mode": "columnar",
+                       "seconds": round(columnar_seconds, 4),
+                       "rows_per_sec": round(columnar_rate, 1),
+                       "speedup": round(serial_seconds / columnar_seconds,
+                                        2)})
+    print("columnar  : %7.2fs  %9.0f rows/s  (%.2fx)" %
+          (columnar_seconds, columnar_rate,
+           serial_seconds / columnar_seconds), flush=True)
 
-    at4 = next(t for t in trajectory if t["workers"] == 4)
+    #: transport the default (backend="auto") parallel path resolves to
+    default_transport = "shm" if shm_available() else "pickle"
+    # row backend ships chunks pickled; columnar ships them as
+    # shared-memory flat buffers — benchmark both sides of the IPC
+    # cost model wherever shared memory exists.
+    transport_legs = [("pickle", "row")]
+    if shm_available():
+        transport_legs.append(("shm", "columnar"))
+    for workers in WORKER_COUNTS[1:]:
+        for transport, backend in transport_legs:
+            seconds, report = time_repair(table, rules, workers=workers,
+                                          backend=backend)
+            if [row.values for row in report.table] != serial_cells:
+                raise SystemExit("parallel output diverged at workers=%d "
+                                 "transport=%s" % (workers, transport))
+            rate = len(table) / seconds
+            trajectory.append({"workers": workers, "mode": "parallel",
+                               "transport": transport,
+                               "seconds": round(seconds, 4),
+                               "rows_per_sec": round(rate, 1),
+                               "speedup": round(serial_seconds / seconds,
+                                                2)})
+            print("workers=%-2d: %7.2fs  %9.0f rows/s  (%.2fx, %s)" %
+                  (workers, seconds, rate, serial_seconds / seconds,
+                   transport), flush=True)
+
+    at4 = next(t for t in trajectory
+               if t["workers"] == 4
+               and t.get("transport", "pickle") == default_transport)
     # A healthy benchmark run must not trip the failure path at all:
     # every supervision counter staying zero *is* the near-free claim.
     supervision = supervisor_stats()
@@ -135,6 +171,7 @@ def main(argv=None) -> int:
         "cpu_count": os.cpu_count() or 1,
         "cpus_usable": usable_cpus(),
         "total_applications": serial_report.total_applications,
+        "transport": default_transport,
         "trajectory": trajectory,
         "speedup_at_4_workers": at4["speedup"],
         "supervisor_stats": supervision,
@@ -148,16 +185,31 @@ def main(argv=None) -> int:
                         "run: %s" % ", ".join(failure_keys))
     if args.baseline is not None:
         base = json.loads(args.baseline.read_text(encoding="utf-8"))
-        base_at4 = next(t for t in base["trajectory"]
-                        if t["workers"] == 4)
+        base_legs = [t for t in base["trajectory"] if t["workers"] == 4]
+        # match transports when the baseline recorded them; fall back
+        # to the baseline's only/first leg for pre-columnar files
+        base_at4 = next((t for t in base_legs
+                         if t.get("transport", "pickle")
+                         == at4.get("transport", "pickle")),
+                        base_legs[0])
         ratio = at4["rows_per_sec"] / base_at4["rows_per_sec"]
-        payload["baseline_rows_per_sec_at_4_workers"] = \
-            base_at4["rows_per_sec"]
-        payload["throughput_vs_baseline_at_4_workers"] = round(ratio, 4)
-        print("vs baseline at 4 workers: %.0f -> %.0f rows/s (%.1f%%)"
+        # The gate is only meaningful when this process can actually
+        # run workers on distinct cores: on < 2 usable CPUs pool
+        # timings measure scheduler contention, not our overhead, so
+        # the comparison is recorded but the assertion is skipped.
+        enforced = usable_cpus() >= 2
+        payload["baseline_gate"] = {
+            "baseline_rows_per_sec_at_4_workers": base_at4["rows_per_sec"],
+            "throughput_vs_baseline_at_4_workers": round(ratio, 4),
+            "cpus_usable": usable_cpus(),
+            "enforced": enforced,
+        }
+        print("vs baseline at 4 workers: %.0f -> %.0f rows/s (%.1f%%)%s"
               % (base_at4["rows_per_sec"], at4["rows_per_sec"],
-                 100.0 * ratio), flush=True)
-        if ratio < 0.95:
+                 100.0 * ratio,
+                 "" if enforced else
+                 "  [gate skipped: < 2 usable cpus]"), flush=True)
+        if enforced and ratio < 0.95:
             failures.append("supervision overhead: rows/s at 4 workers "
                             "is %.1f%% of baseline (< 95%%)"
                             % (100.0 * ratio))

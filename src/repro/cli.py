@@ -73,9 +73,14 @@ def _cmd_repair(args: argparse.Namespace) -> int:
                   "fast (lRepair) engine; --algorithm chase is only "
                   "honored by the plain serial path", file=sys.stderr)
         return _streaming_repair(args, rules)
+    if args.algorithm == "chase" and args.backend == "columnar":
+        print("error: --backend columnar requires --algorithm fast",
+              file=sys.stderr)
+        return 2
     table = read_csv(args.input, schema=rules.schema)
     report = repair_table(table, rules, algorithm=args.algorithm,
-                          check_consistency=not args.skip_check)
+                          check_consistency=not args.skip_check,
+                          backend=args.backend)
     write_csv(report.table, args.output)
     print("repaired %d rows; %d cells updated; output written to %s"
           % (len(report.table), report.total_applications, args.output))
@@ -131,7 +136,8 @@ def _streaming_repair(args: argparse.Namespace, rules) -> int:
         workers=args.workers,
         chunk_size=args.chunk_size,
         supervisor=supervisor,
-        force_workers=args.force_workers)
+        force_workers=args.force_workers,
+        backend=args.backend)
     stats = session.stats()
     print("repaired %d rows; %d cells updated; output written to %s"
           % (stats["rows_seen"], stats["cells_changed"], args.output))
@@ -331,6 +337,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_repair.add_argument("input", help="dirty CSV file")
     p_repair.add_argument("rules", help="rule JSON file")
     p_repair.add_argument("output", help="repaired CSV destination")
+    p_repair.add_argument("--backend", choices=["auto", "row", "columnar"],
+                          default="auto",
+                          help="repair engine: 'row' chases tuples "
+                               "one at a time, 'columnar' dictionary-"
+                               "encodes the input and bulk-scans "
+                               "evidence patterns (identical output); "
+                               "'auto' picks columnar for large "
+                               "inputs. With --workers, columnar "
+                               "chunks ship to workers as pickle-free "
+                               "shared-memory buffers")
     p_repair.add_argument("--algorithm", choices=["fast", "chase"],
                           default="fast")
     p_repair.add_argument("--skip-check", action="store_true",

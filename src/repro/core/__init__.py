@@ -49,15 +49,22 @@ from .implication import implies, iter_small_model, minimize
 from .resolution import (DROP_CONFLICTING, SHRINK_NEGATIVES, ResolutionLog,
                          Revision, drop_conflicting, ensure_consistent)
 from .repair import (AppliedFix, RepairResult, TableRepairReport,
-                     VALID_ALGORITHMS, chase_repair, fast_repair,
-                     repair_table)
-from .parallel import (BatchRepairKernel, ParallelRepairExecutor,
-                       cpus_usable, default_workers, fork_available,
-                       parallel_repair_table, plan_chunks, resolve_workers)
+                     VALID_ALGORITHMS, VALID_BACKENDS, chase_repair,
+                     fast_repair, repair_table)
+from .columnar import (COLUMNAR_AUTO_THRESHOLD, ColumnarKernel,
+                       ColumnarRepairReport, ColumnarTable,
+                       columnar_repair_table, numpy_available)
+from .parallel import (DEFAULT_COST_MODEL, VALID_TRANSPORTS,
+                       BatchRepairKernel, IPCCostModel,
+                       ParallelRepairExecutor, ShmChunkRef,
+                       active_shm_segments, cpus_usable, default_workers,
+                       fork_available, parallel_predicted_to_win,
+                       parallel_repair_table, plan_chunks, resolve_workers,
+                       shm_available)
 from .supervisor import (FAULT_MODES, POISON_ERROR_TYPE, ChunkDeadlineError,
-                         ChunkSupervisor, SupervisorConfig, SupervisorError,
-                         WorkerCrashError, WorkerFaultInjected,
-                         WorkerFaultPlan)
+                         ChunkSupervisor, OpaqueChunk, SupervisorConfig,
+                         SupervisorError, WorkerCrashError,
+                         WorkerFaultInjected, WorkerFaultPlan)
 from .serialization import (format_rule, format_ruleset, load_ruleset,
                             rule_from_dict, rule_to_dict, ruleset_from_json,
                             ruleset_to_json, save_ruleset)
@@ -127,17 +134,32 @@ __all__ = [
     "RepairResult",
     "TableRepairReport",
     "VALID_ALGORITHMS",
+    "VALID_BACKENDS",
     "chase_repair",
     "fast_repair",
     "repair_table",
+    "COLUMNAR_AUTO_THRESHOLD",
+    "ColumnarKernel",
+    "ColumnarRepairReport",
+    "ColumnarTable",
+    "columnar_repair_table",
+    "numpy_available",
     "BatchRepairKernel",
     "ParallelRepairExecutor",
+    "DEFAULT_COST_MODEL",
+    "IPCCostModel",
+    "ShmChunkRef",
+    "VALID_TRANSPORTS",
+    "active_shm_segments",
+    "parallel_predicted_to_win",
+    "shm_available",
     "default_workers",
     "cpus_usable",
     "resolve_workers",
     "fork_available",
     "parallel_repair_table",
     "plan_chunks",
+    "OpaqueChunk",
     "ChunkSupervisor",
     "SupervisorConfig",
     "SupervisorError",

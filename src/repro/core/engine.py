@@ -201,6 +201,20 @@ class CompiledRuleSet:
         """Does Σ contain rules overriding the match primitives?"""
         return self._instrumented
 
+    def evidence_layout(self) -> Tuple[Tuple[Tuple[Tuple[int, str], ...],
+                                             int, FrozenSet[str], str], ...]:
+        """Per-rule positional pattern data, in rule-id order.
+
+        Each entry is ``(evidence, b_pos, negatives, fact)`` with
+        *evidence* as ``(position, value)`` pairs — the compiled form
+        array backends (:mod:`repro.core.columnar`) build their scans
+        from, exposed so they need not reach into slots.
+        """
+        return tuple(
+            (self._ev_pos[rule_id], self._b_pos[rule_id],
+             self._negatives[rule_id], self._fact[rule_id])
+            for rule_id in range(len(self.rules)))
+
     def compatible_with(self, schema: Schema) -> bool:
         """Is the positional layout valid for rows of *schema*?
 

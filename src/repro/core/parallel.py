@@ -56,27 +56,40 @@ import multiprocessing
 import os
 import pickle
 import warnings
-from typing import (Dict, FrozenSet, Iterable, Iterator, List, Optional,
-                    Sequence, Tuple, Union)
+from collections import deque
+from typing import (Dict, FrozenSet, Iterable, Iterator, List, NamedTuple,
+                    Optional, Sequence, Set, Tuple, Union)
 
 from ..errors import InconsistentRulesError, PipelineError
 from ..relational import Row, Schema, Table
-from .engine import CompiledRuleSet, compile_for_schema
+from .engine import CompiledRuleSet, _is_instrumented, compile_for_schema
 from .indexes import InvertedIndex
 from .repair import (AppliedFix, RepairResult, RuleInput, TableRepairReport,
                      _as_rule_list)
 from .rule import FixingRule
-from .supervisor import (ERROR_MARK, ChunkSupervisor, SupervisorConfig,
-                         WorkerFaultPlan)
+from .supervisor import (ERROR_MARK, ChunkSupervisor, OpaqueChunk,
+                         SupervisorConfig, WorkerFaultPlan)
+
+try:
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - py3.8+/platform gaps
+    _shared_memory = None
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_COST_MODEL",
+    "VALID_TRANSPORTS",
     "fork_available",
+    "shm_available",
+    "active_shm_segments",
     "default_workers",
     "cpus_usable",
+    "forced_workers_env",
     "resolve_workers",
     "plan_chunks",
     "BatchRepairKernel",
+    "IPCCostModel",
+    "ShmChunkRef",
     "ParallelRepairExecutor",
     "parallel_repair_table",
 ]
@@ -99,6 +112,26 @@ def fork_available() -> bool:
     path is used instead.
     """
     return "fork" in multiprocessing.get_all_start_methods()
+
+
+def shm_available() -> bool:
+    """Can chunks ride to workers as ``multiprocessing.shared_memory``
+    segments?  Requires both the module (3.8+) and ``fork`` (the
+    executor's only pool flavor)."""
+    return _shared_memory is not None and fork_available()
+
+
+def forced_workers_env() -> bool:
+    """Is ``REPRO_FORCE_WORKERS`` set to a truthy value?
+
+    The process-wide escape hatch that makes harnesses exercise real
+    pools on single-core runners; it also disables the IPC cost-model
+    fallback in :func:`repro.core.repair.repair_table`, for the same
+    reason it disables the CPU-count gate — a forced pool is a request
+    to *test the pool*, not to win the race.
+    """
+    return (os.environ.get("REPRO_FORCE_WORKERS", "")
+            .strip().lower() not in ("", "0", "false", "no"))
 
 
 def default_workers() -> int:
@@ -145,8 +178,7 @@ def resolve_workers(workers: Optional[int],
     if workers is None:
         workers = default_workers()
     if not force_workers:
-        force_workers = (os.environ.get("REPRO_FORCE_WORKERS", "")
-                         .strip().lower() not in ("", "0", "false", "no"))
+        force_workers = forced_workers_env()
     if workers > 1 and not force_workers and cpus_usable() < 2:
         warnings.warn(
             "workers=%d requested but only %d CPU(s) are usable by this "
@@ -174,6 +206,175 @@ def plan_chunks(total: int, chunk_size: int) -> List[Tuple[int, int]]:
         raise ValueError("total must be >= 0, got %d" % total)
     return [(start, min(start + chunk_size, total))
             for start in range(0, total, chunk_size)]
+
+
+# -- shared-memory chunk transport -------------------------------------------
+#
+# The pickle transport serializes every cell string per task.  The shm
+# transport instead dictionary-encodes each chunk into the columnar
+# flat-buffer format (repro.core.columnar), parks the bytes in a
+# multiprocessing.shared_memory segment, and ships only a tiny
+# ShmChunkRef descriptor through the pool pipe.  Ownership is strictly
+# parent-side: the parent creates, tracks, and unlinks every segment;
+# workers attach read-only, copy what they need, and detach — so a
+# SIGKILLed worker can never leak a segment (the chaos tests assert
+# active_shm_segments() drains to empty).
+
+#: Valid values for the executor/driver ``transport`` argument.
+VALID_TRANSPORTS = ("auto", "pickle", "shm")
+
+#: Shared-memory segments currently owned (created, not yet unlinked)
+#: by this process, keyed by segment name.
+_ACTIVE_SEGMENTS: Dict[str, object] = {}
+
+
+def active_shm_segments() -> Tuple[str, ...]:
+    """Names of shared-memory segments this process currently holds.
+
+    The leak probe: after any shm-transport run — including one where
+    the supervisor killed and replaced workers mid-chunk — this must
+    be empty."""
+    return tuple(sorted(_ACTIVE_SEGMENTS))
+
+
+class ShmChunkRef(OpaqueChunk):
+    """Descriptor of one columnar chunk parked in shared memory.
+
+    This is what actually crosses the pool pipe under the shm
+    transport: segment name, payload length, and row count.  It is an
+    :class:`~repro.core.supervisor.OpaqueChunk`, so the supervisor
+    resubmits it verbatim on retry (the parent keeps the segment alive
+    until the chunk's outcomes have been merged) and materializes it
+    back into row lists only for bisection or serial degradation.
+    """
+
+    __slots__ = ("name", "nbytes", "rows")
+
+    def __init__(self, name: str, nbytes: int, rows: int):
+        self.name = name
+        self.nbytes = nbytes
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return self.rows
+
+    def __getstate__(self):
+        return (self.name, self.nbytes, self.rows)
+
+    def __setstate__(self, state):
+        self.name, self.nbytes, self.rows = state
+
+    def __repr__(self) -> str:
+        return ("ShmChunkRef(name=%r, nbytes=%d, rows=%d)"
+                % (self.name, self.nbytes, self.rows))
+
+
+def _create_segment(payload: bytes, rows: int) -> ShmChunkRef:
+    """Parent side: park *payload* in a fresh segment and register it."""
+    seg = _shared_memory.SharedMemory(create=True,
+                                      size=max(1, len(payload)))
+    seg.buf[:len(payload)] = payload
+    _ACTIVE_SEGMENTS[seg.name] = seg
+    return ShmChunkRef(seg.name, len(payload), rows)
+
+
+def _release_segment(name: str) -> None:
+    """Parent side: close and unlink one owned segment (idempotent)."""
+    seg = _ACTIVE_SEGMENTS.pop(name, None)
+    if seg is None:
+        return
+    try:
+        seg.close()
+    finally:
+        try:
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+def _segment_payload(ref: ShmChunkRef) -> bytes:
+    """Parent side: copy a registered segment's payload back out (for
+    materializing an opaque chunk into plain rows)."""
+    seg = _ACTIVE_SEGMENTS.get(ref.name)
+    if seg is not None:
+        return bytes(seg.buf[:ref.nbytes])
+    # Not ours (already released, or another process created it):
+    # attach, copy, detach — never unlink what we do not own.
+    seg = _shared_memory.SharedMemory(name=ref.name)
+    try:
+        _untrack_segment(seg)
+        return bytes(seg.buf[:ref.nbytes])
+    finally:
+        seg.close()
+
+
+def _untrack_segment(seg) -> None:
+    """Tell the resource tracker this process does NOT own *seg*.
+
+    ``SharedMemory(name=...)`` auto-registers the mapping (Python
+    < 3.13 has no ``track=False``).  Only used when attaching to a
+    segment this process's registry has never seen — pool workers must
+    NOT call it: a fork pool shares the parent's tracker, where the
+    name is already registered by the creating side and unregistering
+    would clobber that entry.
+    """
+    try:
+        from multiprocessing import resource_tracker
+        resource_tracker.unregister(seg._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals shifted
+        pass
+
+
+class IPCCostModel(NamedTuple):
+    """Back-of-envelope model deciding whether forking will pay off.
+
+    ``BENCH_parallel.json`` measured the pickle transport at 0.31x of
+    serial on one usable CPU: repair is ~11 µs/row of compute while
+    fork startup and per-row IPC are pure overhead.  The model is
+    deliberately coarse — its one job is the sign of the decision
+    ("will N workers beat serial here?"), which is dominated by row
+    count, usable cores, and per-row transport cost.
+    """
+
+    #: Measured serial throughput of the compiled engine (rows/s).
+    serial_rows_per_sec: float = 92_000.0
+    #: Per-row cost of the pickle transport: serialize + pipe + parse.
+    pickle_seconds_per_row: float = 4e-6
+    #: Per-row cost of the shm transport: dictionary-encode + copy.
+    shm_seconds_per_row: float = 1.5e-6
+    #: One-time fork/initializer cost for the pool.
+    pool_startup_seconds: float = 0.3
+
+    def predicted_speedup(self, n_rows: int, workers: int,
+                          transport: str = "shm",
+                          usable: Optional[int] = None) -> float:
+        """Expected (serial time) / (parallel time); > 1 means fork."""
+        if n_rows <= 0:
+            return 0.0
+        serial = n_rows / self.serial_rows_per_sec
+        per_row = (self.shm_seconds_per_row if transport == "shm"
+                   else self.pickle_seconds_per_row)
+        effective = max(1, min(workers, usable if usable is not None
+                               else cpus_usable()))
+        # Compute shrinks with cores; transport and startup do not.
+        parallel = (serial / effective + n_rows * per_row
+                    + self.pool_startup_seconds)
+        return serial / parallel
+
+
+#: The model instance the drivers consult.
+DEFAULT_COST_MODEL = IPCCostModel()
+
+
+def parallel_predicted_to_win(n_rows: int, workers: int,
+                              transport: str = "auto",
+                              model: Optional[IPCCostModel] = None) -> bool:
+    """Should a driver fork *workers* pools for *n_rows*, or stay
+    serial?  Consulted by ``repair_table`` unless workers are forced."""
+    model = model or DEFAULT_COST_MODEL
+    resolved = ("shm" if transport in ("auto", "shm") and shm_available()
+                else "pickle")
+    return model.predicted_speedup(n_rows, workers, resolved) > 1.0
 
 
 class BatchRepairKernel(CompiledRuleSet):
@@ -206,6 +407,9 @@ class BatchRepairKernel(CompiledRuleSet):
 
 _WORKER_KERNEL: Optional[CompiledRuleSet] = None
 _WORKER_FAULTS: Optional[WorkerFaultPlan] = None
+#: Lazily-built columnar candidate detector for the shm transport; a
+#: worker that only ever sees pickle chunks never builds it.
+_WORKER_COLUMNAR = None
 #: PID this worker must stay a child of; checked between tasks as the
 #: portable fallback to PR_SET_PDEATHSIG.
 _PARENT_PID: Optional[int] = None
@@ -234,7 +438,7 @@ def _reap_with_parent() -> None:
 
 
 def _init_worker(blob: bytes) -> None:
-    global _WORKER_KERNEL, _WORKER_FAULTS, _PARENT_PID
+    global _WORKER_KERNEL, _WORKER_FAULTS, _WORKER_COLUMNAR, _PARENT_PID
     _PARENT_PID = os.getppid()
     _reap_with_parent()
     schema, rules, fingerprint, verified_consistent, fault_plan = \
@@ -242,6 +446,7 @@ def _init_worker(blob: bytes) -> None:
     _WORKER_KERNEL = CompiledRuleSet(schema, rules)
     _WORKER_KERNEL._fingerprint = fingerprint
     _WORKER_FAULTS = fault_plan
+    _WORKER_COLUMNAR = None  # fork may have copied a stale parent value
     if verified_consistent:
         # The parent already scanned this Σ; seed the worker-local
         # verdict cache so no code path re-checks it in-worker.
@@ -260,6 +465,8 @@ def _repair_chunk_task(task):
     if kernel is None:  # pragma: no cover - initializer always runs
         raise RuntimeError("worker used before initialization")
     plan = _WORKER_FAULTS
+    if isinstance(rows, ShmChunkRef):
+        return chunk_id, _repair_shm_chunk(kernel, plan, rows)
     out = []
     for values in rows:
         try:
@@ -269,6 +476,54 @@ def _repair_chunk_task(task):
         except Exception as exc:  # per-row capture: the error policy
             out.append((_ERROR_MARK, type(exc).__name__, str(exc)))
     return chunk_id, out
+
+
+def _repair_shm_chunk(kernel: CompiledRuleSet,
+                      plan: Optional[WorkerFaultPlan],
+                      ref: ShmChunkRef) -> list:
+    """Worker side of the shm transport: attach, copy, detach, repair.
+
+    The worker never owns the segment — it unregisters the attachment
+    from its resource tracker (the parent unlinks), decodes the
+    columnar buffer, and produces the exact same encoded outcomes as
+    the pickle path so the parent's merge loop cannot tell transports
+    apart.
+    """
+    global _WORKER_COLUMNAR
+    from .columnar import ColumnarKernel, ColumnarTable
+    # Attaching auto-registers the name with the resource tracker; in
+    # a fork pool that tracker is *shared* with the parent, so the
+    # registration is a set-dedupe no-op (the parent registered at
+    # create) and must NOT be undone here — unregistering would
+    # clobber the parent's entry and its later unlink() would spam
+    # tracker KeyErrors.  Ownership stays parent-side either way.
+    seg = _shared_memory.SharedMemory(name=ref.name)
+    try:
+        ctable = ColumnarTable.from_buffer(kernel.schema,
+                                           seg.buf[:ref.nbytes])
+    finally:
+        seg.close()
+    out = [None] * ctable.n_rows
+    if plan is not None:
+        # An armed fault plan triggers on row *values*; decode every
+        # row so chaos fires exactly as it would under pickle.
+        for i in range(ctable.n_rows):
+            values = ctable.row_values(i)
+            try:
+                plan.maybe_fire(values)
+                out[i] = kernel.repair_values(values)
+            except Exception as exc:
+                out[i] = (_ERROR_MARK, type(exc).__name__, str(exc))
+        return out
+    if _WORKER_COLUMNAR is None:
+        _WORKER_COLUMNAR = ColumnarKernel(kernel)
+    row_values = ctable.row_values
+    for i in _WORKER_COLUMNAR.candidate_indices(ctable):
+        try:
+            out[i] = kernel.repair_values(row_values(i))
+        except Exception as exc:
+            out[i] = (_ERROR_MARK, type(exc).__name__, str(exc))
+    return out
 
 
 def is_error_marker(encoded) -> bool:
@@ -325,6 +580,18 @@ class ParallelRepairExecutor:
     fault_plan:
         Optional :class:`~repro.core.supervisor.WorkerFaultPlan`
         shipped to the workers — the chaos-testing hook.
+    transport:
+        How chunks cross the process boundary.  ``"pickle"`` ships row
+        value lists through the pool pipe; ``"shm"`` dictionary-encodes
+        each chunk into a columnar flat buffer parked in a
+        ``multiprocessing.shared_memory`` segment and ships only a
+        :class:`ShmChunkRef`; ``"auto"`` (default) picks shm whenever
+        the platform supports it and Σ is not instrumented (the
+        columnar candidate detector cannot run instrumented rules).
+        Segments are parent-owned: created before submission, unlinked
+        as soon as the chunk's outcomes are merged (and
+        unconditionally at close/terminate), so worker crashes cannot
+        leak them.
 
     Use as a context manager: a clean exit drains the pool with
     ``close()``/``join()`` so in-flight state winds down in an
@@ -335,11 +602,29 @@ class ParallelRepairExecutor:
     def __init__(self, schema: Schema, rules: RuleInput, workers: int,
                  verified_consistent: bool = False,
                  supervisor: Optional[SupervisorConfig] = None,
-                 fault_plan: Optional[WorkerFaultPlan] = None):
+                 fault_plan: Optional[WorkerFaultPlan] = None,
+                 transport: str = "auto"):
         if workers < 2:
             raise ValueError("ParallelRepairExecutor needs workers >= 2, "
                              "got %d (use the serial path)" % workers)
+        if transport not in VALID_TRANSPORTS:
+            raise ValueError("unknown transport %r (valid: %s)"
+                             % (transport, ", ".join(VALID_TRANSPORTS)))
         rule_list = tuple(_as_rule_list(rules))
+        instrumented = any(_is_instrumented(rule) for rule in rule_list)
+        if transport == "shm":
+            if not shm_available():
+                raise RuntimeError(
+                    "transport='shm' requested but multiprocessing."
+                    "shared_memory (or fork) is unavailable here")
+            if instrumented:
+                raise ValueError(
+                    "transport='shm' cannot ship instrumented rule "
+                    "sets (the columnar detector bypasses per-row "
+                    "match accounting); use transport='pickle'")
+        elif transport == "auto":
+            transport = ("shm" if shm_available() and not instrumented
+                         else "pickle")
         from .engine import rules_fingerprint
         blob = pickle.dumps((schema, rule_list,
                              rules_fingerprint(rule_list),
@@ -348,7 +633,24 @@ class ParallelRepairExecutor:
                             protocol=pickle.HIGHEST_PROTOCOL)
         context = (multiprocessing.get_context("fork") if fork_available()
                    else multiprocessing.get_context())
+        if transport == "shm":
+            # Start the resource tracker BEFORE forking the pool: the
+            # first segment is only created after the workers exist,
+            # and a worker attaching with no inherited tracker would
+            # lazily fork its own — which then mis-reports the
+            # parent-owned segment as leaked when the worker exits.
+            # Pre-started, every process shares one tracker and the
+            # attach-time registration dedupes against the parent's.
+            try:
+                from multiprocessing import resource_tracker
+                resource_tracker.ensure_running()
+            except Exception:  # pragma: no cover - tracker internals
+                pass
         self.workers = workers
+        self.transport = transport
+        self._schema = schema
+        #: Segment names created by this executor, not yet released.
+        self._segments: Set[str] = set()
         self._supervisor = ChunkSupervisor(
             workers=workers,
             spawn=lambda: context.Pool(processes=workers,
@@ -356,7 +658,8 @@ class ParallelRepairExecutor:
                                        initargs=(blob,)),
             task=_repair_chunk_task,
             serial_runner=_make_serial_runner(schema, rule_list),
-            config=supervisor)
+            config=supervisor,
+            materialize=self._materialize_chunk)
         self._closed = False
 
     @property
@@ -387,8 +690,53 @@ class ParallelRepairExecutor:
         Exceptions raised by the *chunks* iterable itself propagate to
         the caller between submissions — the streaming path relies on
         this for fault-injection kills.
+
+        Under the shm transport each chunk is encoded at submission
+        time and its segment released the moment its outcomes are
+        yielded, so live segments stay bounded by the in-flight window.
         """
-        return self._supervisor.map_chunks(chunks, max_inflight)
+        if self.transport != "shm":
+            return self._supervisor.map_chunks(chunks, max_inflight)
+        return self._map_chunks_shm(chunks, max_inflight)
+
+    def _map_chunks_shm(self, chunks, max_inflight) -> Iterator[list]:
+        inflight: deque = deque()  # segment names in submission order
+
+        def encoded():
+            from .columnar import ColumnarTable
+            for chunk in chunks:
+                rows = chunk if isinstance(chunk, list) else list(chunk)
+                payload = ColumnarTable.from_rows(self._schema,
+                                                  rows).to_buffer()
+                ref = _create_segment(payload, len(rows))
+                self._segments.add(ref.name)
+                inflight.append(ref.name)
+                yield ref
+
+        try:
+            for outcomes in self._supervisor.map_chunks(encoded(),
+                                                        max_inflight):
+                self._release(inflight.popleft())
+                yield outcomes
+        finally:
+            while inflight:
+                self._release(inflight.popleft())
+
+    def _release(self, name: str) -> None:
+        self._segments.discard(name)
+        _release_segment(name)
+
+    def _release_all(self) -> None:
+        for name in list(self._segments):
+            self._release(name)
+
+    def _materialize_chunk(self, ref) -> List[list]:
+        """Supervisor hook: decode an opaque shm chunk back into plain
+        row lists (for bisection / serial degradation)."""
+        from .columnar import ColumnarTable
+        payload = _segment_payload(ref)
+        ctable = ColumnarTable.from_buffer(self._schema, payload)
+        return [ctable.row_values(i) for i in range(ctable.n_rows)]
 
     def close(self) -> None:
         """Graceful shutdown for the clean path: ``close()``/``join()``
@@ -399,17 +747,23 @@ class ParallelRepairExecutor:
         if self._closed:
             return
         self._closed = True
-        if self._supervisor.failed:
-            self._supervisor.terminate()
-        else:
-            self._supervisor.close()
+        try:
+            if self._supervisor.failed:
+                self._supervisor.terminate()
+            else:
+                self._supervisor.close()
+        finally:
+            self._release_all()
 
     def terminate(self) -> None:
         """Hard teardown for error/timeout paths: kill in-flight tasks."""
         if self._closed:
             return
         self._closed = True
-        self._supervisor.terminate()
+        try:
+            self._supervisor.terminate()
+        finally:
+            self._release_all()
 
     def __enter__(self) -> "ParallelRepairExecutor":
         return self
@@ -421,7 +775,8 @@ class ParallelRepairExecutor:
             self.close()
 
     def __repr__(self) -> str:
-        return "ParallelRepairExecutor(%d workers)" % self.workers
+        return ("ParallelRepairExecutor(%d workers, transport=%s)"
+                % (self.workers, self.transport))
 
 
 def parallel_repair_table(table: Table, rules: RuleInput,
@@ -430,8 +785,8 @@ def parallel_repair_table(table: Table, rules: RuleInput,
                           check_consistency: bool = False,
                           verified_consistent: bool = False,
                           supervisor: Optional[SupervisorConfig] = None,
-                          fault_plan: Optional[WorkerFaultPlan] = None
-                          ) -> TableRepairReport:
+                          fault_plan: Optional[WorkerFaultPlan] = None,
+                          transport: str = "auto") -> TableRepairReport:
     """Repair *table* by sharding rows across a worker pool.
 
     The result — repaired cells, per-row provenance, assured sets,
@@ -455,6 +810,10 @@ def parallel_repair_table(table: Table, rules: RuleInput,
     absorb it, matching the serial path's fail-fast behavior.  Use
     ``repair_csv_file(on_error='quarantine')`` to route poison rows to
     a dead-letter file instead.
+
+    *transport* picks how chunks reach the workers (see
+    :class:`ParallelRepairExecutor`): ``"auto"`` uses pickle-free
+    shared-memory columnar buffers whenever the platform allows.
     """
     from .repair import repair_table  # local: repair imports us lazily
 
@@ -495,7 +854,8 @@ def parallel_repair_table(table: Table, rules: RuleInput,
     with ParallelRepairExecutor(
             schema, rule_list, workers,
             verified_consistent=verified_consistent,
-            supervisor=supervisor, fault_plan=fault_plan) as executor:
+            supervisor=supervisor, fault_plan=fault_plan,
+            transport=transport) as executor:
         kernel_view = compile_for_schema(schema, rules)
         for (start, _stop), outcomes in zip(plan,
                                             executor.map_chunks(chunks)):

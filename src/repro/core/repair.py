@@ -126,7 +126,8 @@ def chase_repair(row: Row, rules: RuleInput,
 
 def fast_repair(row: Row, rules: RuleInput,
                 index: Optional[InvertedIndex] = None,
-                counters: Optional[HashCounters] = None) -> RepairResult:
+                counters: Optional[HashCounters] = None,
+                backend: str = "row") -> RepairResult:
     """``lRepair`` (Fig. 7): repair *row* through the compiled engine.
 
     Parameters
@@ -149,12 +150,28 @@ def fast_repair(row: Row, rules: RuleInput,
         Accepted for backward compatibility and unused: the engine
         keeps its evidence counters in a per-row dict, so there is no
         reusable counter state to share.
+    backend:
+        ``"row"`` (default, also what ``"auto"`` resolves to for a
+        single tuple) runs the compiled per-row engine;
+        ``"columnar"`` routes through the dictionary-encoded bulk
+        engine (:mod:`repro.core.columnar`) — same
+        :class:`RepairResult` by theorem and by the differential
+        harness, mainly useful for pinning a backend in tests.
 
     Each rule enters the frontier Γ at most once (when its evidence
     counter completes) and leaves permanently once examined, applied or
     not — see the correctness argument accompanying Fig. 7.
     """
     del counters  # superseded by the engine's per-row counter dict
+    if backend not in VALID_BACKENDS:
+        raise ValueError(
+            "unknown backend %r; valid choices are %s"
+            % (backend, ", ".join(repr(b) for b in VALID_BACKENDS)))
+    if backend == "columnar":
+        from .columnar import columnar_repair_table
+        report = columnar_repair_table(
+            Table.from_trusted_rows(row.schema, [row]), rules)
+        return report.row_results[0]
     if index is not None:
         compiled = index._compiled
         if compiled is None or not compiled.compatible_with(row.schema):
@@ -228,13 +245,20 @@ class TableRepairReport:
 #: Algorithm names accepted by :func:`repair_table`.
 VALID_ALGORITHMS = ("fast", "chase")
 
+#: Backend names accepted by :func:`repair_table` / :func:`fast_repair`.
+#: ``"row"`` is the compiled per-row engine; ``"columnar"`` is the
+#: dictionary-encoded bulk engine (:mod:`repro.core.columnar`);
+#: ``"auto"`` picks columnar for large tables and row otherwise.
+VALID_BACKENDS = ("auto", "row", "columnar")
+
 
 def repair_table(table: Table, rules: RuleInput, algorithm: str = "fast",
                  check_consistency: bool = False,
                  workers: int = 1,
                  chunk_size: Optional[int] = None,
                  supervisor=None,
-                 force_workers: bool = False) -> TableRepairReport:
+                 force_workers: bool = False,
+                 backend: str = "auto") -> TableRepairReport:
     """Repair every row of *table* with Σ = *rules*.
 
     Parameters
@@ -276,12 +300,41 @@ def repair_table(table: Table, rules: RuleInput, algorithm: str = "fast",
         than two *usable* CPUs warns and runs serial (multiprocessing
         is a measured net slowdown there — see
         :func:`~repro.core.parallel.resolve_workers`); ``True``
-        forces the pool anyway.
+        forces the pool anyway.  Forcing also disables the IPC
+        cost-model fallback below.
+    backend:
+        Which repair engine executes the rows.  ``"row"`` is the
+        compiled per-row engine; ``"columnar"`` dictionary-encodes
+        the table and scans evidence patterns as bulk integer-array
+        intersections (:mod:`repro.core.columnar`) — same output,
+        proven cell-for-cell by the differential harness; ``"auto"``
+        (default) picks columnar for serial fast repairs of at least
+        :data:`~repro.core.columnar.COLUMNAR_AUTO_THRESHOLD` rows
+        (and whenever Σ is not instrumented), row otherwise.  On the
+        parallel path the backend selects the chunk transport:
+        columnar chunks cross to workers as pickle-free
+        shared-memory flat buffers.  ``backend="columnar"`` with
+        ``algorithm="chase"`` raises :class:`ValueError` — the
+        columnar candidate detector is an lRepair-shaped engine.
+
+    When ``workers > 1`` is requested but not forced, an IPC cost
+    model (:data:`~repro.core.parallel.DEFAULT_COST_MODEL`) predicts
+    whether forking beats serial for this row count, transport, and
+    usable-CPU budget; a run predicted to lose silently stays serial
+    — identical output, strictly faster.
     """
     if algorithm not in VALID_ALGORITHMS:
         raise ValueError(
             "unknown algorithm %r; valid choices are %s"
             % (algorithm, ", ".join(repr(a) for a in VALID_ALGORITHMS)))
+    if backend not in VALID_BACKENDS:
+        raise ValueError(
+            "unknown backend %r; valid choices are %s"
+            % (backend, ", ".join(repr(b) for b in VALID_BACKENDS)))
+    if backend == "columnar" and algorithm == "chase":
+        raise ValueError(
+            "backend='columnar' requires algorithm='fast': the "
+            "columnar engine is a bulk formulation of lRepair")
     rule_list = _as_rule_list(rules)
     if check_consistency:
         # Imported lazily: consistency checking chases candidate tuples
@@ -301,17 +354,38 @@ def repair_table(table: Table, rules: RuleInput, algorithm: str = "fast",
                 "algorithm='fast' for parallel repair)",
                 RuntimeWarning, stacklevel=2)
         else:
-            from .parallel import (fork_available, parallel_repair_table,
-                                   resolve_workers)
+            from .parallel import (fork_available, forced_workers_env,
+                                   parallel_predicted_to_win,
+                                   parallel_repair_table, resolve_workers,
+                                   shm_available)
             workers = resolve_workers(workers, force_workers)
             if workers > 1 and fork_available() and len(table) > 0:
-                return parallel_repair_table(
-                    table, rules, workers=workers, chunk_size=chunk_size,
-                    verified_consistent=check_consistency,
-                    supervisor=supervisor)
+                if backend == "row":
+                    transport = "pickle"
+                elif backend == "columnar" and shm_available():
+                    transport = "shm"
+                else:
+                    transport = "auto"
+                forced = force_workers or forced_workers_env()
+                if forced or parallel_predicted_to_win(
+                        len(table), workers, transport):
+                    return parallel_repair_table(
+                        table, rules, workers=workers,
+                        chunk_size=chunk_size,
+                        verified_consistent=check_consistency,
+                        supervisor=supervisor, transport=transport)
+                # The cost model predicts forking loses here (too few
+                # rows for the startup + transport overhead); fall
+                # through to the serial path — identical output.
 
     results: List[RepairResult] = []
     if algorithm == "fast":
+        from .columnar import COLUMNAR_AUTO_THRESHOLD, columnar_repair_table
+        if backend == "columnar" or (
+                backend == "auto"
+                and len(table) >= COLUMNAR_AUTO_THRESHOLD
+                and not compile_for_schema(table.schema, rules).instrumented):
+            return columnar_repair_table(table, rules)
         # One compiled Σ for the whole table; the chase runs over raw
         # cell lists and rows are rebuilt through the trusted
         # constructor — the same hot loop the pool workers execute.

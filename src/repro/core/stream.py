@@ -287,6 +287,29 @@ def repair_stream(rows: Iterable[Row], rules: RuleInput,
     return generate()
 
 
+def _columnar_chunk_stream(schema, rules, chunks):
+    """In-process chunk runner for serial ``backend='columnar'``
+    streaming: dictionary-encode each payload chunk, detect candidates
+    with the bulk kernel, and emit the same encoded outcomes (including
+    per-row error markers) as a pool worker would — so the merge loop
+    cannot tell which side executed a chunk."""
+    from .columnar import ColumnarKernel, ColumnarTable
+    from .engine import compile_for_schema
+    from .supervisor import ERROR_MARK
+    compiled = compile_for_schema(schema, rules)
+    kernel = ColumnarKernel(compiled)
+    repair_values = compiled.repair_values
+    for payload in chunks:
+        out = [None] * len(payload)
+        ctable = ColumnarTable.from_rows(schema, payload)
+        for i in kernel.candidate_indices(ctable):
+            try:
+                out[i] = repair_values(payload[i])
+            except Exception as exc:
+                out[i] = (ERROR_MARK, type(exc).__name__, str(exc))
+        yield out
+
+
 def repair_csv_file(input_path, rules: RuleInput, output_path,
                     check_consistency: bool = True,
                     on_error: str = STRICT,
@@ -300,7 +323,8 @@ def repair_csv_file(input_path, rules: RuleInput, output_path,
                     chunk_size: Optional[int] = None,
                     supervisor=None,
                     fault_plan=None,
-                    force_workers: bool = False) -> RepairSession:
+                    force_workers: bool = False,
+                    backend: str = "auto") -> RepairSession:
     """Repair a CSV file row by row, in constant memory, crash-safely.
 
     Tuple-level repair needs no cross-row state, so arbitrarily large
@@ -367,6 +391,18 @@ def repair_csv_file(input_path, rules: RuleInput, output_path,
     ``session.supervisor_stats``.  *fault_plan* (a
     :class:`~repro.core.supervisor.WorkerFaultPlan`) arms worker-side
     chaos for the fault-injection tests.
+
+    *backend* (``"auto"`` / ``"row"`` / ``"columnar"``, see
+    :func:`~repro.core.repair.repair_table`) picks the repair engine.
+    ``"columnar"`` batches parseable rows into dictionary-encoded
+    chunks and repairs them through the bulk engine even serially —
+    same output bytes, with checkpoints still committed at chunk
+    boundaries; under ``on_error='strict'`` a repair-time exception
+    surfaces as :class:`~repro.errors.PipelineError` naming the
+    original type, exactly like the parallel path (the chunked
+    execution shares that semantic).  On the parallel path the
+    backend picks the chunk transport: columnar chunks cross to
+    workers as pickle-free shared-memory flat buffers.
     """
     import csv as _csv
     from ..relational.csvio import iter_csv_records
@@ -379,6 +415,11 @@ def repair_csv_file(input_path, rules: RuleInput, output_path,
             "with RuleSet(schema, rules) first"
             % type(rules).__name__)
     validate_error_policy(on_error)
+    from .repair import VALID_BACKENDS
+    if backend not in VALID_BACKENDS:
+        raise ValueError(
+            "unknown backend %r; valid choices are %s"
+            % (backend, ", ".join(repr(b) for b in VALID_BACKENDS)))
     if checkpoint_interval < 1:
         raise ValueError("checkpoint_interval must be >= 1, got %d"
                          % checkpoint_interval)
@@ -473,10 +514,10 @@ def repair_csv_file(input_path, rules: RuleInput, output_path,
 
         from .parallel import (DEFAULT_CHUNK_SIZE, ParallelRepairExecutor,
                                fork_available, is_error_marker,
-                               resolve_workers)
+                               resolve_workers, shm_available)
         effective_workers = resolve_workers(workers, force_workers)
         use_parallel = effective_workers > 1 and fork_available()
-        if use_parallel:
+        if use_parallel or backend == "columnar":
             shard = chunk_size if chunk_size is not None else min(
                 DEFAULT_CHUNK_SIZE, max(1, checkpoint_interval))
             if shard < 1:
@@ -508,15 +549,9 @@ def repair_csv_file(input_path, rules: RuleInput, output_path,
                     pending_records.append(records)
                     yield payload
 
-            # Σ was already validated when the session opened (or its
-            # degraded subset is consistent by construction), so the
-            # workers inherit the verdict instead of re-checking.
-            with ParallelRepairExecutor(
-                    schema, session._rules, effective_workers,
-                    verified_consistent=check_consistency,
-                    supervisor=supervisor,
-                    fault_plan=fault_plan) as executor:
-                for outcomes in executor.map_chunks(shard_source()):
+            def merge_outcomes(outcome_stream):
+                nonlocal last_line, since_commit
+                for outcomes in outcome_stream:
                     records = pending_records.pop(0)
                     outcome_iter = iter(outcomes)
                     for line_no, item in records:
@@ -553,7 +588,31 @@ def repair_csv_file(input_path, rules: RuleInput, output_path,
                     if checkpointing and since_commit >= checkpoint_interval:
                         commit()
                         since_commit = 0
-                session.supervisor_stats = executor.stats.snapshot()
+
+            if use_parallel:
+                if backend == "row":
+                    transport = "pickle"
+                elif backend == "columnar" and shm_available():
+                    transport = "shm"
+                else:
+                    transport = "auto"
+                # Σ was already validated when the session opened (or
+                # its degraded subset is consistent by construction),
+                # so the workers inherit the verdict instead of
+                # re-checking.
+                with ParallelRepairExecutor(
+                        schema, session._rules, effective_workers,
+                        verified_consistent=check_consistency,
+                        supervisor=supervisor,
+                        fault_plan=fault_plan,
+                        transport=transport) as executor:
+                    merge_outcomes(executor.map_chunks(shard_source()))
+                    session.supervisor_stats = executor.stats.snapshot()
+            else:
+                # Serial columnar: the same chunked merge loop, with
+                # the bulk engine repairing each chunk in-process.
+                merge_outcomes(_columnar_chunk_stream(
+                    schema, session._rules, shard_source()))
         else:
             for line_no, item in rows:
                 if line_no <= resume_line:

@@ -75,6 +75,7 @@ __all__ = [
     "ERROR_MARK",
     "POISON_ERROR_TYPE",
     "FAULT_MODES",
+    "OpaqueChunk",
     "SupervisorConfig",
     "SupervisorError",
     "ChunkDeadlineError",
@@ -298,6 +299,23 @@ class WorkerFaultPlan:
 
 # -- the supervisor ----------------------------------------------------------
 
+class OpaqueChunk:
+    """Marker base class for chunk *descriptors* the supervisor must
+    not peek inside.
+
+    The shared-memory transport (:mod:`repro.core.parallel`) submits a
+    tiny reference object instead of the row lists themselves; the
+    supervisor treats such chunks as opaque — it submits and resubmits
+    them unchanged — and only converts them to plain row lists, through
+    the ``materialize`` hook, at the points that genuinely need rows:
+    poison-chunk bisection, single-row isolation, and degraded serial
+    execution.  Subclasses must implement ``__len__`` (row count) and
+    survive pickling.
+    """
+
+    __slots__ = ()
+
+
 def _poison_marker(tries: int):
     return (ERROR_MARK, POISON_ERROR_TYPE,
             "row crashed or hung its repair worker %d time(s); isolated "
@@ -331,19 +349,26 @@ class ChunkSupervisor:
         ``rows -> outcomes`` executed in-process for degraded mode.
     config:
         A :class:`SupervisorConfig`; ``None`` means the defaults.
+    materialize:
+        ``OpaqueChunk -> list-of-row-lists``.  Required when chunks may
+        be :class:`OpaqueChunk` descriptors; called (in the parent)
+        before bisection, poison-row isolation, or serial degradation —
+        everywhere the supervisor needs the actual rows.
     """
 
     def __init__(self, workers: int,
                  spawn: Callable[[], object],
                  task: Callable,
                  serial_runner: Callable[[List[list]], list],
-                 config: Optional[SupervisorConfig] = None):
+                 config: Optional[SupervisorConfig] = None,
+                 materialize: Optional[Callable[["OpaqueChunk"], List[list]]] = None):
         self.workers = workers
         self.config = (config or SupervisorConfig()).validate()
         self.stats = SupervisorStats()
         self._spawn = spawn
         self._task = task
         self._serial_runner = serial_runner
+        self._materialize = materialize
         self._rng = random.Random(self.config.backoff_seed)
         self._chunk_id = 0
         #: True once any recovery action (rebuild/degrade) has run;
@@ -514,9 +539,20 @@ class ChunkSupervisor:
         if delay > 0:
             time.sleep(delay)
 
+    def _materialize_rows(self, rows) -> List[list]:
+        """Turn an :class:`OpaqueChunk` descriptor back into row lists;
+        plain row lists pass through untouched."""
+        if isinstance(rows, OpaqueChunk):
+            if self._materialize is None:
+                raise SupervisorError(
+                    "received an OpaqueChunk but no materialize hook "
+                    "was configured")
+            return self._materialize(rows)
+        return rows
+
     def _run_serial(self, rows: List[list]) -> list:
         self._bump("serial_chunks")
-        return self._serial_runner(rows)
+        return self._serial_runner(self._materialize_rows(rows))
 
     def _run_alone(self, rows: List[list], budget: int) -> list:
         """Run one chunk with nothing else in flight, so every failure
@@ -536,6 +572,10 @@ class ChunkSupervisor:
             attempts += 1
             self._bump("chunk_retries")
             self._backoff_sleep(attempts)
+        # Past here the chunk itself is under suspicion; bisection and
+        # isolation need the real rows, so opaque descriptors stop
+        # being opaque now.
+        rows = self._materialize_rows(rows)
         if len(rows) <= 1:
             self._bump("rows_isolated")
             return [_poison_marker(attempts + 1) for _ in rows]
@@ -657,7 +697,7 @@ class ChunkSupervisor:
             max_inflight = 2 * self.workers
         pending: deque = deque()  # [rows, AsyncResult | None] pairs
         for chunk in chunks:
-            rows = list(chunk)
+            rows = chunk if isinstance(chunk, OpaqueChunk) else list(chunk)
             if self.degraded or self.pool is None:
                 pending.append([rows, None])
             else:

@@ -84,12 +84,18 @@ def _cells(report_table: Table):
 
 def assert_all_equivalent(ruleset: RuleSet, table: Table,
                           chunk_2: int, chunk_4: int) -> None:
+    from repro.core import shm_available
     chase_rows = [chase_repair(row, ruleset) for row in table]
     fast_rows = [fast_repair(row, ruleset) for row in table]
+    # Pin one pool per transport so both the shared-memory columnar
+    # buffers and the pickle row lists are differentially covered.
     par2 = parallel_repair_table(table, ruleset, workers=2,
-                                 chunk_size=chunk_2)
+                                 chunk_size=chunk_2,
+                                 transport=("shm" if shm_available()
+                                            else "pickle"))
     par4 = parallel_repair_table(table, ruleset, workers=4,
-                                 chunk_size=chunk_4)
+                                 chunk_size=chunk_4, transport="pickle")
+    columnar = repair_table(table, ruleset, backend="columnar")
 
     stream_rows = list(repair_stream(iter(table), ruleset))
 
@@ -98,6 +104,7 @@ def assert_all_equivalent(ruleset: RuleSet, table: Table,
     assert [result.row.values for result in stream_rows] == expected
     assert _cells(par2.table) == expected
     assert _cells(par4.table) == expected
+    assert _cells(columnar.table) == expected
 
     # Identical assured sets: the paper's fix is (tuple, assured) pairs.
     expected_assured = [result.assured for result in chase_rows]
@@ -106,6 +113,8 @@ def assert_all_equivalent(ruleset: RuleSet, table: Table,
     assert [result.assured for result in par2.row_results] == \
         expected_assured
     assert [result.assured for result in par4.row_results] == \
+        expected_assured
+    assert [result.assured for result in columnar.row_results] == \
         expected_assured
 
     # Identical provenance through the streaming path too.
@@ -117,12 +126,22 @@ def assert_all_equivalent(ruleset: RuleSet, table: Table,
                     for result in fast_rows]
     assert stream_applied == fast_applied
 
+    # Identical per-fix provenance through the columnar bulk engine.
+    columnar_applied = [tuple((f.rule.name, f.attribute, f.old_value,
+                               f.new_value) for f in result.applied)
+                        for result in columnar.row_results]
+    assert columnar_applied == fast_applied
+
     # Identical aggregate provenance.
-    serial_report = repair_table(table, ruleset)
+    serial_report = repair_table(table, ruleset, backend="row")
     assert par2.applications_by_rule() == serial_report.applications_by_rule()
     assert par4.applications_by_rule() == serial_report.applications_by_rule()
     assert par2.changed_cells == serial_report.changed_cells
     assert par4.changed_cells == serial_report.changed_cells
+    assert columnar.applications_by_rule() == \
+        serial_report.applications_by_rule()
+    assert columnar.changed_cells == serial_report.changed_cells
+    assert columnar.provenance() == serial_report.provenance()
 
 
 @pytest.mark.parametrize("seed", range(N_RANDOM_INSTANCES))
@@ -166,6 +185,32 @@ def test_differential_supervised_chaos(seed, tmp_path):
     assert _cells(report.table) == _cells(serial.table)
     assert report.applications_by_rule() == serial.applications_by_rule()
     assert report.changed_cells == serial.changed_cells
+
+
+@pytest.mark.parametrize("seed", [2, 23, 47, 71])
+def test_differential_streaming_columnar(seed, tmp_path):
+    """Streaming leg for the columnar backend: ``repair_csv_file`` must
+    produce byte-identical output under backend row, serial columnar
+    (chunked in-process bulk engine), and parallel columnar (chunks
+    shipped as shared-memory flat buffers)."""
+    from repro.core import repair_csv_file
+    from repro.core.parallel import active_shm_segments
+    from repro.relational.csvio import write_csv
+    ruleset, table, chunk_2, _chunk_4 = make_instance(seed)
+    src = tmp_path / "dirty.csv"
+    write_csv(table, src)
+    outs = {}
+    for backend, workers in (("row", 1), ("columnar", 1),
+                             ("columnar", 2), ("auto", 2)):
+        dst = tmp_path / ("out_%s_%d.csv" % (backend, workers))
+        session = repair_csv_file(src, ruleset, dst, backend=backend,
+                                  workers=workers, chunk_size=chunk_2)
+        outs[(backend, workers)] = (dst.read_bytes(), session.stats())
+    reference_bytes, reference_stats = outs[("row", 1)]
+    for key, (data, stats) in outs.items():
+        assert data == reference_bytes, "diverged: %r" % (key,)
+        assert stats == reference_stats, "stats diverged: %r" % (key,)
+    assert active_shm_segments() == ()
 
 
 def test_corpus_is_not_trivial():

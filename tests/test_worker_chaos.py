@@ -179,6 +179,55 @@ class TestTransientFaultsHeal:
         assert stats["deadline_hits"] >= 1
         assert stats["rows_isolated"] == 0
 
+    def test_shm_segments_survive_worker_kill_without_leaking(
+            self, chaos_case, tmp_path):
+        """Shared-memory transport under SIGKILL chaos: a worker killed
+        mid-chunk (holding an attached segment) must not leak the
+        segment — the parent owns every segment's lifecycle, releases
+        it when the chunk's outcomes land, and the retry re-reads the
+        *same* buffer to a byte-identical result."""
+        from repro.core.parallel import active_shm_segments, shm_available
+        if not shm_available():
+            pytest.skip("shared memory transport unavailable")
+        path, rules, reference = chaos_case
+        out = tmp_path / "shm.csv"
+        plan = WorkerFaultPlan(TRIGGER, "kill", limit=2,
+                               state_dir=tmp_path / "budget")
+        config = SupervisorConfig(max_chunk_retries=3, **FAST)
+        session = repair_csv_file(path, rules, out,
+                                  check_consistency=False,
+                                  backend="columnar",
+                                  workers=2, chunk_size=16,
+                                  supervisor=config, fault_plan=plan)
+        assert active_shm_segments() == ()
+        assert out.read_bytes() == reference.read_bytes()
+        assert session.rows_failed == 0
+        assert session.supervisor_stats["worker_deaths"] >= 1
+
+    def test_shm_segments_released_through_poison_bisection(
+            self, chaos_case, tmp_path):
+        """Even when a chunk degrades all the way to isolation (the
+        supervisor materializes the shared-memory descriptor back into
+        rows to bisect), every segment is still released."""
+        from repro.core.parallel import active_shm_segments, shm_available
+        if not shm_available():
+            pytest.skip("shared memory transport unavailable")
+        path, rules, reference = chaos_case
+        out = tmp_path / "shm_poison.csv"
+        quarantine = tmp_path / "shm_dead.jsonl"
+        plan = WorkerFaultPlan(TRIGGER, "kill")  # fires every attempt
+        config = SupervisorConfig(max_chunk_retries=1, **FAST)
+        session = repair_csv_file(path, rules, out,
+                                  check_consistency=False,
+                                  backend="columnar",
+                                  on_error="quarantine",
+                                  quarantine_path=quarantine,
+                                  workers=2, chunk_size=16,
+                                  supervisor=config, fault_plan=plan)
+        assert active_shm_segments() == ()
+        assert session.rows_quarantined == 1
+        assert out.read_bytes() == _reference_without_poison_row(reference)
+
     def test_worker_exception_is_per_row_not_supervision(self, chaos_case,
                                                          tmp_path):
         """mode='exception' exercises the ordinary per-row capture: the
