@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-fault test-parallel test-chaos test-columnar test-serve bench bench-core bench-serve results examples clean
+.PHONY: install test test-fault test-parallel test-chaos test-columnar test-serve test-delta bench bench-core bench-serve bench-delta results examples clean
 
 install:
 	$(PY) setup.py develop
@@ -45,6 +45,15 @@ test-columnar:
 test-serve:
 	$(PY) -m pytest tests/test_serve.py
 
+# Incremental delta-repair engine: session lifecycle, correction-log
+# replay/audit, snapshot staging, the Hypothesis interleaving property
+# (incremental == full re-repair), the differential delta leg, and the
+# serve delta endpoints.  Seeded/derandomized throughout.
+test-delta:
+	$(PY) -m pytest tests/test_delta.py \
+	    tests/test_differential_repair.py -k "delta or Delta" \
+	    tests/test_serve.py::TestDeltaEndpoints
+
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
 
@@ -59,6 +68,12 @@ bench-core:
 # ARGS=--smoke for the <10s CI configuration).
 bench-serve:
 	$(PY) benchmarks/bench_serve.py $(ARGS)
+
+# Incremental vs full re-repair; writes BENCH_delta.json and exits
+# nonzero if the 1% row-delta leg wins by less than 10x (pass
+# ARGS=--smoke for the seconds-long CI configuration, gate disabled).
+bench-delta:
+	$(PY) benchmarks/bench_delta.py $(ARGS)
 
 bench-series:
 	$(PY) -m pytest benchmarks/ --benchmark-only -s

@@ -27,8 +27,9 @@ import os
 import time
 from pathlib import Path
 
-from repro.core import (RuleSet, repair_table, reset_supervisor_stats,
-                        shm_available, supervisor_stats)
+from repro.core import (DEFAULT_COST_MODEL, RuleSet, repair_table,
+                        reset_supervisor_stats, shm_available,
+                        supervisor_stats)
 from repro.datagen import (constraint_attributes, generate_hosp, hosp_fds,
                            inject_noise)
 from repro.rulegen.seeds import generate_seed_rules
@@ -136,6 +137,7 @@ def main(argv=None) -> int:
     transport_legs = [("pickle", "row")]
     if shm_available():
         transport_legs.append(("shm", "columnar"))
+    cost_model_misses = []
     for workers in WORKER_COUNTS[1:]:
         for transport, backend in transport_legs:
             seconds, report = time_repair(table, rules, workers=workers,
@@ -144,15 +146,33 @@ def main(argv=None) -> int:
                 raise SystemExit("parallel output diverged at workers=%d "
                                  "transport=%s" % (workers, transport))
             rate = len(table) / seconds
+            # Cost-model accountability: record what the IPC model
+            # promised for this leg next to what the leg measured.  A
+            # ratio far from 1 means the model's constants have drifted
+            # from this machine — the fork/serial decision it drives
+            # may be wrong here.
+            predicted = DEFAULT_COST_MODEL.predicted_speedup(
+                len(table), workers, transport)
+            actual = serial_seconds / seconds
+            ratio = actual / predicted if predicted > 0 else float("inf")
             trajectory.append({"workers": workers, "mode": "parallel",
                                "transport": transport,
                                "seconds": round(seconds, 4),
                                "rows_per_sec": round(rate, 1),
-                               "speedup": round(serial_seconds / seconds,
-                                                2)})
-            print("workers=%-2d: %7.2fs  %9.0f rows/s  (%.2fx, %s)" %
-                  (workers, seconds, rate, serial_seconds / seconds,
-                   transport), flush=True)
+                               "speedup": round(actual, 2),
+                               "predicted_speedup": round(predicted, 2),
+                               "actual_vs_predicted": round(ratio, 3)})
+            if ratio > 2.0 or ratio < 0.5:
+                miss = ("cost model miss at workers=%d transport=%s: "
+                        "predicted %.2fx, measured %.2fx (%.2fx off)"
+                        % (workers, transport, predicted, actual,
+                           ratio if ratio >= 1 else 1 / ratio))
+                cost_model_misses.append(miss)
+                print("WARN: %s" % miss, flush=True)
+            print("workers=%-2d: %7.2fs  %9.0f rows/s  (%.2fx, %s; "
+                  "model said %.2fx)" %
+                  (workers, seconds, rate, actual, transport, predicted),
+                  flush=True)
 
     at4 = next(t for t in trajectory
                if t["workers"] == 4
@@ -175,6 +195,8 @@ def main(argv=None) -> int:
         "trajectory": trajectory,
         "speedup_at_4_workers": at4["speedup"],
         "supervisor_stats": supervision,
+        "cost_model": dict(DEFAULT_COST_MODEL._asdict()),
+        "cost_model_misses": cost_model_misses,
     }
 
     failures = []

@@ -4,6 +4,11 @@ Subcommands (``python -m repro <cmd>`` or the ``repro`` console script):
 
 * ``check``     — check a rule file for consistency; print conflicts.
 * ``repair``    — repair a CSV file with a rule file; write the result.
+* ``delta``     — incremental repair: load a base CSV, then absorb a
+  JSONL stream of row/rule deltas, re-repairing only affected rows
+  and appending every cell change to a correction log.
+* ``audit``     — replay a correction log, verify its integrity, and
+  summarize who/what/why per correction.
 * ``generate``  — emit a synthetic hosp/uis CSV (clean or noisy).
 * ``rules``     — derive fixing rules from a clean/dirty CSV pair + FDs.
 * ``discover``  — mine fixing rules from dirty data alone (no ground
@@ -38,6 +43,11 @@ from .relational import read_csv, write_csv
 from .rulegen import discover_rules, generate_rules
 
 
+def _default_columnar_threshold() -> int:
+    from .core import COLUMNAR_AUTO_THRESHOLD
+    return COLUMNAR_AUTO_THRESHOLD
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from .core import engine_stats
     rules = load_ruleset(args.rules)
@@ -61,6 +71,20 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 def _cmd_repair(args: argparse.Namespace) -> int:
     rules = load_ruleset(args.rules)
+    from .core import columnar_auto_threshold
+    try:
+        # Validates the flag — or, with no flag, whatever
+        # REPRO_COLUMNAR_THRESHOLD says — before any work happens.
+        columnar_auto_threshold(args.columnar_threshold)
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if args.columnar_threshold is not None:
+        # The streaming/parallel machinery resolves the threshold at
+        # its own routing points; the env var is the one channel that
+        # reaches all of them (chunk merge loops, pool workers).
+        os.environ["REPRO_COLUMNAR_THRESHOLD"] = \
+            str(args.columnar_threshold)
     streaming = (args.stream or args.on_error != "strict"
                  or args.quarantine_path is not None
                  or args.checkpoint is not None or args.resume
@@ -80,7 +104,8 @@ def _cmd_repair(args: argparse.Namespace) -> int:
     table = read_csv(args.input, schema=rules.schema)
     report = repair_table(table, rules, algorithm=args.algorithm,
                           check_consistency=not args.skip_check,
-                          backend=args.backend)
+                          backend=args.backend,
+                          columnar_threshold=args.columnar_threshold)
     write_csv(report.table, args.output)
     print("repaired %d rows; %d cells updated; output written to %s"
           % (len(report.table), report.total_applications, args.output))
@@ -161,6 +186,104 @@ def _streaming_repair(args: argparse.Namespace, rules) -> int:
              sup.get("degradations", 0)))
     if args.fail_on_quarantine and stats["rows_failed"]:
         return 3
+    return 0
+
+
+def _cmd_delta(args: argparse.Namespace) -> int:
+    import json
+
+    from .core import DeltaRepairSession, iter_log_records, \
+        repair_delta_stream
+    rules = load_ruleset(args.rules)
+    table = read_csv(args.input, schema=rules.schema)
+    log_path = args.log or (args.output + ".corrections.jsonl")
+    session = DeltaRepairSession.from_table(
+        table, rules, log_path=log_path, log_base=not args.no_log_base,
+        check_consistency=not args.skip_check)
+    print("loaded %d rows under %d rules (%d changed); log: %s"
+          % (len(session), len(session.rules()),
+             session.generate_audit_report()["rows_changed"], log_path))
+    events = 0
+    rerepaired = corrections = reverts = 0
+    if args.events is not None:
+        stream = repair_delta_stream(iter_log_records(args.events),
+                                     session=session,
+                                     on_error=args.on_error)
+        for event, outcome in stream:
+            events += 1
+            if isinstance(outcome, Exception):
+                print("  event %d skipped: %s" % (events, outcome),
+                      file=sys.stderr)
+                continue
+            rerepaired += len(outcome.affected)
+            corrections += outcome.corrections
+            reverts += outcome.reverts
+            if args.verbose:
+                print("  epoch %d (%s): %d affected, %d corrections, "
+                      "%d reverts" % (outcome.epoch, outcome.kind,
+                                      len(outcome.affected),
+                                      outcome.corrections,
+                                      outcome.reverts))
+    write_csv(session.to_table(), args.output)
+    report = session.generate_audit_report()
+    session.close()
+    print("applied %d event(s): %d row re-repairs, %d corrections, "
+          "%d reverts; %d rows written to %s"
+          % (events, rerepaired, corrections, reverts,
+             report["rows"], args.output))
+    if args.audit_json:
+        with open(args.audit_json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("audit report written to %s" % args.audit_json)
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    import json
+
+    from .core import audit_correction_log, replay_correction_log
+    report = audit_correction_log(args.log)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print("log %s: %d row(s), sessions %s, last epoch %d"
+              % (args.log, report["rows"],
+                 ", ".join(str(s) for s in report["sessions"]),
+                 report["last_epoch"]))
+        for op, count in sorted(report["ops"].items()):
+            print("  %-8s %d" % (op, count))
+        for rule, count in list(
+                report["corrections_by_rule"].items())[:10]:
+            print("  rule %-20s %d correction(s)" % (rule, count))
+    if args.output or args.expect:
+        schema, rows, _ = replay_correction_log(args.log)
+        if schema is None:
+            print("error: log has no begin record; cannot materialize",
+                  file=sys.stderr)
+            return 2
+        from .relational import Row, Table
+        replayed = Table.from_trusted_rows(
+            schema, [Row.from_trusted(schema, cells)
+                     for cells in rows.values()])
+        if args.output:
+            write_csv(replayed, args.output)
+            print("replayed table written to %s" % args.output)
+        if args.expect:
+            expected = read_csv(args.expect, schema=schema)
+            got = sorted(tuple(r.values) for r in replayed)
+            want = sorted(tuple(r.values) for r in expected)
+            if got != want:
+                print("MISMATCH: replayed table differs from %s"
+                      % args.expect, file=sys.stderr)
+                return 1
+            print("replayed table matches %s" % args.expect)
+    if not report["ok"]:
+        print("INTEGRITY: %d old-value mismatch(es) during replay"
+              % report["mismatch_count"], file=sys.stderr)
+        for line in report["mismatches"][:5]:
+            print("  " + line, file=sys.stderr)
+        return 1
     return 0
 
 
@@ -411,7 +534,62 @@ def build_parser() -> argparse.ArgumentParser:
     p_repair.add_argument("--fail-on-quarantine", action="store_true",
                           help="exit with status 3 if any row failed "
                                "or was quarantined (implies --stream)")
+    p_repair.add_argument("--columnar-threshold", type=int, default=None,
+                          help="row count at which backend 'auto' "
+                               "switches to the columnar engine "
+                               "(>= 1; default %d, or the "
+                               "REPRO_COLUMNAR_THRESHOLD env var)"
+                               % _default_columnar_threshold())
     p_repair.set_defaults(func=_cmd_repair)
+
+    p_delta = sub.add_parser(
+        "delta",
+        help="incremental repair: base CSV + JSONL delta events")
+    p_delta.add_argument("input", help="base (dirty) CSV file")
+    p_delta.add_argument("rules", help="rule JSON file")
+    p_delta.add_argument("output", help="repaired CSV destination")
+    p_delta.add_argument("--events",
+                         help="JSONL stream of delta events: "
+                              '{"op":"upsert","id":...,"values":[...]}, '
+                              '{"op":"delete","id":...}, '
+                              '{"op":"batch","upserts":[...],'
+                              '"deletes":[...]}, '
+                              '{"op":"add_rule","rule":{...}}, '
+                              '{"op":"remove_rule","name":...} '
+                              "(omit to just load, repair and log "
+                              "the base)")
+    p_delta.add_argument("--log",
+                         help="correction-log JSONL destination "
+                              "(default <output>.corrections.jsonl)")
+    p_delta.add_argument("--no-log-base", action="store_true",
+                         help="log only deltas, not the initial load "
+                              "(smaller log, but 'repro audit' can no "
+                              "longer rebuild the table from it alone)")
+    p_delta.add_argument("--on-error", choices=["strict", "skip"],
+                         default="strict",
+                         help="skip or abort on malformed/inconsistent "
+                              "events (default: abort)")
+    p_delta.add_argument("--skip-check", action="store_true",
+                         help="skip the consistency pre-check")
+    p_delta.add_argument("--audit-json",
+                         help="also write the session audit report "
+                              "here as JSON")
+    p_delta.add_argument("--verbose", action="store_true",
+                         help="print one line per applied event")
+    p_delta.set_defaults(func=_cmd_delta)
+
+    p_audit = sub.add_parser(
+        "audit",
+        help="replay and verify a correction log")
+    p_audit.add_argument("log", help="correction-log JSONL file")
+    p_audit.add_argument("--output",
+                         help="write the replayed table as CSV")
+    p_audit.add_argument("--expect",
+                         help="CSV the replayed table must equal "
+                              "(exit 1 otherwise)")
+    p_audit.add_argument("--json", action="store_true",
+                         help="print the full audit report as JSON")
+    p_audit.set_defaults(func=_cmd_audit)
 
     p_gen = sub.add_parser("generate", help="generate synthetic data")
     p_gen.add_argument("dataset", choices=["hosp", "uis"])

@@ -80,6 +80,12 @@ from .instrumentation import (ENGINE_STATS, SUPERVISOR_STATS, CountingRule,
                               engine_stats, reset_engine_stats,
                               reset_supervisor_stats, supervisor_stats)
 from .incremental import ConsistentRuleSet
+from .columnar import columnar_auto_threshold
+from .delta import (CorrectionLog, DeltaError, DeltaOutcome,
+                    DeltaRepairSession, SessionSnapshot,
+                    audit_correction_log, iter_log_records,
+                    replay_correction_log)
+from .stream import repair_delta_stream
 from .profile import RuleSetProfile, ruleset_profile
 from .explain import (APPLIES, EVIDENCE_MISMATCH, TARGET_ASSURED,
                       VALUE_NOT_NEGATIVE, Explanation, RepairExplanation,
@@ -142,8 +148,18 @@ __all__ = [
     "ColumnarKernel",
     "ColumnarRepairReport",
     "ColumnarTable",
+    "columnar_auto_threshold",
     "columnar_repair_table",
     "numpy_available",
+    "CorrectionLog",
+    "DeltaError",
+    "DeltaOutcome",
+    "DeltaRepairSession",
+    "SessionSnapshot",
+    "audit_correction_log",
+    "iter_log_records",
+    "replay_correction_log",
+    "repair_delta_stream",
     "BatchRepairKernel",
     "ParallelRepairExecutor",
     "DEFAULT_COST_MODEL",

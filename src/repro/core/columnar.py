@@ -69,6 +69,7 @@ __all__ = [
     "ColumnarKernel",
     "ColumnarRepairReport",
     "ColumnarTable",
+    "columnar_auto_threshold",
     "columnar_repair_table",
     "numpy_available",
 ]
@@ -77,6 +78,37 @@ __all__ = [
 #: serial fast path to the columnar kernel.  Below it the fixed costs
 #: (column encode, group key build) eat the per-row win.
 COLUMNAR_AUTO_THRESHOLD = 4096
+
+
+def columnar_auto_threshold(override: Optional[int] = None) -> int:
+    """Resolve the auto-routing row threshold, with validation.
+
+    Precedence: explicit *override* (``repair_table``'s
+    ``columnar_threshold=`` / the CLI ``--columnar-threshold`` flag),
+    then the ``REPRO_COLUMNAR_THRESHOLD`` environment variable, then
+    the built-in :data:`COLUMNAR_AUTO_THRESHOLD`.  The threshold must
+    be an integer >= 1; anything else raises :class:`ValueError`
+    naming the offending source, so a typo in deployment config fails
+    loudly instead of silently pinning a backend.
+    """
+    if override is not None:
+        return _validated_threshold(override, "columnar_threshold")
+    raw = os.environ.get("REPRO_COLUMNAR_THRESHOLD")
+    if raw is None or raw == "":
+        return COLUMNAR_AUTO_THRESHOLD
+    return _validated_threshold(raw, "REPRO_COLUMNAR_THRESHOLD")
+
+
+def _validated_threshold(value, source: str) -> int:
+    try:
+        threshold = int(value)
+    except (TypeError, ValueError):
+        raise ValueError("%s must be an integer >= 1, got %r"
+                         % (source, value))
+    if threshold < 1:
+        raise ValueError("%s must be an integer >= 1, got %r"
+                         % (source, value))
+    return threshold
 
 #: Mixed-radix keys use int64; groups whose dictionary-size product
 #: exceeds this fall back to per-pattern equality masks.

@@ -75,6 +75,30 @@ class ConsistentRuleSet:
         """A plain :class:`RuleSet` copy (consistent, by invariant)."""
         return self._rules.copy()
 
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of the *current* Σ.
+
+        Every mutation (``add``/``remove``/``replace``/``extend``)
+        invalidates the underlying memo, so two reads straddling an
+        edit always differ — the property
+        :func:`~repro.core.engine.compile_cached` relies on to never
+        return a compilation of a previous revision.
+        """
+        return self._rules.fingerprint()
+
+    def compiled(self, schema: Optional[Schema] = None):
+        """Compile the current Σ via the fingerprint-keyed cache.
+
+        Always reflects the latest edits: the cache key is
+        :attr:`fingerprint`, which mutation refreshes.  *schema*
+        defaults to the rule set's own schema; pass the table's schema
+        when positional layouts differ.
+        """
+        from .engine import compile_cached
+        return compile_cached(schema or self.schema, self._rules,
+                              fingerprint=self.fingerprint)
+
     # -- edits -------------------------------------------------------------
 
     def conflicts_with(self, rule: FixingRule) -> List[Conflict]:

@@ -258,7 +258,9 @@ def repair_table(table: Table, rules: RuleInput, algorithm: str = "fast",
                  chunk_size: Optional[int] = None,
                  supervisor=None,
                  force_workers: bool = False,
-                 backend: str = "auto") -> TableRepairReport:
+                 backend: str = "auto",
+                 columnar_threshold: Optional[int] = None
+                 ) -> TableRepairReport:
     """Repair every row of *table* with Σ = *rules*.
 
     Parameters
@@ -316,6 +318,15 @@ def repair_table(table: Table, rules: RuleInput, algorithm: str = "fast",
         shared-memory flat buffers.  ``backend="columnar"`` with
         ``algorithm="chase"`` raises :class:`ValueError` — the
         columnar candidate detector is an lRepair-shaped engine.
+    columnar_threshold:
+        Overrides the ``backend="auto"`` switch-over row count for
+        this call.  ``None`` (default) resolves through
+        :func:`~repro.core.columnar.columnar_auto_threshold`, which
+        honours the ``REPRO_COLUMNAR_THRESHOLD`` environment variable
+        before falling back to the built-in
+        :data:`~repro.core.columnar.COLUMNAR_AUTO_THRESHOLD`.  Must
+        be an integer >= 1 (:class:`ValueError` otherwise); ignored
+        by the explicit ``"row"``/``"columnar"`` backends.
 
     When ``workers > 1`` is requested but not forced, an IPC cost
     model (:data:`~repro.core.parallel.DEFAULT_COST_MODEL`) predicts
@@ -380,10 +391,10 @@ def repair_table(table: Table, rules: RuleInput, algorithm: str = "fast",
 
     results: List[RepairResult] = []
     if algorithm == "fast":
-        from .columnar import COLUMNAR_AUTO_THRESHOLD, columnar_repair_table
+        from .columnar import columnar_auto_threshold, columnar_repair_table
         if backend == "columnar" or (
                 backend == "auto"
-                and len(table) >= COLUMNAR_AUTO_THRESHOLD
+                and len(table) >= columnar_auto_threshold(columnar_threshold)
                 and not compile_for_schema(table.schema, rules).instrumented):
             return columnar_repair_table(table, rules)
         # One compiled Σ for the whole table; the chase runs over raw

@@ -39,6 +39,11 @@ class RuleSet:
         # compile_ruleset(), cleared by every mutating method so a
         # stale compilation can never serve a changed Σ.
         self._compiled = None
+        # Memoized content fingerprint (see engine.rules_fingerprint),
+        # invalidated together with _compiled: callers that key caches
+        # on fingerprint() — compile_cached, the consistency verdict
+        # cache, delta sessions — must never see a pre-mutation hash.
+        self._fingerprint = None
         if rules is not None:
             for rule in rules:
                 self.add(rule)
@@ -60,6 +65,7 @@ class RuleSet:
         self._signatures.add(sig)
         self._rules.append(rule)
         self._compiled = None
+        self._fingerprint = None
         return True
 
     def extend(self, rules: Iterable[FixingRule]) -> int:
@@ -74,6 +80,7 @@ class RuleSet:
         self._signatures.discard(sig)
         self._rules = [r for r in self._rules if r.signature() != sig]
         self._compiled = None
+        self._fingerprint = None
         return True
 
     def replace(self, old: FixingRule, new: FixingRule) -> None:
@@ -89,6 +96,7 @@ class RuleSet:
                     self._signatures.add(new.signature())
                     self._rules[i] = new
                 self._compiled = None
+                self._fingerprint = None
                 return
         raise RuleError("rule %s not in rule set" % old.name)
 
@@ -112,6 +120,19 @@ class RuleSet:
     def size(self) -> int:
         """``size(Σ)``: total number of constants across all rules."""
         return sum(rule.size() for rule in self._rules)
+
+    def fingerprint(self) -> str:
+        """Σ's content hash (:func:`~repro.core.engine.rules_fingerprint`).
+
+        Memoized until the next mutation: ``add``/``remove``/``replace``
+        always produce a fresh hash, so fingerprint-keyed caches
+        (:func:`~repro.core.engine.compile_cached`, the consistency
+        verdict cache) can never serve a stale entry for an edited Σ.
+        """
+        if self._fingerprint is None:
+            from .engine import rules_fingerprint
+            self._fingerprint = rules_fingerprint(self._rules)
+        return self._fingerprint
 
     def rules(self) -> List[FixingRule]:
         """A list copy of the rules, in insertion order."""

@@ -650,3 +650,47 @@ def repair_csv_file(input_path, rules: RuleInput, output_path,
     if checkpointing and os.path.exists(checkpoint_path):
         os.unlink(checkpoint_path)
     return session
+
+
+# -- delta-aware continuous mode ---------------------------------------------
+
+def repair_delta_stream(events, rules=None, *, session=None,
+                        log_path=None, check_consistency: bool = True,
+                        on_error: str = STRICT):
+    """Drive a delta session from a stream of change events.
+
+    The continuous counterpart of :func:`repair_stream`: instead of
+    repairing each incoming row once and forgetting it, events mutate
+    a long-lived :class:`~repro.core.delta.DeltaRepairSession` —
+    upserts, deletes, rule additions and removals — and each event
+    re-repairs only its affected slice, appending every cell change
+    to the session's correction log.
+
+    *events* yields dicts (see
+    :meth:`~repro.core.delta.DeltaRepairSession.apply_event` for the
+    accepted shapes).  Pass *rules* to start a fresh empty session, or
+    *session* to continue an existing one.  Yields ``(event, outcome)``
+    pairs where *outcome* is a
+    :class:`~repro.core.delta.DeltaOutcome` — or, with
+    ``on_error="skip"``, ``(event, exception)`` for events that failed
+    (malformed payloads, inconsistent rule deltas) while the stream
+    keeps going; the default ``"strict"`` re-raises.
+    """
+    from ..errors import ReproError
+    from .delta import DeltaRepairSession
+    if session is None:
+        if rules is None:
+            raise ValueError("repair_delta_stream needs rules= or session=")
+        session = DeltaRepairSession(rules, log_path=log_path,
+                                     check_consistency=check_consistency)
+    if on_error not in (STRICT, SKIP):
+        raise ValueError("on_error must be %r or %r" % (STRICT, SKIP))
+    for event in events:
+        try:
+            outcome = session.apply_event(event)
+        except (ReproError, KeyError, TypeError, ValueError) as exc:
+            if on_error == STRICT:
+                raise
+            yield event, exc
+            continue
+        yield event, outcome

@@ -46,6 +46,7 @@ import time
 from typing import List, NamedTuple, Optional, Tuple
 
 from ..core.consistency import find_conflicts_cached
+from ..core.delta import DeltaRepairSession
 from ..core.explain import explain_repair
 from ..core.serialization import ruleset_from_json
 from ..core.supervisor import (ChunkDeadlineError, SupervisorError,
@@ -153,6 +154,12 @@ class RepairServer:
                                   poll_interval=config.poll_interval,
                                   fault_plan=config.fault_plan)
         self._server: Optional[asyncio.AbstractServer] = None
+        #: per-tenant incremental sessions, created lazily by the
+        #: first POST /repair/delta; kept in lock-step with the
+        #: registry's active slot on hot-reload and rollback
+        self._delta_sessions: dict = {}
+        #: sessions mutate in executor threads — one writer at a time
+        self._delta_lock = threading.Lock()
         #: open keep-alive connections, cancelled at the end of drain
         self._connections: set = set()
         self.draining = False
@@ -319,11 +326,15 @@ class RepairServer:
             return 200, {}, None, text.encode("utf-8")
         if path == "/rulesets" and method == "GET":
             return 200, {"tenants": self.registry.tenants()}, None, None
+        if path == "/repair/delta" and method == "GET":
+            return self._delta_status(request)
 
         # heavy endpoints: admission-controlled
         handler = None
         if method == "POST":
-            if path == "/repair":
+            if path == "/repair/delta":
+                handler = self._handle_repair_delta
+            elif path == "/repair":
                 handler = self._handle_repair
             elif path == "/check":
                 handler = self._handle_check
@@ -333,7 +344,8 @@ class RepairServer:
                 handler = self._handle_rulesets
         if handler is None:
             raise HttpError(404 if path not in
-                            ("/repair", "/check", "/explain") else 405,
+                            ("/repair", "/repair/delta", "/check",
+                             "/explain") else 405,
                             "no route for %s %s" % (method, path))
 
         if not self.admission.try_begin():
@@ -511,6 +523,159 @@ class RepairServer:
             "row_errors": row_errors,
         }, None, None
 
+    # -- incremental (delta) repair ------------------------------------------
+
+    def _delta_session(self, tenant: str,
+                       entry: TenantRuleset) -> DeltaRepairSession:
+        """The tenant's session, created on first use.
+
+        Σ comes from the registry's *active* slot, which the
+        shadow-slot upload path already validated consistent and
+        compiled — so the session skips its own consistency pass and
+        its compile is a fingerprint-keyed cache hit.
+        """
+        session = self._delta_sessions.get(tenant)
+        if session is None:
+            import os
+            log_path = os.path.join(
+                self.registry.spool_dir,
+                "delta-%s.corrections.jsonl" % tenant)
+            session = DeltaRepairSession(entry.ruleset,
+                                         log_path=log_path,
+                                         check_consistency=False)
+            self._delta_sessions[tenant] = session
+        return session
+
+    def _delta_apply(self, tenant: str, entry: TenantRuleset,
+                     upserts, deletes) -> dict:
+        """Executor-side body of POST /repair/delta (holds the lock)."""
+        with self._delta_lock:
+            session = self._delta_session(tenant, entry)
+            outcome = session.apply_rows(upserts=upserts, deletes=deletes)
+            changed = {rid: session.row(rid) for rid in outcome.affected}
+            return {
+                "tenant": tenant,
+                "engine": "delta",
+                "fingerprint": session.rules_fingerprint,
+                "epoch": outcome.epoch,
+                "rows": changed,
+                "affected": list(outcome.affected),
+                "rows_total": len(session),
+                "corrections": outcome.corrections,
+                "reverts": outcome.reverts,
+                "upserts": outcome.detail["upserts"],
+                "deletes": outcome.detail["deletes"],
+            }
+
+    async def _handle_repair_delta(self, request: Request):
+        """POST /repair/delta — absorb a row delta incrementally.
+
+        Body: ``{"upserts": [{"id": ..., "values": [...]}, ...],
+        "deletes": [id, ...]}`` where ``values`` accepts the same
+        list-or-object row shapes as ``/repair``.  Only the affected
+        rows are re-repaired; every cell change lands in the tenant's
+        correction log under the registry spool.
+        """
+        started = time.monotonic()
+        tenant = request.query.get("tenant", "default")
+        entry = self._tenant_entry(request)
+        body = request.json()
+        if not isinstance(body, dict) or not (
+                "upserts" in body or "deletes" in body):
+            raise HttpError(400, 'body must be {"upserts": [...], '
+                            '"deletes": [...]}')
+        raw_upserts = body.get("upserts", [])
+        raw_deletes = body.get("deletes", [])
+        if not isinstance(raw_upserts, list) \
+                or not isinstance(raw_deletes, list):
+            raise HttpError(400, '"upserts" and "deletes" must be lists')
+        upserts = []
+        for index, item in enumerate(raw_upserts):
+            if not isinstance(item, dict) or "id" not in item:
+                raise HttpError(400, 'upsert %d must be {"id": ..., '
+                                '"values": [...]}' % index)
+            values = item.get("values", item.get("row"))
+            if values is None:
+                raise HttpError(400, 'upsert %d is missing "values"'
+                                % index)
+            upserts.append((str(item["id"]),
+                            self._coerce_row(values, entry, index)))
+        deletes = [str(item) for item in raw_deletes]
+        loop = asyncio.get_running_loop()
+        budget = self._deadline_budget(request)
+        try:
+            payload = await asyncio.wait_for(
+                loop.run_in_executor(None, self._delta_apply, tenant,
+                                     entry, upserts, deletes),
+                timeout=budget + self.config.grace)
+        except asyncio.TimeoutError:
+            self.metrics.timeouts_total += 1
+            raise HttpError(504, "delta repair exceeded its %.3fs "
+                            "deadline" % budget)
+        self.metrics.record_repair(
+            len(upserts) + len(deletes), payload["corrections"],
+            0, time.monotonic() - started, "serial")
+        return 200, payload, None, None
+
+    def _delta_status(self, request: Request):
+        """GET /repair/delta — audit snapshot of a tenant's session."""
+        tenant = request.query.get("tenant", "default")
+        session = self._delta_sessions.get(tenant)
+        if session is None:
+            raise HttpError(404, "no delta session for tenant %r "
+                            "(POST /repair/delta starts one)" % tenant)
+        with self._delta_lock:
+            report = session.generate_audit_report()
+            if request.query.get("rows"):
+                report["rows_data"] = {rid: values for rid, values
+                                       in session.items()}
+        return 200, report, None, None
+
+    def _sync_delta_session(self, tenant: str,
+                            entry: TenantRuleset) -> Optional[dict]:
+        """Re-align the tenant's session after hot-reload/rollback.
+
+        Diffs old vs. new Σ by rule signature and feeds
+        ``apply_rules`` so only the affected slice re-repairs — the
+        incremental continuation of the shadow-slot swap.  Any
+        unexpected failure falls back to a full session rebuild from
+        the retained originals (correctness over cleverness).
+        """
+        with self._delta_lock:
+            session = self._delta_sessions.get(tenant)
+            if session is None:
+                return None
+            old_rules = {rule.signature(): rule for rule in session.rules()}
+            new_rules = {rule.signature(): rule for rule in entry.ruleset}
+            added = [rule for sig, rule in new_rules.items()
+                     if sig not in old_rules]
+            removed = [rule for sig, rule in old_rules.items()
+                       if sig not in new_rules]
+            if not added and not removed:
+                return {"rows_rerepaired": 0, "epoch": session.epoch,
+                        "fingerprint": session.rules_fingerprint}
+            try:
+                outcome = session.apply_rules(added=added, removed=removed)
+                return {"rows_rerepaired": len(outcome.affected),
+                        "epoch": outcome.epoch,
+                        "corrections": outcome.corrections,
+                        "reverts": outcome.reverts,
+                        "fingerprint": session.rules_fingerprint}
+            except Exception as exc:
+                rows = [(rid, session.original(rid))
+                        for rid in session.row_ids()]
+                log_path = session.log.path
+                session.close()
+                rebuilt = DeltaRepairSession(entry.ruleset, rows,
+                                             log_path=log_path,
+                                             check_consistency=False)
+                self._delta_sessions[tenant] = rebuilt
+                return {"rows_rerepaired": len(rows),
+                        "rebuilt": True,
+                        "error": "%s: %s" % (type(exc).__name__, exc),
+                        "epoch": rebuilt.epoch,
+                        "fingerprint": rebuilt.rules_fingerprint}
+
     async def _handle_check(self, request: Request):
         if request.body:
             try:
@@ -573,16 +738,27 @@ class RepairServer:
             # validation compiles and scans Σ — off-loop
             entry = await loop.run_in_executor(
                 None, self.registry.upload, tenant, text)
-            return 200, {"tenant": tenant, "installed": entry.describe()}, \
-                None, None
+            # a live delta session follows the swap incrementally:
+            # only rows touched by the Σ diff re-repair
+            delta = await loop.run_in_executor(
+                None, self._sync_delta_session, tenant, entry)
+            payload = {"tenant": tenant, "installed": entry.describe()}
+            if delta is not None:
+                payload["delta"] = delta
+            return 200, payload, None, None
         if len(parts) == 3 and parts[2] == "rollback":
             tenant = parts[1]
             try:
                 entry = self.registry.rollback(tenant)
             except KeyError as exc:
                 raise HttpError(404, str(exc))
-            return 200, {"tenant": tenant, "active": entry.describe()}, \
-                None, None
+            loop = asyncio.get_running_loop()
+            delta = await loop.run_in_executor(
+                None, self._sync_delta_session, tenant, entry)
+            payload = {"tenant": tenant, "active": entry.describe()}
+            if delta is not None:
+                payload["delta"] = delta
+            return 200, payload, None, None
         raise HttpError(404, "no route for %s" % request.path)
 
 

@@ -213,6 +213,63 @@ def test_differential_streaming_columnar(seed, tmp_path):
     assert active_shm_segments() == ()
 
 
+@pytest.mark.parametrize("seed", range(0, N_RANDOM_INSTANCES, 5))
+def test_differential_delta_instance(seed):
+    """Incremental leg: feed each instance through a
+    :class:`~repro.core.delta.DeltaRepairSession` as an interleaving of
+    row and Σ deltas, then assert the session equals a from-scratch
+    ``fast_repair`` of the same final originals under the same final Σ
+    — cells, assured sets, and per-fix provenance."""
+    from repro.core import DeltaRepairSession, replay_correction_log
+    ruleset, table, _c2, _c4 = make_instance(seed)
+    rng = random.Random(77_000 + seed)
+    rows = [list(row.values) for row in table]
+    split = len(rows) // 2
+    session = DeltaRepairSession(
+        ruleset, [(str(i), row) for i, row in enumerate(rows[:split])])
+
+    # Interleave: remaining rows arrive one by one, with rule
+    # retractions / re-additions and row overwrites/deletes mixed in.
+    removed = []
+    for i, row in enumerate(rows[split:], start=split):
+        session.apply_rows(upserts=[(str(i), row)])
+        roll = rng.random()
+        if roll < 0.25 and len(session.rules()) > 1:
+            rule = rng.choice(session.rules().rules())
+            session.apply_rules(removed=[rule])
+            removed.append(rule)
+        elif roll < 0.4 and removed:
+            session.apply_rules(added=[removed.pop()])
+        elif roll < 0.55 and len(session) > 1:
+            victim = rng.choice(session.row_ids())
+            session.apply_rows(deletes=[victim])
+        elif roll < 0.7:
+            target = rng.choice(session.row_ids())
+            session.apply_rows(upserts=[
+                (target, [rng.choice(VALUES) for _ in ATTRS])])
+
+    final_rules = session.rules()
+    expected = {rid: fast_repair(Row(SCHEMA, values), final_rules)
+                for rid, values in
+                ((rid, session.original(rid)) for rid in session.row_ids())}
+    for rid in session.row_ids():
+        want = expected[rid]
+        got = session.row_result(rid)
+        assert list(got.row.values) == list(want.row.values), rid
+        assert got.assured == want.assured, rid
+        got_applied = [(f.rule.signature(), f.attribute, f.old_value,
+                        f.new_value) for f in got.applied]
+        want_applied = [(f.rule.signature(), f.attribute, f.old_value,
+                         f.new_value) for f in want.applied]
+        assert got_applied == want_applied, rid
+
+    # The correction log replays to the session's final visible state.
+    _schema, replayed, report = replay_correction_log(
+        session.log.records())
+    assert report["mismatch_count"] == 0
+    assert replayed == {rid: values for rid, values in session.items()}
+
+
 def test_corpus_is_not_trivial():
     """The random corpus must actually exercise repairs: across all
     instances a healthy share of rows change, so the equivalences

@@ -10,12 +10,12 @@ from __future__ import annotations
 import random
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.core import (FixingRule, RuleSet, chase_repair,
                         check_pair_characterize, check_pair_enumerate,
-                        ensure_consistent, fast_repair, find_conflicts,
-                        is_consistent)
+                        ensure_consistent, fast_repair, find_assurance_hazards,
+                        find_conflicts, is_consistent)
 from repro.core.resolution import DROP_CONFLICTING, SHRINK_NEGATIVES
 from repro.datagen import inject_noise, make_typo
 from repro.evaluation import evaluate_repair
@@ -48,10 +48,21 @@ def rows(draw):
 
 @st.composite
 def consistent_rulesets(draw):
-    """A random rule set forced consistent via the drop strategy."""
+    """A random rule set forced consistent via the drop strategy.
+
+    Pairwise consistency alone does NOT imply order-independence — the
+    Prop. 3 counterexample (see EXPERIMENTS.md and
+    test_prop3_counterexample.py) shows two rules writing the same fact
+    from different evidence sets assure different attributes, making a
+    third reader rule order-dependent.  Church–Rosser only holds for
+    hazard-free Σ, so reject the rare hazardous draws here; the
+    divergent behaviour itself is pinned down in
+    test_prop3_counterexample.py."""
     candidates = draw(st.lists(rules(), min_size=1, max_size=6))
     ruleset = RuleSet(SCHEMA, candidates)
-    return ensure_consistent(ruleset, strategy=DROP_CONFLICTING).rules
+    consistent = ensure_consistent(ruleset, strategy=DROP_CONFLICTING).rules
+    assume(not find_assurance_hazards(consistent))
+    return consistent
 
 
 class TestCheckerEquivalence:

@@ -419,6 +419,128 @@ def test_unknown_route(daemon):
     assert status == 404
 
 
+class TestDeltaEndpoints:
+    """The incremental session behind POST/GET /repair/delta, and its
+    hot-reload follow-through."""
+
+    @pytest.fixture()
+    def delta_tenant(self, daemon):
+        name = "delta-%d" % id(self)
+        sigma = travel_rules("phi1", "phi2")
+        status, _, payload = request(daemon.port, "POST",
+                                     "/rulesets/%s" % name,
+                                     body=ruleset_to_json(sigma))
+        assert status == 200
+        return name
+
+    def test_session_round_trip(self, daemon, delta_tenant):
+        body = {"upserts": [
+            {"id": "r1", "values": ["George", "China", "Shanghai",
+                                    "Hongkong", "SIGMOD"]},
+            {"id": "r2", "values": ["Peter", "Canada", "Toronto",
+                                    "Toronto", "VLDB"]},
+        ]}
+        status, _, payload = request(daemon.port, "POST",
+                                     "/repair/delta?tenant=%s"
+                                     % delta_tenant, body=body)
+        assert status == 200
+        assert payload["engine"] == "delta"
+        assert payload["epoch"] == 1
+        assert sorted(payload["affected"]) == ["r1", "r2"]
+        assert payload["rows"]["r1"][2] == "Beijing"
+        assert payload["rows"]["r2"][2] == "Ottawa"
+
+        # Second delta re-repairs only the touched row.
+        status, _, payload = request(
+            daemon.port, "POST", "/repair/delta?tenant=%s" % delta_tenant,
+            body={"upserts": [{"id": "r1",
+                               "values": ["George", "Canada", "Toronto",
+                                          "Hongkong", "SIGMOD"]}]})
+        assert status == 200
+        assert payload["affected"] == ["r1"]
+        assert payload["rows"]["r1"][2] == "Ottawa"
+        assert payload["rows_total"] == 2
+
+        # Deletes shrink the session.
+        status, _, payload = request(
+            daemon.port, "POST", "/repair/delta?tenant=%s" % delta_tenant,
+            body={"deletes": ["r2"]})
+        assert status == 200 and payload["rows_total"] == 1
+
+        # Status endpoint reports the audit view.
+        status, _, payload = request(
+            daemon.port, "GET",
+            "/repair/delta?tenant=%s&rows=1" % delta_tenant)
+        assert status == 200
+        assert payload["rows"] == 1
+        assert payload["rows_data"]["r1"] == ["George", "Canada",
+                                              "Ottawa", "Hongkong",
+                                              "SIGMOD"]
+
+    def test_hot_reload_rerepairs_only_affected(self, daemon,
+                                                delta_tenant):
+        body = {"upserts": [
+            {"id": "a", "values": ["Ian", "China", "Hongkong",
+                                   "Hongkong", "ICDE"]},
+            {"id": "b", "values": ["Mike", "Japan", "Tokyo", "Tokyo",
+                                   "VLDB"]},
+        ]}
+        status, _, payload = request(daemon.port, "POST",
+                                     "/repair/delta?tenant=%s"
+                                     % delta_tenant, body=body)
+        assert status == 200
+        assert payload["rows"]["a"][2] == "Beijing"
+
+        # Swap in Σ′ that drops phi1 and adds phi4: the live session
+        # follows incrementally and reports what it re-repaired.
+        sigma_prime = travel_rules("phi2", "phi4")
+        status, _, payload = request(daemon.port, "POST",
+                                     "/rulesets/%s" % delta_tenant,
+                                     body=ruleset_to_json(sigma_prime))
+        assert status == 200
+        assert "delta" in payload
+        assert payload["delta"]["rows_rerepaired"] >= 1
+        prime_fingerprint = payload["installed"]["fingerprint"]
+
+        status, _, payload = request(
+            daemon.port, "GET",
+            "/repair/delta?tenant=%s&rows=1" % delta_tenant)
+        assert status == 200
+        # phi1 gone: capital reverts to Hongkong; row b untouched.
+        assert payload["rows_data"]["a"][2] == "Hongkong"
+        assert payload["rows_data"]["b"] == ["Mike", "Japan", "Tokyo",
+                                             "Tokyo", "VLDB"]
+        assert payload["rules_fingerprint"] == prime_fingerprint
+
+        # Rollback swaps Σ back and the session follows again.
+        status, _, payload = request(daemon.port, "POST",
+                                     "/rulesets/%s/rollback"
+                                     % delta_tenant)
+        assert status == 200 and "delta" in payload
+        status, _, payload = request(
+            daemon.port, "GET",
+            "/repair/delta?tenant=%s&rows=1" % delta_tenant)
+        assert payload["rows_data"]["a"][2] == "Beijing"
+
+    def test_validation_errors(self, daemon, delta_tenant):
+        status, _, _ = request(daemon.port, "POST",
+                               "/repair/delta?tenant=%s" % delta_tenant,
+                               body={"nothing": True})
+        assert status == 400
+        status, _, _ = request(daemon.port, "POST",
+                               "/repair/delta?tenant=%s" % delta_tenant,
+                               body={"upserts": [{"id": "x",
+                                                  "values": ["short"]}]})
+        assert status == 400
+        status, _, _ = request(daemon.port, "POST",
+                               "/repair/delta?tenant=ghost",
+                               body={"deletes": ["x"]})
+        assert status == 404
+        status, _, _ = request(daemon.port, "GET",
+                               "/repair/delta?tenant=ghost")
+        assert status == 404
+
+
 # -- the reload-equivalence property (Hypothesis) ----------------------------
 
 COUNTRIES = ["China", "Canada", "Japan"]
