@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-fault test-parallel test-chaos test-columnar test-serve test-delta bench bench-core bench-serve bench-delta results examples clean
+.PHONY: install test test-fault test-parallel test-chaos test-columnar test-serve test-delta test-discovery bench bench-core bench-serve bench-delta bench-discovery results examples clean
 
 install:
 	$(PY) setup.py develop
@@ -54,6 +54,15 @@ test-delta:
 	    tests/test_differential_repair.py -k "delta or Delta" \
 	    tests/test_serve.py::TestDeltaEndpoints
 
+# Weighted rule discovery: mining/trust/master unit cases, the
+# Hypothesis resolution properties (blocked-consistent output, dropped
+# rules never outweigh their winner), the scaled-down dependability
+# gates, the discover/suggest CLI, and the daemon's discover endpoint.
+test-discovery:
+	$(PY) -m pytest tests/test_discovery_session.py \
+	    tests/test_discovery_weighted.py \
+	    tests/test_serve.py::TestDiscoverEndpoint
+
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
 
@@ -74,6 +83,13 @@ bench-serve:
 # ARGS=--smoke for the seconds-long CI configuration, gate disabled).
 bench-delta:
 	$(PY) benchmarks/bench_delta.py $(ARGS)
+
+# Discovery throughput + dependability on the 500K-row noisy HOSP
+# workload; writes BENCH_discovery.json and exits nonzero on any Σ
+# conflict or precision < 0.95 / recall < 0.60 (pass ARGS=--smoke for
+# the seconds-long CI configuration, gates disabled).
+bench-discovery:
+	$(PY) benchmarks/bench_discovery.py $(ARGS)
 
 bench-series:
 	$(PY) -m pytest benchmarks/ --benchmark-only -s

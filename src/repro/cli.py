@@ -11,8 +11,11 @@ Subcommands (``python -m repro <cmd>`` or the ``repro`` console script):
   summarize who/what/why per correction.
 * ``generate``  — emit a synthetic hosp/uis CSV (clean or noisy).
 * ``rules``     — derive fixing rules from a clean/dirty CSV pair + FDs.
-* ``discover``  — mine fixing rules from dirty data alone (no ground
-  truth; FDs optional — they can be discovered too).
+* ``discover``  — mine weighted fixing rules from dirty data alone
+  (no ground truth; FDs optional — they can be discovered too;
+  Σ-conflicts resolved by confidence weight).
+* ``suggest``   — ranked repair suggestions for one row, drawn from
+  the mined weighted rules (kept rules and outweighed alternatives).
 * ``evaluate``  — score a repaired CSV against clean/dirty CSVs.
 * ``explain``   — explain why each rule did / did not fire on one row.
 * ``experiment``— run the Section 7 protocol end to end, emit a
@@ -40,7 +43,7 @@ from .dependencies import parse_fd
 from .errors import ReproError
 from .evaluation import evaluate_repair, run_experiment
 from .relational import read_csv, write_csv
-from .rulegen import discover_rules, generate_rules
+from .rulegen import generate_rules
 
 
 def _default_columnar_threshold() -> int:
@@ -322,18 +325,82 @@ def _cmd_rules(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_discover(args: argparse.Namespace) -> int:
+def _load_master(args: argparse.Namespace):
+    """--master/--master-key → a MasterTable, or None."""
+    if not args.master:
+        return None
+    from .master import MasterTable
+    if not args.master_key:
+        print("error: --master requires --master-key", file=sys.stderr)
+        raise SystemExit(2)
+    key = [attr.strip() for attr in args.master_key.split(",")]
+    return MasterTable(read_csv(args.master), key)
+
+
+def _discovery_session(args: argparse.Namespace):
+    from .discovery import DiscoverySession
     dirty = read_csv(args.dirty)
     fds = [parse_fd(text) for text in args.fd] if args.fd else None
-    rules = discover_rules(dirty, fds, min_support=args.min_support,
-                           min_confidence=args.min_confidence,
-                           fd_confidence=args.fd_confidence,
-                           max_rules=args.max_rules)
+    return dirty, DiscoverySession(
+        dirty, fds=fds, master=_load_master(args),
+        min_support=args.min_support,
+        min_confidence=args.min_confidence,
+        fd_confidence=args.fd_confidence)
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    import json
+
+    from .core import RuleSet
+    from .discovery import save_weighted_ruleset
+    _, session = _discovery_session(args)
+    weighted = session.discover()
+    ranked = weighted.ranked()
+    if args.max_rules is not None and len(ranked) > args.max_rules:
+        top = RuleSet(weighted.schema)
+        for rule, _weight in ranked[:args.max_rules]:
+            top.add(rule)
+        rules = top
+    else:
+        rules = weighted.ruleset()
     save_ruleset(rules, args.output)
-    source = ("%d given FDs" % len(fds)) if fds else "discovered FDs"
-    print("discovered %d consistent rules from %s; written to %s"
-          % (len(rules), source, args.output))
+    if args.weights:
+        save_weighted_ruleset(weighted, args.weights)
+        print("weighted rule set (with resolution provenance) written "
+              "to %s" % args.weights)
+    source = ("%d given FDs" % len(args.fd)) if args.fd \
+        else "discovered FDs"
+    print("discovered %d weighted rules from %s "
+          "(%d dropped, %d revised by weight; %d tie rounds); "
+          "%d written to %s"
+          % (len(weighted), source, len(weighted.dropped),
+             len(weighted.revised), weighted.tie_rounds, len(rules),
+             args.output))
+    if args.report:
+        print(json.dumps(session.describe(), indent=2, sort_keys=True))
     print("review them before repairing:  repro show %s" % args.output)
+    return 0
+
+
+def _cmd_suggest(args: argparse.Namespace) -> int:
+    from .discovery import DiscoverySession, load_weighted_ruleset
+    if args.weights:
+        dirty = read_csv(args.dirty)
+        session = DiscoverySession.from_weighted(
+            dirty, load_weighted_ruleset(args.weights))
+    else:
+        dirty, session = _discovery_session(args)
+    if not 0 <= args.row < len(dirty):
+        print("error: --row %d out of range (table has %d rows)"
+              % (args.row, len(dirty)), file=sys.stderr)
+        return 2
+    suggestions = session.suggest(args.row, limit=args.limit)
+    print("row %d: %r" % (args.row, dirty[args.row].as_dict()))
+    if not suggestions:
+        print("no suggestions: no discovered rule matches this row")
+        return 0
+    for rank, suggestion in enumerate(suggestions, 1):
+        print("  %d. %s" % (rank, suggestion.describe()))
     return 0
 
 
@@ -617,17 +684,62 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_disc = sub.add_parser(
         "discover",
-        help="mine rules from dirty data alone (no ground truth)")
+        help="mine weighted rules from dirty data alone "
+             "(no ground truth)")
     p_disc.add_argument("dirty", help="dirty CSV")
     p_disc.add_argument("output", help="rule JSON destination")
     p_disc.add_argument("--fd", action="append", default=None,
                         help="optional FD like 'zip -> state'; when "
                              "omitted, FDs are discovered too")
     p_disc.add_argument("--min-support", type=int, default=3)
-    p_disc.add_argument("--min-confidence", type=float, default=0.8)
+    p_disc.add_argument("--min-confidence", type=float, default=0.8,
+                        help="minimum fraction of an evidence group "
+                             "that must agree on the majority value "
+                             "(default 0.8; lower it towards 0.6-0.7 "
+                             "for noisier data)")
     p_disc.add_argument("--fd-confidence", type=float, default=0.9)
-    p_disc.add_argument("--max-rules", type=int, default=None)
+    p_disc.add_argument("--max-rules", type=int, default=None,
+                        help="keep only the N heaviest rules")
+    p_disc.add_argument("--master",
+                        help="master-data CSV used to corroborate or "
+                             "correct mined facts")
+    p_disc.add_argument("--master-key",
+                        help="comma-separated key attributes of "
+                             "--master (required with it)")
+    p_disc.add_argument("--weights",
+                        help="also write the weighted rule set (scores "
+                             "+ dropped/revised provenance) here")
+    p_disc.add_argument("--report", action="store_true",
+                        help="print the mining/resolution counters "
+                             "as JSON")
     p_disc.set_defaults(func=_cmd_discover)
+
+    p_sugg = sub.add_parser(
+        "suggest",
+        help="ranked repair suggestions for one row, from mined "
+             "weighted rules")
+    p_sugg.add_argument("dirty", help="dirty CSV")
+    p_sugg.add_argument("--row", type=int, default=0,
+                        help="0-based row index (default 0)")
+    p_sugg.add_argument("--limit", type=int, default=None,
+                        help="show at most N suggestions")
+    p_sugg.add_argument("--weights",
+                        help="reuse a weighted rule set saved by "
+                             "'repro discover --weights' instead of "
+                             "re-mining")
+    p_sugg.add_argument("--fd", action="append", default=None,
+                        help="optional FD like 'zip -> state'; when "
+                             "omitted, FDs are discovered too")
+    p_sugg.add_argument("--min-support", type=int, default=3)
+    p_sugg.add_argument("--min-confidence", type=float, default=0.8)
+    p_sugg.add_argument("--fd-confidence", type=float, default=0.9)
+    p_sugg.add_argument("--master",
+                        help="master-data CSV used to corroborate or "
+                             "correct mined facts")
+    p_sugg.add_argument("--master-key",
+                        help="comma-separated key attributes of "
+                             "--master (required with it)")
+    p_sugg.set_defaults(func=_cmd_suggest)
 
     p_eval = sub.add_parser("evaluate", help="score a repair")
     p_eval.add_argument("clean")

@@ -257,6 +257,17 @@ def blocked_candidate_pairs(rule_list: Sequence[FixingRule]
     neither evidence pattern mentions the other's negative values —
     fall under Fig. 4's consistent cases by construction and are never
     materialized.
+
+    Within a case-1 bucket the join is additionally *shape-aware*:
+    two rules over the same evidence attributes but different evidence
+    values disagree on a shared X attribute, so Lemma 4 already rules
+    the pair out — same-shape rules are therefore sub-bucketed by
+    their full evidence pattern and only identical-evidence rules are
+    cross-paired.  Mined rule sets (one rule per FD group) put
+    thousands of same-shape rules in one ``(B, value)`` bucket; this
+    keeps them near-linear where the naive cross-fact join is
+    quadratic.  The refinement drops only provably consistent pairs,
+    so the emitted conflict list is unchanged.
     """
     by_negative: Dict[Tuple[str, str], List[int]] = {}
     by_evidence: Dict[Tuple[str, str], List[int]] = {}
@@ -269,18 +280,32 @@ def blocked_candidate_pairs(rule_list: Sequence[FixingRule]
 
     pairs = set()
     for key, writer_ids in by_negative.items():
-        # Case 1: same (B, negative) bucket, facts differ.
+        # Case 1: same (B, negative) bucket, facts differ.  Partition
+        # by evidence shape: same-shape pairs must share the entire
+        # evidence pattern to be co-matchable, cross-shape pairs are
+        # filtered pairwise by the Fig. 4 check.
         if len(writer_ids) > 1:
-            by_fact: Dict[str, List[int]] = {}
+            by_shape: Dict[frozenset, List[int]] = {}
             for rule_id in writer_ids:
-                by_fact.setdefault(rule_list[rule_id].fact,
-                                   []).append(rule_id)
-            if len(by_fact) > 1:
-                groups = list(by_fact.values())
-                for g in range(len(groups)):
-                    for h in range(g + 1, len(groups)):
-                        for i in groups[g]:
-                            for j in groups[h]:
+                by_shape.setdefault(rule_list[rule_id].x_attrs,
+                                    []).append(rule_id)
+            shape_groups = list(by_shape.values())
+            for members in shape_groups:
+                if len(members) < 2:
+                    continue
+                by_pattern: Dict[tuple, List[int]] = {}
+                for rule_id in members:
+                    by_pattern.setdefault(
+                        rule_list[rule_id]._evidence_items,
+                        []).append(rule_id)
+                for matching in by_pattern.values():
+                    _cross_fact_pairs(rule_list, matching, pairs)
+            for g in range(len(shape_groups)):
+                for h in range(g + 1, len(shape_groups)):
+                    for i in shape_groups[g]:
+                        fact_i = rule_list[i].fact
+                        for j in shape_groups[h]:
+                            if rule_list[j].fact != fact_i:
                                 pairs.add((i, j) if i < j else (j, i))
         # Cases 2a/2b/2c: a reader's evidence constant at B equals one
         # of the writer's negative patterns at B.
@@ -291,6 +316,24 @@ def blocked_candidate_pairs(rule_list: Sequence[FixingRule]
                     if i != j:
                         pairs.add((i, j) if i < j else (j, i))
     return sorted(pairs)
+
+
+def _cross_fact_pairs(rule_list: Sequence[FixingRule],
+                      member_ids: List[int], pairs: set) -> None:
+    """Emit every cross-fact pair among *member_ids* into *pairs*."""
+    if len(member_ids) < 2:
+        return
+    by_fact: Dict[str, List[int]] = {}
+    for rule_id in member_ids:
+        by_fact.setdefault(rule_list[rule_id].fact, []).append(rule_id)
+    if len(by_fact) < 2:
+        return
+    groups = list(by_fact.values())
+    for g in range(len(groups)):
+        for h in range(g + 1, len(groups)):
+            for i in groups[g]:
+                for j in groups[h]:
+                    pairs.add((i, j) if i < j else (j, i))
 
 
 def find_conflicts(rules: RuleInput, method: str = "characterize",

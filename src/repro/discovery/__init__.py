@@ -1,0 +1,42 @@
+"""Weighted rule discovery: mine, score, and resolve fixing rules.
+
+The subsystem the ``repro discover`` / ``repro suggest`` commands and
+the serve daemon's ``POST /rulesets/{tenant}/discover`` endpoint sit
+on.  Pipeline: :func:`mine_candidates` (columnar evidence counting +
+trust-filtered negatives) → :class:`RuleWeight` scoring →
+:func:`resolve_by_weight` (lighter rule yields; Section 5.3 shrink
+for ties) → a consistent :class:`WeightedRuleSet` whose plain
+``ruleset()`` flows into the existing engine unchanged.
+"""
+
+from .weights import (MASTER_AGREE_BOOST, MASTER_DISAGREE_PENALTY,
+                      DroppedRule, RevisedRule, RuleWeight,
+                      WeightedCandidate, WeightedRuleSet,
+                      load_weighted_ruleset, save_weighted_ruleset,
+                      weighted_ruleset_from_json, weighted_ruleset_to_json)
+from .mining import MiningReport, MiningResult, mine_candidates
+from .resolve import resolve_by_weight
+from .session import (DiscoveryEvaluation, DiscoverySession, Suggestion,
+                      evaluate_discovery)
+
+__all__ = [
+    "RuleWeight",
+    "WeightedCandidate",
+    "WeightedRuleSet",
+    "DroppedRule",
+    "RevisedRule",
+    "MASTER_AGREE_BOOST",
+    "MASTER_DISAGREE_PENALTY",
+    "weighted_ruleset_to_json",
+    "weighted_ruleset_from_json",
+    "save_weighted_ruleset",
+    "load_weighted_ruleset",
+    "MiningReport",
+    "MiningResult",
+    "mine_candidates",
+    "resolve_by_weight",
+    "DiscoverySession",
+    "DiscoveryEvaluation",
+    "Suggestion",
+    "evaluate_discovery",
+]

@@ -1,0 +1,514 @@
+"""Bulk candidate-rule mining in columnar code space.
+
+The miner generalizes :func:`repro.rulegen.discover_rules_for_fd`
+along the axes the rule-discovery subsystem needs:
+
+* **scale** — all evidence/support counting happens on the
+  dictionary-encoded code arrays of
+  :class:`~repro.core.columnar.ColumnarTable` (vectorized under
+  numpy, tight loops otherwise), so 500K-row tables mine in seconds
+  instead of minutes;
+* **trust** — a minority value is only harvested as a negative
+  pattern if the row it came from is *corroborated* by the rest of
+  the FD graph.  This is the defense against the classic
+  active-domain poisoning failure: a row whose LHS cell was corrupted
+  lands in a foreign group, where its perfectly correct ``B`` value
+  looks like a minority "error".  Such a row disagrees with its
+  foreign group's majorities almost everywhere else, and that
+  disagreement is measurable:
+
+  - *sibling agreement* — for a multi-RHS FD, the row must agree with
+    the group majority on at least half of the sibling RHS attributes
+    that cast a vote;
+  - *evidence corroboration* — no LHS attribute of the row may be
+    contradicted by the wider FD graph, either directly (another FD
+    votes on that attribute's value and the row loses the vote) or as
+    an LHS mate (the row disagrees with the majority of another valid
+    group keyed on that attribute).
+
+  Vetoed rows are counted as *conversely-violating* evidence against
+  the group's rule instead of poisoning its negative patterns;
+* **corroborated evidence** — each rule's evidence is the FD's LHS
+  values *plus one companion attribute* the group functionally
+  determines (the highest-cardinality column whose in-group majority
+  clears the same support/confidence bar), valued at that majority.
+  The companion makes rules from different FDs that repair the same
+  cells share evidence attributes (so they agree instead of
+  Σ-conflicting) and stops rules from firing on rows whose *evidence*
+  is the corrupted part — such rows disagree with the companion and
+  simply no longer match;
+* **weights** — every emitted candidate carries the
+  :class:`~repro.discovery.weights.RuleWeight` counters measured
+  during mining, and master data (when its key attributes are a
+  subset of the FD's LHS) confirms or overrides the mined fact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from ..core import columnar as _columnar
+from ..core import FixingRule
+from ..core.columnar import ColumnarTable
+from ..dependencies import FD
+from ..dependencies.discovery import discover_fds, merge_candidates
+from ..master import MasterTable
+from ..relational import Table
+from .weights import RuleWeight, WeightedCandidate
+
+_RADIX_LIMIT = 2 ** 62
+
+
+class MiningReport(NamedTuple):
+    """What one mining pass looked at and produced."""
+
+    rows: int
+    fds: Tuple[str, ...]
+    groups_scanned: int
+    candidates: int
+    harvested_negatives: int
+    vetoed_rows: int
+    augmented_rules: int
+    master_confirmed: int
+    master_corrected: int
+
+
+class MiningResult(NamedTuple):
+    candidates: List[WeightedCandidate]
+    report: MiningReport
+
+
+class _FDStats:
+    """Phase-1 counters for one (possibly multi-RHS) FD."""
+
+    __slots__ = ("fd", "lhs_positions", "inverse", "n_groups", "sizes",
+                 "rep", "votes_sum", "agree_sum", "per_attr")
+
+    def __init__(self, fd: FD):
+        self.fd = fd
+        self.per_attr: Dict[str, "_ColumnStats"] = {}
+
+
+class _ColumnStats:
+    """Per-group majority statistics for one (FD, attribute) pair."""
+
+    __slots__ = ("maj_code", "maj_count", "valid", "vote", "agree",
+                 "minority", "vote_list", "agree_list")
+
+    def __init__(self, maj_code, maj_count, valid, vote, agree, minority):
+        self.maj_code = maj_code
+        self.maj_count = maj_count
+        self.valid = valid
+        self.vote = vote
+        self.agree = agree
+        self.minority = minority
+        self.vote_list: Optional[List[int]] = None
+        self.agree_list: Optional[List[int]] = None
+
+
+def _group_rows(col: ColumnarTable, positions: Sequence[int], np_mod):
+    """Group rows by the code tuple at *positions*.
+
+    Returns ``(inverse, n_groups, sizes, rep)`` where ``inverse`` maps
+    each row to its group id, ``sizes`` the group populations, and
+    ``rep`` the first row index of each group (the decoded evidence
+    source).
+    """
+    code_cols = [col.codes_for(pos) for pos in positions]
+    n_rows = col.n_rows
+    if np_mod is not None:
+        key = code_cols[0].astype(np_mod.int64)
+        radix = max(1, len(col.dictionary_for(positions[0])))
+        packed = True
+        for pos, codes in zip(positions[1:], code_cols[1:]):
+            width = max(1, len(col.dictionary_for(pos)))
+            if radix * width > _RADIX_LIMIT:
+                packed = False
+                break
+            key = key * width + codes
+            radix *= width
+        if packed:
+            _, inverse = np_mod.unique(key, return_inverse=True)
+        else:  # pragma: no cover - astronomically wide dictionaries
+            stacked = np_mod.stack(code_cols, axis=1)
+            _, inverse = np_mod.unique(stacked, axis=0,
+                                       return_inverse=True)
+        inverse = np_mod.ascontiguousarray(inverse,
+                                           dtype=np_mod.int64)
+        n_groups = int(inverse.max()) + 1 if n_rows else 0
+        sizes = np_mod.bincount(inverse, minlength=n_groups)
+        rep = np_mod.zeros(n_groups, dtype=np_mod.int64)
+        if n_rows:
+            rep[inverse[::-1]] = np_mod.arange(n_rows - 1, -1, -1,
+                                               dtype=np_mod.int64)
+        return inverse, n_groups, sizes, rep
+    group_ids: Dict[tuple, int] = {}
+    inverse = [0] * n_rows
+    sizes: List[int] = []
+    rep: List[int] = []
+    for i in range(n_rows):
+        key = tuple(codes[i] for codes in code_cols)
+        gid = group_ids.get(key)
+        if gid is None:
+            gid = len(group_ids)
+            group_ids[key] = gid
+            sizes.append(0)
+            rep.append(i)
+        inverse[i] = gid
+        sizes[gid] += 1
+    return inverse, len(group_ids), sizes, rep
+
+
+def _column_stats(inverse, n_groups, sizes, b_codes, width: int,
+                  min_support: int, min_confidence: float,
+                  np_mod) -> _ColumnStats:
+    """Per-group majority vote on one column, plus the per-row
+    vote/agree masks and the minority row list."""
+    if np_mod is not None:
+        n_rows = len(b_codes)
+        maj_code = np_mod.full(n_groups, -1, dtype=np_mod.int64)
+        maj_count = np_mod.zeros(n_groups, dtype=np_mod.int64)
+        if n_rows:
+            pair = inverse * width + b_codes
+            uniq, counts = np_mod.unique(pair, return_counts=True)
+            g_part = uniq // width
+            b_part = uniq % width
+            # last-per-group after sorting by (group, count asc,
+            # code desc): highest count wins, ties go to the smallest
+            # code — matching the pure-Python path exactly.
+            order = np_mod.lexsort((-b_part, counts, g_part))
+            g_sorted = g_part[order]
+            is_last = np_mod.empty(len(order), dtype=bool)
+            if len(order):
+                is_last[:-1] = g_sorted[1:] != g_sorted[:-1]
+                is_last[-1] = True
+            best = order[is_last]
+            maj_code[g_part[best]] = b_part[best]
+            maj_count[g_part[best]] = counts[best]
+        valid = ((sizes >= min_support)
+                 & (maj_count >= min_confidence * sizes))
+        vote = valid[inverse]
+        agree = vote & (b_codes == maj_code[inverse])
+        minority = np_mod.nonzero(vote & ~agree)[0].tolist()
+        return _ColumnStats(maj_code, maj_count, valid, vote, agree,
+                            minority)
+    n_rows = len(b_codes)
+    counts_by_group: List[Optional[Dict[int, int]]] = [None] * n_groups
+    for i in range(n_rows):
+        gid = inverse[i]
+        bucket = counts_by_group[gid]
+        if bucket is None:
+            bucket = counts_by_group[gid] = {}
+        code = b_codes[i]
+        bucket[code] = bucket.get(code, 0) + 1
+    maj_code = [-1] * n_groups
+    maj_count = [0] * n_groups
+    valid = [False] * n_groups
+    for gid in range(n_groups):
+        bucket = counts_by_group[gid]
+        if not bucket:
+            continue
+        best_code, best_count = -1, 0
+        for code, count in bucket.items():
+            if count > best_count or (count == best_count
+                                      and code < best_code):
+                best_code, best_count = code, count
+        maj_code[gid] = best_code
+        maj_count[gid] = best_count
+        valid[gid] = (sizes[gid] >= min_support
+                      and best_count >= min_confidence * sizes[gid])
+    vote = bytearray(n_rows)
+    agree = bytearray(n_rows)
+    minority: List[int] = []
+    for i in range(n_rows):
+        gid = inverse[i]
+        if not valid[gid]:
+            continue
+        vote[i] = 1
+        if b_codes[i] == maj_code[gid]:
+            agree[i] = 1
+        else:
+            minority.append(i)
+    return _ColumnStats(maj_code, maj_count, valid, vote, agree, minority)
+
+
+def _as_int_list(mask, np_mod) -> List[int]:
+    """Materialize a per-row counter/mask as a plain list for the
+    phase-2 row loops (python-level indexing of numpy arrays is the
+    bottleneck otherwise)."""
+    if np_mod is not None:
+        return mask.astype(np_mod.int64).tolist()
+    return list(mask)
+
+
+def mine_candidates(dirty: Table,
+                    fds: Optional[Sequence[FD]] = None,
+                    master: Optional[MasterTable] = None,
+                    min_support: int = 3,
+                    min_confidence: float = 0.8,
+                    fd_confidence: float = 0.9,
+                    augment_evidence: bool = True,
+                    use_numpy: Optional[bool] = None) -> MiningResult:
+    """Mine weighted candidate fixing rules from a dirty table.
+
+    Parameters
+    ----------
+    dirty:
+        The instance to mine.  No ground truth is consulted.
+    fds:
+        The FDs to mine along, **multi-RHS kept intact** (sibling RHS
+        attributes corroborate each other).  ``None`` profiles the
+        table with :func:`repro.dependencies.discovery.discover_fds`
+        at *fd_confidence*.
+    master:
+        Optional master data.  For every FD whose LHS contains the
+        master key, the mined fact is checked against the master
+        record: agreement boosts the rule's weight; disagreement
+        replaces the fact with the master value (the mined majority
+        joins the negative patterns).
+    min_support / min_confidence:
+        Same semantics as :func:`repro.rulegen.discover_rules_for_fd`:
+        a group votes only when it has ``min_support`` rows and its
+        majority holds a ``min_confidence`` fraction.
+    augment_evidence:
+        Attach the companion evidence attribute described in the
+        module docstring (default).  ``False`` restricts evidence to
+        the bare FD LHS, matching the legacy per-FD discovery.
+    use_numpy:
+        Forwarded to :class:`~repro.core.columnar.ColumnarTable`
+        (``None`` auto-detects, honoring ``REPRO_NO_NUMPY``).
+
+    Returns a :class:`MiningResult`: the weighted candidates (possibly
+    mutually inconsistent — resolution is
+    :func:`repro.discovery.resolve.resolve_by_weight`'s job) and a
+    :class:`MiningReport` of what the pass saw.
+    """
+    if min_support < 2:
+        raise ValueError("min_support must be at least 2")
+    if not 0.5 < min_confidence <= 1.0:
+        raise ValueError("min_confidence must be in (0.5, 1.0] so the "
+                         "fact is a true majority")
+    schema = dirty.schema
+    if fds is None:
+        fds = merge_candidates(
+            discover_fds(dirty, min_confidence=fd_confidence))
+    fds = [fd for fd in fds if fd.lhs and fd.rhs]
+    for fd in fds:
+        fd_attrs = tuple(fd.lhs) + tuple(fd.rhs)
+        schema.validate_attrs(fd_attrs)
+
+    col = ColumnarTable.from_table(dirty, use_numpy=use_numpy)
+    np_mod = _columnar._resolve_numpy(use_numpy)
+    n_rows = col.n_rows
+    all_attrs = list(schema.attribute_names)
+    dict_sizes = {attr: len(col.dictionary_for(schema.index_of(attr)))
+                  for attr in all_attrs}
+
+    # -- phase 1: group, vote, and accumulate corroboration counters ------
+    stats: List[_FDStats] = []
+    attr_votes: Dict[str, object] = {}
+    attr_agree: Dict[str, object] = {}
+    groups_scanned = 0
+    for fd in fds:
+        stat = _FDStats(fd)
+        positions = [schema.index_of(attr) for attr in fd.lhs]
+        stat.lhs_positions = positions
+        (stat.inverse, stat.n_groups, stat.sizes,
+         stat.rep) = _group_rows(col, positions, np_mod)
+        groups_scanned += stat.n_groups
+        if np_mod is not None:
+            votes_sum = np_mod.zeros(n_rows, dtype=np_mod.int16)
+            agree_sum = np_mod.zeros(n_rows, dtype=np_mod.int16)
+        else:
+            votes_sum = [0] * n_rows
+            agree_sum = [0] * n_rows
+        lhs_set = set(fd.lhs)
+        rhs_set = set(fd.rhs)
+        # majority stats for every non-LHS column: RHS attributes feed
+        # votes and minority harvesting, the others are companion
+        # candidates for evidence augmentation.
+        scan_attrs = ([a for a in all_attrs if a not in lhs_set]
+                      if augment_evidence else list(fd.rhs))
+        for attr in scan_attrs:
+            pos_b = schema.index_of(attr)
+            cstat = _column_stats(stat.inverse, stat.n_groups, stat.sizes,
+                                  col.codes_for(pos_b),
+                                  max(1, dict_sizes[attr]),
+                                  min_support, min_confidence, np_mod)
+            stat.per_attr[attr] = cstat
+            if attr not in rhs_set:
+                continue
+            cstat.vote_list = _as_int_list(cstat.vote, np_mod)
+            cstat.agree_list = _as_int_list(cstat.agree, np_mod)
+            if np_mod is not None:
+                votes_sum += cstat.vote
+                agree_sum += cstat.agree
+                if attr not in attr_votes:
+                    attr_votes[attr] = np_mod.zeros(n_rows,
+                                                    dtype=np_mod.int16)
+                    attr_agree[attr] = np_mod.zeros(n_rows,
+                                                    dtype=np_mod.int16)
+                attr_votes[attr] += cstat.vote
+                attr_agree[attr] += cstat.agree
+            else:
+                vote, agree = cstat.vote, cstat.agree
+                if attr not in attr_votes:
+                    attr_votes[attr] = [0] * n_rows
+                    attr_agree[attr] = [0] * n_rows
+                a_votes, a_agree = attr_votes[attr], attr_agree[attr]
+                for i in range(n_rows):
+                    if vote[i]:
+                        votes_sum[i] += 1
+                        a_votes[i] += 1
+                        if agree[i]:
+                            agree_sum[i] += 1
+                            a_agree[i] += 1
+        stat.votes_sum = _as_int_list(votes_sum, np_mod)
+        stat.agree_sum = _as_int_list(agree_sum, np_mod)
+        stats.append(stat)
+    attr_votes = {attr: _as_int_list(arr, np_mod)
+                  for attr, arr in attr_votes.items()}
+    attr_agree = {attr: _as_int_list(arr, np_mod)
+                  for attr, arr in attr_agree.items()}
+
+    # LHS-mate map: attr -> indexes of FDs whose LHS contains attr.
+    lhs_mates: Dict[str, List[int]] = {}
+    for idx, stat in enumerate(stats):
+        for attr in stat.fd.lhs:
+            lhs_mates.setdefault(attr, []).append(idx)
+
+    master_key: Optional[Tuple[str, ...]] = None
+    master_attrs: frozenset = frozenset()
+    if master is not None:
+        master_key = tuple(master.key)
+        master_attrs = frozenset(master.schema.attribute_names)
+
+    # -- phase 2: trust-filter minorities and emit weighted candidates ----
+    candidates: List[WeightedCandidate] = []
+    vetoed_rows = 0
+    harvested = 0
+    augmented = 0
+    master_confirmed = 0
+    master_corrected = 0
+    for f_idx, stat in enumerate(stats):
+        fd = stat.fd
+        inverse = stat.inverse
+        votes_sum = stat.votes_sum
+        agree_sum = stat.agree_sum
+        mate_checks: List[Tuple[int, str]] = []
+        for attr in fd.lhs:
+            for mate_idx in lhs_mates.get(attr, ()):
+                if mate_idx != f_idx:
+                    mate_checks.append((mate_idx, attr))
+        lhs_dicts = [col.dictionary_for(pos)
+                     for pos in stat.lhs_positions]
+        lhs_codes = [col.codes_for(pos) for pos in stat.lhs_positions]
+        for attr_b in fd.rhs:
+            cstat = stat.per_attr[attr_b]
+            b_codes = col.codes_for(schema.index_of(attr_b))
+            dict_b = col.dictionary_for(schema.index_of(attr_b))
+            # companion candidates: any determined non-LHS column,
+            # highest cardinality first (ties by name for determinism).
+            companions: List[str] = []
+            if augment_evidence:
+                companions = sorted(
+                    (a for a in stat.per_attr if a != attr_b),
+                    key=lambda a: (-dict_sizes[a], a))
+            neg_counts: Dict[int, Dict[int, int]] = {}
+            conversely: Dict[int, int] = {}
+            for i in cstat.minority:
+                gid = int(inverse[i])
+                # sibling agreement: the row's other RHS cells in this
+                # FD (its own vote at attr_b is 1/0 by construction).
+                sib_votes = votes_sum[i] - 1
+                sib_agree = agree_sum[i]
+                trusted = (2 * sib_agree >= sib_votes) if sib_votes > 0 \
+                    else True
+                if trusted:
+                    # evidence corroboration: no LHS attribute of the
+                    # row may be contradicted elsewhere in the FD graph.
+                    for attr in fd.lhs:
+                        direct = attr_votes.get(attr)
+                        if direct is not None and direct[i] > 0 \
+                                and 2 * attr_agree[attr][i] < direct[i]:
+                            trusted = False
+                            break
+                    if trusted:
+                        for mate_idx, attr in mate_checks:
+                            mate = stats[mate_idx]
+                            votes = mate.votes_sum[i]
+                            agrees = mate.agree_sum[i]
+                            mate_b = mate.per_attr.get(attr_b)
+                            if (mate_b is not None
+                                    and mate_b.vote_list is not None):
+                                votes -= mate_b.vote_list[i]
+                                agrees -= mate_b.agree_list[i]
+                            if votes > 0 and 2 * agrees < votes:
+                                trusted = False
+                                break
+                if trusted:
+                    bucket = neg_counts.setdefault(gid, {})
+                    code = int(b_codes[i])
+                    bucket[code] = bucket.get(code, 0) + 1
+                else:
+                    conversely[gid] = conversely.get(gid, 0) + 1
+                    vetoed_rows += 1
+            for gid in sorted(neg_counts):
+                bucket = neg_counts[gid]
+                rep_row = int(stat.rep[gid])
+                evidence = {
+                    attr: lhs_dicts[k][int(lhs_codes[k][rep_row])]
+                    for k, attr in enumerate(fd.lhs)}
+                for comp in companions:
+                    comp_stat = stat.per_attr[comp]
+                    if comp_stat.valid[gid]:
+                        comp_pos = schema.index_of(comp)
+                        evidence[comp] = col.dictionary_for(comp_pos)[
+                            int(comp_stat.maj_code[gid])]
+                        augmented += 1
+                        break
+                fact = dict_b[int(cstat.maj_code[gid])]
+                negatives = {dict_b[code] for code in bucket}
+                support = int(cstat.maj_count[gid])
+                violations = sum(bucket.values())
+                harvested += violations
+                master_verdict = 0
+                if (master_key is not None and attr_b in master_attrs
+                        and set(master_key) <= set(fd.lhs)):
+                    record = master.lookup(
+                        [evidence[attr] for attr in master_key])
+                    if record is not None:
+                        master_value = record[attr_b]
+                        if master_value == fact:
+                            master_verdict = 1
+                            master_confirmed += 1
+                        else:
+                            # master overrides the mined majority: the
+                            # observed "fact" was itself wrong.
+                            negatives.discard(master_value)
+                            negatives.add(fact)
+                            fact = master_value
+                            master_verdict = 1
+                            master_corrected += 1
+                if not negatives:
+                    continue
+                rule = FixingRule(evidence, attr_b, negatives, fact)
+                weight = RuleWeight(
+                    support=support, violations=violations,
+                    conversely=int(conversely.get(gid, 0)),
+                    group_size=int(stat.sizes[gid]),
+                    master=master_verdict)
+                candidates.append(WeightedCandidate(rule, weight))
+
+    report = MiningReport(
+        rows=n_rows,
+        fds=tuple(str(fd) for fd in fds),
+        groups_scanned=groups_scanned,
+        candidates=len(candidates),
+        harvested_negatives=harvested,
+        vetoed_rows=vetoed_rows,
+        augmented_rules=augmented,
+        master_confirmed=master_confirmed,
+        master_corrected=master_corrected,
+    )
+    return MiningResult(candidates, report)

@@ -1,0 +1,233 @@
+"""Weight-based conflict resolution for mined rule sets.
+
+The miner emits candidates FD by FD, so Σ-inconsistencies are
+expected: two FDs can claim the same cell with different facts
+(Fig. 4 case 1) or one rule can read as evidence a value another
+erases (cases 2a–2c).  The paper's Section 5.3 workflow resolves such
+conflicts with a fixed deterministic edit; here every candidate
+carries a :class:`~repro.discovery.weights.RuleWeight`, so resolution
+can instead follow the weighted-rule literature: **the lighter rule
+yields** — it is specialized (the conflicting value leaves its
+negative patterns) when the shrink-only discipline allows, dropped
+when only its evidence is at fault.  Exact ties fall back to the
+Section 5.3 shrink, keeping the workflow total.
+
+Scale note: candidate pairs come from
+:func:`repro.core.consistency.blocked_candidate_pairs` (the
+shape-aware hash join), never from the all-pairs scan — mined sets
+run to hundreds of thousands of rules, where ``O(|Σ|²)`` is hours.
+Revisions only ever shrink, so resolving each candidate pair once,
+against the then-current rule versions, already leaves the weighted
+pass conflict-free wherever weights differ; the fallback loop mops up
+the ties.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import FixingRule
+from ..core.consistency import (CASE_B_I_IN_X_J, CASE_B_J_IN_X_I,
+                                CASE_MUTUAL, CASE_SAME_ATTRIBUTE, Conflict,
+                                blocked_candidate_pairs,
+                                check_pair_characterize, find_conflicts)
+from ..core.resolution import _shrink_for_conflict
+from ..errors import RuleError
+from ..relational import Schema
+from .weights import (DroppedRule, RevisedRule, RuleWeight,
+                      WeightedCandidate, WeightedRuleSet)
+
+
+def _sort_key(rule: FixingRule) -> tuple:
+    """Deterministic content order (signatures hold a frozenset and do
+    not compare; this tuple does)."""
+    return (rule._evidence_items, rule.attribute, rule.fact,
+            tuple(sorted(rule.negatives)))
+
+
+def _stakes(conflict: Conflict, score_a: float,
+            score_b: float) -> Tuple[float, float]:
+    """What each rule stands to lose in this conflict.
+
+    Case 1 puts both rules' claims on the table symmetrically — the
+    stakes are the full scores.  In cases 2a/2b the conflict hangs on
+    a *single* negative value of the writer versus the reader's whole
+    existence (evidence cannot be edited, so a losing reader is
+    dropped outright): the writer's stake is its score amortized over
+    its negative patterns, the reader's is its full score.  Case 2c is
+    one negative value on each side, so both stakes amortize.
+    Comparing stakes rather than raw scores keeps a broadly-supported
+    reader from being deleted over one disputed pattern of an even
+    heavier writer.
+    """
+    rule_a, rule_b = conflict.rule_a, conflict.rule_b
+    if conflict.kind == CASE_B_I_IN_X_J:       # a writes, b reads
+        return score_a / max(1, len(rule_a.negatives)), score_b
+    if conflict.kind == CASE_B_J_IN_X_I:       # b writes, a reads
+        return score_a, score_b / max(1, len(rule_b.negatives))
+    if conflict.kind == CASE_MUTUAL:
+        return (score_a / max(1, len(rule_a.negatives)),
+                score_b / max(1, len(rule_b.negatives)))
+    return score_a, score_b
+
+
+def _specialize_loser(conflict: Conflict, winner: FixingRule,
+                      loser: FixingRule
+                      ) -> Tuple[Optional[FixingRule], str]:
+    """The shrink-only edit that makes *loser* yield to *winner*.
+
+    Returns ``(replacement, reason)`` — ``replacement is None`` drops
+    the loser outright (the only option when the conflict hangs on the
+    loser's evidence, which revisions must not touch).
+    """
+    if conflict.kind == CASE_SAME_ATTRIBUTE:
+        keep = loser.negatives - winner.negatives
+        reason = ("yielded negatives shared with heavier rule %s "
+                  "(facts disagree)" % winner.name)
+        if keep:
+            return loser.with_negatives(keep), reason
+        return None, reason + "; negative patterns emptied"
+    if conflict.kind in (CASE_B_I_IN_X_J, CASE_B_J_IN_X_I):
+        writer = (conflict.rule_a if conflict.kind == CASE_B_I_IN_X_J
+                  else conflict.rule_b)
+        reader = (conflict.rule_b if conflict.kind == CASE_B_I_IN_X_J
+                  else conflict.rule_a)
+        if loser is writer:
+            value = reader.evidence[writer.attribute]
+            keep = loser.negatives - {value}
+            reason = ("yielded %r: heavier rule %s reads it as evidence"
+                      % (value, winner.name))
+            if keep:
+                return loser.with_negatives(keep), reason
+            return None, reason + "; negative patterns emptied"
+        return None, ("evidence value %r is erased by heavier rule %s"
+                      % (reader.evidence[writer.attribute], winner.name))
+    if conflict.kind == CASE_MUTUAL:
+        value = winner.evidence[loser.attribute]
+        keep = loser.negatives - {value}
+        reason = ("yielded %r to break the read/write cycle with "
+                  "heavier rule %s" % (value, winner.name))
+        if keep:
+            return loser.with_negatives(keep), reason
+        return None, reason + "; negative patterns emptied"
+    # Enumerated-witness conflicts never reach the weighted pass (it
+    # only checks the Fig. 4 characterization), but stay total anyway.
+    return None, "conflicts with heavier rule %s" % winner.name
+
+
+def resolve_by_weight(schema: Schema,
+                      candidates: Sequence[WeightedCandidate],
+                      max_tie_rounds: int = 1000) -> WeightedRuleSet:
+    """Resolve Σ-inconsistencies among *candidates* by weight.
+
+    Pass 1 (**weighted sweep**): walk the blocked candidate pairs in
+    deterministic order; for every live Fig. 4 conflict where the two
+    stakes (:func:`_stakes`) differ, the lighter rule is specialized
+    or dropped (see :func:`_specialize_loser`).  Because edits only shrink negative
+    patterns, a resolved pair can never re-conflict, and no new
+    candidate pairs appear — one sweep suffices.
+
+    Pass 2 (**Section 5.3 fallback**): exact-score ties are left for
+    the paper's deterministic shrink edit, looped to a fixpoint via
+    blocked conflict scans.  ``tie_rounds`` on the result counts those
+    rounds; 0 means weights alone resolved everything.
+
+    Every rule dropped *by weight* records ``outweighed_by`` and
+    ``winner_score``, and its own score is ≤ that winner score —
+    the invariant ``tests/test_discovery_weighted.py`` pins.
+    """
+    order = sorted(range(len(candidates)),
+                   key=lambda k: _sort_key(candidates[k].rule))
+    current: List[Optional[FixingRule]] = []
+    weights: List[RuleWeight] = []
+    seen: Dict[tuple, int] = {}
+    for k in order:
+        rule, weight = candidates[k]
+        sig = rule.signature()
+        idx = seen.get(sig)
+        if idx is None:
+            seen[sig] = len(current)
+            current.append(rule)
+            weights.append(weight)
+        elif weight.score > weights[idx].score:
+            # duplicate mined through another FD path: keep the
+            # heavier evidence.
+            weights[idx] = weight
+    for i, rule in enumerate(current):
+        rule.name = "phi%d" % (i + 1)
+
+    dropped: List[DroppedRule] = []
+    revised: List[RevisedRule] = []
+
+    # -- pass 1: weighted sweep over the blocked candidate pairs ----------
+    for i, j in blocked_candidate_pairs(current):
+        rule_i, rule_j = current[i], current[j]
+        if rule_i is None or rule_j is None:
+            continue
+        conflict = check_pair_characterize(rule_i, rule_j)
+        if conflict is None:
+            continue
+        stake_i, stake_j = _stakes(conflict, weights[i].score,
+                                   weights[j].score)
+        if stake_i == stake_j:
+            continue  # exact tie: Section 5.3 fallback decides
+        win, lose = (i, j) if stake_i > stake_j else (j, i)
+        winner, loser = current[win], current[lose]
+        replacement, reason = _specialize_loser(conflict, winner, loser)
+        if replacement is None:
+            dropped.append(DroppedRule(
+                loser, weights[lose], reason,
+                outweighed_by=winner.name,
+                winner_score=weights[win].score))
+        else:
+            revised.append(RevisedRule(
+                loser, replacement, weights[lose], reason,
+                outweighed_by=winner.name,
+                winner_score=weights[win].score))
+        current[lose] = replacement
+
+    # -- pass 2: Section 5.3 shrink fallback for the ties -----------------
+    tie_rounds = 0
+    while True:
+        alive = [rule for rule in current if rule is not None]
+        conflicts = find_conflicts(alive, strategy="blocked")
+        if not conflicts:
+            break
+        tie_rounds += 1
+        if tie_rounds > max_tie_rounds:
+            raise RuleError(
+                "tie resolution did not converge within %d rounds"
+                % max_tie_rounds)
+        index_of: Dict[tuple, int] = {}
+        for idx, rule in enumerate(current):
+            if rule is not None:
+                index_of[rule.signature()] = idx
+        for conflict in conflicts:
+            idx_a = index_of.get(conflict.rule_a.signature())
+            idx_b = index_of.get(conflict.rule_b.signature())
+            if idx_a is None or idx_b is None:
+                continue  # stale: a rule was revised earlier this round
+            rule_a, rule_b = current[idx_a], current[idx_b]
+            if rule_a is None or rule_b is None:
+                continue
+            live = check_pair_characterize(rule_a, rule_b)
+            if live is None:
+                continue
+            revision = _shrink_for_conflict(live)
+            edited_idx = (idx_a
+                          if revision.rule.signature() == rule_a.signature()
+                          else idx_b)
+            edited = current[edited_idx]
+            reason = "tie fallback: " + revision.reason
+            if revision.replacement is None:
+                dropped.append(DroppedRule(edited, weights[edited_idx],
+                                           reason))
+            else:
+                revised.append(RevisedRule(edited, revision.replacement,
+                                           weights[edited_idx], reason))
+            current[edited_idx] = revision.replacement
+
+    kept = [WeightedCandidate(rule, weights[idx])
+            for idx, rule in enumerate(current) if rule is not None]
+    return WeightedRuleSet(schema, kept, dropped=dropped, revised=revised,
+                           tie_rounds=tie_rounds)

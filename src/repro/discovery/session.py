@@ -1,0 +1,241 @@
+"""The discovery session: mine → weigh → resolve → serve.
+
+:class:`DiscoverySession` is the subsystem's front door.  It owns one
+dirty table (plus optional FDs and master data), runs the columnar
+miner once, resolves the weighted candidates into a consistent Σ, and
+answers questions about the result:
+
+* :meth:`DiscoverySession.discover` — the resolved
+  :class:`~repro.discovery.weights.WeightedRuleSet` (cached; the
+  underlying :meth:`~repro.discovery.weights.WeightedRuleSet.ruleset`
+  feeds the engine, delta sessions, and the serve daemon unchanged);
+* :meth:`DiscoverySession.suggest` — ranked suggested repairs for one
+  row, drawing on *every* mined candidate (kept rules first, then the
+  outweighed alternatives, each labeled) so a reviewer sees what else
+  the evidence supported;
+* :func:`evaluate_discovery` — the precision/recall loop against
+  ground truth, for :mod:`repro.datagen` workloads and the discovery
+  benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Sequence, Union
+
+from ..core import repair_table
+from ..dependencies import FD
+from ..errors import RuleError
+from ..evaluation import RepairQuality, evaluate_repair
+from ..master import MasterTable
+from ..relational import Row, Table
+from .mining import MiningReport, mine_candidates
+from .resolve import resolve_by_weight
+from .weights import RuleWeight, WeightedCandidate, WeightedRuleSet
+
+
+class Suggestion(NamedTuple):
+    """One ranked repair suggestion for a row."""
+
+    #: Attribute the suggestion would change.
+    attribute: str
+    #: The row's current (suspect) value there.
+    current: str
+    #: The value the rule would write.
+    suggested: str
+    #: Name of the backing rule ("" for outweighed candidates that
+    #: resolution renamed away).
+    rule_name: str
+    #: The backing rule's weight score (ranking key).
+    score: float
+    #: Full weight counters, for reports.
+    weight: RuleWeight
+    #: True when the backing rule survived resolution (the repair the
+    #: engine itself would apply); False marks an outweighed
+    #: alternative shown for review only.
+    kept: bool
+
+    def describe(self) -> str:
+        tag = "" if self.kept else " (outweighed alternative)"
+        return ("%s: %r -> %r  [score %.2f, support %d, rule %s]%s"
+                % (self.attribute, self.current, self.suggested,
+                   self.score, self.weight.support,
+                   self.rule_name or "-", tag))
+
+
+class DiscoverySession:
+    """Mine weighted fixing rules from one dirty table.
+
+    Parameters mirror :func:`repro.discovery.mining.mine_candidates`;
+    mining and resolution both run lazily on the first call that needs
+    them and are cached for the session's lifetime.
+    """
+
+    def __init__(self, dirty: Table,
+                 fds: Optional[Sequence[FD]] = None,
+                 master: Optional[MasterTable] = None,
+                 min_support: int = 3,
+                 min_confidence: float = 0.8,
+                 fd_confidence: float = 0.9,
+                 use_numpy: Optional[bool] = None):
+        self._dirty = dirty
+        self._fds = list(fds) if fds is not None else None
+        self._master = master
+        self._min_support = min_support
+        self._min_confidence = min_confidence
+        self._fd_confidence = fd_confidence
+        self._use_numpy = use_numpy
+        self._weighted: Optional[WeightedRuleSet] = None
+        self._report: Optional[MiningReport] = None
+        self._suggest_index = None
+
+    @classmethod
+    def from_weighted(cls, dirty: Table,
+                      weighted: WeightedRuleSet) -> "DiscoverySession":
+        """Rebuild a session around a saved :class:`WeightedRuleSet`.
+
+        Skips mining entirely — :meth:`suggest` and :meth:`discover`
+        work against the loaded set (``repro suggest --weights``);
+        :attr:`report` is unavailable and raises.
+        """
+        session = cls(dirty)
+        session._weighted = weighted
+        return session
+
+    def discover(self) -> WeightedRuleSet:
+        """Run (or return the cached) mine → weigh → resolve pass."""
+        if self._weighted is None:
+            result = mine_candidates(
+                self._dirty, fds=self._fds, master=self._master,
+                min_support=self._min_support,
+                min_confidence=self._min_confidence,
+                fd_confidence=self._fd_confidence,
+                use_numpy=self._use_numpy)
+            self._report = result.report
+            self._weighted = resolve_by_weight(self._dirty.schema,
+                                               result.candidates)
+        return self._weighted
+
+    @property
+    def report(self) -> MiningReport:
+        """The :class:`MiningReport` of the (possibly just-run) pass."""
+        self.discover()
+        if self._report is None:
+            raise RuleError("session was built from a saved rule set; "
+                            "no mining report is available")
+        return self._report
+
+    def describe(self) -> dict:
+        """Mining + resolution counters in one dict (CLI / serve)."""
+        weighted = self.discover()
+        payload = (dict(self._report._asdict())
+                   if self._report is not None else {})
+        payload.update(weighted.describe())
+        return payload
+
+    # -- suggestions ------------------------------------------------------
+
+    def _index(self):
+        """Shape-bucketed candidate index for row matching.
+
+        Kept rules and outweighed candidates alike, bucketed by their
+        evidence attribute set, then keyed by the evidence value
+        tuple — one dict probe per distinct shape answers a row query.
+        """
+        if self._suggest_index is None:
+            weighted = self.discover()
+            entries = []
+            for rule in weighted:
+                entries.append((rule, weighted.weight_of(rule), True))
+            for entry in weighted.dropped:
+                entries.append((entry.rule, entry.weight, False))
+            for entry in weighted.revised:
+                # the surviving replacement is already iterated above
+                # (same signature family); the original shows the
+                # pre-specialization reach.
+                entries.append((entry.original, entry.weight, False))
+            index = {}
+            for rule, weight, kept in entries:
+                attrs = tuple(sorted(rule.x_attrs))
+                key = tuple(rule.evidence[attr] for attr in attrs)
+                index.setdefault(attrs, {}).setdefault(key, []).append(
+                    (rule, weight, kept))
+            self._suggest_index = index
+        return self._suggest_index
+
+    def suggest(self, row: Union[Row, dict, int],
+                limit: Optional[int] = None) -> List[Suggestion]:
+        """Ranked repair suggestions for one row.
+
+        *row* is a :class:`~repro.relational.Row`, a plain
+        ``{attr: value}`` dict, or an index into the session's dirty
+        table.  Suggestions are ordered by descending weight score
+        (kept rules win ties); at most one suggestion per
+        ``(attribute, suggested value)`` pair survives deduplication.
+        """
+        if isinstance(row, int):
+            row = self._dirty[row]
+        cells = row.as_dict() if isinstance(row, Row) else dict(row)
+        matches: List[Suggestion] = []
+        for attrs, by_key in self._index().items():
+            try:
+                key = tuple(cells[attr] for attr in attrs)
+            except KeyError:
+                continue
+            for rule, weight, kept in by_key.get(key, ()):
+                value = cells.get(rule.attribute)
+                if value is None or value == rule.fact:
+                    continue
+                if value not in rule.negatives:
+                    continue
+                matches.append(Suggestion(
+                    rule.attribute, value, rule.fact, rule.name,
+                    weight.score, weight, kept))
+        matches.sort(key=lambda s: (-s.score, not s.kept, s.attribute,
+                                    s.suggested))
+        deduped: List[Suggestion] = []
+        taken = set()
+        for suggestion in matches:
+            slot = (suggestion.attribute, suggestion.suggested)
+            if slot in taken:
+                continue
+            taken.add(slot)
+            deduped.append(suggestion)
+        if limit is not None:
+            deduped = deduped[:limit]
+        return deduped
+
+
+class DiscoveryEvaluation(NamedTuple):
+    """Outcome of :func:`evaluate_discovery`."""
+
+    quality: RepairQuality
+    weighted: WeightedRuleSet
+    report: MiningReport
+    repaired: Table
+
+
+def evaluate_discovery(clean: Table, dirty: Table,
+                       fds: Optional[Sequence[FD]] = None,
+                       master: Optional[MasterTable] = None,
+                       min_support: int = 3,
+                       min_confidence: float = 0.8,
+                       fd_confidence: float = 0.9,
+                       use_numpy: Optional[bool] = None,
+                       backend: str = "auto") -> DiscoveryEvaluation:
+    """Precision/recall of discovery-driven repair against ground truth.
+
+    Discovery sees **only** the dirty table (and master data, when
+    given) — *clean* is used exclusively to score the repaired output
+    with :func:`repro.evaluation.evaluate_repair`.  This is the loop
+    the discovery benchmark gates on.
+    """
+    session = DiscoverySession(
+        dirty, fds=fds, master=master, min_support=min_support,
+        min_confidence=min_confidence, fd_confidence=fd_confidence,
+        use_numpy=use_numpy)
+    weighted = session.discover()
+    repaired = repair_table(dirty, weighted.ruleset(),
+                            backend=backend).table
+    quality = evaluate_repair(clean, dirty, repaired)
+    return DiscoveryEvaluation(quality, weighted, session.report,
+                               repaired)

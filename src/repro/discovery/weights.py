@@ -1,0 +1,293 @@
+"""Confidence weights for discovered fixing rules.
+
+Following the weighted-rule line of work (Abu Ahmad & Wang: rules
+mined from dirty + master data become dependable once each carries a
+confidence weight used for conflict resolution), every mined candidate
+is scored from the evidence the miner itself collected:
+
+* **support** — rows that match the rule's evidence pattern and
+  already carry the fact (the group majority);
+* **violations** — trusted minority rows the rule would repair (its
+  harvested negative patterns, counted with multiplicity);
+* **conversely** — minority rows the trust pass *vetoed*: they match
+  the evidence but contradict the rule, and their own cross-FD record
+  says the evidence — not the ``B`` cell — is the suspect part.  These
+  are the conversely-violating tuples of the weighted-rule literature;
+  a rule surrounded by them is mined from a poisoned group;
+* **master** — whether master data corroborated the fact (``+1``),
+  had no opinion (``0``), or contradicted it (``-1``).
+
+The scalar :attr:`RuleWeight.score` orders rules during weight-based
+conflict resolution (:mod:`repro.discovery.resolve`) and ranks the
+suggested repairs surfaced by ``repro suggest``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Tuple
+
+from ..core import FixingRule, RuleSet
+from ..core.serialization import rule_from_dict, rule_to_dict
+from ..errors import SerializationError
+from ..relational import Schema
+
+PathLike = object  # str | Path; kept loose like core.serialization
+
+#: Multiplier applied to the score of a rule whose fact master data
+#: confirmed — a master-backed rule should win ties against any
+#: frequency-only rule of comparable support.
+MASTER_AGREE_BOOST = 4.0
+
+#: Multiplier for a rule whose fact master data contradicted (the
+#: miner normally rewrites such facts in place, so this mostly matters
+#: for hand-built weights).
+MASTER_DISAGREE_PENALTY = 0.25
+
+
+class RuleWeight(NamedTuple):
+    """The per-rule evidence counters and their scalar score."""
+
+    #: Rows matching the evidence with the fact already in place.
+    support: int
+    #: Trusted minority rows the rule would fix (with multiplicity).
+    violations: int
+    #: Minority rows vetoed by the trust pass (poison indicator).
+    conversely: int
+    #: Total rows in the mined evidence group.
+    group_size: int
+    #: Master-data verdict on the fact: +1 agree / 0 unknown / -1
+    #: contradicted.
+    master: int = 0
+
+    @property
+    def confidence(self) -> float:
+        """Fraction of evidence-matching rows consistent with the rule
+        (supporting it or repaired by it)."""
+        covered = self.support + self.violations
+        total = covered + self.conversely
+        if total == 0:
+            return 0.0
+        return covered / total
+
+    @property
+    def score(self) -> float:
+        """Scalar used to compare rules: confidence-weighted coverage,
+        boosted or penalized by the master-data verdict."""
+        value = self.confidence * (self.support + self.violations)
+        if self.master > 0:
+            value *= MASTER_AGREE_BOOST
+        elif self.master < 0:
+            value *= MASTER_DISAGREE_PENALTY
+        return value
+
+    def to_dict(self) -> dict:
+        return {"support": self.support, "violations": self.violations,
+                "conversely": self.conversely,
+                "group_size": self.group_size, "master": self.master}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RuleWeight":
+        try:
+            return cls(support=int(payload["support"]),
+                       violations=int(payload["violations"]),
+                       conversely=int(payload["conversely"]),
+                       group_size=int(payload["group_size"]),
+                       master=int(payload.get("master", 0)))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError("invalid rule weight: %s" % exc)
+
+
+class WeightedCandidate(NamedTuple):
+    """A mined rule plus its weight, before conflict resolution."""
+
+    rule: FixingRule
+    weight: RuleWeight
+
+
+class DroppedRule(NamedTuple):
+    """A candidate removed during weight-based resolution.
+
+    ``outweighed_by`` names the surviving rule whose strictly-greater
+    (or equal, for the deterministic keep-side choice) weight decided
+    the conflict; ``winner_score`` records that rule's score at
+    decision time.  Ties resolved by the Section 5.3 fallback carry
+    ``outweighed_by=None`` — no weight claim is made for them.
+    """
+
+    rule: FixingRule
+    weight: RuleWeight
+    reason: str
+    outweighed_by: Optional[str] = None
+    winner_score: Optional[float] = None
+
+
+class RevisedRule(NamedTuple):
+    """A candidate kept after shrinking its negative patterns."""
+
+    original: FixingRule
+    replacement: FixingRule
+    weight: RuleWeight
+    reason: str
+    outweighed_by: Optional[str] = None
+    winner_score: Optional[float] = None
+
+
+class WeightedRuleSet:
+    """A consistent, weight-annotated Σ plus its resolution provenance.
+
+    ``ruleset()`` exposes the surviving rules as a plain
+    :class:`~repro.core.RuleSet` — the object the engine, delta
+    sessions, and the serve daemon consume unchanged.  Everything else
+    here is reporting: per-rule weights, the candidates resolution
+    removed or edited, and the ranked view used by suggestions.
+    """
+
+    def __init__(self, schema: Schema,
+                 weighted_rules: Sequence[WeightedCandidate] = (),
+                 dropped: Sequence[DroppedRule] = (),
+                 revised: Sequence[RevisedRule] = (),
+                 tie_rounds: int = 0):
+        self._ruleset = RuleSet(schema)
+        self._weights: Dict[Tuple, RuleWeight] = {}
+        for rule, weight in weighted_rules:
+            if self._ruleset.add(rule):
+                self._weights[rule.signature()] = weight
+        self.dropped: List[DroppedRule] = list(dropped)
+        self.revised: List[RevisedRule] = list(revised)
+        #: Rounds the Section 5.3 tie fallback needed (0 = weights
+        #: alone resolved every conflict).
+        self.tie_rounds = tie_rounds
+
+    @property
+    def schema(self) -> Schema:
+        return self._ruleset.schema
+
+    def ruleset(self) -> RuleSet:
+        """The surviving consistent Σ, engine-ready."""
+        return self._ruleset
+
+    def weight_of(self, rule: FixingRule) -> RuleWeight:
+        return self._weights[rule.signature()]
+
+    def ranked(self) -> List[WeightedCandidate]:
+        """Surviving rules ordered by descending score (name-stable)."""
+        pairs = [WeightedCandidate(rule, self._weights[rule.signature()])
+                 for rule in self._ruleset]
+        pairs.sort(key=lambda pair: (-pair.weight.score, pair.rule.name))
+        return pairs
+
+    def __len__(self) -> int:
+        return len(self._ruleset)
+
+    def __iter__(self) -> Iterator[FixingRule]:
+        return iter(self._ruleset)
+
+    def describe(self) -> dict:
+        """Summary counters for reports and the serve endpoint."""
+        return {
+            "kept": len(self._ruleset),
+            "dropped": len(self.dropped),
+            "revised": len(self.revised),
+            "tie_rounds": self.tie_rounds,
+            "master_backed": sum(
+                1 for weight in self._weights.values() if weight.master > 0),
+        }
+
+    def __repr__(self) -> str:
+        return ("WeightedRuleSet(%d kept, %d dropped, %d revised)"
+                % (len(self._ruleset), len(self.dropped),
+                   len(self.revised)))
+
+
+def weighted_ruleset_to_json(weighted: WeightedRuleSet) -> str:
+    """Serialize a weighted rule set, resolution provenance included.
+
+    The ``schema``/``rules`` fields match the plain rule-set format of
+    :mod:`repro.core.serialization` with one ``weight`` object added
+    per rule, so the file documents itself next to ordinary rule
+    files; ``repro show`` on the embedded rules works by stripping the
+    extras.
+    """
+    payload = {
+        "schema": {
+            "name": weighted.schema.name,
+            "attributes": list(weighted.schema.attribute_names),
+        },
+        "rules": [dict(rule_to_dict(rule),
+                       weight=weighted.weight_of(rule).to_dict())
+                  for rule in weighted],
+        "dropped": [
+            {"rule": rule_to_dict(entry.rule),
+             "weight": entry.weight.to_dict(),
+             "reason": entry.reason,
+             "outweighed_by": entry.outweighed_by,
+             "winner_score": entry.winner_score}
+            for entry in weighted.dropped],
+        "revised": [
+            {"rule": rule_to_dict(entry.original),
+             "replacement": rule_to_dict(entry.replacement),
+             "weight": entry.weight.to_dict(),
+             "reason": entry.reason,
+             "outweighed_by": entry.outweighed_by,
+             "winner_score": entry.winner_score}
+            for entry in weighted.revised],
+        "tie_rounds": weighted.tie_rounds,
+    }
+    return json.dumps(payload, indent=2)
+
+
+def weighted_ruleset_from_json(text: str) -> WeightedRuleSet:
+    """Inverse of :func:`weighted_ruleset_to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError("invalid weighted rule-set JSON: %s"
+                                 % exc) from exc
+    try:
+        schema = Schema(payload["schema"]["name"],
+                        payload["schema"]["attributes"])
+        rule_payloads = payload["rules"]
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(
+            "weighted rule-set JSON must have 'schema' and 'rules': %s"
+            % exc) from exc
+    weighted_rules = [
+        WeightedCandidate(rule_from_dict(item),
+                          RuleWeight.from_dict(item.get("weight", {})))
+        for item in rule_payloads]
+    dropped = [
+        DroppedRule(rule_from_dict(item["rule"]),
+                    RuleWeight.from_dict(item["weight"]),
+                    item.get("reason", ""),
+                    item.get("outweighed_by"),
+                    item.get("winner_score"))
+        for item in payload.get("dropped", ())]
+    revised = [
+        RevisedRule(rule_from_dict(item["rule"]),
+                    rule_from_dict(item["replacement"]),
+                    RuleWeight.from_dict(item["weight"]),
+                    item.get("reason", ""),
+                    item.get("outweighed_by"),
+                    item.get("winner_score"))
+        for item in payload.get("revised", ())]
+    return WeightedRuleSet(schema, weighted_rules, dropped=dropped,
+                           revised=revised,
+                           tie_rounds=int(payload.get("tie_rounds", 0)))
+
+
+def save_weighted_ruleset(weighted: WeightedRuleSet, path) -> None:
+    """Write a weighted rule set to *path* as JSON."""
+    Path(path).write_text(weighted_ruleset_to_json(weighted),
+                          encoding="utf-8")
+
+
+def load_weighted_ruleset(path) -> WeightedRuleSet:
+    """Read a weighted rule set written by :func:`save_weighted_ruleset`."""
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SerializationError("cannot read weighted rule file %s: %s"
+                                 % (path, exc)) from exc
+    return weighted_ruleset_from_json(text)

@@ -4,7 +4,8 @@ from .seeds import SeedGenerator, generate_seed_rules
 from .enrichment import (domain_negatives_from_table, enrich_rule,
                          enrich_rules, master_negatives,
                          negatives_budget_sweep)
-from .pipeline import generate_rules
+from .pipeline import (DroppedCandidate, GeneratedRules, RevisedCandidate,
+                       generate_rules)
 from .discovery import discover_rules, discover_rules_for_fd
 from .from_cfd import (fixing_rule_from_cfd, fixing_rules_from_cfds,
                        observed_negatives)
@@ -24,6 +25,9 @@ __all__ = [
     "master_negatives",
     "negatives_budget_sweep",
     "generate_rules",
+    "GeneratedRules",
+    "DroppedCandidate",
+    "RevisedCandidate",
     "discover_rules",
     "discover_rules_for_fd",
     "fixing_rule_from_cfd",

@@ -17,9 +17,9 @@ algorithms.
 from __future__ import annotations
 
 import random
-from typing import Optional, Sequence
+from typing import List, NamedTuple, Optional, Sequence
 
-from ..core import RuleSet, ensure_consistent, is_consistent
+from ..core import FixingRule, RuleSet, ensure_consistent, is_consistent
 from ..core.resolution import SHRINK_NEGATIVES
 from ..dependencies import FD
 from ..relational import Table
@@ -27,12 +27,58 @@ from .enrichment import domain_negatives_from_table, enrich_rules
 from .seeds import generate_seed_rules
 
 
+class DroppedCandidate(NamedTuple):
+    """A candidate rule that did not survive the pipeline, and why."""
+
+    rule: FixingRule
+    reason: str
+
+
+class RevisedCandidate(NamedTuple):
+    """A candidate kept only after a consistency-restoring edit."""
+
+    original: FixingRule
+    replacement: FixingRule
+    reason: str
+
+
+class GeneratedRules(RuleSet):
+    """The pipeline's output: a consistent :class:`RuleSet` that also
+    carries the candidates which did NOT make it.
+
+    Behaves exactly like a plain rule set everywhere (repair, compile,
+    serialization); the extra attributes exist so downstream consumers
+    — the discovery subsystem's reports in particular — can explain
+    why a mined candidate is absent from Σ instead of having it vanish
+    silently.
+
+    Attributes
+    ----------
+    dropped:
+        :class:`DroppedCandidate` entries — candidates removed outright
+        (conflict resolution dropped them, or they fell over the
+        ``max_rules`` cap).
+    revised:
+        :class:`RevisedCandidate` entries — candidates kept after the
+        Section 5.3 shrink edited their negative patterns.
+    """
+
+    def __init__(self, schema, rules=None, dropped=(), revised=()):
+        super().__init__(schema, rules)
+        self.dropped: List[DroppedCandidate] = list(dropped)
+        self.revised: List[RevisedCandidate] = list(revised)
+
+
 def generate_rules(clean: Table, dirty: Table, fds: Sequence[FD],
                    max_rules: Optional[int] = None,
                    enrichment_per_rule: int = 0,
                    seed: int = 0,
-                   shuffle: bool = False) -> RuleSet:
+                   shuffle: bool = False) -> GeneratedRules:
     """Produce a consistent rule set for repairing *dirty*.
+
+    Returns a :class:`GeneratedRules` — a drop-in :class:`RuleSet`
+    whose ``dropped``/``revised`` attributes record every candidate
+    that conflict resolution or the ``max_rules`` cap took out.
 
     Parameters
     ----------
@@ -63,12 +109,30 @@ def generate_rules(clean: Table, dirty: Table, fds: Sequence[FD],
     if shuffle:
         random.Random(seed).shuffle(rule_list)
         rules = RuleSet(rules.schema, rule_list)
+    dropped: List[DroppedCandidate] = []
+    revised: List[RevisedCandidate] = []
     if not is_consistent(rules):
-        rules = ensure_consistent(rules, strategy=SHRINK_NEGATIVES).rules
-    if max_rules is not None and len(rules) > max_rules:
-        rules = rules.subset(max_rules)
-    _rename_sequentially(rules)
-    return rules
+        log = ensure_consistent(rules, strategy=SHRINK_NEGATIVES)
+        for revision in log.revisions:
+            if revision.replacement is None:
+                dropped.append(DroppedCandidate(revision.rule,
+                                                revision.reason))
+            else:
+                revised.append(RevisedCandidate(revision.rule,
+                                                revision.replacement,
+                                                revision.reason))
+        rules = log.rules
+    kept = rules.rules()
+    if max_rules is not None and len(kept) > max_rules:
+        dropped.extend(
+            DroppedCandidate(rule, "over the max_rules=%d cap"
+                             % max_rules)
+            for rule in kept[max_rules:])
+        kept = kept[:max_rules]
+    out = GeneratedRules(rules.schema, kept, dropped=dropped,
+                         revised=revised)
+    _rename_sequentially(out)
+    return out
 
 
 def _rename_sequentially(rules: RuleSet) -> None:

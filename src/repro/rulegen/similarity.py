@@ -51,22 +51,54 @@ def edit_distance(a: str, b: str,
         return len(b)
     if not b:
         return len(a)
+    if max_distance is not None:
+        return _banded_distance(a, b, max_distance)
     previous = list(range(len(b) + 1))
     for i, ch_a in enumerate(a, start=1):
         current = [i]
-        row_min = i
         for j, ch_b in enumerate(b, start=1):
             cost = 0 if ch_a == ch_b else 1
-            value = min(previous[j] + 1,        # deletion
-                        current[j - 1] + 1,     # insertion
-                        previous[j - 1] + cost) # substitution
-            current.append(value)
-            if value < row_min:
-                row_min = value
-        if max_distance is not None and row_min > max_distance:
-            return max_distance + 1
+            current.append(min(previous[j] + 1,         # deletion
+                               current[j - 1] + 1,      # insertion
+                               previous[j - 1] + cost)) # substitution
         previous = current
     return previous[-1]
+
+
+def _banded_distance(a: str, b: str, max_distance: int) -> int:
+    """Ukkonen's cutoff band for a bounded Levenshtein distance.
+
+    Only cells with ``|i - j| <= max_distance`` can ever hold a value
+    ``<= max_distance``, so the DP visits just that diagonal band —
+    O(max_distance * len(a)) cells instead of the full matrix — and
+    exits the moment the band's minimum overflows the bound.
+    """
+    big = max_distance + 1
+    len_b = len(b)
+    previous = [j if j <= max_distance else big
+                for j in range(len_b + 1)]
+    for i, ch_a in enumerate(a, start=1):
+        lo = max(1, i - max_distance)
+        hi = min(len_b, i + max_distance)
+        current = [big] * (len_b + 1)
+        row_min = big
+        if i <= max_distance:
+            current[0] = i
+            row_min = i
+        for j in range(lo, hi + 1):
+            cost = 0 if ch_a == b[j - 1] else 1
+            value = min(previous[j] + 1,         # deletion
+                        current[j - 1] + 1,      # insertion
+                        previous[j - 1] + cost)  # substitution
+            if value > big:
+                value = big
+            current[j] = value
+            if value < row_min:
+                row_min = value
+        if row_min > max_distance:
+            return big
+        previous = current
+    return previous[len_b] if previous[len_b] <= max_distance else big
 
 
 def similar_values(target: str, pool: Iterable[str],

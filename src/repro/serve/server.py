@@ -759,7 +759,87 @@ class RepairServer:
             if delta is not None:
                 payload["delta"] = delta
             return 200, payload, None, None
+        if len(parts) == 3 and parts[2] == "discover":
+            return await self._handle_discover(parts[1], request)
         raise HttpError(404, "no route for %s" % request.path)
+
+    def _mine_ruleset(self, body: dict):
+        """Off-loop compute of ``POST /rulesets/{tenant}/discover``:
+        build the table, mine + weigh + resolve, return the session."""
+        from ..dependencies import parse_fd
+        from ..discovery import DiscoverySession
+        from ..relational import Schema, Table
+
+        attributes = body.get("attributes")
+        raw_rows = body.get("rows")
+        if not isinstance(attributes, list) or not attributes or \
+                not all(isinstance(a, str) for a in attributes):
+            raise HttpError(400, '"attributes" must be a non-empty '
+                            "list of strings")
+        if not isinstance(raw_rows, list) or not raw_rows:
+            raise HttpError(400, '"rows" must be a non-empty list')
+        schema = Schema("discovered", attributes)
+        rows = []
+        for index, item in enumerate(raw_rows):
+            if not isinstance(item, list) or len(item) != len(attributes):
+                raise HttpError(400, "row %d must be a list of %d cells"
+                                % (index, len(attributes)))
+            cells = []
+            for cell in item:
+                if isinstance(cell, str):
+                    cells.append(cell)
+                elif isinstance(cell, (int, float)) and \
+                        not isinstance(cell, bool):
+                    cells.append(str(cell))
+                else:
+                    raise HttpError(400, "row %d contains a non-scalar "
+                                    "cell" % index)
+            rows.append(Row.from_trusted(schema, cells))
+        table = Table.from_trusted_rows(schema, rows)
+        fds = None
+        if body.get("fds") is not None:
+            if not isinstance(body["fds"], list):
+                raise HttpError(400, '"fds" must be a list of strings '
+                                'like "zip -> state"')
+            try:
+                fds = [parse_fd(text) for text in body["fds"]]
+            except Exception as exc:
+                raise HttpError(400, "bad FD: %s" % exc)
+        try:
+            session = DiscoverySession(
+                table, fds=fds,
+                min_support=int(body.get("min_support", 3)),
+                min_confidence=float(body.get("min_confidence", 0.8)),
+                fd_confidence=float(body.get("fd_confidence", 0.9)))
+            session.discover()  # mining validates the parameters
+        except (TypeError, ValueError) as exc:
+            raise HttpError(400, "bad discovery parameter: %s" % exc)
+        return session
+
+    async def _handle_discover(self, tenant: str, request: Request):
+        """Mine weighted rules from posted dirty rows and install them
+        for *tenant* through the same shadow-slot validation as an
+        explicit ruleset upload."""
+        body = request.json()
+        if not isinstance(body, dict):
+            raise HttpError(400, "body must be a JSON object")
+        loop = asyncio.get_running_loop()
+        session = await loop.run_in_executor(None, self._mine_ruleset,
+                                             body)
+        weighted = session.discover()
+        if len(weighted) == 0:
+            raise HttpError(422, "discovery produced no rules (raise "
+                            "the noise tolerance: lower min_support / "
+                            "min_confidence, or pass known FDs)")
+        entry = await loop.run_in_executor(
+            None, self.registry.install, tenant, weighted.ruleset())
+        delta = await loop.run_in_executor(
+            None, self._sync_delta_session, tenant, entry)
+        payload = {"tenant": tenant, "installed": entry.describe(),
+                   "discovery": session.describe()}
+        if delta is not None:
+            payload["delta"] = delta
+        return 200, payload, None, None
 
 
 class ServerThread:

@@ -1,0 +1,272 @@
+"""The discovery subsystem end to end: mining, trust, master data,
+suggestions, the evaluation loop, and the CLI commands.
+
+Crafted micro-tables pin the miner's behaviour case by case; the
+seeded HOSP workload pins the dependability numbers the discovery
+benchmark gates on (scaled down so the suite stays fast).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import repair_table
+from repro.core.consistency import find_conflicts
+from repro.datagen import (constraint_attributes, generate_hosp, hosp_fds,
+                           inject_noise)
+from repro.dependencies import FD
+from repro.discovery import (DiscoverySession, evaluate_discovery,
+                             load_weighted_ruleset, mine_candidates,
+                             save_weighted_ruleset)
+from repro.errors import RuleError
+from repro.master import MasterTable
+from repro.relational import Row, Schema, Table, write_csv
+
+SCHEMA = Schema("T", ["k", "b", "c"])
+
+
+def make_table(rows):
+    return Table.from_trusted_rows(
+        SCHEMA, [Row.from_trusted(SCHEMA, list(cells)) for cells in rows])
+
+
+def group(k, b, c, n):
+    return [(k, b, c)] * n
+
+
+class TestMining:
+    def test_basic_rule_with_companion_evidence(self):
+        table = make_table(group("1", "X", "P", 5) + [("1", "Y", "P")]
+                           + group("2", "Z", "Q", 4))
+        result = mine_candidates(table, fds=[FD(["k"], ["b"])])
+        b_rules = [c for c in result.candidates
+                   if c.rule.attribute == "b"]
+        assert len(b_rules) == 1
+        rule, weight = b_rules[0]
+        # evidence = FD LHS value + the corroborating companion column
+        assert rule.evidence == {"k": "1", "c": "P"}
+        assert rule.fact == "X"
+        assert rule.negatives == {"Y"}
+        assert (weight.support, weight.violations,
+                weight.conversely) == (5, 1, 0)
+        assert weight.group_size == 6
+        assert result.report.augmented_rules >= 1
+
+    def test_augmentation_off_keeps_plain_lhs_evidence(self):
+        table = make_table(group("1", "X", "P", 5) + [("1", "Y", "P")])
+        result = mine_candidates(table, fds=[FD(["k"], ["b"])],
+                                 augment_evidence=False)
+        (rule, _weight), = [c for c in result.candidates
+                            if c.rule.attribute == "b"]
+        assert rule.evidence == {"k": "1"}
+
+    def test_all_minority_vetoed_emits_no_rule(self):
+        # the lone minority row disagrees on BOTH determined columns,
+        # so its own record says the evidence (k) is the suspect cell:
+        # the trust pass vetoes it and nothing is harvested
+        table = make_table(group("1", "X", "P", 5) + [("1", "Y", "Q")])
+        result = mine_candidates(table, fds=[FD(["k"], ["b", "c"])])
+        assert [c for c in result.candidates] == []
+        assert result.report.vetoed_rows >= 1
+
+    def test_small_or_contested_groups_are_skipped(self):
+        table = make_table(
+            group("1", "X", "P", 2) + [("1", "Y", "P")]       # < support
+            + group("2", "X", "P", 3) + group("2", "Y", "Q", 3))  # 50/50
+        result = mine_candidates(table, fds=[FD(["k"], ["b"])],
+                                 min_support=4)
+        assert [c for c in result.candidates] == []
+
+    def test_parameter_validation(self):
+        table = make_table(group("1", "X", "P", 3))
+        with pytest.raises(ValueError):
+            mine_candidates(table, fds=[FD(["k"], ["b"])], min_support=1)
+        with pytest.raises(ValueError):
+            mine_candidates(table, fds=[FD(["k"], ["b"])],
+                            min_confidence=0.5)
+        with pytest.raises(ValueError):
+            mine_candidates(table, fds=[FD(["k"], ["b"])],
+                            min_confidence=1.5)
+
+    def test_numpy_and_python_paths_agree(self):
+        clean = generate_hosp(rows=1500, seed=7)
+        fds = hosp_fds()
+        noise = inject_noise(clean, constraint_attributes(fds),
+                             noise_rate=0.1, typo_ratio=0.5, seed=7)
+        fast = mine_candidates(noise.table, fds=fds, use_numpy=True)
+        slow = mine_candidates(noise.table, fds=fds, use_numpy=False)
+
+        def key(result):
+            return sorted((c.rule.signature(), c.weight)
+                          for c in result.candidates)
+
+        assert key(fast) == key(slow)
+        assert fast.report == slow.report
+
+
+class TestMasterData:
+    MASTER_SCHEMA = Schema("M", ["k", "b"])
+
+    def _master(self, value):
+        table = Table.from_trusted_rows(
+            self.MASTER_SCHEMA,
+            [Row.from_trusted(self.MASTER_SCHEMA, ["1", value])])
+        return MasterTable(table, ["k"])
+
+    def test_master_confirms_fact(self):
+        table = make_table(group("1", "X", "P", 5) + [("1", "Y", "P")])
+        result = mine_candidates(table, fds=[FD(["k"], ["b"])],
+                                 master=self._master("X"))
+        (rule, weight), = [c for c in result.candidates
+                           if c.rule.attribute == "b"]
+        assert rule.fact == "X"
+        assert weight.master == 1
+        assert result.report.master_confirmed == 1
+
+    def test_master_corrects_mined_fact(self):
+        # every row of the group is wrong the same way; frequency alone
+        # would mine fact=X, master data overrides it to Z and the old
+        # majority value becomes a negative pattern
+        table = make_table(group("1", "X", "P", 5) + [("1", "Y", "P")])
+        result = mine_candidates(table, fds=[FD(["k"], ["b"])],
+                                 master=self._master("Z"))
+        (rule, weight), = [c for c in result.candidates
+                           if c.rule.attribute == "b"]
+        assert rule.fact == "Z"
+        assert rule.negatives == {"X", "Y"}
+        assert weight.master == 1
+        assert result.report.master_corrected == 1
+        # a master-backed rule outscores the same counters without it
+        assert weight.score > weight._replace(master=0).score
+
+
+class TestSession:
+    def _hosp(self, rows=4000):
+        clean = generate_hosp(rows=rows, seed=7)
+        fds = hosp_fds()
+        noise = inject_noise(clean, constraint_attributes(fds),
+                             noise_rate=0.1, typo_ratio=0.5, seed=7)
+        return clean, noise.table, fds
+
+    def test_discover_is_cached_and_consistent(self):
+        _clean, dirty, fds = self._hosp(1500)
+        session = DiscoverySession(dirty, fds=fds, min_confidence=0.7)
+        weighted = session.discover()
+        assert session.discover() is weighted
+        assert find_conflicts(weighted.ruleset(),
+                              strategy="blocked") == []
+        described = session.describe()
+        assert described["kept"] == len(weighted)
+        assert described["rows"] == len(dirty)
+
+    def test_discovered_rules_flow_through_stock_engine(self):
+        _clean, dirty, fds = self._hosp(1500)
+        weighted = DiscoverySession(dirty, fds=fds,
+                                    min_confidence=0.7).discover()
+        report = repair_table(dirty, weighted.ruleset(),
+                              backend="columnar")
+        assert report.total_applications > 0
+
+    def test_evaluation_meets_benchmark_gates_scaled_down(self):
+        clean, dirty, fds = self._hosp(5000)
+        outcome = evaluate_discovery(clean, dirty, fds=fds,
+                                     min_confidence=0.7)
+        assert outcome.quality.precision >= 0.95
+        assert outcome.quality.recall >= 0.55
+        assert len(outcome.weighted) > 0
+        assert outcome.report.rows == len(dirty)
+
+    def test_suggest_ranks_matching_rules(self):
+        table = make_table(group("1", "X", "P", 5) + [("1", "Y", "P")])
+        session = DiscoverySession(table, fds=[FD(["k"], ["b"])])
+        suggestions = session.suggest(5)  # the dirty row, by index
+        assert suggestions, "expected a suggestion for the minority row"
+        top = suggestions[0]
+        assert (top.attribute, top.current, top.suggested) == \
+            ("b", "Y", "X")
+        assert top.kept
+        assert top.score > 0
+        assert "->" in top.describe()
+        # same row as a plain dict
+        assert session.suggest({"k": "1", "b": "Y", "c": "P"}) \
+            == suggestions
+        # clean rows draw no suggestions
+        assert session.suggest(0) == []
+        # limit trims the tail
+        assert session.suggest(5, limit=0) == []
+
+    def test_from_weighted_round_trip(self, tmp_path):
+        table = make_table(group("1", "X", "P", 5) + [("1", "Y", "P")])
+        session = DiscoverySession(table, fds=[FD(["k"], ["b"])])
+        path = tmp_path / "weighted.json"
+        save_weighted_ruleset(session.discover(), path)
+        loaded = DiscoverySession.from_weighted(
+            table, load_weighted_ruleset(path))
+        assert loaded.suggest(5) == session.suggest(5)
+        with pytest.raises(RuleError):
+            _ = loaded.report
+
+
+class TestDiscoveryCli:
+    @pytest.fixture()
+    def dirty_csv(self, tmp_path):
+        clean = generate_hosp(rows=1200, seed=7)
+        fds = hosp_fds()
+        noise = inject_noise(clean, constraint_attributes(fds),
+                             noise_rate=0.1, typo_ratio=0.5, seed=7)
+        path = tmp_path / "dirty.csv"
+        write_csv(noise.table, path)
+        return str(path)
+
+    FD_ARGS = ["--fd", "PN -> HN,address1,city,state,zip",
+               "--fd", "MC -> MN,condition"]
+
+    def test_discover_writes_rules_weights_and_report(
+            self, dirty_csv, tmp_path, capsys):
+        rules_path = str(tmp_path / "rules.json")
+        weights_path = str(tmp_path / "weights.json")
+        assert main(["discover", dirty_csv, rules_path,
+                     "--weights", weights_path, "--report",
+                     "--min-confidence", "0.7"] + self.FD_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "discovered" in out and "dropped" in out
+        payload = json.loads(open(rules_path).read())
+        assert payload["rules"]
+        weighted = load_weighted_ruleset(weights_path)
+        assert len(weighted) == len(payload["rules"])
+        # the rule file is engine-ready: repro check accepts it
+        assert main(["check", rules_path]) == 0
+
+    def test_discover_max_rules_keeps_heaviest(self, dirty_csv,
+                                               tmp_path):
+        rules_path = str(tmp_path / "rules.json")
+        assert main(["discover", dirty_csv, rules_path, "--max-rules",
+                     "10", "--min-confidence", "0.7"]
+                    + self.FD_ARGS) == 0
+        payload = json.loads(open(rules_path).read())
+        assert len(payload["rules"]) == 10
+
+    def test_suggest_from_saved_weights(self, dirty_csv, tmp_path,
+                                        capsys):
+        rules_path = str(tmp_path / "rules.json")
+        weights_path = str(tmp_path / "weights.json")
+        assert main(["discover", dirty_csv, rules_path,
+                     "--weights", weights_path,
+                     "--min-confidence", "0.7"] + self.FD_ARGS) == 0
+        capsys.readouterr()
+        assert main(["suggest", dirty_csv, "--row", "0",
+                     "--weights", weights_path]) == 0
+        out = capsys.readouterr().out
+        assert "row 0:" in out
+
+    def test_suggest_row_out_of_range(self, dirty_csv, tmp_path):
+        assert main(["suggest", dirty_csv, "--row", "99999999",
+                     "--min-confidence", "0.7"] + self.FD_ARGS) == 2
+
+    def test_master_requires_key(self, dirty_csv, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["discover", dirty_csv, str(tmp_path / "r.json"),
+                  "--master", dirty_csv] + self.FD_ARGS)

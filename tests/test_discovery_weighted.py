@@ -1,0 +1,217 @@
+"""Weighted discovery invariants (satellite of the discovery subsystem).
+
+The load-bearing property: :func:`repro.discovery.resolve_by_weight`
+must turn ANY bag of weighted candidates into a Σ the engine's own
+blocked consistency check accepts, and it may never throw away a rule
+that outweighed its winner — every weight-dropped candidate records
+the winning rule's score, and its own score is bounded by it.
+
+Strategies mirror ``test_properties``: a tiny alphabet so rule
+interactions (shared attributes, overlapping patterns) are frequent
+rather than vanishingly rare.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FixingRule
+from repro.core.consistency import find_conflicts
+from repro.discovery import (MASTER_AGREE_BOOST, MASTER_DISAGREE_PENALTY,
+                             RuleWeight, WeightedCandidate, WeightedRuleSet,
+                             load_weighted_ruleset, resolve_by_weight,
+                             save_weighted_ruleset,
+                             weighted_ruleset_from_json,
+                             weighted_ruleset_to_json)
+from repro.errors import SerializationError
+from repro.relational import Schema
+
+ATTRS = ("a", "b", "c", "d")
+VALUES = ("0", "1", "2")
+SCHEMA = Schema("P", list(ATTRS))
+
+
+@st.composite
+def rules(draw):
+    attribute = draw(st.sampled_from(ATTRS))
+    x_candidates = [a for a in ATTRS if a != attribute]
+    x_attrs = draw(st.lists(st.sampled_from(x_candidates), min_size=1,
+                            max_size=3, unique=True))
+    evidence = {a: draw(st.sampled_from(VALUES)) for a in x_attrs}
+    fact = draw(st.sampled_from(VALUES))
+    negatives = draw(st.lists(
+        st.sampled_from([v for v in VALUES if v != fact]),
+        min_size=1, max_size=2, unique=True))
+    return FixingRule(evidence, attribute, negatives, fact)
+
+
+@st.composite
+def weights(draw):
+    support = draw(st.integers(min_value=0, max_value=20))
+    violations = draw(st.integers(min_value=0, max_value=5))
+    conversely = draw(st.integers(min_value=0, max_value=5))
+    return RuleWeight(support=support, violations=violations,
+                      conversely=conversely,
+                      group_size=support + violations + conversely,
+                      master=draw(st.sampled_from((-1, 0, 1))))
+
+
+@st.composite
+def candidate_bags(draw):
+    return [WeightedCandidate(draw(rules()), draw(weights()))
+            for _ in range(draw(st.integers(min_value=0, max_value=12)))]
+
+
+class TestResolveProperty:
+    @settings(max_examples=200, deadline=None, derandomize=True)
+    @given(candidate_bags())
+    def test_resolved_is_consistent_and_never_outweighed(self, bag):
+        resolved = resolve_by_weight(SCHEMA, bag)
+        # 1. the surviving Σ passes the engine's own blocked check
+        assert find_conflicts(resolved.ruleset(),
+                              strategy="blocked") == []
+        # 2. weight-dropped candidates never outweighed their winner
+        for entry in resolved.dropped:
+            if entry.outweighed_by is not None:
+                assert entry.winner_score is not None
+                assert entry.weight.score <= entry.winner_score + 1e-9
+        # 3. full provenance: every input rule either survives, was
+        # dropped, or is the original of a recorded revision
+        accounted = ({rule.signature() for rule in resolved}
+                     | {e.rule.signature() for e in resolved.dropped}
+                     | {e.original.signature()
+                        for e in resolved.revised})
+        assert {c.rule.signature() for c in bag} <= accounted
+
+    @settings(max_examples=50, deadline=None, derandomize=True)
+    @given(candidate_bags())
+    def test_deterministic(self, bag):
+        first = resolve_by_weight(SCHEMA, bag)
+        second = resolve_by_weight(
+            SCHEMA, [WeightedCandidate(
+                FixingRule(dict(c.rule.evidence), c.rule.attribute,
+                           set(c.rule.negatives), c.rule.fact),
+                c.weight) for c in bag])
+        assert weighted_ruleset_to_json(first) == \
+            weighted_ruleset_to_json(second)
+
+    @settings(max_examples=50, deadline=None, derandomize=True)
+    @given(candidate_bags())
+    def test_revisions_only_shrink(self, bag):
+        resolved = resolve_by_weight(SCHEMA, bag)
+        for entry in resolved.revised:
+            assert entry.replacement.evidence == entry.original.evidence
+            assert entry.replacement.attribute == entry.original.attribute
+            assert entry.replacement.fact == entry.original.fact
+            assert entry.replacement.negatives < entry.original.negatives
+
+
+class TestResolveUnits:
+    def test_duplicate_candidates_keep_heavier_weight(self):
+        light = RuleWeight(2, 1, 0, 3)
+        heavy = RuleWeight(10, 3, 0, 13)
+        resolved = resolve_by_weight(SCHEMA, [
+            WeightedCandidate(FixingRule({"a": "0"}, "b", {"1"}, "2"),
+                              light),
+            WeightedCandidate(FixingRule({"a": "0"}, "b", {"1"}, "2"),
+                              heavy),
+        ])
+        assert len(resolved) == 1
+        kept = next(iter(resolved))
+        assert resolved.weight_of(kept) == heavy
+
+    def test_same_attribute_conflict_lighter_yields(self):
+        heavy = FixingRule({"a": "0"}, "b", {"1", "2"}, "0")
+        light = FixingRule({"a": "0"}, "b", {"1"}, "2")
+        resolved = resolve_by_weight(SCHEMA, [
+            WeightedCandidate(heavy, RuleWeight(10, 2, 0, 12)),
+            WeightedCandidate(light, RuleWeight(3, 1, 0, 4)),
+        ])
+        survivors = {rule.fact for rule in resolved}
+        assert survivors == {"0"}
+        assert len(resolved.dropped) == 1
+        entry = resolved.dropped[0]
+        assert entry.rule.fact == "2"
+        assert entry.outweighed_by is not None
+        assert entry.weight.score <= entry.winner_score
+
+    def test_exact_tie_falls_back_to_section_53(self):
+        rule_a = FixingRule({"a": "0"}, "b", {"1"}, "0")
+        rule_b = FixingRule({"a": "0"}, "b", {"1"}, "2")
+        weight = RuleWeight(5, 1, 0, 6)
+        resolved = resolve_by_weight(SCHEMA, [
+            WeightedCandidate(rule_a, weight),
+            WeightedCandidate(rule_b, weight),
+        ])
+        assert find_conflicts(resolved.ruleset(),
+                              strategy="blocked") == []
+        assert resolved.tie_rounds >= 1
+        # tie drops make no weight claim
+        for entry in resolved.dropped:
+            assert entry.outweighed_by is None
+
+
+class TestRuleWeight:
+    def test_confidence_and_score(self):
+        weight = RuleWeight(support=8, violations=2, conversely=0,
+                            group_size=10)
+        assert weight.confidence == 1.0
+        assert weight.score == 10.0
+        contested = RuleWeight(support=6, violations=2, conversely=2,
+                               group_size=10)
+        assert contested.confidence == pytest.approx(0.8)
+        assert contested.score == pytest.approx(6.4)
+        assert RuleWeight(0, 0, 0, 0).confidence == 0.0
+
+    def test_master_boost_and_penalty(self):
+        base = RuleWeight(5, 0, 0, 5)
+        agreed = base._replace(master=1)
+        contradicted = base._replace(master=-1)
+        assert agreed.score == base.score * MASTER_AGREE_BOOST
+        assert contradicted.score == base.score * MASTER_DISAGREE_PENALTY
+
+
+class TestSerialization:
+    def _weighted(self):
+        return resolve_by_weight(SCHEMA, [
+            WeightedCandidate(FixingRule({"a": "0"}, "b", {"1", "2"}, "0"),
+                              RuleWeight(10, 2, 1, 13)),
+            WeightedCandidate(FixingRule({"a": "0"}, "b", {"1"}, "2"),
+                              RuleWeight(3, 1, 0, 4)),
+            WeightedCandidate(FixingRule({"c": "1"}, "d", {"0"}, "2"),
+                              RuleWeight(4, 0, 0, 4, master=1)),
+        ])
+
+    def test_json_round_trip(self):
+        weighted = self._weighted()
+        clone = weighted_ruleset_from_json(
+            weighted_ruleset_to_json(weighted))
+        assert weighted_ruleset_to_json(clone) == \
+            weighted_ruleset_to_json(weighted)
+        assert clone.describe() == weighted.describe()
+        for rule in clone:
+            assert clone.weight_of(rule) == weighted.weight_of(
+                weighted.ruleset().by_name(rule.name))
+
+    def test_file_round_trip(self, tmp_path):
+        weighted = self._weighted()
+        path = tmp_path / "weighted.json"
+        save_weighted_ruleset(weighted, path)
+        clone = load_weighted_ruleset(path)
+        assert weighted_ruleset_to_json(clone) == \
+            weighted_ruleset_to_json(weighted)
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(SerializationError):
+            weighted_ruleset_from_json("{not json")
+        with pytest.raises(SerializationError):
+            weighted_ruleset_from_json("{}")
+        with pytest.raises(SerializationError):
+            RuleWeight.from_dict({"support": "many"})
+
+    def test_ranked_orders_by_score(self):
+        weighted = self._weighted()
+        ranked = weighted.ranked()
+        scores = [pair.weight.score for pair in ranked]
+        assert scores == sorted(scores, reverse=True)

@@ -84,6 +84,12 @@ class TestApiReference:
                            "rules_from_master", "fixing_rules_from_cfds",
                            "enrich_with_typo_negatives",
                            "rules_from_examples"]),
+        ("repro.discovery", ["DiscoverySession", "mine_candidates",
+                             "resolve_by_weight", "WeightedRuleSet",
+                             "RuleWeight", "WeightedCandidate",
+                             "Suggestion", "evaluate_discovery",
+                             "save_weighted_ruleset",
+                             "load_weighted_ruleset"]),
         ("repro.dependencies", ["FD", "CFD", "MD", "discover_fds",
                                 "enforce_md"]),
         ("repro.evaluation", ["build_workload", "prepare", "run_trials",

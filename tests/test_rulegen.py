@@ -185,6 +185,57 @@ class TestPipeline:
                                   small_hosp.fds, seed=1, shuffle=True)
         assert is_consistent(shuffled)
 
+    def test_survivor_provenance_over_cap(self, small_hosp):
+        """Candidates cut by the max_rules cap are surfaced in
+        ``dropped`` with the reason, not silently discarded."""
+        from repro.datagen import constraint_attributes
+        from repro.rulegen import DroppedCandidate, GeneratedRules
+        noise = inject_noise(small_hosp.clean,
+                             constraint_attributes(small_hosp.fds),
+                             noise_rate=0.1, seed=2)
+        uncapped = generate_rules(small_hosp.clean, noise.table,
+                                  small_hosp.fds)
+        capped = generate_rules(small_hosp.clean, noise.table,
+                                small_hosp.fds, max_rules=10)
+        assert isinstance(capped, GeneratedRules)
+        over = [d for d in capped.dropped if "max_rules" in d.reason]
+        assert len(over) == len(uncapped) - len(capped)
+        assert all(isinstance(d, DroppedCandidate) for d in over)
+        # kept + dropped covers every uncapped survivor
+        kept_sigs = {r.signature() for r in capped}
+        dropped_sigs = {d.rule.signature() for d in over}
+        assert kept_sigs | dropped_sigs >= {r.signature()
+                                            for r in uncapped}
+
+    def test_conflict_revisions_surfaced(self, schema):
+        """When consistency resolution edits or drops candidates, the
+        pipeline reports them in ``revised``/``dropped``."""
+        clean = Table(schema, [
+            ["China", "Beijing", "x"],
+            ["China", "Beijing", "x"],
+            ["Cnx", "Shanghai", "y"],
+            ["Cnx", "Shanghai", "y"],
+        ])
+        dirty = clean.copy()
+        # rule 1 (country -> capital): erases "Shanghai" at capital;
+        # rule 2 (capital -> note): reads capital = "Shanghai" as
+        # evidence — a Fig. 4 case-2 conflict the resolver must edit.
+        dirty.set_cell(0, "capital", "Shanghai")
+        dirty.set_cell(3, "note", "z")
+        fds = [FD(["country"], ["capital"]), FD(["capital"], ["note"])]
+        rules = generate_rules(clean, dirty, fds)
+        assert is_consistent(rules)
+        assert rules.dropped or rules.revised
+        for entry in rules.revised:
+            assert entry.replacement.negatives < entry.original.negatives
+        for entry in rules.dropped:
+            assert entry.reason
+
+    def test_plain_runs_report_empty_provenance(self, clean, dirty, fd):
+        rules = generate_rules(clean, dirty, [fd])
+        assert rules.dropped == []
+        assert rules.revised == []
+
     def test_pipeline_repair_quality(self, small_hosp):
         """Rules from the pipeline repair with high precision."""
         from repro.datagen import constraint_attributes

@@ -780,3 +780,63 @@ def test_graceful_drain(tmp_path):
     assert daemon.stop() is True
     with pytest.raises(OSError):
         request(port, "GET", "/healthz", timeout=2.0)
+
+
+class TestDiscoverEndpoint:
+    """POST /rulesets/{tenant}/discover: mine weighted rules from
+    posted dirty rows and install them through the shadow slot."""
+
+    ATTRS = ["k", "b", "c"]
+
+    @staticmethod
+    def _rows(minority=True):
+        rows = [["1", "X", "P"]] * 5 + [["2", "Z", "Q"]] * 4
+        if minority:
+            rows = rows + [["1", "Y", "P"]]
+        return rows
+
+    def test_discover_installs_and_serves(self, daemon):
+        tenant = "disc-%d" % id(self)
+        status, _, payload = request(
+            daemon.port, "POST", "/rulesets/%s/discover" % tenant,
+            body={"attributes": self.ATTRS, "rows": self._rows(),
+                  "fds": ["k -> b"]})
+        assert status == 200
+        assert payload["tenant"] == tenant
+        assert payload["installed"]["rules"] >= 1
+        assert payload["discovery"]["kept"] >= 1
+        assert payload["discovery"]["candidates"] >= 1
+
+        # the installed Σ repairs through the ordinary endpoint
+        status, _, payload = request(
+            daemon.port, "POST", "/repair?tenant=%s" % tenant,
+            body={"rows": [["1", "Y", "P"]]})
+        assert status == 200
+        assert payload["rows"][0] == ["1", "X", "P"]
+        assert payload["cells_changed"] == 1
+
+    def test_clean_data_mines_nothing(self, daemon):
+        status, _, payload = request(
+            daemon.port, "POST", "/rulesets/disc-clean/discover",
+            body={"attributes": self.ATTRS,
+                  "rows": self._rows(minority=False),
+                  "fds": ["k -> b"]})
+        assert status == 422
+        assert "no rules" in payload["error"]
+
+    def test_bad_bodies_are_rejected(self, daemon):
+        port = daemon.port
+        cases = [
+            ({"rows": self._rows()}, "attributes"),
+            ({"attributes": self.ATTRS}, "rows"),
+            ({"attributes": self.ATTRS, "rows": [["1", "X"]]}, "cells"),
+            ({"attributes": self.ATTRS, "rows": self._rows(),
+              "fds": ["nonsense"]}, "bad FD"),
+            ({"attributes": self.ATTRS, "rows": self._rows(),
+              "min_support": 0}, "parameter"),
+        ]
+        for body, needle in cases:
+            status, _, payload = request(
+                port, "POST", "/rulesets/disc-bad/discover", body=body)
+            assert status == 400, (body, payload)
+            assert needle in payload["error"], (needle, payload)

