@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test test-fault test-parallel test-chaos test-columnar test-serve test-delta test-discovery bench bench-core bench-serve bench-delta bench-discovery results examples clean
+.PHONY: install test test-fault test-parallel test-chaos test-columnar test-serve test-delta test-discovery test-durability bench bench-core bench-serve bench-delta bench-discovery results examples clean
 
 install:
 	$(PY) setup.py develop
@@ -62,6 +62,14 @@ test-discovery:
 	$(PY) -m pytest tests/test_discovery_session.py \
 	    tests/test_discovery_weighted.py \
 	    tests/test_serve.py::TestDiscoverEndpoint
+
+# Crash consistency: WAL framing and torn tails, the state store's
+# snapshot-then-replay recovery, disk-fault injection (ENOSPC, EIO,
+# short writes, failed fsync, crash-before-rename) over every durable
+# path, and the SIGKILL-the-daemon restart legs.  Deterministic and
+# deadline-bounded like the other fault suites.
+test-durability:
+	$(PY) -m pytest tests/test_durability.py
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

@@ -58,6 +58,9 @@ CLIENT_THREADS = 4      # concurrent callers (under max_concurrency=8)
 SMOKE_ROWS = 1_000
 SMOKE_RULE_CAP = 100
 
+DELTA_ROWS = 2_000      # acknowledged upserts in the recovery leg
+SMOKE_DELTA_ROWS = 200
+
 #: full-scale sanity floor; the serial CSV path does ~28K rows/s, a
 #: loopback HTTP round trip per 200-row batch must still clear this.
 ROWS_PER_S_FLOOR = 1_000.0
@@ -121,6 +124,82 @@ def drive(port: int, batches, threads: int):
     return time.perf_counter() - start, latencies, failures
 
 
+def wait_ready(port: int, deadline: float = 120.0) -> float:
+    """Poll /readyz until 200; returns the seconds it took."""
+    start = time.perf_counter()
+    while time.perf_counter() - start < deadline:
+        try:
+            status, _ = request(port, "GET", "/readyz", timeout=5.0)
+        except OSError:
+            status = 0
+        if status == 200:
+            return time.perf_counter() - start
+        time.sleep(0.02)
+    raise SystemExit("FAIL: daemon not ready within %.0fs" % deadline)
+
+
+def bench_recovery(table, rules, delta_rows: int):
+    """Recovery-time leg: kill a stateful daemon, measure the restart.
+
+    Boots ``repro serve`` with a ``--state-dir``, uploads Σ, pushes
+    *delta_rows* acknowledged upserts through ``/repair/delta``, shuts
+    the daemon down, then restarts it on the same state directory and
+    measures the time from process start to ``/readyz`` turning 200 —
+    that is WAL replay plus correction-log re-hydration, the window a
+    crashed production daemon is dark.  Fails if the recovered session
+    does not hold every acknowledged row.
+    """
+    import tempfile
+
+    values = [list(row.values) for row in table][:delta_rows]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-state-") as state:
+        config = ServeConfig(pool_workers=0, state_dir=state)
+        rules_body = json.loads(ruleset_to_json(rules))
+        with ServerThread(config) as daemon:
+            status, _ = request(daemon.port, "POST", "/rulesets/default",
+                                body=rules_body)
+            if status != 200:
+                raise SystemExit("FAIL: recovery-leg upload returned %d"
+                                 % status)
+            started = time.perf_counter()
+            for start_index in range(0, len(values), BATCH_ROWS):
+                chunk = values[start_index:start_index + BATCH_ROWS]
+                status, text = request(
+                    daemon.port, "POST", "/repair/delta?tenant=default",
+                    body={"upserts": [
+                        {"id": str(start_index + i), "values": row}
+                        for i, row in enumerate(chunk)]})
+                if status != 200:
+                    raise SystemExit("FAIL: delta batch returned %d: %s"
+                                     % (status, text[:200]))
+            ingest_seconds = time.perf_counter() - started
+
+        restart_started = time.perf_counter()
+        with ServerThread(config) as daemon:
+            ready_seconds = wait_ready(daemon.port)
+            restart_seconds = time.perf_counter() - restart_started
+            status, text = request(daemon.port, "GET",
+                                   "/repair/delta?tenant=default")
+            audit = json.loads(text) if status == 200 else {}
+            report = daemon.server.recovery_report or {}
+
+    recovered_ok = bool(report.get("ok")) \
+        and audit.get("rows") == len(values)
+    print("recovery: %d delta rows ingested in %.2fs; restart to ready "
+          "in %.2fs (replay %.2fs) -> %s"
+          % (len(values), ingest_seconds, restart_seconds, ready_seconds,
+             "OK" if recovered_ok else "FAIL"))
+    return {
+        "delta_rows": len(values),
+        "ingest_seconds": round(ingest_seconds, 3),
+        "restart_to_ready_seconds": round(restart_seconds, 3),
+        "replay_seconds": round(ready_seconds, 3),
+        "recovered_rows": audit.get("rows"),
+        "recovered_epoch": audit.get("epoch"),
+        "recovered_ok": recovered_ok,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rows", type=int, default=None)
@@ -158,7 +237,15 @@ def main(argv=None) -> int:
                                              CLIENT_THREADS)
         status, metrics_text = request(daemon.port, "GET", "/metrics")
 
+    recovery = bench_recovery(
+        table, rules, delta_rows=SMOKE_DELTA_ROWS if args.smoke
+        else DELTA_ROWS)
+
     failed = False
+    if not recovery["recovered_ok"]:
+        failed = True
+        print("FAIL: the restarted daemon did not recover every "
+              "acknowledged delta row: %r" % recovery)
     if failures:
         failed = True
         print("FAIL: %d request(s) did not return 200, e.g. %r"
@@ -218,8 +305,10 @@ def main(argv=None) -> int:
             "latency_p99_ms": round(p99 * 1e3, 2),
         },
         "daemon": daemon_counters,
+        "recovery": recovery,
         "gates": {
             "zero_errors": not failures,
+            "recovered_ok": recovery["recovered_ok"],
             "rows_per_s_floor": None if args.smoke else ROWS_PER_S_FLOOR,
         },
     }

@@ -479,6 +479,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         breaker_threshold=args.breaker_threshold,
         breaker_reset=args.breaker_reset,
         spool_dir=args.spool_dir,
+        state_dir=args.state_dir,
     )
 
     async def run() -> int:
@@ -501,6 +502,62 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 0
 
     return asyncio.run(run())
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """Dry-run recovery of a serve --state-dir (never mutates it)."""
+    import json as _json
+
+    from .durability import StateStore, verify_state_dir
+
+    if args.verify:
+        report = verify_state_dir(args.state_dir)
+    else:
+        store = StateStore(args.state_dir, readonly=True)
+        state = store.state()
+        report = {
+            "state_dir": store.state_dir,
+            "seq": store.seq,
+            "store": dict(store.recovery_report),
+            "tenants": {
+                tenant: {"fingerprint":
+                         (slot.get("active") or {}).get("fingerprint"),
+                         "previous": slot.get("previous") is not None}
+                for tenant, slot in sorted(state["tenants"].items())},
+            "sessions": {
+                tenant: dict(info) for tenant, info
+                in sorted(state["delta_sessions"].items())},
+            "problems": [],
+            "ok": True,
+        }
+        store.close()
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    else:
+        store_report = report.get("store", {})
+        print("state dir: %s (seq %d, %d WAL record(s) replayed, "
+              "%d skipped)"
+              % (report["state_dir"], report.get("seq", 0),
+                 store_report.get("replayed", 0),
+                 store_report.get("skipped", 0)))
+        if store_report.get("torn_tail"):
+            print("  torn WAL tail: %s" % store_report["torn_tail"])
+        for tenant, info in report.get("tenants", {}).items():
+            print("  tenant %-16s fingerprint %s%s"
+                  % (tenant, str(info.get("fingerprint"))[:12],
+                     " (+previous)" if info.get("previous") else ""))
+        for tenant, info in report.get("sessions", {}).items():
+            extra = ""
+            if "rows" in info:
+                extra = " (%d row(s), epoch %d, %d rolled forward)" % (
+                    info["rows"], info.get("epoch", 0),
+                    info.get("rolled_forward", 0))
+            print("  delta session %-9s %s%s"
+                  % (tenant, info.get("session_id"), extra))
+        for problem in report.get("problems", []):
+            print("  PROBLEM: %s" % problem)
+        print("recovery %s" % ("OK" if report.get("ok") else "FAILED"))
+    return 0 if report.get("ok") else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -820,7 +877,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="directory validated rulesets are "
                               "spooled to for the workers (default: "
                               "a fresh temp dir)")
+    p_serve.add_argument("--state-dir", default=None,
+                         help="crash-consistent state directory (WAL "
+                              "+ snapshots + correction logs); "
+                              "acknowledged uploads and delta "
+                              "mutations survive a kill -9 and are "
+                              "recovered on the next start (default: "
+                              "ephemeral)")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_recover = sub.add_parser(
+        "recover",
+        help="inspect or dry-run recover a serve --state-dir")
+    p_recover.add_argument("state_dir",
+                           help="the --state-dir of a (stopped) "
+                                "repro serve daemon")
+    p_recover.add_argument("--verify", action="store_true",
+                           help="fully rebuild every tenant and delta "
+                                "session against throwaway targets "
+                                "and run self_check on each session "
+                                "(read-only; exit 1 on any problem)")
+    p_recover.add_argument("--json", action="store_true",
+                           help="print the full recovery report as "
+                                "JSON")
+    p_recover.set_defaults(func=_cmd_recover)
     return parser
 
 

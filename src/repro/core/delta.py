@@ -59,6 +59,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import time
 import uuid
 from pathlib import Path
@@ -79,11 +80,14 @@ __all__ = [
     "SessionSnapshot",
     "audit_correction_log",
     "iter_log_records",
+    "load_log_records",
     "replay_correction_log",
 ]
 
 #: Correction-log format version, stamped into every ``begin`` record.
 LOG_VERSION = 1
+
+logger = logging.getLogger("repro.core.delta")
 
 
 class DeltaError(ReproError):
@@ -125,11 +129,15 @@ class CorrectionLog:
     With a *path* the log is written line-buffered to disk (appending,
     so a session resumed onto an existing log continues it); without
     one records accumulate in memory — same replay semantics either
-    way.
+    way.  With ``fsync=True`` every :meth:`flush` also forces the
+    records to stable storage — the write-ahead discipline the serve
+    daemon needs before acknowledging a delta.
     """
 
-    def __init__(self, path: Optional[Union[str, Path]] = None):
+    def __init__(self, path: Optional[Union[str, Path]] = None, *,
+                 fsync: bool = False):
         self.path = Path(path) if path is not None else None
+        self.fsync = fsync
         self.records_written = 0
         self._memory: List[dict] = []
         self._fh = None
@@ -139,15 +147,27 @@ class CorrectionLog:
 
     def append(self, record: dict) -> None:
         if self._fh is not None:
-            self._fh.write(json.dumps(record, sort_keys=True,
-                                      separators=(",", ":")) + "\n")
+            from ..durability.faults import durable_write
+            durable_write(self._fh,
+                          json.dumps(record, sort_keys=True,
+                                     separators=(",", ":")) + "\n",
+                          "correction_log.append")
         else:
             self._memory.append(record)
         self.records_written += 1
 
     def flush(self) -> None:
         if self._fh is not None:
-            self._fh.flush()
+            if self.fsync:
+                self.sync()
+            else:
+                self._fh.flush()
+
+    def sync(self) -> None:
+        """Flush and fsync (regardless of the ``fsync`` flag)."""
+        if self._fh is not None:
+            from ..durability.faults import durable_fsync
+            durable_fsync(self._fh, "correction_log.fsync")
 
     def close(self) -> None:
         if self._fh is not None:
@@ -207,13 +227,18 @@ class DeltaRepairSession:
     session_id:
         Stable identifier stamped into every record; default a fresh
         96-bit hex token.
+    durable:
+        When true, every log flush also fsyncs — a delta is on stable
+        storage before its outcome is returned (the serve daemon's
+        write-ahead discipline; see :mod:`repro.durability`).
     """
 
     def __init__(self, rules, rows=None, *,
                  log_path: Optional[Union[str, Path]] = None,
                  log_base: bool = True,
                  check_consistency: bool = True,
-                 session_id: Optional[str] = None):
+                 session_id: Optional[str] = None,
+                 durable: bool = False):
         ruleset = self._coerce_rules(rules)
         self.schema: Schema = ruleset.schema
         self._attrs: Tuple[str, ...] = self.schema.attribute_names
@@ -231,7 +256,7 @@ class DeltaRepairSession:
                     % conflicts[0].describe(), conflicts)
         self.session_id = session_id or uuid.uuid4().hex[:24]
         self.epoch = 0
-        self.log = CorrectionLog(log_path)
+        self.log = CorrectionLog(log_path, fsync=durable)
         self.stats: Dict[str, int] = {
             "rows_loaded": 0, "upserts": 0, "deletes": 0,
             "rules_added": 0, "rules_removed": 0,
@@ -866,6 +891,58 @@ class DeltaRepairSession:
 
 # -- log replay / audit ------------------------------------------------------
 
+def load_log_records(source) -> Tuple[List[dict], Optional[dict]]:
+    """Correction-log records plus torn-tail tolerance.
+
+    Like :func:`iter_log_records`, but a partially-written **final**
+    record — what a crash mid-append leaves — is dropped with a logged
+    warning instead of raising, and reported as the second element
+    (``{"offset", "dropped_bytes", "reason"}``; ``None`` for a clean
+    log).  Corruption anywhere *before* the final record still raises
+    :class:`DeltaError`: that is storage damage, not a crash artifact.
+    """
+    from ..durability.recovery import scan_jsonl_tail
+    from ..errors import DurabilityError
+    if isinstance(source, (str, Path)):
+        with open(source, "rb") as fh:
+            data = fh.read()
+        try:
+            offset, torn = scan_jsonl_tail(data)
+        except DurabilityError as exc:
+            raise DeltaError("correction log %s: %s" % (source, exc))
+        records = [json.loads(line) for line
+                   in data[:offset].decode("utf-8").splitlines()
+                   if line.strip()]
+        if torn is not None:
+            logger.warning(
+                "correction log %s has a torn final record (%s); "
+                "ignoring %d trailing byte(s)", source, torn["reason"],
+                torn["dropped_bytes"])
+        return records, torn
+    items = list(source)
+    records: List[dict] = []
+    for index, item in enumerate(items):
+        if not isinstance(item, str):
+            records.append(item)
+            continue
+        stripped = item.strip()
+        if not stripped:
+            continue
+        try:
+            records.append(json.loads(stripped))
+        except ValueError as exc:
+            if index == len(items) - 1:
+                torn = {"offset": index, "dropped_bytes": len(item),
+                        "reason": "final record is not valid JSON"}
+                logger.warning("correction log has a torn final record; "
+                               "ignoring it (%s)", exc)
+                return records, torn
+            raise DeltaError(
+                "correction-log record %d is corrupt (not the torn "
+                "tail): %s" % (index, exc))
+    return records, None
+
+
 def replay_correction_log(source) -> Tuple[Optional[Schema],
                                            Dict[str, List[str]],
                                            Dict[str, Any]]:
@@ -877,7 +954,11 @@ def replay_correction_log(source) -> Tuple[Optional[Schema],
     one), ``delete`` drops the row.  Returns ``(schema, rows,
     report)`` where *rows* maps row id → final cell values and
     *report* counts ops and integrity mismatches — a non-empty
-    ``mismatches`` list means the log is not self-consistent.
+    ``mismatches`` list means the log is not self-consistent.  A torn
+    final record (crash mid-append) is truncated from the replay with
+    a logged warning and reported under ``"torn_tail"``, never counted
+    as a mismatch: by the write-ahead discipline it was never
+    acknowledged.
     """
     schema: Optional[Schema] = None
     attrs: List[str] = []
@@ -886,10 +967,14 @@ def replay_correction_log(source) -> Tuple[Optional[Schema],
     mismatches: List[str] = []
     sessions: List[str] = []
     last_epoch = 0
-    for record in iter_log_records(source):
+    records, torn_tail = load_log_records(source)
+    for record in records:
         op = record.get("op")
         counts[op] = counts.get(op, 0) + 1
-        last_epoch = record.get("epoch", last_epoch)
+        # Monotonic max, not "last seen": a recovery re-opening the log
+        # appends a ``begin`` carrying epoch 0, and taking it literally
+        # would make the next session reuse already-logged epoch numbers.
+        last_epoch = max(last_epoch, int(record.get("epoch", 0)))
         if op == "begin":
             meta = record.get("schema", {})
             attrs = list(meta.get("attributes", attrs))
@@ -928,6 +1013,7 @@ def replay_correction_log(source) -> Tuple[Optional[Schema],
         "last_epoch": last_epoch,
         "mismatches": mismatches[:50],
         "mismatch_count": len(mismatches),
+        "torn_tail": torn_tail,
     }
     return schema, rows, report
 
@@ -937,11 +1023,12 @@ def audit_correction_log(source) -> Dict[str, Any]:
 
     Adds per-rule and per-attribute correction tallies to the replay
     report; ``ok`` is true iff every recorded old value matched during
-    replay.
+    replay.  A torn final record is tolerated (and recorded under
+    ``"torn_tail"``) exactly as in :func:`replay_correction_log`.
     """
     by_rule: Dict[str, int] = {}
     by_attr: Dict[str, int] = {}
-    records = list(iter_log_records(source))
+    records, torn_tail = load_log_records(source)
     for record in records:
         if record.get("op") == "cell":
             by_rule[record.get("rule", "?")] = \
@@ -951,6 +1038,7 @@ def audit_correction_log(source) -> Dict[str, Any]:
                 by_attr.get(record.get("attr", "?"), 0) + 1
     schema, rows, report = replay_correction_log(records)
     report.update({
+        "torn_tail": torn_tail,
         "ok": report["mismatch_count"] == 0,
         "schema": None if schema is None else schema.name,
         "corrections_by_rule": dict(

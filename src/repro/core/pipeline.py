@@ -48,7 +48,6 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 from typing import Callable, Dict, Iterable, Iterator, List, NamedTuple, Optional
 
 from ..errors import (ERROR_POLICIES, QUARANTINE, SKIP, STRICT,
@@ -100,22 +99,24 @@ class Checkpoint(NamedTuple):
     errors_by_type: Dict[str, int]
 
     def save(self, path) -> None:
-        """Write atomically (same-dir temp + ``os.replace``) and fsync."""
+        """Write atomically and durably: same-dir temp, fsync,
+        ``os.replace``, then fsync of the parent directory (without
+        which the *rename itself* can be lost to power failure).
+
+        Disk failure (``ENOSPC``, ``EIO``, failed fsync) surfaces as
+        :class:`CheckpointError`; the previous checkpoint, if any, is
+        untouched either way — resume falls back to it.
+        """
+        from ..durability.faults import atomic_replace_bytes
         path = os.fspath(path)
         payload = {"version": CHECKPOINT_VERSION}
         payload.update(self._asdict())
-        directory = os.path.dirname(path) or "."
-        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".checkpoint.",
-                                   suffix=".tmp")
+        data = json.dumps(payload, sort_keys=True).encode("utf-8")
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, sort_keys=True)
-                fsync_handle(handle)
-            os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+            atomic_replace_bytes(path, data, "checkpoint")
+        except OSError as exc:
+            raise CheckpointError("cannot write checkpoint %s: %s"
+                                  % (path, exc)) from exc
 
     @classmethod
     def load(cls, path) -> "Checkpoint":

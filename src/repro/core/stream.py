@@ -646,7 +646,11 @@ def repair_csv_file(input_path, rules: RuleInput, output_path,
         # output ever exists for a failed run.
         if not completed and not checkpointing and os.path.exists(part_path):
             os.unlink(part_path)
-    os.replace(part_path, out_path)
+    from ..durability.faults import durable_replace, fsync_dir
+    durable_replace(part_path, out_path, "output.rename")
+    # fsync the parent directory so the publish rename itself survives
+    # power loss (the file contents were fsynced above)
+    fsync_dir(os.path.dirname(os.path.abspath(out_path)), "output.dirsync")
     if checkpointing and os.path.exists(checkpoint_path):
         os.unlink(checkpoint_path)
     return session

@@ -278,9 +278,16 @@ def weighted_ruleset_from_json(text: str) -> WeightedRuleSet:
 
 
 def save_weighted_ruleset(weighted: WeightedRuleSet, path) -> None:
-    """Write a weighted rule set to *path* as JSON."""
-    Path(path).write_text(weighted_ruleset_to_json(weighted),
-                          encoding="utf-8")
+    """Write a weighted rule set to *path* as JSON, durably.
+
+    Atomic same-dir temp + fsync + rename + parent-dir fsync, so a
+    crash mid-save leaves either the old file or the new one — never
+    a truncated blend that :func:`load_weighted_ruleset` would reject.
+    """
+    from ..durability.faults import atomic_replace_bytes
+    atomic_replace_bytes(
+        path, weighted_ruleset_to_json(weighted).encode("utf-8"),
+        "weights")
 
 
 def load_weighted_ruleset(path) -> WeightedRuleSet:

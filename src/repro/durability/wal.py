@@ -1,0 +1,119 @@
+"""Framed, checksummed write-ahead-log records.
+
+One WAL frame on disk is::
+
+    magic  b"RWAL"            4 bytes
+    length uint32 big-endian  4 bytes   (payload bytes)
+    crc32  uint32 big-endian  4 bytes   (of the payload)
+    payload                   `length` bytes of canonical JSON
+
+The reader walks frames from offset 0 and stops at the first frame it
+cannot trust — short header, short payload, bad magic, or CRC
+mismatch.  Everything before that offset is exactly the sequence of
+fully-acknowledged appends; everything at and after it is a torn tail
+(the half-written frame a crash mid-append leaves) and is reported so
+the owner can physically truncate it.  A frame is only ever appended
+with ``write + fsync`` before the mutation it records is acknowledged,
+so "prefix of trusted frames" == "prefix of acknowledged state".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import Iterator, List, Optional, Tuple
+
+__all__ = ["MAGIC", "HEADER", "TornTail", "encode_frame", "scan_wal",
+           "read_wal"]
+
+MAGIC = b"RWAL"
+HEADER = struct.Struct(">4sII")
+
+
+class TornTail:
+    """Where and why a WAL (or JSONL) scan stopped trusting the file."""
+
+    __slots__ = ("offset", "dropped_bytes", "reason")
+
+    def __init__(self, offset: int, dropped_bytes: int, reason: str):
+        self.offset = offset
+        self.dropped_bytes = dropped_bytes
+        self.reason = reason
+
+    def describe(self) -> dict:
+        return {"offset": self.offset, "dropped_bytes": self.dropped_bytes,
+                "reason": self.reason}
+
+    def __repr__(self) -> str:
+        return ("TornTail(offset=%d, dropped_bytes=%d, reason=%r)"
+                % (self.offset, self.dropped_bytes, self.reason))
+
+
+def encode_frame(payload: dict) -> bytes:
+    """One record as a framed, CRC-protected byte string."""
+    body = json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    return HEADER.pack(MAGIC, len(body), zlib.crc32(body)) + body
+
+
+def _scan(data: bytes) -> Iterator[Tuple[int, dict]]:
+    offset = 0
+    size = len(data)
+    while offset < size:
+        if offset + HEADER.size > size:
+            raise _Stop(offset, "short header (%d trailing bytes)"
+                        % (size - offset))
+        magic, length, crc = HEADER.unpack_from(data, offset)
+        if magic != MAGIC:
+            raise _Stop(offset, "bad magic %r" % magic)
+        body_start = offset + HEADER.size
+        if body_start + length > size:
+            raise _Stop(offset, "short payload (%d of %d bytes)"
+                        % (size - body_start, length))
+        body = data[body_start:body_start + length]
+        if zlib.crc32(body) != crc:
+            raise _Stop(offset, "crc mismatch")
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except ValueError as exc:
+            raise _Stop(offset, "payload is not JSON: %s" % exc)
+        offset = body_start + length
+        yield offset, payload
+
+
+class _Stop(Exception):
+    def __init__(self, offset: int, reason: str):
+        super().__init__(reason)
+        self.offset = offset
+        self.reason = reason
+
+
+def scan_wal(data: bytes) -> Tuple[List[dict], int, Optional[TornTail]]:
+    """Parse *data*; return ``(records, trusted_end, torn_tail)``.
+
+    *trusted_end* is the byte offset of the last fully-valid frame;
+    *torn_tail* is None when the file ends exactly on a frame
+    boundary.
+    """
+    records: List[dict] = []
+    end = 0
+    try:
+        for offset, payload in _scan(data):
+            records.append(payload)
+            end = offset
+    except _Stop as stop:
+        return records, end, TornTail(stop.offset, len(data) - stop.offset,
+                                      stop.reason)
+    return records, end, None
+
+
+def read_wal(path) -> Tuple[List[dict], int, Optional[TornTail]]:
+    """:func:`scan_wal` over a file; a missing file is an empty WAL."""
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return [], 0, None
+    return scan_wal(data)

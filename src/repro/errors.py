@@ -82,6 +82,15 @@ class CheckpointError(PipelineError):
     """A checkpoint sidecar is missing, corrupt, or from a different job."""
 
 
+class DurabilityError(ReproError):
+    """Durable state (WAL, snapshot, correction log) is unusable.
+
+    Raised for corruption *beyond* what crash recovery tolerates: a
+    torn final record is expected and truncated, but damage in the
+    middle of an append-only file means the storage itself lied.
+    """
+
+
 # -- error policies ----------------------------------------------------------
 #
 # How the streaming pipeline treats a row that cannot be parsed or

@@ -24,9 +24,9 @@ leaves the old Σ serving because nothing was mutated.
 from __future__ import annotations
 
 import os
-import tempfile
 from typing import Dict, Optional
 
+from ..durability.faults import atomic_replace_bytes
 from ..errors import ReproError, SerializationError
 from ..core.consistency import find_conflicts_cached
 from ..core.engine import (CompiledRuleSet, compile_cached,
@@ -81,11 +81,20 @@ class _TenantSlots:
 
 
 class RulesetRegistry:
-    """All tenants' rulesets; every mutation is validate-then-swap."""
+    """All tenants' rulesets; every mutation is validate-then-swap.
 
-    def __init__(self, spool_dir: str):
+    With a *state_store* (:class:`~repro.durability.store.StateStore`)
+    every acknowledged mutation is also written ahead to the WAL —
+    *after* full shadow validation, *before* the swap — so a daemon
+    restart recovers exactly the acknowledged tenant state.  A state-
+    store write failure (disk full, I/O error) rejects the mutation
+    with 503 and leaves the old Σ serving.
+    """
+
+    def __init__(self, spool_dir: str, state_store=None):
         self.spool_dir = spool_dir
         os.makedirs(spool_dir, exist_ok=True)
+        self.state_store = state_store
         self._tenants: Dict[str, _TenantSlots] = {}
         self.reloads_total = 0
         self.rejects_total = 0
@@ -112,13 +121,21 @@ class RulesetRegistry:
 
     # -- mutation ------------------------------------------------------------
 
-    def upload(self, tenant: str, json_text: str) -> TenantRuleset:
+    def upload(self, tenant: str, json_text: str, *,
+               source: str = "upload") -> TenantRuleset:
         """Validate Σ′ in a shadow slot; swap it in only on full success.
 
         Raises :class:`RulesetRejected` (carrying the HTTP status) on
         any validation failure; the tenant's active slot is untouched.
+        The write-ahead record (when a state store is attached) lands
+        between validation and the swap: a crash after the append
+        recovers the new Σ — which passed validation in full — while a
+        failed append rejects the upload with the old Σ still serving.
         """
         candidate = self._validate(json_text)
+        self._log_state("tenant_upload", tenant,
+                        fingerprint=candidate.fingerprint,
+                        ruleset_json=json_text, source=source)
         self.reloads_total += 1
         slots = self._tenants.get(tenant)
         if slots is None:
@@ -128,13 +145,15 @@ class RulesetRegistry:
             slots.active = candidate
         return candidate
 
-    def install(self, tenant: str, ruleset: RuleSet) -> TenantRuleset:
+    def install(self, tenant: str, ruleset: RuleSet, *,
+                source: str = "upload") -> TenantRuleset:
         """Register an already-parsed Σ (the CLI preload path).
 
         Runs the same consistency + compile + spool validation as
         :meth:`upload`.
         """
-        return self.upload(tenant, ruleset_to_json(ruleset))
+        return self.upload(tenant, ruleset_to_json(ruleset),
+                           source=source)
 
     def rollback(self, tenant: str) -> TenantRuleset:
         """Swap active and previous; error when there is no previous."""
@@ -145,11 +164,41 @@ class RulesetRegistry:
             raise RulesetRejected(
                 409, "tenant %r has no previous ruleset to roll back to"
                 % tenant)
+        self._log_state("tenant_rollback", tenant)
         slots.active, slots.previous = slots.previous, slots.active
         self.rollbacks_total += 1
         return slots.active
 
+    def restore(self, tenant: str, active_json: str,
+                previous_json: Optional[str] = None) -> TenantRuleset:
+        """Recovery path: re-validate and seat slots directly.
+
+        Runs the full shadow validation (parse, consistency, compile,
+        spool) but writes **no** state-store records and bumps no
+        reload counters — recovering recovered state must not grow the
+        WAL it is replaying.
+        """
+        active = self._validate(active_json)
+        slots = _TenantSlots(active)
+        if previous_json is not None:
+            slots.previous = self._validate(previous_json)
+        self._tenants[tenant] = slots
+        return active
+
     # -- internals -----------------------------------------------------------
+
+    def _log_state(self, op: str, tenant: str, **fields) -> None:
+        """Write-ahead one acknowledged mutation; 503 on disk failure."""
+        if self.state_store is None:
+            return
+        try:
+            self.state_store.append(op, tenant=tenant, **fields)
+        except OSError as exc:
+            self.rejects_total += 1
+            raise RulesetRejected(
+                503, "state store write failed (%s); the mutation was "
+                "not applied and the previous ruleset keeps serving"
+                % exc)
 
     def _validate(self, json_text: str) -> TenantRuleset:
         try:
@@ -176,24 +225,24 @@ class RulesetRegistry:
                              spool_path)
 
     def _spool(self, fingerprint: str, json_text: str) -> str:
-        """Write Σ to ``<spool_dir>/<fingerprint>.json`` atomically.
+        """Write Σ to ``<spool_dir>/<fingerprint>.json`` durably.
 
         Content-addressed: two tenants sharing a Σ share the file, and
-        re-uploading a previous version is a no-op write.
+        re-uploading a previous version is a no-op write.  The write
+        is fsynced and the publish rename is followed by a parent-dir
+        fsync — pool workers load this file by fingerprint, so a
+        half-written (or silently vanishing) spool would poison every
+        request after a restart.  Disk failure surfaces as a 503
+        :class:`RulesetRejected`, the old Σ still serving.
         """
         path = os.path.join(self.spool_dir, "%s.json" % fingerprint)
         if os.path.exists(path):
             return path
-        fd, tmp_path = tempfile.mkstemp(dir=self.spool_dir,
-                                        suffix=".json.tmp")
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(json_text)
-            os.replace(tmp_path, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
+            atomic_replace_bytes(path, json_text.encode("utf-8"), "spool")
+        except OSError as exc:
+            self.rejects_total += 1
+            raise RulesetRejected(
+                503, "cannot spool ruleset %s: %s; the previous ruleset "
+                "keeps serving" % (fingerprint[:12], exc))
         return path

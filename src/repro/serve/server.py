@@ -106,6 +106,12 @@ class ServeConfig(NamedTuple):
     poll_interval: float = 0.05
     #: where validated rulesets are spooled for workers; None: tempdir
     spool_dir: Optional[str] = None
+    #: crash-consistent state directory (WAL + snapshots + correction
+    #: logs); None runs the daemon ephemeral, exactly as before.  With
+    #: a state dir, every acknowledged ruleset upload/rollback and
+    #: delta mutation survives a SIGKILL and is rebuilt on boot, with
+    #: ``/readyz`` reporting ``recovering`` until replay completes.
+    state_dir: Optional[str] = None
     #: worker-side chaos plan (tests only)
     fault_plan: Optional[WorkerFaultPlan] = None
 
@@ -132,13 +138,29 @@ class RepairServer:
     def __init__(self, config: ServeConfig = ServeConfig(),
                  registry: Optional[RulesetRegistry] = None):
         self.config = config.validate()
+        self.state_store = None
         if registry is None:
+            import os
             spool_dir = config.spool_dir
+            if config.state_dir is not None:
+                from ..durability import StateStore
+                self.state_store = StateStore(config.state_dir)
+                if spool_dir is None:
+                    # spool + correction logs must live with the state
+                    # dir: recovery replays the logs it finds there
+                    spool_dir = os.path.join(config.state_dir, "spool")
             if spool_dir is None:
                 import tempfile
                 spool_dir = tempfile.mkdtemp(prefix="repro-serve-spool-")
-            registry = RulesetRegistry(spool_dir)
+            registry = RulesetRegistry(spool_dir,
+                                       state_store=self.state_store)
+        else:
+            self.state_store = registry.state_store
         self.registry = registry
+        #: True from bind until snapshot-then-replay recovery finishes;
+        #: heavy endpoints answer 503 meanwhile and /readyz says so
+        self.recovering = False
+        self.recovery_report: Optional[dict] = None
         self.admission = AdmissionController(config.max_concurrency,
                                              config.queue_watermark,
                                              config.retry_after)
@@ -175,8 +197,38 @@ class RepairServer:
         return self._server.sockets[0].getsockname()[1]
 
     async def start(self) -> None:
+        needs_recovery = (self.state_store is not None
+                          and not self.state_store.is_empty())
+        if needs_recovery:
+            # flip before binding so no request can race the replay
+            self.recovering = True
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port)
+        if needs_recovery:
+            loop = asyncio.get_running_loop()
+            self._recovery_task = loop.create_task(self._recover())
+
+    async def _recover(self) -> None:
+        """Snapshot-then-replay rebuild, off-loop; /readyz reports
+        ``recovering`` until this completes."""
+        from ..durability import RecoveryManager
+        loop = asyncio.get_running_loop()
+
+        def rebuild() -> dict:
+            manager = RecoveryManager(self.state_store)
+            return manager.rebuild(self.registry, self._delta_sessions,
+                                   durable_logs=True)
+
+        try:
+            self.recovery_report = await loop.run_in_executor(None,
+                                                              rebuild)
+        except Exception as exc:
+            self.recovery_report = {"ok": False,
+                                    "problems": ["%s: %s"
+                                                 % (type(exc).__name__,
+                                                    exc)]}
+        finally:
+            self.recovering = False
 
     async def serve_forever(self) -> None:
         """Run until :meth:`drain` completes (the CLI entry point)."""
@@ -214,6 +266,8 @@ class RepairServer:
                 await loop.run_in_executor(None, self.pool.close)
             else:
                 await loop.run_in_executor(None, self.pool.terminate)
+        if self.state_store is not None:
+            self.state_store.close()
         self._drained.set()
         return clean
 
@@ -306,11 +360,22 @@ class RepairServer:
         if path == "/readyz" and method == "GET":
             if self.draining:
                 raise HttpError(503, "draining")
+            if self.recovering:
+                raise HttpError(503, "recovering",
+                                payload={"status": "recovering"})
             if len(self.registry) == 0:
                 raise HttpError(503, "no rulesets loaded")
-            return 200, {"status": "ready",
-                         "tenants": sorted(self.registry.tenants())}, \
-                None, None
+            ready = {"status": "ready",
+                     "tenants": sorted(self.registry.tenants())}
+            if self.recovery_report is not None:
+                ready["recovered"] = {
+                    "ok": self.recovery_report.get("ok"),
+                    "tenants": len(self.recovery_report.get("tenants",
+                                                            ())),
+                    "sessions": len(self.recovery_report.get("sessions",
+                                                             ())),
+                }
+            return 200, ready, None, None
         if path == "/metrics" and method == "GET":
             text = self.metrics.render(admission=self.admission.snapshot(),
                                        breaker=self.breaker.snapshot(),
@@ -324,6 +389,12 @@ class RepairServer:
                                                self.registry.rollbacks_total,
                                        })
             return 200, {}, None, text.encode("utf-8")
+        if path in ("/rulesets", "/repair/delta") and method == "GET" \
+                and self.recovering:
+            # these read the very state replay is rebuilding; health
+            # and metrics stay observable meanwhile
+            raise HttpError(503, "recovering: replaying durable state",
+                            payload={"status": "recovering"})
         if path == "/rulesets" and method == "GET":
             return 200, {"tenants": self.registry.tenants()}, None, None
         if path == "/repair/delta" and method == "GET":
@@ -348,6 +419,11 @@ class RepairServer:
                              "/explain") else 405,
                             "no route for %s %s" % (method, path))
 
+        if self.recovering:
+            raise HttpError(
+                503, "recovering: replaying durable state",
+                headers={"Retry-After":
+                         "%d" % max(1, round(self.admission.retry_after))})
         if not self.admission.try_begin():
             raise HttpError(
                 503,
@@ -540,11 +616,34 @@ class RepairServer:
             log_path = os.path.join(
                 self.registry.spool_dir,
                 "delta-%s.corrections.jsonl" % tenant)
-            session = DeltaRepairSession(entry.ruleset,
-                                         log_path=log_path,
-                                         check_consistency=False)
+            session = DeltaRepairSession(
+                entry.ruleset, log_path=log_path,
+                check_consistency=False,
+                durable=self.state_store is not None)
+            self._log_delta_open(tenant, session, log_path,
+                                 entry.fingerprint)
             self._delta_sessions[tenant] = session
         return session
+
+    def _log_delta_open(self, tenant: str, session, log_path: str,
+                        fingerprint: str) -> None:
+        """Write-ahead a session's existence before registering it.
+
+        Restart recovery only re-hydrates sessions the state store
+        knows about; a failed append closes the just-created session
+        and surfaces as 503 — nothing was acknowledged.
+        """
+        if self.state_store is None:
+            return
+        try:
+            self.state_store.append("delta_open", tenant=tenant,
+                                    session_id=session.session_id,
+                                    log_path=log_path,
+                                    fingerprint=fingerprint)
+        except OSError as exc:
+            session.close()
+            raise HttpError(503, "state store write failed (%s); the "
+                            "delta session was not opened" % exc)
 
     def _delta_apply(self, tenant: str, entry: TenantRuleset,
                      upserts, deletes) -> dict:
@@ -666,9 +765,18 @@ class RepairServer:
                         for rid in session.row_ids()]
                 log_path = session.log.path
                 session.close()
-                rebuilt = DeltaRepairSession(entry.ruleset, rows,
-                                             log_path=log_path,
-                                             check_consistency=False)
+                rebuilt = DeltaRepairSession(
+                    entry.ruleset, rows, log_path=log_path,
+                    check_consistency=False,
+                    durable=self.state_store is not None)
+                try:
+                    self._log_delta_open(tenant, rebuilt, log_path,
+                                         entry.fingerprint)
+                except HttpError:
+                    # the old session is closed and the rebuilt one was
+                    # never acknowledged; drop the tenant's session
+                    self._delta_sessions.pop(tenant, None)
+                    raise
                 self._delta_sessions[tenant] = rebuilt
                 return {"rows_rerepaired": len(rows),
                         "rebuilt": True,

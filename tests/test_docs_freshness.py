@@ -90,6 +90,16 @@ class TestApiReference:
                              "Suggestion", "evaluate_discovery",
                              "save_weighted_ruleset",
                              "load_weighted_ruleset"]),
+        ("repro.durability", ["StateStore", "RecoveryManager",
+                              "verify_state_dir", "reduce_record",
+                              "scan_wal", "read_wal", "encode_frame",
+                              "TornTail", "scan_jsonl_tail",
+                              "truncate_torn_jsonl",
+                              "DiskFaultInjector", "FAULT_POINTS",
+                              "FAULT_KINDS", "CrashPoint",
+                              "durable_write", "durable_fsync",
+                              "durable_replace", "fsync_dir",
+                              "atomic_replace_bytes"]),
         ("repro.dependencies", ["FD", "CFD", "MD", "discover_fds",
                                 "enforce_md"]),
         ("repro.evaluation", ["build_workload", "prepare", "run_trials",
